@@ -1,0 +1,112 @@
+// mrs-launch starts a mrs program as one master process plus N slave
+// processes on the local machine — the private-cluster launcher of
+// §IV ("the script for private clusters starts the master and uses
+// pssh to start slaves"), with fork/exec standing in for ssh. The
+// master's address travels through a port file, exactly as in
+// Program 3.
+//
+//	go build -o /tmp/wc ./examples/wordcount
+//	mrs-launch -n 4 /tmp/wc -files 300
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+var (
+	n       = flag.Int("n", 2, "number of slave processes")
+	timeout = flag.Duration("timeout", 30*time.Second, "how long to wait for the port file")
+	shared  = flag.String("shared", "", "shared directory for filesystem-staged data (optional)")
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: mrs-launch [-n slaves] <program> [program args...]")
+		os.Exit(2)
+	}
+	if err := launch(flag.Arg(0), flag.Args()[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "mrs-launch: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func launch(bin string, args []string) error {
+	dir, err := os.MkdirTemp("", "mrs-launch-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	portFile := filepath.Join(dir, "master.port")
+
+	// Start the master (the user's program in master mode).
+	masterArgs := append([]string{
+		"-mrs=master",
+		"-mrs-portfile=" + portFile,
+		fmt.Sprintf("-mrs-min-slaves=%d", *n),
+	}, args...)
+	if *shared != "" {
+		masterArgs = append([]string{"-mrs-shared=" + *shared}, masterArgs...)
+	}
+	master := exec.Command(bin, masterArgs...)
+	master.Stdout = os.Stdout
+	master.Stderr = os.Stderr
+	if err := master.Start(); err != nil {
+		return fmt.Errorf("starting master: %w", err)
+	}
+
+	// Wait for the port file (Program 3, step 3).
+	addr, err := waitPortFile(portFile, *timeout)
+	if err != nil {
+		master.Process.Kill()
+		master.Wait()
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "mrs-launch: master at %s; starting %d slaves\n", addr, *n)
+
+	// Start the slaves (Program 3, step 4 — pssh/pbsdsh equivalent).
+	slaves := make([]*exec.Cmd, *n)
+	for i := range slaves {
+		slaveArgs := append([]string{"-mrs=slave", "-mrs-master=" + addr}, args...)
+		if *shared != "" {
+			slaveArgs = append([]string{"-mrs-shared=" + *shared}, slaveArgs...)
+		}
+		s := exec.Command(bin, slaveArgs...)
+		s.Stdout = os.Stderr // keep program output (master stdout) clean
+		s.Stderr = os.Stderr
+		if err := s.Start(); err != nil {
+			master.Process.Kill()
+			return fmt.Errorf("starting slave %d: %w", i, err)
+		}
+		slaves[i] = s
+	}
+
+	masterErr := master.Wait()
+	// Slaves exit on their own when the master tells them to shut down.
+	for i, s := range slaves {
+		if err := s.Wait(); err != nil && masterErr == nil {
+			fmt.Fprintf(os.Stderr, "mrs-launch: slave %d: %v\n", i, err)
+		}
+	}
+	return masterErr
+}
+
+func waitPortFile(path string, timeout time.Duration) (string, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		data, err := os.ReadFile(path)
+		if err == nil && len(data) > 0 {
+			return strings.TrimSpace(string(data)), nil
+		}
+		if time.Now().After(deadline) {
+			return "", fmt.Errorf("port file %s did not appear within %v", path, timeout)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -1,0 +1,55 @@
+// mrs-submit reproduces the subjective evaluation of §V-A: it emits
+// the PBS startup scripts for a mrs job (Program 3) and a Hadoop job
+// (Program 4), the WordCount sources (Programs 1 and 2), and the
+// quantified comparison tables.
+//
+//	mrs-submit                 # comparison tables
+//	mrs-submit -scripts        # also print both startup scripts
+//	mrs-submit -programs       # also print both WordCount programs
+//	mrs-submit -nodes 21 -stage-gb 4 -files 31173
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/pbs"
+)
+
+var (
+	nodes        = flag.Int("nodes", 8, "allocation size in nodes")
+	stageGB      = flag.Float64("stage-gb", 1, "gigabytes staged into HDFS (Hadoop only)")
+	files        = flag.Int("files", 1000, "input file count")
+	showScripts  = flag.Bool("scripts", false, "print both startup scripts")
+	showPrograms = flag.Bool("programs", false, "print both WordCount programs")
+)
+
+func main() {
+	flag.Parse()
+	cmp := pbs.Compare(*nodes, int64(*stageGB*float64(1<<30)), *files)
+
+	fmt.Println("== Startup comparison (Programs 3 & 4; EXP-SCRIPT) ==")
+	fmt.Println()
+	fmt.Print(cmp.String())
+	fmt.Println()
+
+	prog := pbs.NewProgramComparison()
+	fmt.Println("== Program comparison (Programs 1 & 2; EXP-PROG) ==")
+	fmt.Println()
+	fmt.Print(prog.String())
+
+	if *showScripts {
+		fmt.Println()
+		fmt.Println("---- mrs startup script ----")
+		fmt.Println(cmp.Mrs.Text)
+		fmt.Println("---- hadoop startup script ----")
+		fmt.Println(cmp.Hadoop.Text)
+	}
+	if *showPrograms {
+		fmt.Println()
+		fmt.Println("---- WordCount in mrs-go ----")
+		fmt.Println(prog.MrsSource)
+		fmt.Println("---- WordCount in Hadoop/Java ----")
+		fmt.Println(prog.HadoopSource)
+	}
+}

@@ -1,0 +1,84 @@
+// Iterative MapReduce k-means — one of the iterative algorithms the
+// paper's introduction motivates ([2]). The point set is a static
+// dataset; each iteration broadcasts the current centroids to the map
+// tasks as operation parameters, so per-iteration cost is pure
+// framework overhead — the quantity Mrs is built to minimize.
+//
+//	go run ./examples/kmeans -points 5000 -k 5 -mrs=threads
+//	go run ./examples/kmeans -points 20000 -mrs=local -mrs-slaves=4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	mrs "repro"
+	"repro/internal/core"
+	"repro/internal/kmeans"
+)
+
+var (
+	k       = flag.Int("k", 5, "clusters")
+	dims    = flag.Int("dims", 8, "dimensions")
+	nPoints = flag.Int("points", 5000, "points to generate")
+	iters   = flag.Int("iters", 40, "max iterations")
+	tasks   = flag.Int("tasks", 4, "map splits")
+	seed    = flag.Uint64("seed", 17, "random seed")
+)
+
+type program struct{}
+
+func cfg() kmeans.Config {
+	return kmeans.Config{
+		K: *k, Dims: *dims, MaxIters: *iters,
+		Tasks: *tasks, Seed: *seed,
+	}
+}
+
+func (program) Register(reg *mrs.Registry) error {
+	kmeans.Register(reg)
+	return nil
+}
+
+func (program) Run(job *mrs.Job) error {
+	c := cfg()
+	genStart := time.Now()
+	points, trueCenters, err := kmeans.GeneratePoints(c, *nPoints)
+	if err != nil {
+		return err
+	}
+	init, err := kmeans.InitialCentroidsPlusPlus(c, points)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("generated %d points around %d true centers in %v\n",
+		len(points), len(trueCenters), time.Since(genStart).Round(time.Millisecond))
+	fmt.Printf("initial inertia (k-means++ seeds): %.1f\n", kmeans.Inertia(points, init))
+
+	src, err := job.LocalData(kmeans.PointPairs(points), core.OpOpts{
+		Splits: c.Tasks, Partition: "roundrobin"})
+	if err != nil {
+		return err
+	}
+	res, err := kmeans.RunMapReduce(job, c, src, init)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("converged in %d iterations (%v, %v/iter); final max movement %.3g\n",
+		res.Iterations, res.Elapsed.Round(time.Millisecond),
+		(res.Elapsed / time.Duration(res.Iterations)).Round(time.Microsecond), res.Moved)
+	fmt.Printf("final inertia: %.1f (true-center floor: %.1f)\n",
+		kmeans.Inertia(points, res.Centroids), kmeans.Inertia(points, trueCenters))
+	for i, c := range res.Centroids {
+		if len(c) > 4 {
+			c = c[:4]
+		}
+		fmt.Printf("centroid %d ≈ %.2f...\n", i, c)
+	}
+	return nil
+}
+
+func main() {
+	mrs.Main(program{})
+}

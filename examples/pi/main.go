@@ -1,0 +1,56 @@
+// PiEstimator: the paper's computationally intensive workload (§V-B,
+// Figure 3) — a Monte Carlo estimate of pi from quasi-random Halton
+// points, "computational in nature, with no data on disk".
+//
+//	go run ./examples/pi -samples 100000000 -tasks 8 -mrs=threads
+//	go run ./examples/pi -samples 1000000000 -mrs=local -mrs-slaves=4
+//	go run ./examples/pi -tier cpython    # simulate the CPython tier
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+
+	mrs "repro"
+	"repro/internal/interp"
+	"repro/internal/piest"
+)
+
+var (
+	samples = flag.Uint64("samples", 10_000_000, "number of Halton sample points")
+	tasks   = flag.Int("tasks", 8, "number of map tasks")
+	tier    = flag.String("tier", "c", "simulated runtime tier: c|java|pypy|cpython")
+)
+
+type program struct {
+	cfg piest.Config
+}
+
+func (p *program) Register(reg *mrs.Registry) error {
+	t, err := interp.ByName(*tier)
+	if err != nil {
+		return err
+	}
+	p.cfg = piest.Config{Samples: *samples, Tasks: *tasks, Tier: t}
+	piest.Register(reg, p.cfg)
+	return nil
+}
+
+func (p *program) Run(job *mrs.Job) error {
+	res, err := piest.Run(job, p.cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("samples   %d\n", res.Total)
+	fmt.Printf("inside    %d\n", res.Inside)
+	fmt.Printf("pi        %.10f\n", res.Pi)
+	fmt.Printf("true pi   %.10f\n", math.Pi)
+	fmt.Printf("abs error %.3e\n", res.Error())
+	fmt.Printf("elapsed   %v\n", res.Elapsed)
+	return nil
+}
+
+func main() {
+	mrs.Main(&program{})
+}

@@ -1,0 +1,105 @@
+// Apiary PSO on Rosenbrock-250: the paper's iterative scientific
+// workload (§V-B, Figure 4). Subswarms of particles advance several
+// inner iterations per map task; reduce tasks merge migrated bests
+// around the subswarm ring; a convergence check runs overlapped with
+// the next iteration. The -serial flag runs the identical dynamics in
+// a plain loop — both paths must print the same best values.
+//
+//	go run ./examples/pso -outer 50 -mrs=threads
+//	go run ./examples/pso -dims 250 -target 1e-5 -outer 5000 -mrs=local
+//	go run ./examples/pso -serial -outer 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	mrs "repro"
+	"repro/internal/pso"
+)
+
+var (
+	function = flag.String("function", "rosenbrock", "objective: rosenbrock|sphere|rastrigin|griewank|ackley")
+	dims     = flag.Int("dims", 250, "dimensions (the paper uses Rosenbrock-250)")
+	swarms   = flag.Int("swarms", 8, "number of subswarms (islands)")
+	size     = flag.Int("size", 5, "particles per subswarm")
+	inner    = flag.Int("inner", 100, "PSO iterations per map task")
+	outer    = flag.Int("outer", 25, "MapReduce iterations")
+	target   = flag.Float64("target", 0, "stop when best <= target (0: run all iterations)")
+	seed     = flag.Uint64("seed", 42, "random seed")
+	tasks    = flag.Int("tasks", 4, "map/reduce splits")
+	check    = flag.Int("check", 1, "convergence check cadence (outer iterations)")
+	serial   = flag.Bool("serial", false, "run the serial baseline instead of MapReduce")
+)
+
+func config() pso.Config {
+	return pso.Config{
+		Function:   *function,
+		Dims:       *dims,
+		NumSwarms:  *swarms,
+		SwarmSize:  *size,
+		InnerIters: *inner,
+		MaxOuter:   *outer,
+		Target:     *target,
+		Seed:       *seed,
+		Tasks:      *tasks,
+		CheckEvery: *check,
+	}
+}
+
+type program struct{}
+
+func (program) Register(reg *mrs.Registry) error {
+	return pso.Register(reg, config())
+}
+
+func (program) Run(job *mrs.Job) error {
+	res, err := pso.RunMapReduce(job, config())
+	if err != nil {
+		return err
+	}
+	report(res)
+	return nil
+}
+
+// Bypass runs the serial implementation — the paper's bypass mode
+// sharing code with the MapReduce implementation.
+func (program) Bypass() error {
+	res, err := pso.RunSerial(config())
+	if err != nil {
+		return err
+	}
+	report(res)
+	return nil
+}
+
+func report(res *pso.Result) {
+	fmt.Printf("%-8s %-14s %-14s %s\n", "ITER", "EVALS", "BEST", "ELAPSED")
+	for _, p := range res.History {
+		fmt.Printf("%-8d %-14d %-14.6g %v\n", p.OuterIter, p.Evaluations, p.Best, p.Elapsed.Round(1e6))
+	}
+	fmt.Printf("\nbest %.8g after %d outer iterations (%d evaluations) in %v; converged=%v\n",
+		res.Best, res.OuterIters, res.Evaluations, res.Elapsed.Round(1e6), res.Converged)
+	if res.OuterIters > 0 {
+		fmt.Printf("per-iteration wall time: %v\n",
+			(res.Elapsed / time.Duration(res.OuterIters)).Round(10*time.Microsecond))
+	}
+}
+
+func main() {
+	opts := mrs.BindFlags(flag.CommandLine)
+	flag.Parse()
+	if *serial {
+		if err := (program{}).Bypass(); err != nil {
+			fmt.Fprintf(os.Stderr, "pso: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := mrs.Run(program{}, *opts); err != nil {
+		fmt.Fprintf(os.Stderr, "pso: %v\n", err)
+		os.Exit(1)
+	}
+}

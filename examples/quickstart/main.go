@@ -1,0 +1,87 @@
+// Quickstart: the complete Mrs WordCount experience of Program 1 in
+// the paper, in Go. Run it with no arguments for serial execution, or
+// pick another mode:
+//
+//	go run ./examples/quickstart
+//	go run ./examples/quickstart -mrs=threads
+//	go run ./examples/quickstart -mrs=local -mrs-slaves=4
+package main
+
+import (
+	"bytes"
+	"fmt"
+
+	mrs "repro"
+	"repro/internal/codec"
+)
+
+// WordCount is a mrs program: named map/reduce functions plus a Run
+// method that queues the operations.
+type WordCount struct{}
+
+var document = []string{
+	"the mapreduce parallel programming model is designed for large scale data processing",
+	"but its benefits are also helpful for computationally intensive algorithms",
+	"mrs is a lightweight mapreduce implementation that is well suited for scientific computing",
+	"it is designed to be simple for both programmers and users",
+	"programs are easy to write easy to run and fast",
+}
+
+func (WordCount) Register(reg *mrs.Registry) error {
+	reg.RegisterMap("map", func(key, value []byte, emit mrs.Emitter) error {
+		for _, word := range bytes.Fields(value) {
+			if err := emit.Emit(word, codec.EncodeVarint(1)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	reg.RegisterReduce("reduce", func(key []byte, values [][]byte, emit mrs.Emitter) error {
+		var total int64
+		for _, v := range values {
+			n, err := codec.DecodeVarint(v)
+			if err != nil {
+				return err
+			}
+			total += n
+		}
+		return emit.Emit(key, codec.EncodeVarint(total))
+	})
+	return nil
+}
+
+func (WordCount) Run(job *mrs.Job) error {
+	pairs := make([]mrs.Pair, len(document))
+	for i, line := range document {
+		pairs[i] = mrs.Pair{Key: codec.EncodeVarint(int64(i + 1)), Value: []byte(line)}
+	}
+	src, err := job.LocalData(pairs, mrs.OpOpts{Splits: 2, Partition: "roundrobin"})
+	if err != nil {
+		return err
+	}
+	out, err := job.MapReduce(src, "map", "reduce",
+		mrs.OpOpts{Splits: 2, Combine: "reduce"},
+		mrs.OpOpts{Splits: 1})
+	if err != nil {
+		return err
+	}
+	counts, err := out.Collect()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-16s %s\n", "WORD", "COUNT")
+	for _, kv := range counts {
+		n, err := codec.DecodeVarint(kv.Value)
+		if err != nil {
+			return err
+		}
+		if n > 1 {
+			fmt.Printf("%-16s %d\n", kv.Key, n)
+		}
+	}
+	return nil
+}
+
+func main() {
+	mrs.Main(WordCount{})
+}

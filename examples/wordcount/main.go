@@ -1,0 +1,94 @@
+// WordCount over a generated Gutenberg-style corpus — the paper's
+// first performance workload (§V-B). The example generates a scaled
+// synthetic corpus (nested directories, Zipf words), counts it with
+// the requested execution mode, and prints the most frequent words.
+//
+//	go run ./examples/wordcount -files 200 -mrs=threads
+//	go run ./examples/wordcount -files 500 -mrs=local -mrs-slaves=4 -mrs-shared=/tmp/wcshare
+//
+// To run across real processes (the cluster experience):
+//
+//	go build -o /tmp/wc ./examples/wordcount
+//	/tmp/wc -mrs=master -mrs-portfile=/tmp/wc.port -files 500 &
+//	/tmp/wc -mrs=slave -mrs-master=$(cat /tmp/wc.port) &
+//	/tmp/wc -mrs=slave -mrs-master=$(cat /tmp/wc.port) &
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	mrs "repro"
+	"repro/internal/corpus"
+	"repro/internal/wordcount"
+)
+
+var (
+	files     = flag.Int("files", 200, "documents to generate")
+	meanWords = flag.Int("mean-words", 2000, "average words per document")
+	dir       = flag.String("dir", "", "corpus directory (default: temp dir)")
+	topN      = flag.Int("top", 15, "how many top words to print")
+	tasks     = flag.Int("tasks", 8, "reduce-side splits")
+)
+
+type program struct{}
+
+func (program) Register(reg *mrs.Registry) error {
+	wordcount.Register(reg)
+	return nil
+}
+
+func (program) Run(job *mrs.Job) error {
+	root := *dir
+	if root == "" {
+		d, err := os.MkdirTemp("", "mrs-corpus-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(d)
+		root = d
+	}
+	genStart := time.Now()
+	paths, stats, err := corpus.Generate(root, corpus.Spec{
+		Files:     *files,
+		MeanWords: *meanWords,
+		Seed:      7,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("generated %d files, %d tokens, %d dirs in %v\n",
+		stats.Files, stats.Tokens, stats.Directories, time.Since(genStart).Round(time.Millisecond))
+
+	countStart := time.Now()
+	out, err := wordcount.Run(job, paths, wordcount.Options{
+		MapSplits:    *tasks,
+		ReduceSplits: *tasks,
+	})
+	if err != nil {
+		return err
+	}
+	pairs, err := out.Collect()
+	if err != nil {
+		return err
+	}
+	counts, err := wordcount.Counts(pairs)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(countStart)
+	fmt.Printf("counted %d distinct words in %v (%.1f Mtokens/s)\n",
+		len(counts), elapsed.Round(time.Millisecond),
+		float64(stats.Tokens)/elapsed.Seconds()/1e6)
+	fmt.Printf("\n%-16s %s\n", "WORD", "COUNT")
+	for _, wc := range wordcount.Top(counts, *topN) {
+		fmt.Printf("%-16s %d\n", wc.Word, wc.Count)
+	}
+	return nil
+}
+
+func main() {
+	mrs.Main(program{})
+}

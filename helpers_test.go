@@ -1,0 +1,25 @@
+package mrs_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// waitForPortFile polls for the master's port file and returns the
+// address it contains — the same discovery mechanism Program 3 uses.
+func waitForPortFile(t *testing.T, path string) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		data, err := os.ReadFile(path)
+		if err == nil && len(data) > 0 {
+			return strings.TrimSpace(string(data))
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("port file %s never appeared", path)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

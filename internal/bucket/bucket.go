@@ -1,0 +1,316 @@
+// Package bucket manages intermediate data between tasks. Each task
+// writes its output partitioned into buckets (one per destination
+// split); each bucket is addressable by URL so a consumer task can read
+// it later, possibly from another machine.
+//
+// Three URL schemes mirror the data paths in §IV-B of the Mrs paper:
+//
+//	mem:<store>/<name>   in-memory, single-process execution modes
+//	file://<path>        shared-filesystem staging (the fault-tolerant path)
+//	http://host/data/<…> direct slave-to-slave serving via the built-in
+//	                     HTTP server (the high-performance path)
+//
+// A Store owns buckets created locally. Opening a URL resolves mem and
+// file buckets locally and fetches http buckets over the network.
+package bucket
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/kvio"
+)
+
+// Descriptor identifies a finished bucket.
+type Descriptor struct {
+	// Name is the store-relative bucket name, e.g. "ds3/t2/s1".
+	Name string
+	// URL locates the bucket for consumers ("mem:", "file://", "http://").
+	URL string
+	// Records and Bytes describe the contents (framing excluded).
+	Records int64
+	Bytes   int64
+}
+
+// storeSeq distinguishes mem: URLs of different stores in one process.
+var (
+	storeSeqMu sync.Mutex
+	storeSeq   int
+)
+
+// Store creates and resolves buckets.
+type Store struct {
+	id      int
+	dir     string // if non-empty, buckets are files under dir
+	baseURL string // if non-empty, file buckets advertise baseURL/<name>
+
+	mu  sync.Mutex
+	mem map[string][]byte // record-stream payloads for mem buckets
+}
+
+// NewMemStore returns a Store that keeps buckets in memory. Its
+// descriptors are only meaningful within this process.
+func NewMemStore() *Store {
+	storeSeqMu.Lock()
+	storeSeq++
+	id := storeSeq
+	storeSeqMu.Unlock()
+	return &Store{id: id, mem: map[string][]byte{}}
+}
+
+// NewFileStore returns a Store that writes buckets as files under dir.
+// If baseURL is non-empty (e.g. "http://10.0.0.7:9123/data"), finished
+// buckets advertise baseURL/<name>; otherwise they advertise file://
+// URLs, which is correct when dir is on a shared filesystem.
+func NewFileStore(dir, baseURL string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("bucket: creating store dir: %w", err)
+	}
+	return &Store{dir: dir, baseURL: strings.TrimRight(baseURL, "/")}, nil
+}
+
+// Dir returns the store's directory ("" for memory stores).
+func (s *Store) Dir() string { return s.dir }
+
+// InMemory reports whether this store keeps buckets in memory.
+func (s *Store) InMemory() bool { return s.dir == "" }
+
+// Writer accumulates one bucket's records.
+type Writer struct {
+	store *Store
+	name  string
+	// memory path
+	buf *bytes.Buffer
+	// file path
+	f    *os.File
+	path string
+
+	w      *kvio.Writer
+	closed bool
+}
+
+// Create starts a new bucket with the given store-relative name. Name
+// components are sanitized into a flat, safe file name.
+func (s *Store) Create(name string) (*Writer, error) {
+	if name == "" {
+		return nil, fmt.Errorf("bucket: empty bucket name")
+	}
+	if s.dir == "" {
+		buf := &bytes.Buffer{}
+		return &Writer{store: s, name: name, buf: buf, w: kvio.NewWriter(buf)}, nil
+	}
+	path := filepath.Join(s.dir, flatten(name))
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("bucket: creating %s: %w", path, err)
+	}
+	return &Writer{store: s, name: name, f: f, path: path, w: kvio.NewWriter(f)}, nil
+}
+
+// Write appends one record to the bucket.
+func (w *Writer) Write(p kvio.Pair) error {
+	if w.closed {
+		return fmt.Errorf("bucket: write after close")
+	}
+	return w.w.Write(p)
+}
+
+// Emit implements kvio.Emitter.
+func (w *Writer) Emit(key, value []byte) error {
+	return w.Write(kvio.Pair{Key: key, Value: value})
+}
+
+// Close finalizes the bucket and returns its descriptor.
+func (w *Writer) Close() (Descriptor, error) {
+	if w.closed {
+		return Descriptor{}, fmt.Errorf("bucket: double close")
+	}
+	w.closed = true
+	if err := w.w.Flush(); err != nil {
+		if w.f != nil {
+			w.f.Close()
+		}
+		return Descriptor{}, err
+	}
+	d := Descriptor{Name: w.name, Records: w.w.Count(), Bytes: w.w.Bytes()}
+	s := w.store
+	if w.buf != nil {
+		s.mu.Lock()
+		s.mem[w.name] = w.buf.Bytes()
+		s.mu.Unlock()
+		d.URL = fmt.Sprintf("mem:%d/%s", s.id, w.name)
+		return d, nil
+	}
+	if err := w.f.Close(); err != nil {
+		return Descriptor{}, err
+	}
+	if s.baseURL != "" {
+		d.URL = s.baseURL + "/" + url.PathEscape(flatten(w.name))
+	} else {
+		d.URL = "file://" + w.path
+	}
+	return d, nil
+}
+
+// Put stores a complete pair slice as a bucket in one call.
+func (s *Store) Put(name string, pairs []kvio.Pair) (Descriptor, error) {
+	w, err := s.Create(name)
+	if err != nil {
+		return Descriptor{}, err
+	}
+	for _, p := range pairs {
+		if err := w.Write(p); err != nil {
+			return Descriptor{}, err
+		}
+	}
+	return w.Close()
+}
+
+// Remove deletes a local bucket by name; used when datasets are freed
+// between iterations to bound storage.
+func (s *Store) Remove(name string) error {
+	if s.dir == "" {
+		s.mu.Lock()
+		delete(s.mem, name)
+		s.mu.Unlock()
+		return nil
+	}
+	err := os.Remove(filepath.Join(s.dir, flatten(name)))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// OpenLocal returns a reader for a bucket created by this store.
+func (s *Store) OpenLocal(name string) (io.ReadCloser, error) {
+	if s.dir == "" {
+		s.mu.Lock()
+		data, ok := s.mem[name]
+		s.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("bucket: no mem bucket %q", name)
+		}
+		return io.NopCloser(bytes.NewReader(data)), nil
+	}
+	f, err := os.Open(filepath.Join(s.dir, flatten(name)))
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// ServeName maps an escaped bucket file name (as it appears in an http
+// URL path) back to a served file path, for use by the data server.
+func (s *Store) ServeName(escaped string) (string, error) {
+	name, err := url.PathUnescape(escaped)
+	if err != nil {
+		return "", err
+	}
+	if strings.ContainsAny(name, "/\\") || name == "" || strings.HasPrefix(name, ".") {
+		return "", fmt.Errorf("bucket: illegal bucket name %q", name)
+	}
+	if s.dir == "" {
+		return "", fmt.Errorf("bucket: memory store cannot serve files")
+	}
+	return filepath.Join(s.dir, name), nil
+}
+
+// flatten converts a hierarchical bucket name into a safe flat file name.
+func flatten(name string) string {
+	r := strings.NewReplacer("/", "_", "\\", "_", "..", "_", ":", "_")
+	return r.Replace(name)
+}
+
+// ---------------------------------------------------------------------------
+// Opening by URL
+
+// HTTPTimeout bounds a single bucket fetch.
+const HTTPTimeout = 30 * time.Second
+
+// httpClient is shared so connections are reused between fetches.
+var httpClient = &http.Client{Timeout: HTTPTimeout}
+
+// Open resolves a bucket URL. mem: URLs must belong to this store;
+// file:// URLs are opened directly; http:// URLs are fetched with
+// bounded retries (transient fetch failures are expected during slave
+// churn and must not kill a reduce task immediately).
+func (s *Store) Open(rawURL string) (io.ReadCloser, error) {
+	switch {
+	case strings.HasPrefix(rawURL, "mem:"):
+		rest := strings.TrimPrefix(rawURL, "mem:")
+		slash := strings.IndexByte(rest, '/')
+		if slash < 0 {
+			return nil, fmt.Errorf("bucket: malformed mem URL %q", rawURL)
+		}
+		if fmt.Sprintf("%d", s.id) != rest[:slash] {
+			return nil, fmt.Errorf("bucket: mem URL %q belongs to another store", rawURL)
+		}
+		return s.OpenLocal(rest[slash+1:])
+	case strings.HasPrefix(rawURL, "file://"):
+		return os.Open(strings.TrimPrefix(rawURL, "file://"))
+	case strings.HasPrefix(rawURL, "http://"), strings.HasPrefix(rawURL, "https://"):
+		return openHTTP(rawURL)
+	}
+	return nil, fmt.Errorf("bucket: unsupported URL %q", rawURL)
+}
+
+// FetchRetries is how many times an http bucket fetch is attempted.
+const FetchRetries = 3
+
+func openHTTP(rawURL string) (io.ReadCloser, error) {
+	var lastErr error
+	for attempt := 0; attempt < FetchRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(time.Duration(attempt) * 100 * time.Millisecond)
+		}
+		resp, err := httpClient.Get(rawURL)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			lastErr = fmt.Errorf("bucket: GET %s: %s", rawURL, resp.Status)
+			if resp.StatusCode == http.StatusNotFound {
+				// The bucket is gone (slave died and restarted); no
+				// point hammering.
+				return nil, lastErr
+			}
+			continue
+		}
+		return resp.Body, nil
+	}
+	return nil, lastErr
+}
+
+// ReadAll opens a URL and decodes every record.
+func (s *Store) ReadAll(rawURL string) ([]kvio.Pair, error) {
+	rc, err := s.Open(rawURL)
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	return kvio.NewReader(rc).ReadAll()
+}
+
+// ReadAllMulti concatenates the records of several buckets in order.
+func (s *Store) ReadAllMulti(urls []string) ([]kvio.Pair, error) {
+	var out []kvio.Pair
+	for _, u := range urls {
+		pairs, err := s.ReadAll(u)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pairs...)
+	}
+	return out, nil
+}

@@ -1,0 +1,157 @@
+// Package cluster boots a complete master + N-slave deployment on
+// localhost TCP for examples, tests, and benchmarks. The control plane
+// (XML-RPC over HTTP), the data plane (HTTP bucket serving or shared-
+// filesystem staging), heartbeats, and scheduling are all the real
+// distributed code paths; only the machines are local.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/master"
+	"repro/internal/slave"
+)
+
+// Options configures a local cluster.
+type Options struct {
+	// Slaves is the worker count (default 2).
+	Slaves int
+	// SharedDir switches the data plane to filesystem staging in the
+	// given directory (the fault-tolerant mode). Empty selects direct
+	// HTTP serving between slaves.
+	SharedDir string
+	// Master options forwarded (heartbeats, retries, affinity).
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+	MaxAttempts       int
+	DisableAffinity   bool
+}
+
+// Cluster is a running local deployment.
+type Cluster struct {
+	M *master.Master
+
+	mu      sync.Mutex
+	slaves  []*slaveHandle
+	nextIdx int
+}
+
+type slaveHandle struct {
+	s      *slave.Slave
+	cancel context.CancelFunc
+	err    error
+	done   chan struct{} // closed when Run returns; err is set before the close
+}
+
+// Start boots the master and slaves and waits until all slaves have
+// signed in.
+func Start(reg *core.Registry, opts Options) (*Cluster, error) {
+	if opts.Slaves <= 0 {
+		opts.Slaves = 2
+	}
+	m, err := master.New(master.Options{
+		SharedDir:         opts.SharedDir,
+		HeartbeatInterval: opts.HeartbeatInterval,
+		HeartbeatTimeout:  opts.HeartbeatTimeout,
+		MaxAttempts:       opts.MaxAttempts,
+		DisableAffinity:   opts.DisableAffinity,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{M: m}
+	for i := 0; i < opts.Slaves; i++ {
+		if _, err := c.AddSlave(reg, opts.SharedDir); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := m.WaitForSlaves(ctx, opts.Slaves); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// AddSlave starts one more slave (usable mid-run, e.g. in elasticity
+// tests) and returns its index.
+func (c *Cluster) AddSlave(reg *core.Registry, sharedDir string) (int, error) {
+	s, err := slave.New(reg, slave.Options{
+		MasterAddr: c.M.Addr(),
+		SharedDir:  sharedDir,
+	})
+	if err != nil {
+		return 0, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	h := &slaveHandle{s: s, cancel: cancel, done: make(chan struct{})}
+	go func() {
+		h.err = s.Run(ctx)
+		close(h.done)
+	}()
+	c.mu.Lock()
+	c.slaves = append(c.slaves, h)
+	idx := len(c.slaves) - 1
+	c.mu.Unlock()
+	return idx, nil
+}
+
+// Executor returns the cluster's core.Executor (the master).
+func (c *Cluster) Executor() core.Executor { return c.M }
+
+// NumSlaves returns the number of slaves the harness ever started.
+func (c *Cluster) NumSlaves() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.slaves)
+}
+
+// Slave returns the i-th slave (for inspecting task counts).
+func (c *Cluster) Slave(i int) *slave.Slave {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.slaves[i].s
+}
+
+// KillSlave abruptly stops slave i: its loop is cancelled and its data
+// server dies with it, simulating a crashed worker.
+func (c *Cluster) KillSlave(i int) error {
+	c.mu.Lock()
+	if i < 0 || i >= len(c.slaves) {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: no slave %d", i)
+	}
+	h := c.slaves[i]
+	c.mu.Unlock()
+	h.cancel()
+	select {
+	case <-h.done:
+	case <-time.After(5 * time.Second):
+		return fmt.Errorf("cluster: slave %d did not stop", i)
+	}
+	return nil
+}
+
+// Close shuts down the whole cluster: master first (which tells slaves
+// to shut down via get_task), then force-cancels stragglers.
+func (c *Cluster) Close() error {
+	err := c.M.Close()
+	c.mu.Lock()
+	handles := append([]*slaveHandle(nil), c.slaves...)
+	c.mu.Unlock()
+	for _, h := range handles {
+		select {
+		case <-h.done:
+		case <-time.After(3 * time.Second):
+			h.cancel()
+			<-h.done
+		}
+	}
+	return err
+}

@@ -1,0 +1,379 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/kvio"
+)
+
+func testRegistry() *core.Registry {
+	reg := core.NewRegistry()
+	reg.RegisterMap("split", func(key, value []byte, emit kvio.Emitter) error {
+		for _, w := range strings.Fields(string(value)) {
+			if err := emit.Emit([]byte(w), codec.EncodeVarint(1)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	reg.RegisterReduce("sum", func(key []byte, values [][]byte, emit kvio.Emitter) error {
+		var total int64
+		for _, v := range values {
+			n, err := codec.DecodeVarint(v)
+			if err != nil {
+				return err
+			}
+			total += n
+		}
+		return emit.Emit(key, codec.EncodeVarint(total))
+	})
+	reg.RegisterMap("identity", func(key, value []byte, emit kvio.Emitter) error {
+		return emit.Emit(key, value)
+	})
+	reg.RegisterMap("slowmap", func(key, value []byte, emit kvio.Emitter) error {
+		time.Sleep(30 * time.Millisecond)
+		return emit.Emit(key, value)
+	})
+	reg.RegisterMap("slowsplit", func(key, value []byte, emit kvio.Emitter) error {
+		time.Sleep(30 * time.Millisecond)
+		for _, w := range strings.Fields(string(value)) {
+			if err := emit.Emit([]byte(w), codec.EncodeVarint(1)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	reg.RegisterMap("boom", func(key, value []byte, emit kvio.Emitter) error {
+		return fmt.Errorf("deliberate map failure")
+	})
+	return reg
+}
+
+var inputLines = []string{
+	"a b c a",
+	"b b c",
+	"d a",
+	"c c c d",
+	"e",
+	"a e e",
+}
+
+var wantCounts = map[string]int64{"a": 4, "b": 3, "c": 5, "d": 2, "e": 3}
+
+func inputPairs() []kvio.Pair {
+	pairs := make([]kvio.Pair, len(inputLines))
+	for i, l := range inputLines {
+		pairs[i] = kvio.Pair{Key: codec.EncodeVarint(int64(i)), Value: []byte(l)}
+	}
+	return pairs
+}
+
+func runWordCount(t *testing.T, c *Cluster) map[string]int64 {
+	t.Helper()
+	job := core.NewJob(c.Executor())
+	src, err := job.LocalData(inputPairs(), core.OpOpts{Splits: 3, Partition: "roundrobin"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := job.MapReduce(src, "split", "sum",
+		core.OpOpts{Splits: 4, Combine: "sum"}, core.OpOpts{Splits: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := out.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int64{}
+	for _, p := range pairs {
+		n, err := codec.DecodeVarint(p.Value)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[string(p.Key)] += n
+	}
+	// Job close is separate from cluster close: the cluster can run
+	// many jobs.
+	if err := job.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func checkCounts(t *testing.T, got map[string]int64) {
+	t.Helper()
+	if len(got) != len(wantCounts) {
+		t.Errorf("got %d words, want %d: %v", len(got), len(wantCounts), got)
+	}
+	for w, n := range wantCounts {
+		if got[w] != n {
+			t.Errorf("count[%q] = %d, want %d", w, got[w], n)
+		}
+	}
+}
+
+func TestDistributedWordCountHTTP(t *testing.T) {
+	c, err := Start(testRegistry(), Options{Slaves: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	checkCounts(t, runWordCount(t, c))
+	stats := c.M.Stats()
+	if stats.TasksDone == 0 {
+		t.Error("no tasks recorded as done")
+	}
+}
+
+func TestDistributedWordCountSharedFS(t *testing.T) {
+	c, err := Start(testRegistry(), Options{Slaves: 3, SharedDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	checkCounts(t, runWordCount(t, c))
+}
+
+func TestDistributedMatchesSerial(t *testing.T) {
+	// The paper's core debugging invariant, across the network this time.
+	exec := core.NewSerial(testRegistry())
+	job := core.NewJob(exec)
+	src, _ := job.LocalData(inputPairs(), core.OpOpts{Splits: 3, Partition: "roundrobin"})
+	out, _ := job.MapReduce(src, "split", "sum", core.OpOpts{Splits: 4, Combine: "sum"}, core.OpOpts{Splits: 2})
+	serialPairs, err := out.CollectSorted()
+	if err != nil {
+		t.Fatal(err)
+	}
+	job.Close()
+	exec.Close()
+
+	c, err := Start(testRegistry(), Options{Slaves: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	jobD := core.NewJob(c.Executor())
+	srcD, _ := jobD.LocalData(inputPairs(), core.OpOpts{Splits: 3, Partition: "roundrobin"})
+	outD, _ := jobD.MapReduce(srcD, "split", "sum", core.OpOpts{Splits: 4, Combine: "sum"}, core.OpOpts{Splits: 2})
+	distPairs, err := outD.CollectSorted()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobD.Close()
+
+	if len(serialPairs) != len(distPairs) {
+		t.Fatalf("serial %d records, distributed %d", len(serialPairs), len(distPairs))
+	}
+	for i := range serialPairs {
+		if !bytes.Equal(serialPairs[i].Key, distPairs[i].Key) ||
+			!bytes.Equal(serialPairs[i].Value, distPairs[i].Value) {
+			t.Errorf("record %d: serial %v, distributed %v", i, serialPairs[i], distPairs[i])
+		}
+	}
+}
+
+func TestWorkSpreadsAcrossSlaves(t *testing.T) {
+	c, err := Start(testRegistry(), Options{Slaves: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	job := core.NewJob(c.Executor())
+	// Enough slow tasks that a single slave cannot grab them all.
+	var pairs []kvio.Pair
+	for i := 0; i < 12; i++ {
+		pairs = append(pairs, kvio.Pair{Key: codec.EncodeVarint(int64(i)), Value: []byte("x")})
+	}
+	src, _ := job.LocalData(pairs, core.OpOpts{Splits: 12, Partition: "roundrobin"})
+	out, _ := job.Map(src, "slowmap", core.OpOpts{Splits: 1})
+	if err := out.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	job.Close()
+	busy := 0
+	for i := 0; i < c.NumSlaves(); i++ {
+		if c.Slave(i).TasksRun() > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Errorf("only %d slaves did work; scheduler not spreading", busy)
+	}
+}
+
+func TestIterativeAffinity(t *testing.T) {
+	c, err := Start(testRegistry(), Options{Slaves: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	job := core.NewJob(c.Executor())
+	ds, err := job.LocalData(inputPairs(), core.OpOpts{Splits: 2, Partition: "roundrobin"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		ds, err = job.Map(ds, "identity", core.OpOpts{Splits: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ds.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	job.Close()
+	// After the chain, both task indices should have stable owners.
+	for idx := 0; idx < 2; idx++ {
+		if owner := c.M.Scheduler().Affinity(idx); owner == "" {
+			t.Errorf("no affinity recorded for task index %d", idx)
+		}
+	}
+}
+
+func TestSlaveFailureRecoveryDuringOp(t *testing.T) {
+	// Shared-FS mode: kill a slave mid-operation; completed data
+	// survives on the shared dir and running tasks are reassigned.
+	c, err := Start(testRegistry(), Options{
+		Slaves:            3,
+		SharedDir:         t.TempDir(),
+		HeartbeatInterval: 50 * time.Millisecond,
+		HeartbeatTimeout:  250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	job := core.NewJob(c.Executor())
+	var pairs []kvio.Pair
+	for i := 0; i < 30; i++ {
+		pairs = append(pairs, kvio.Pair{Key: codec.EncodeVarint(int64(i)), Value: []byte("x y z")})
+	}
+	src, _ := job.LocalData(pairs, core.OpOpts{Splits: 30, Partition: "roundrobin"})
+	out, err := job.MapReduce(src, "slowsplit", "sum", core.OpOpts{Splits: 2}, core.OpOpts{Splits: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let work start, then kill one slave.
+	time.Sleep(100 * time.Millisecond)
+	if err := c.KillSlave(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Wait(); err != nil {
+		t.Fatalf("job did not survive slave death: %v", err)
+	}
+	job.Close()
+	// The reaper notices the death on its own schedule; the job may
+	// well finish first, so poll rather than assert immediately.
+	deadline := time.Now().Add(3 * time.Second)
+	for c.M.Stats().SlavesLost != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("SlavesLost = %d, want 1", c.M.Stats().SlavesLost)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestTaskErrorFailsJob(t *testing.T) {
+	c, err := Start(testRegistry(), Options{Slaves: 2, MaxAttempts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	job := core.NewJob(c.Executor())
+	src, _ := job.LocalData(inputPairs(), core.OpOpts{Splits: 2})
+	out, err := job.Map(src, "boom", core.OpOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = out.Wait()
+	if err == nil || !strings.Contains(err.Error(), "deliberate map failure") {
+		t.Errorf("Wait err = %v", err)
+	}
+	job.Close()
+}
+
+func TestElasticAddSlave(t *testing.T) {
+	reg := testRegistry()
+	c, err := Start(reg, Options{Slaves: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.AddSlave(reg, ""); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for c.M.NumSlaves() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("second slave never signed in")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	checkCounts(t, runWordCount(t, c))
+}
+
+func TestMultipleJobsOneCluster(t *testing.T) {
+	c, err := Start(testRegistry(), Options{Slaves: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		checkCounts(t, runWordCount(t, c))
+	}
+}
+
+func TestFreeDeletesSlaveBuckets(t *testing.T) {
+	// Free on a distributed dataset piggybacks delete commands on
+	// get_task; slaves then remove their buckets, so a later Collect
+	// must fail to fetch them.
+	c, err := Start(testRegistry(), Options{Slaves: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	job := core.NewJob(c.Executor())
+	defer job.Close()
+	src, _ := job.LocalData(inputPairs(), core.OpOpts{Splits: 2, Partition: "roundrobin"})
+	out, err := job.Map(src, "identity", core.OpOpts{Splits: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := out.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Free(); err != nil {
+		t.Fatal(err)
+	}
+	// Slaves poll continuously; within a couple of poll cycles the
+	// buckets must be gone.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := out.Collect(); err != nil {
+			return // buckets deleted, fetch failed as expected
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("slave buckets still fetchable after Free")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func TestAffinityDisabledStillCorrect(t *testing.T) {
+	c, err := Start(testRegistry(), Options{Slaves: 2, DisableAffinity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	checkCounts(t, runWordCount(t, c))
+	if owner := c.M.Scheduler().Affinity(0); owner != "" {
+		t.Errorf("affinity recorded despite DisableAffinity: %q", owner)
+	}
+}

@@ -1,0 +1,385 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/bucket"
+	"repro/internal/kvio"
+	"repro/internal/partition"
+)
+
+// Executor runs operations. Implementations: Serial, MockParallel,
+// Threads (this package) and the distributed master (internal/master).
+type Executor interface {
+	// RunOp executes a map or reduce operation given the materialized
+	// input and returns the output materialization.
+	RunOp(op *Operation, input *Materialized) (*Materialized, error)
+	// Store is the executor's local bucket store; the driver uses it to
+	// materialize source data and to fetch results for Collect.
+	Store() *bucket.Store
+	// Free releases a dataset's storage, best effort.
+	Free(m *Materialized)
+	// Close releases executor resources.
+	Close() error
+}
+
+// Job is the handle a Program's Run method uses to queue operations.
+// Queueing methods never block on execution; a background driver
+// executes operations in queue order (asynchronously, which is what
+// lets iterative programs overlap convergence checks with subsequent
+// iterations). Wait/Collect block until the named dataset is complete.
+type Job struct {
+	exec Executor
+
+	mu      sync.Mutex
+	ops     []*Operation
+	results []*Materialized
+	done    []chan struct{}
+	failed  map[int]bool
+	err     error
+
+	queue  chan int
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewJob starts a job driver over the executor.
+func NewJob(exec Executor) *Job {
+	j := &Job{
+		exec:   exec,
+		failed: map[int]bool{},
+		queue:  make(chan int, 1024),
+	}
+	j.wg.Add(1)
+	go j.driveLoop()
+	return j
+}
+
+// driveLoop executes queued operations in order.
+func (j *Job) driveLoop() {
+	defer j.wg.Done()
+	for id := range j.queue {
+		j.mu.Lock()
+		op := j.ops[id]
+		jobErr := j.err
+		var input *Materialized
+		if op.Input >= 0 {
+			input = j.results[op.Input]
+		}
+		inputFailed := op.Input >= 0 && j.failed[op.Input]
+		j.mu.Unlock()
+
+		var m *Materialized
+		var err error
+		switch {
+		case jobErr != nil || inputFailed:
+			err = fmt.Errorf("core: dataset %d skipped: upstream failure", id)
+		case op.Kind == OpLocal:
+			m, err = MaterializeLocal(j.exec.Store(), op)
+		case op.Kind == OpFile && op.rangeFormat:
+			m, err = materializeRangedFiles(op)
+		case op.Kind == OpFile:
+			m, err = MaterializeFiles(op)
+		default:
+			m, err = j.exec.RunOp(op, input)
+		}
+
+		j.mu.Lock()
+		if err != nil {
+			j.failed[id] = true
+			if j.err == nil {
+				j.err = err
+			}
+		} else {
+			j.results[id] = m
+		}
+		close(j.done[id])
+		j.mu.Unlock()
+	}
+}
+
+// enqueue registers and queues an operation, returning its dataset.
+func (j *Job) enqueue(op *Operation, splits int) (*Dataset, error) {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return nil, fmt.Errorf("core: job is closed")
+	}
+	op.Dataset = len(j.ops)
+	if err := op.Validate(); err != nil {
+		j.mu.Unlock()
+		return nil, err
+	}
+	j.ops = append(j.ops, op)
+	j.results = append(j.results, nil)
+	j.done = append(j.done, make(chan struct{}))
+	j.mu.Unlock()
+	j.queue <- op.Dataset
+	return &Dataset{job: j, id: op.Dataset, splits: splits}, nil
+}
+
+// Close stops the driver after all queued operations finish. The
+// runner harness calls this when Run returns.
+func (j *Job) Close() error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return nil
+	}
+	j.closed = true
+	j.mu.Unlock()
+	close(j.queue)
+	j.wg.Wait()
+	return j.Err()
+}
+
+// Err returns the first execution error, if any.
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// OpOpts tunes a queued operation. The zero value picks reasonable
+// defaults, matching the paper's "reasonable but overridable defaults".
+type OpOpts struct {
+	// Splits is the number of output splits (default: same as input;
+	// for sources, 1).
+	Splits int
+	// Partition names the output partitioner (default "hash").
+	Partition string
+	// Combine names a registered reduce function used as a combiner.
+	Combine string
+	// Params is opaque per-operation state delivered to map/reduce
+	// factories on every executing process (broadcast variables).
+	Params []byte
+}
+
+func (o OpOpts) splitsOr(def int) int {
+	if o.Splits > 0 {
+		return o.Splits
+	}
+	return def
+}
+
+// LocalData queues literal pairs as a source dataset.
+func (j *Job) LocalData(pairs []kvio.Pair, opts OpOpts) (*Dataset, error) {
+	splits := opts.splitsOr(1)
+	cp := make([]kvio.Pair, len(pairs))
+	for i, p := range pairs {
+		cp[i] = p.Clone()
+	}
+	return j.enqueue(&Operation{
+		Kind:       OpLocal,
+		Input:      -1,
+		Splits:     splits,
+		Partition:  opts.Partition,
+		LocalPairs: cp,
+	}, splits)
+}
+
+// TextFileData queues text files as a source dataset, one split per
+// file; records are (line number, line).
+func (j *Job) TextFileData(paths []string) (*Dataset, error) {
+	return j.enqueue(&Operation{
+		Kind:   OpFile,
+		Input:  -1,
+		Splits: len(paths),
+		Paths:  append([]string(nil), paths...),
+	}, len(paths))
+}
+
+// Map queues a map operation over src.
+func (j *Job) Map(src *Dataset, funcName string, opts OpOpts) (*Dataset, error) {
+	splits := opts.splitsOr(src.splits)
+	return j.enqueue(&Operation{
+		Kind:        OpMap,
+		Input:       src.id,
+		FuncName:    funcName,
+		CombineName: opts.Combine,
+		Splits:      splits,
+		Partition:   opts.Partition,
+		Params:      append([]byte(nil), opts.Params...),
+	}, splits)
+}
+
+// Reduce queues a reduce operation over src. src must be partitioned by
+// key (i.e. be the output of a map or reduce with a key-based
+// partitioner) for reduce semantics to hold globally.
+func (j *Job) Reduce(src *Dataset, funcName string, opts OpOpts) (*Dataset, error) {
+	splits := opts.splitsOr(src.splits)
+	return j.enqueue(&Operation{
+		Kind:        OpReduce,
+		Input:       src.id,
+		FuncName:    funcName,
+		CombineName: opts.Combine,
+		Splits:      splits,
+		Partition:   opts.Partition,
+		Params:      append([]byte(nil), opts.Params...),
+	}, splits)
+}
+
+// MapReduce queues a map followed by a reduce; mapOpts.Splits sets the
+// number of reduce tasks.
+func (j *Job) MapReduce(src *Dataset, mapName, reduceName string, mapOpts, reduceOpts OpOpts) (*Dataset, error) {
+	mid, err := j.Map(src, mapName, mapOpts)
+	if err != nil {
+		return nil, err
+	}
+	return j.Reduce(mid, reduceName, reduceOpts)
+}
+
+// wait blocks until dataset id completes; returns the materialization.
+func (j *Job) wait(id int) (*Materialized, error) {
+	j.mu.Lock()
+	if id < 0 || id >= len(j.done) {
+		j.mu.Unlock()
+		return nil, fmt.Errorf("core: unknown dataset %d", id)
+	}
+	ch := j.done[id]
+	j.mu.Unlock()
+	<-ch
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.failed[id] {
+		return nil, j.err
+	}
+	return j.results[id], nil
+}
+
+// Dataset is a handle to a queued (possibly not yet computed) dataset.
+type Dataset struct {
+	job    *Job
+	id     int
+	splits int
+}
+
+// ID returns the dataset's id (its position in the operation queue).
+func (d *Dataset) ID() int { return d.id }
+
+// NumSplits returns the dataset's split count.
+func (d *Dataset) NumSplits() int { return d.splits }
+
+// Wait blocks until the dataset has been computed.
+func (d *Dataset) Wait() error {
+	_, err := d.job.wait(d.id)
+	return err
+}
+
+// Collect waits for the dataset and fetches every record, splits in
+// order, each split's buckets in producer order. For reduce outputs
+// this yields records sorted by key within each split.
+func (d *Dataset) Collect() ([]kvio.Pair, error) {
+	m, err := d.job.wait(d.id)
+	if err != nil {
+		return nil, err
+	}
+	store := d.job.exec.Store()
+	var out []kvio.Pair
+	for s := range m.Splits {
+		pairs, err := store.ReadAllMulti(m.URLs(s))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pairs...)
+	}
+	return out, nil
+}
+
+// CollectSorted is Collect with a global bytewise key sort applied,
+// convenient for comparing outputs across executors.
+func (d *Dataset) CollectSorted() ([]kvio.Pair, error) {
+	pairs, err := d.Collect()
+	if err != nil {
+		return nil, err
+	}
+	sort.SliceStable(pairs, func(i, k int) bool {
+		return bytes.Compare(pairs[i].Key, pairs[k].Key) < 0
+	})
+	return pairs, nil
+}
+
+// DatasetStats summarizes a computed dataset.
+type DatasetStats struct {
+	Splits  int
+	Buckets int
+	Records int64
+	Bytes   int64
+}
+
+// Stats waits for the dataset and reports its physical shape; handy
+// for progress reporting and for verifying combiner effectiveness.
+func (d *Dataset) Stats() (DatasetStats, error) {
+	m, err := d.job.wait(d.id)
+	if err != nil {
+		return DatasetStats{}, err
+	}
+	s := DatasetStats{
+		Splits:  m.NumSplits(),
+		Records: m.Records(),
+		Bytes:   m.Bytes(),
+	}
+	for _, split := range m.Splits {
+		s.Buckets += len(split)
+	}
+	return s, nil
+}
+
+// Free waits for the dataset and then releases its storage. Iterative
+// programs call this on datasets from finished iterations.
+func (d *Dataset) Free() error {
+	m, err := d.job.wait(d.id)
+	if err != nil {
+		return err
+	}
+	d.job.exec.Free(m)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Source materialization (shared by all executors)
+
+// MaterializeLocal partitions literal pairs into splits and stores them
+// as buckets in the given store.
+func MaterializeLocal(store *bucket.Store, op *Operation) (*Materialized, error) {
+	parter, err := partition.ByName(op.Partition)
+	if err != nil {
+		return nil, err
+	}
+	perSplit := make([][]kvio.Pair, op.Splits)
+	for serial, p := range op.LocalPairs {
+		s := parter(p.Key, int64(serial), op.Splits)
+		if s < 0 || s >= op.Splits {
+			return nil, fmt.Errorf("core: partitioner returned split %d of %d", s, op.Splits)
+		}
+		perSplit[s] = append(perSplit[s], p)
+	}
+	m := NewMaterialized(op.Splits, FormatKV)
+	for s, pairs := range perSplit {
+		d, err := store.Put(BucketName(op.Dataset, 0, s), pairs)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.AddBucket(s, d); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// MaterializeFiles wraps file paths as a lines-format dataset, one
+// split per file. Paths must be accessible to every task executor
+// (shared filesystem), matching the paper's cluster assumptions.
+func MaterializeFiles(op *Operation) (*Materialized, error) {
+	m := NewMaterialized(len(op.Paths), FormatLines)
+	for s, path := range op.Paths {
+		d := bucket.Descriptor{URL: "file://" + path}
+		if err := m.AddBucket(s, d); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/bucket"
+)
+
+// LocalExecutor runs tasks in the current process. It provides three of
+// the paper's four execution modes:
+//
+//   - Serial: one worker, in-memory buckets. Deterministic, simplest to
+//     debug.
+//   - MockParallel: one worker, file-backed buckets; the work is split
+//     into exactly the tasks the distributed runtime would run, and all
+//     intermediate data lands in files that can be inspected.
+//   - Threads: N workers, in-memory buckets. (In Python the GIL forces
+//     Mrs to use processes; Go goroutines give real parallelism, so
+//     this mode has no Python counterpart but the same semantics.)
+//
+// The fourth mode, Bypass, doesn't execute operations at all; the
+// public mrs package dispatches it before a Job exists.
+type LocalExecutor struct {
+	env     *TaskEnv
+	workers int
+	ownsDir string // temp dir to remove on Close ("" if none)
+}
+
+// NewSerial returns the serial executor.
+func NewSerial(reg *Registry) *LocalExecutor {
+	return &LocalExecutor{
+		env:     &TaskEnv{Store: bucket.NewMemStore(), Reg: reg},
+		workers: 1,
+	}
+}
+
+// NewMockParallel returns the mock-parallel executor. dir receives the
+// intermediate data files; if empty a temp dir is created and removed
+// on Close.
+func NewMockParallel(reg *Registry, dir string) (*LocalExecutor, error) {
+	owns := ""
+	if dir == "" {
+		d, err := os.MkdirTemp("", "mrs-mock-*")
+		if err != nil {
+			return nil, err
+		}
+		dir = d
+		owns = d
+	}
+	store, err := bucket.NewFileStore(dir, "")
+	if err != nil {
+		return nil, err
+	}
+	return &LocalExecutor{
+		env:     &TaskEnv{Store: store, Reg: reg, TempDir: dir},
+		workers: 1,
+		ownsDir: owns,
+	}, nil
+}
+
+// NewThreads returns an in-process parallel executor with n workers.
+func NewThreads(reg *Registry, n int) *LocalExecutor {
+	if n < 1 {
+		n = 1
+	}
+	return &LocalExecutor{
+		env:     &TaskEnv{Store: bucket.NewMemStore(), Reg: reg},
+		workers: n,
+	}
+}
+
+// Store implements Executor.
+func (e *LocalExecutor) Store() *bucket.Store { return e.env.Store }
+
+// SetSpillBytes overrides the external-sort threshold (testing and the
+// spill ablation bench).
+func (e *LocalExecutor) SetSpillBytes(n int64) { e.env.SpillBytes = n }
+
+// RunOp implements Executor: it runs one task per input split, with up
+// to `workers` tasks in flight.
+func (e *LocalExecutor) RunOp(op *Operation, input *Materialized) (*Materialized, error) {
+	if input == nil {
+		return nil, fmt.Errorf("core: %s op %d has no input", op.Kind, op.Dataset)
+	}
+	nTasks := input.NumSplits()
+	out := NewMaterialized(op.Splits, FormatKV)
+	if nTasks == 0 {
+		return out, nil
+	}
+	results := make([]*TaskResult, nTasks)
+	errs := make([]error, nTasks)
+
+	if e.workers == 1 {
+		for t := 0; t < nTasks; t++ {
+			results[t], errs[t] = ExecTask(e.env, &TaskSpec{
+				Op:          op,
+				TaskIndex:   t,
+				InputURLs:   input.URLs(t),
+				InputFormat: input.Format,
+			})
+			if errs[t] != nil {
+				return nil, errs[t]
+			}
+		}
+	} else {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, e.workers)
+		for t := 0; t < nTasks; t++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(t int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				results[t], errs[t] = ExecTask(e.env, &TaskSpec{
+					Op:          op,
+					TaskIndex:   t,
+					InputURLs:   input.URLs(t),
+					InputFormat: input.Format,
+				})
+			}(t)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Assemble output splits in task order for determinism.
+	for t := 0; t < nTasks; t++ {
+		for s, d := range results[t].Outputs {
+			if err := out.AddBucket(s, d); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// Free implements Executor.
+func (e *LocalExecutor) Free(m *Materialized) {
+	for _, name := range m.BucketNames() {
+		_ = e.env.Store.Remove(name)
+	}
+}
+
+// Close implements Executor.
+func (e *LocalExecutor) Close() error {
+	if e.ownsDir != "" {
+		return os.RemoveAll(e.ownsDir)
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bucket"
+)
+
+// Materialized is the physical representation of a computed dataset:
+// for each split, the ordered list of buckets holding its records
+// (one bucket per producing task). Order matters — concatenating a
+// split's buckets in task order yields a deterministic record sequence.
+type Materialized struct {
+	// Splits[s] lists the buckets that together form split s.
+	Splits [][]bucket.Descriptor
+	// Format tells consumers how to decode the bucket payloads.
+	Format string
+}
+
+// NewMaterialized allocates an empty materialization with n splits.
+func NewMaterialized(n int, format string) *Materialized {
+	return &Materialized{Splits: make([][]bucket.Descriptor, n), Format: format}
+}
+
+// NumSplits returns the split count.
+func (m *Materialized) NumSplits() int { return len(m.Splits) }
+
+// Records totals the record counts of all buckets.
+func (m *Materialized) Records() int64 {
+	var n int64
+	for _, split := range m.Splits {
+		for _, d := range split {
+			n += d.Records
+		}
+	}
+	return n
+}
+
+// Bytes totals the payload bytes of all buckets.
+func (m *Materialized) Bytes() int64 {
+	var n int64
+	for _, split := range m.Splits {
+		for _, d := range split {
+			n += d.Bytes
+		}
+	}
+	return n
+}
+
+// URLs returns the bucket URLs of split s in task order.
+func (m *Materialized) URLs(s int) []string {
+	urls := make([]string, len(m.Splits[s]))
+	for i, d := range m.Splits[s] {
+		urls[i] = d.URL
+	}
+	return urls
+}
+
+// BucketNames returns every bucket name in the materialization;
+// used to free datasets between iterations.
+func (m *Materialized) BucketNames() []string {
+	var names []string
+	for _, split := range m.Splits {
+		for _, d := range split {
+			if d.Name != "" {
+				names = append(names, d.Name)
+			}
+		}
+	}
+	return names
+}
+
+// AddBucket appends a bucket descriptor to split s.
+func (m *Materialized) AddBucket(s int, d bucket.Descriptor) error {
+	if s < 0 || s >= len(m.Splits) {
+		return fmt.Errorf("core: split %d out of range [0,%d)", s, len(m.Splits))
+	}
+	m.Splits[s] = append(m.Splits[s], d)
+	return nil
+}
+
+// BucketName builds the canonical bucket name for (dataset, task, split).
+func BucketName(dataset, task, split int) string {
+	return fmt.Sprintf("ds%d/t%d/s%d", dataset, task, split)
+}

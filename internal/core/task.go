@@ -1,0 +1,339 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+
+	"repro/internal/bucket"
+	"repro/internal/codec"
+	"repro/internal/kvio"
+	"repro/internal/partition"
+	"repro/internal/shuffle"
+)
+
+// DefaultSpillBytes is the default reduce-side external-sort threshold.
+const DefaultSpillBytes = 256 << 20
+
+// TaskEnv carries the per-process resources a task needs. Both local
+// executors and slave processes construct one.
+type TaskEnv struct {
+	// Store creates output buckets and resolves input URLs.
+	Store *bucket.Store
+	// Reg resolves function names.
+	Reg *Registry
+	// TempDir holds external-sort spill files ("" = os.TempDir()).
+	TempDir string
+	// SpillBytes overrides the external-sort threshold (0 = default).
+	SpillBytes int64
+}
+
+func (env *TaskEnv) spillBytes() int64 {
+	if env.SpillBytes > 0 {
+		return env.SpillBytes
+	}
+	return DefaultSpillBytes
+}
+
+// TaskSpec fully describes one task; it is what travels from the master
+// to a slave.
+type TaskSpec struct {
+	// Op is the operation this task belongs to.
+	Op *Operation
+	// TaskIndex is the task's index within the operation (== the input
+	// split it consumes).
+	TaskIndex int
+	// InputURLs are the buckets making up the consumed split, in
+	// producer-task order.
+	InputURLs []string
+	// InputFormat is the split's record format (FormatKV or FormatLines).
+	InputFormat string
+}
+
+// TaskResult reports a finished task's output buckets, one per output
+// split.
+type TaskResult struct {
+	Dataset   int
+	TaskIndex int
+	Outputs   []bucket.Descriptor
+}
+
+// ExecTask dispatches on the operation kind.
+func ExecTask(env *TaskEnv, spec *TaskSpec) (*TaskResult, error) {
+	switch spec.Op.Kind {
+	case OpMap:
+		return execMapTask(env, spec)
+	case OpReduce:
+		return execReduceTask(env, spec)
+	default:
+		return nil, fmt.Errorf("core: cannot execute %s operation as a task", spec.Op.Kind)
+	}
+}
+
+// partitionedEmitter routes emitted records into per-split bucket writers.
+type partitionedEmitter struct {
+	parter  partition.Func
+	splits  int
+	serial  int64
+	writers []*bucket.Writer
+}
+
+func (e *partitionedEmitter) Emit(key, value []byte) error {
+	s := e.parter(key, e.serial, e.splits)
+	e.serial++
+	if s < 0 || s >= e.splits {
+		return fmt.Errorf("core: partitioner returned split %d of %d", s, e.splits)
+	}
+	return e.writers[s].Emit(key, value)
+}
+
+// makeWriters creates the output bucket writers for a task.
+func makeWriters(env *TaskEnv, op *Operation, taskIndex int) ([]*bucket.Writer, error) {
+	writers := make([]*bucket.Writer, op.Splits)
+	for s := range writers {
+		w, err := env.Store.Create(BucketName(op.Dataset, taskIndex, s))
+		if err != nil {
+			return nil, err
+		}
+		writers[s] = w
+	}
+	return writers, nil
+}
+
+// closeWriters finalizes all writers, collecting descriptors.
+func closeWriters(writers []*bucket.Writer) ([]bucket.Descriptor, error) {
+	descs := make([]bucket.Descriptor, len(writers))
+	for i, w := range writers {
+		d, err := w.Close()
+		if err != nil {
+			return nil, err
+		}
+		descs[i] = d
+	}
+	return descs, nil
+}
+
+func execMapTask(env *TaskEnv, spec *TaskSpec) (*TaskResult, error) {
+	op := spec.Op
+	mapFn, err := env.Reg.Map(op.FuncName, op.Params)
+	if err != nil {
+		return nil, err
+	}
+	parter, err := partition.ByName(op.Partition)
+	if err != nil {
+		return nil, err
+	}
+	writers, err := makeWriters(env, op, spec.TaskIndex)
+	if err != nil {
+		return nil, err
+	}
+
+	if op.CombineName == "" {
+		// Direct path: emitted records go straight to their bucket.
+		emit := &partitionedEmitter{parter: parter, splits: op.Splits, writers: writers}
+		err = forEachInputRecord(env, spec, func(key, value []byte) error {
+			return mapFn(key, value, emit)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: map task %d of ds%d: %w", spec.TaskIndex, op.Dataset, err)
+		}
+	} else {
+		// Combining path: per-split sorters apply the combiner before
+		// records are written (map-side combine).
+		combineFn, cerr := env.Reg.Reduce(op.CombineName, op.Params)
+		if cerr != nil {
+			return nil, cerr
+		}
+		combine := CombineAdapter(combineFn)
+		sorters := make([]*shuffle.Sorter, op.Splits)
+		for s := range sorters {
+			sorters[s] = shuffle.NewSorter(shuffle.Options{
+				SpillBytes: env.spillBytes(),
+				TempDir:    env.TempDir,
+				Combine:    combine,
+			})
+			defer sorters[s].Close()
+		}
+		var serial int64
+		emit := kvio.FuncEmitter(func(key, value []byte) error {
+			s := parter(key, serial, op.Splits)
+			serial++
+			if s < 0 || s >= op.Splits {
+				return fmt.Errorf("core: partitioner returned split %d of %d", s, op.Splits)
+			}
+			return sorters[s].Add(kvio.Pair{
+				Key:   append([]byte(nil), key...),
+				Value: append([]byte(nil), value...),
+			})
+		})
+		err = forEachInputRecord(env, spec, func(key, value []byte) error {
+			return mapFn(key, value, emit)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: map task %d of ds%d: %w", spec.TaskIndex, op.Dataset, err)
+		}
+		for s, sorter := range sorters {
+			w := writers[s]
+			err := sorter.Groups(func(key []byte, values [][]byte) error {
+				for _, v := range values {
+					if werr := w.Emit(key, v); werr != nil {
+						return werr
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	outputs, err := closeWriters(writers)
+	if err != nil {
+		return nil, err
+	}
+	return &TaskResult{Dataset: op.Dataset, TaskIndex: spec.TaskIndex, Outputs: outputs}, nil
+}
+
+func execReduceTask(env *TaskEnv, spec *TaskSpec) (*TaskResult, error) {
+	op := spec.Op
+	reduceFn, err := env.Reg.Reduce(op.FuncName, op.Params)
+	if err != nil {
+		return nil, err
+	}
+	parter, err := partition.ByName(op.Partition)
+	if err != nil {
+		return nil, err
+	}
+	var combine shuffle.CombineFunc
+	if op.CombineName != "" {
+		combineFn, cerr := env.Reg.Reduce(op.CombineName, op.Params)
+		if cerr != nil {
+			return nil, cerr
+		}
+		combine = CombineAdapter(combineFn)
+	}
+	sorter := shuffle.NewSorter(shuffle.Options{
+		SpillBytes: env.spillBytes(),
+		TempDir:    env.TempDir,
+		Combine:    combine,
+	})
+	defer sorter.Close()
+	err = forEachInputRecord(env, spec, func(key, value []byte) error {
+		return sorter.Add(kvio.Pair{
+			Key:   append([]byte(nil), key...),
+			Value: append([]byte(nil), value...),
+		})
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: reduce task %d of ds%d (input): %w", spec.TaskIndex, op.Dataset, err)
+	}
+
+	writers, err := makeWriters(env, op, spec.TaskIndex)
+	if err != nil {
+		return nil, err
+	}
+	emit := &partitionedEmitter{parter: parter, splits: op.Splits, writers: writers}
+	err = sorter.Groups(func(key []byte, values [][]byte) error {
+		return reduceFn(key, values, emit)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: reduce task %d of ds%d: %w", spec.TaskIndex, op.Dataset, err)
+	}
+	outputs, err := closeWriters(writers)
+	if err != nil {
+		return nil, err
+	}
+	return &TaskResult{Dataset: op.Dataset, TaskIndex: spec.TaskIndex, Outputs: outputs}, nil
+}
+
+// CombineAdapter turns a reduce function into a shuffle combiner. Per
+// the combiner contract, emitted keys must equal the group key; only
+// the values are retained.
+func CombineAdapter(fn ReduceFunc) shuffle.CombineFunc {
+	return func(key []byte, values [][]byte) ([][]byte, error) {
+		var e kvio.SliceEmitter
+		if err := fn(key, values, &e); err != nil {
+			return nil, err
+		}
+		out := make([][]byte, len(e.Pairs))
+		for i, p := range e.Pairs {
+			if !bytes.Equal(p.Key, key) {
+				return nil, fmt.Errorf("core: combiner changed key %q to %q", key, p.Key)
+			}
+			out[i] = p.Value
+		}
+		return out, nil
+	}
+}
+
+// forEachInputRecord streams every record of the task's input split.
+// The key/value slices passed to fn are not retained by the iterator.
+func forEachInputRecord(env *TaskEnv, spec *TaskSpec, fn func(key, value []byte) error) error {
+	for _, u := range spec.InputURLs {
+		if spec.InputFormat == FormatLinesRange {
+			// Ranged text inputs open their own file handle to seek.
+			if err := forEachLineRange(u, fn); err != nil {
+				return err
+			}
+			continue
+		}
+		rc, err := env.Store.Open(u)
+		if err != nil {
+			return fmt.Errorf("opening input %s: %w", u, err)
+		}
+		var ferr error
+		switch spec.InputFormat {
+		case "", FormatKV:
+			ferr = forEachKVRecord(rc, fn)
+		case FormatLines:
+			ferr = forEachLine(rc, fn)
+		default:
+			ferr = fmt.Errorf("core: unknown input format %q", spec.InputFormat)
+		}
+		cerr := rc.Close()
+		if ferr != nil {
+			return ferr
+		}
+		if cerr != nil {
+			return cerr
+		}
+	}
+	return nil
+}
+
+func forEachKVRecord(r io.Reader, fn func(key, value []byte) error) error {
+	kr := kvio.NewReader(r)
+	for {
+		p, err := kr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(p.Key, p.Value); err != nil {
+			return err
+		}
+	}
+}
+
+// forEachLine yields (varint line number, line) records; line numbers
+// start at 1 and lines exclude the trailing newline (and any '\r').
+func forEachLine(r io.Reader, fn func(key, value []byte) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	lineNo := int64(0)
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if n := len(line); n > 0 && line[n-1] == '\r' {
+			line = line[:n-1]
+		}
+		if err := fn(codec.EncodeVarint(lineNo), line); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bucket"
+	"repro/internal/codec"
+)
+
+// TextFileDataSplit queues text files as a source dataset where large
+// files are divided into byte-range splits of roughly splitBytes each
+// (Hadoop's input-split model): a split owns every line that starts
+// inside its range, so map parallelism no longer depends on file count.
+// Records are (varint byte-offset-of-line, line).
+func (j *Job) TextFileDataSplit(paths []string, splitBytes int64) (*Dataset, error) {
+	if splitBytes <= 0 {
+		return nil, fmt.Errorf("core: splitBytes must be positive")
+	}
+	var urls []string
+	for _, path := range paths {
+		info, err := os.Stat(path)
+		if err != nil {
+			return nil, fmt.Errorf("core: stat %s: %w", path, err)
+		}
+		size := info.Size()
+		if size == 0 {
+			urls = append(urls, rangeURL(path, 0, 0))
+			continue
+		}
+		for start := int64(0); start < size; start += splitBytes {
+			length := splitBytes
+			if start+length > size {
+				length = size - start
+			}
+			urls = append(urls, rangeURL(path, start, length))
+		}
+	}
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("core: no input files")
+	}
+	op := &Operation{
+		Kind:   OpFile,
+		Input:  -1,
+		Splits: len(urls),
+		// Paths carries the range URLs; MaterializeFiles special-cases
+		// the fragment syntax via the format below.
+		Paths: urls,
+	}
+	ds, err := j.enqueueRanged(op, len(urls))
+	if err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// enqueueRanged is enqueue for range-format file sources.
+func (j *Job) enqueueRanged(op *Operation, splits int) (*Dataset, error) {
+	op.rangeFormat = true
+	return j.enqueue(op, splits)
+}
+
+func rangeURL(path string, start, length int64) string {
+	return fmt.Sprintf("file://%s#%d+%d", path, start, length)
+}
+
+// parseRangeURL splits a "file://path#start+len" URL.
+func parseRangeURL(u string) (path string, start, length int64, err error) {
+	rest, ok := strings.CutPrefix(u, "file://")
+	if !ok {
+		return "", 0, 0, fmt.Errorf("core: range URL %q lacks file scheme", u)
+	}
+	path, frag, ok := strings.Cut(rest, "#")
+	if !ok {
+		return "", 0, 0, fmt.Errorf("core: range URL %q lacks fragment", u)
+	}
+	s, l, ok := strings.Cut(frag, "+")
+	if !ok {
+		return "", 0, 0, fmt.Errorf("core: range fragment %q malformed", frag)
+	}
+	if start, err = strconv.ParseInt(s, 10, 64); err != nil {
+		return "", 0, 0, err
+	}
+	if length, err = strconv.ParseInt(l, 10, 64); err != nil {
+		return "", 0, 0, err
+	}
+	if start < 0 || length < 0 {
+		return "", 0, 0, fmt.Errorf("core: negative range in %q", u)
+	}
+	return path, start, length, nil
+}
+
+// materializeRangedFiles wraps range URLs as a lines-range dataset.
+func materializeRangedFiles(op *Operation) (*Materialized, error) {
+	m := NewMaterialized(len(op.Paths), FormatLinesRange)
+	for s, u := range op.Paths {
+		if _, _, _, err := parseRangeURL(u); err != nil {
+			return nil, err
+		}
+		if err := m.AddBucket(s, bucket.Descriptor{URL: u}); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// forEachLineRange yields (varint line-start-offset, line) for every
+// line starting within [start, start+length) of the file. If start > 0
+// the reader first skips the tail of the line begun in the previous
+// range; the final line is read to completion even past the range end.
+func forEachLineRange(u string, fn func(key, value []byte) error) error {
+	path, start, length, err := parseRangeURL(u)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	pos := start
+	if start > 0 {
+		// Align to the first line that starts inside the range: seek to
+		// start-1 so a newline exactly at start-1 makes the line at
+		// `start` ours.
+		if _, err := f.Seek(start-1, io.SeekStart); err != nil {
+			return err
+		}
+		r := bufio.NewReaderSize(f, 64<<10)
+		skipped, err := r.ReadBytes('\n')
+		if err == io.EOF {
+			return nil // the range begins inside the file's final line
+		}
+		if err != nil {
+			return err
+		}
+		pos = start - 1 + int64(len(skipped))
+		return scanLines(r, pos, start+length, fn)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	return scanLines(bufio.NewReaderSize(f, 64<<10), 0, start+length, fn)
+}
+
+// scanLines emits lines starting at pos while pos < limit.
+func scanLines(r *bufio.Reader, pos, limit int64, fn func(key, value []byte) error) error {
+	for pos < limit {
+		line, err := r.ReadBytes('\n')
+		if len(line) > 0 {
+			lineStart := pos
+			pos += int64(len(line))
+			trimmed := line
+			if n := len(trimmed); n > 0 && trimmed[n-1] == '\n' {
+				trimmed = trimmed[:n-1]
+			}
+			if n := len(trimmed); n > 0 && trimmed[n-1] == '\r' {
+				trimmed = trimmed[:n-1]
+			}
+			if ferr := fn(codec.EncodeVarint(lineStart), trimmed); ferr != nil {
+				return ferr
+			}
+		}
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/codec"
+)
+
+// rangedLines runs forEachLineRange over the whole file split into
+// chunks of the given size and returns all (offset, line) records.
+func rangedLines(t *testing.T, path string, chunk int64) map[int64]string {
+	t.Helper()
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int64]string{}
+	size := info.Size()
+	for start := int64(0); start < size || start == 0; start += chunk {
+		length := chunk
+		if start+length > size {
+			length = size - start
+		}
+		err := forEachLineRange(rangeURL(path, start, length), func(key, value []byte) error {
+			off, err := codec.DecodeVarint(key)
+			if err != nil {
+				return err
+			}
+			if prev, dup := got[off]; dup {
+				return fmt.Errorf("offset %d seen twice (%q, %q)", off, prev, value)
+			}
+			got[off] = string(value)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if size == 0 {
+			break
+		}
+	}
+	return got
+}
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "input.txt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRangeSplitsCoverEveryLineExactlyOnce(t *testing.T) {
+	content := "first line\nsecond\nthird line here\nfourth\nfinal without newline"
+	path := writeTemp(t, content)
+	wantLines := strings.Split(content, "\n")
+	for _, chunk := range []int64{1, 3, 7, 10, 100} {
+		got := rangedLines(t, path, chunk)
+		if len(got) != len(wantLines) {
+			t.Fatalf("chunk %d: got %d lines, want %d: %v", chunk, len(got), len(wantLines), got)
+		}
+		offset := int64(0)
+		for _, want := range wantLines {
+			line, ok := got[offset]
+			if !ok || line != want {
+				t.Errorf("chunk %d: offset %d = %q, want %q", chunk, offset, line, want)
+			}
+			offset += int64(len(want)) + 1
+		}
+	}
+}
+
+func TestRangeSplitsPropertyAgainstWholeRead(t *testing.T) {
+	f := func(rawLines []string, chunkSel uint8) bool {
+		// Build file content from sanitized lines.
+		var sb strings.Builder
+		var want []string
+		for _, l := range rawLines {
+			l = strings.Map(func(r rune) rune {
+				if r == '\n' || r == '\r' {
+					return '.'
+				}
+				return r
+			}, l)
+			want = append(want, l)
+			sb.WriteString(l)
+			sb.WriteByte('\n')
+		}
+		path := writeTemp(t, sb.String())
+		chunk := int64(chunkSel%32) + 1
+		got := rangedLines(t, path, chunk)
+		if len(got) != len(want) {
+			return false
+		}
+		offset := int64(0)
+		for _, w := range want {
+			if got[offset] != w {
+				return false
+			}
+			offset += int64(len(w)) + 1
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRangeHandlesCRLF(t *testing.T) {
+	path := writeTemp(t, "a\r\nbb\r\n")
+	got := rangedLines(t, path, 2)
+	if got[0] != "a" || got[3] != "bb" {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestEmptyFileRange(t *testing.T) {
+	path := writeTemp(t, "")
+	got := rangedLines(t, path, 4)
+	if len(got) != 0 {
+		t.Errorf("empty file produced %v", got)
+	}
+}
+
+func TestTextFileDataSplitWordCount(t *testing.T) {
+	// End to end: one big file, many splits, counts must match the
+	// per-file path.
+	var sb strings.Builder
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&sb, "alpha beta gamma line%d\n", i%10)
+	}
+	path := writeTemp(t, sb.String())
+
+	exec := NewSerial(testRegistry())
+	defer exec.Close()
+	job := NewJob(exec)
+	defer job.Close()
+	src, err := job.TextFileDataSplit([]string{path}, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.NumSplits() < 10 {
+		t.Fatalf("expected many splits, got %d", src.NumSplits())
+	}
+	out, err := job.MapReduce(src, "split", "sum", OpOpts{Splits: 4, Combine: "sum"}, OpOpts{Splits: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := out.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := countsFromPairs(t, pairs)
+	if counts["alpha"] != 200 || counts["beta"] != 200 || counts["gamma"] != 200 {
+		t.Errorf("counts: %v", counts)
+	}
+	if counts["line3"] != 20 {
+		t.Errorf("line3 count = %d", counts["line3"])
+	}
+}
+
+func TestTextFileDataSplitMultipleFilesThreads(t *testing.T) {
+	dir := t.TempDir()
+	var paths []string
+	for i := 0; i < 3; i++ {
+		p := filepath.Join(dir, fmt.Sprintf("f%d.txt", i))
+		if err := os.WriteFile(p, []byte(strings.Repeat("x y\n", 50)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	exec := NewThreads(testRegistry(), 4)
+	defer exec.Close()
+	job := NewJob(exec)
+	defer job.Close()
+	src, err := job.TextFileDataSplit(paths, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := job.MapReduce(src, "split", "sum", OpOpts{Splits: 3, Combine: "sum"}, OpOpts{Splits: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := out.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := countsFromPairs(t, pairs)
+	if counts["x"] != 150 || counts["y"] != 150 {
+		t.Errorf("counts: %v", counts)
+	}
+}
+
+func TestTextFileDataSplitValidation(t *testing.T) {
+	exec := NewSerial(testRegistry())
+	defer exec.Close()
+	job := NewJob(exec)
+	defer job.Close()
+	if _, err := job.TextFileDataSplit([]string{"x"}, 0); err == nil {
+		t.Error("zero splitBytes accepted")
+	}
+	if _, err := job.TextFileDataSplit(nil, 100); err == nil {
+		t.Error("no files accepted")
+	}
+	if _, err := job.TextFileDataSplit([]string{"/does/not/exist"}, 100); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestParseRangeURL(t *testing.T) {
+	path, start, length, err := parseRangeURL("file:///tmp/x.txt#100+50")
+	if err != nil || path != "/tmp/x.txt" || start != 100 || length != 50 {
+		t.Errorf("got %q %d %d %v", path, start, length, err)
+	}
+	for _, bad := range []string{
+		"http://x#1+2", "file:///x", "file:///x#1", "file:///x#a+b", "file:///x#-1+5",
+	} {
+		if _, _, _, err := parseRangeURL(bad); err == nil {
+			t.Errorf("parseRangeURL(%q) accepted", bad)
+		}
+	}
+}

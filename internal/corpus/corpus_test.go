@@ -1,0 +1,185 @@
+package corpus
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/prand"
+)
+
+func TestVocabDeterministic(t *testing.T) {
+	a := NewVocab(100, 1.07, 42)
+	b := NewVocab(100, 1.07, 42)
+	for i := 0; i < 100; i++ {
+		if a.Word(i) != b.Word(i) {
+			t.Fatalf("word %d differs: %q vs %q", i, a.Word(i), b.Word(i))
+		}
+	}
+}
+
+func TestVocabDistinctWords(t *testing.T) {
+	v := NewVocab(500, 1.07, 7)
+	seen := map[string]bool{}
+	for i := 0; i < v.Size(); i++ {
+		w := v.Word(i)
+		if seen[w] {
+			t.Fatalf("duplicate word %q", w)
+		}
+		if w == "" {
+			t.Fatal("empty word")
+		}
+		seen[w] = true
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	v := NewVocab(1000, 1.07, 9)
+	rng := prand.Random(9, 1)
+	counts := map[string]int{}
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		counts[v.Sample(rng)]++
+	}
+	top := counts[v.Word(0)]
+	mid := counts[v.Word(99)]
+	if top == 0 || mid == 0 {
+		t.Fatalf("rank-0 count %d, rank-99 count %d", top, mid)
+	}
+	// Zipf 1.07: rank 0 should appear roughly 100^1.07 ≈ 138x more
+	// often than rank 99; accept a broad band.
+	ratio := float64(top) / float64(mid)
+	if ratio < 20 {
+		t.Errorf("insufficient skew: top/mid = %v", ratio)
+	}
+}
+
+func TestGenerateSmallCorpus(t *testing.T) {
+	dir := t.TempDir()
+	spec := Spec{Files: 20, MeanWords: 100, Vocabulary: 200, Seed: 11}
+	paths, stats, err := Generate(dir, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 20 || stats.Files != 20 {
+		t.Fatalf("got %d paths, stats %+v", len(paths), stats)
+	}
+	if stats.Tokens < 20*50 || stats.Tokens > 20*200 {
+		t.Errorf("token volume %d implausible for mean 100", stats.Tokens)
+	}
+	if stats.Directories < 2 {
+		t.Errorf("nested layout produced only %d directories", stats.Directories)
+	}
+	for _, p := range paths {
+		info, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("empty file %s", p)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	read := func() string {
+		dir := t.TempDir()
+		paths, _, err := Generate(dir, Spec{Files: 3, MeanWords: 50, Vocabulary: 100, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(paths[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	if read() != read() {
+		t.Error("generation not deterministic")
+	}
+}
+
+func TestNestedLayout(t *testing.T) {
+	spec := Spec{}
+	spec.fill()
+	p := spec.Path(2345) // id 12345
+	want := filepath.Join("1", "2", "3", "4", "12345", "12345.txt")
+	if p != want {
+		t.Errorf("Path = %q, want %q", p, want)
+	}
+	spec.FlatLayout = true
+	if got := spec.Path(2345); got != "12345.txt" {
+		t.Errorf("flat Path = %q", got)
+	}
+}
+
+func TestPathsUnique(t *testing.T) {
+	spec := Spec{Files: 500}
+	spec.fill()
+	seen := map[string]bool{}
+	for i := 0; i < spec.Files; i++ {
+		p := spec.Path(i)
+		if seen[p] {
+			t.Fatalf("duplicate path %q", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestLineLengthBounded(t *testing.T) {
+	dir := t.TempDir()
+	paths, _, err := Generate(dir, Spec{Files: 1, MeanWords: 500, Vocabulary: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if len(line) > 90 {
+			t.Errorf("line too long (%d chars)", len(line))
+		}
+	}
+}
+
+func TestPaperSpecs(t *testing.T) {
+	full := PaperFullSpec(1, 1)
+	if full.Files != 31173 {
+		t.Errorf("full files = %d", full.Files)
+	}
+	sub := PaperSubsetSpec(1, 1)
+	if sub.Files != 8316 {
+		t.Errorf("subset files = %d", sub.Files)
+	}
+	tiny := PaperFullSpec(0.001, 1)
+	if tiny.Files != 31 {
+		t.Errorf("scaled files = %d", tiny.Files)
+	}
+	if bad := PaperFullSpec(-1, 1); bad.Files != 31173 {
+		t.Errorf("invalid scale should clamp to 1: %d", bad.Files)
+	}
+}
+
+func BenchmarkGenerateDoc(b *testing.B) {
+	dir := b.TempDir()
+	vocab := NewVocab(5000, 1.07, 1)
+	spec := Spec{MeanWords: 2000, Seed: 1}
+	spec.fill()
+	path := filepath.Join(dir, "bench.txt")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := writeDoc(path, vocab, spec, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestLargeVocabTerminates(t *testing.T) {
+	// Regression: short-word name space exhaustion must not hang.
+	v := NewVocab(30000, 1.07, 3)
+	if v.Size() != 30000 {
+		t.Errorf("Size = %d", v.Size())
+	}
+}

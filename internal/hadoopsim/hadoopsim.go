@@ -1,0 +1,224 @@
+// Package hadoopsim is a discrete-event simulator of a 2012-era Hadoop
+// (0.20.x) MapReduce cluster: a JobTracker scheduling map and reduce
+// tasks onto TaskTracker slots at heartbeat boundaries, per-task JVM
+// launch latency, an all-maps-before-reduces barrier, and per-job setup
+// and cleanup phases. Combined with internal/hdfssim for staging and
+// input-scan costs, it reproduces the Hadoop side of every comparison
+// in §V of the Mrs paper — most importantly the ≥30 s per-operation
+// overhead that dominates iterative workloads.
+//
+// The paper's Hadoop numbers come from a private 21-node × 6-core
+// cluster; we cannot run that stack, so we simulate its scheduling
+// mechanics with documented, calibrated constants (see EXPERIMENTS.md).
+package hadoopsim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"repro/internal/hdfssim"
+)
+
+// Profile holds the calibrated timing constants.
+type Profile struct {
+	// HeartbeatInterval is the TaskTracker heartbeat period (Hadoop
+	// default: 3 s). Tasks are only assigned at heartbeats, and
+	// completions are only learned at heartbeats.
+	HeartbeatInterval time.Duration
+	// TaskLaunch is the JVM spin-up time per task attempt.
+	TaskLaunch time.Duration
+	// JobSetup covers job submission, staging the job jar, and the
+	// setup task.
+	JobSetup time.Duration
+	// JobCleanup covers the cleanup task and client notification.
+	JobCleanup time.Duration
+	// MapSlots and ReduceSlots are per-tracker slot counts.
+	MapSlots    int
+	ReduceSlots int
+	// HDFS is the filesystem cost model (scan/staging).
+	HDFS hdfssim.Costs
+}
+
+// DefaultProfile returns the calibration used throughout EXPERIMENTS.md.
+func DefaultProfile() Profile {
+	return Profile{
+		HeartbeatInterval: 3 * time.Second,
+		TaskLaunch:        2 * time.Second,
+		// Setup covers client submission, JobTracker job init, and the
+		// setup *task* (which itself costs a heartbeat + JVM launch on
+		// a tracker); cleanup covers the cleanup task plus the client's
+		// completion poll. Calibrated so an empty job totals ~29-30 s,
+		// matching "at least 30 seconds for each MapReduce operation".
+		JobSetup:    14 * time.Second,
+		JobCleanup:  9 * time.Second,
+		MapSlots:    2,
+		ReduceSlots: 2,
+		HDFS:        hdfssim.DefaultCosts(),
+	}
+}
+
+// Job describes one MapReduce job to simulate.
+type Job struct {
+	// Maps and Reduces are task counts.
+	Maps    int
+	Reduces int
+	// MapTime and ReduceTime are per-task compute durations.
+	MapTime    time.Duration
+	ReduceTime time.Duration
+	// InputFiles drives the input-scan (split enumeration) cost.
+	InputFiles int
+	// StageInBytes/StageOutBytes are copied through HDFS before and
+	// after the job (0 for data already resident, as in the paper's
+	// WordCount where HDFS is pre-loaded).
+	StageInBytes  int64
+	StageOutBytes int64
+}
+
+// Result is the simulated outcome.
+type Result struct {
+	// Makespan is total wall time including staging, scan, setup, both
+	// phases, and cleanup.
+	Makespan time.Duration
+	// Breakdown:
+	StageIn     time.Duration
+	InputScan   time.Duration
+	Setup       time.Duration
+	MapPhase    time.Duration
+	ReducePhase time.Duration
+	Cleanup     time.Duration
+	StageOut    time.Duration
+	// TaskAttempts counts simulated task launches.
+	TaskAttempts int
+}
+
+// Cluster simulates jobs on a fixed set of trackers.
+type Cluster struct {
+	profile  Profile
+	trackers int
+}
+
+// NewCluster returns a simulator with n TaskTrackers.
+func NewCluster(n int, p Profile) (*Cluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("hadoopsim: need at least one tracker")
+	}
+	if p.MapSlots <= 0 || p.ReduceSlots <= 0 {
+		return nil, fmt.Errorf("hadoopsim: slot counts must be positive")
+	}
+	if p.HeartbeatInterval <= 0 {
+		return nil, fmt.Errorf("hadoopsim: heartbeat must be positive")
+	}
+	return &Cluster{profile: p, trackers: n}, nil
+}
+
+// event is a tracker heartbeat in the simulated timeline.
+type event struct {
+	at time.Duration
+	tr int // tracker index
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// phase simulates one wave-scheduled phase (maps or reduces) and
+// returns its duration and the attempts launched. Tasks are assigned
+// only at heartbeats, limited by free slots per tracker; a slot's
+// completion is visible to the JobTracker at the tracker's next
+// heartbeat after the task (launch + run) finishes.
+func (c *Cluster) phase(tasks int, perTask time.Duration, slotsPer int) (time.Duration, int) {
+	if tasks == 0 {
+		return 0, 0
+	}
+	hb := c.profile.HeartbeatInterval
+	type tracker struct {
+		freeSlots int
+		busyUntil []time.Duration // per running task, completion time
+	}
+	trs := make([]tracker, c.trackers)
+	for i := range trs {
+		trs[i].freeSlots = slotsPer
+	}
+	var h eventHeap
+	// Stagger initial heartbeats across the interval, as real trackers
+	// are unsynchronized; deterministic stagger keeps runs repeatable.
+	for i := 0; i < c.trackers; i++ {
+		heap.Push(&h, event{at: time.Duration(i) * hb / time.Duration(c.trackers), tr: i})
+	}
+	remaining := tasks
+	completed := 0
+	attempts := 0
+	var finish time.Duration
+	for completed < tasks {
+		ev := heap.Pop(&h).(event)
+		tr := &trs[ev.tr]
+		// Collect completions visible at this heartbeat.
+		kept := tr.busyUntil[:0]
+		for _, end := range tr.busyUntil {
+			if end <= ev.at {
+				completed++
+				tr.freeSlots++
+				if end > finish {
+					finish = end
+				}
+			} else {
+				kept = append(kept, end)
+			}
+		}
+		tr.busyUntil = kept
+		// Assign new tasks to free slots.
+		for tr.freeSlots > 0 && remaining > 0 {
+			tr.freeSlots--
+			remaining--
+			attempts++
+			end := ev.at + c.profile.TaskLaunch + perTask
+			tr.busyUntil = append(tr.busyUntil, end)
+		}
+		heap.Push(&h, event{at: ev.at + hb, tr: ev.tr})
+		// The JobTracker learns of the final completion at the
+		// heartbeat that reported it.
+		if completed >= tasks {
+			finish = ev.at
+		}
+	}
+	return finish, attempts
+}
+
+// Run simulates one job.
+func (c *Cluster) Run(j Job) (Result, error) {
+	if j.Maps < 0 || j.Reduces < 0 {
+		return Result{}, fmt.Errorf("hadoopsim: negative task counts")
+	}
+	var r Result
+	p := c.profile
+	r.StageIn = p.HDFS.StageTime(j.InputFiles, j.StageInBytes)
+	r.InputScan = p.HDFS.ScanTime(j.InputFiles)
+	r.Setup = p.JobSetup
+	var attempts int
+	r.MapPhase, attempts = c.phase(j.Maps, j.MapTime, p.MapSlots)
+	r.TaskAttempts += attempts
+	r.ReducePhase, attempts = c.phase(j.Reduces, j.ReduceTime, p.ReduceSlots)
+	r.TaskAttempts += attempts
+	r.Cleanup = p.JobCleanup
+	if j.StageOutBytes > 0 {
+		r.StageOut = p.HDFS.StageTime(j.Reduces, j.StageOutBytes)
+	}
+	r.Makespan = r.StageIn + r.InputScan + r.Setup + r.MapPhase + r.ReducePhase + r.Cleanup + r.StageOut
+	return r, nil
+}
+
+// OverheadEmpty returns the makespan of a minimal (1 map, 1 reduce,
+// zero compute, no staging, single input file) job: the per-operation
+// overhead that the paper reports as "at least 30 seconds".
+func (c *Cluster) OverheadEmpty() (time.Duration, error) {
+	res, err := c.Run(Job{Maps: 1, Reduces: 1, InputFiles: 1})
+	if err != nil {
+		return 0, err
+	}
+	return res.Makespan, nil
+}

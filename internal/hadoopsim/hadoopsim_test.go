@@ -1,0 +1,171 @@
+package hadoopsim
+
+import (
+	"testing"
+	"time"
+)
+
+func cluster(t *testing.T, n int) *Cluster {
+	t.Helper()
+	c, err := NewCluster(n, DefaultProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestEmptyJobOverheadIsAtLeast30s(t *testing.T) {
+	// The paper's headline: "Hadoop takes at least 30 seconds for each
+	// MapReduce operation".
+	c := cluster(t, 21)
+	ovh, err := c.OverheadEmpty()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ovh < 25*time.Second || ovh > 45*time.Second {
+		t.Errorf("empty-job overhead = %v, want ~30s", ovh)
+	}
+}
+
+func TestMakespanIsSumOfBreakdown(t *testing.T) {
+	c := cluster(t, 5)
+	res, err := c.Run(Job{Maps: 20, Reduces: 4, MapTime: time.Second,
+		ReduceTime: 2 * time.Second, InputFiles: 100, StageInBytes: 1 << 30, StageOutBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := res.StageIn + res.InputScan + res.Setup + res.MapPhase +
+		res.ReducePhase + res.Cleanup + res.StageOut
+	if res.Makespan != sum {
+		t.Errorf("Makespan %v != breakdown sum %v", res.Makespan, sum)
+	}
+}
+
+func TestMoreTrackersFasterMaps(t *testing.T) {
+	job := Job{Maps: 120, Reduces: 1, MapTime: 10 * time.Second, InputFiles: 1}
+	small, err := cluster(t, 4).Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := cluster(t, 21).Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.MapPhase >= small.MapPhase {
+		t.Errorf("21 trackers (%v) not faster than 4 (%v)", large.MapPhase, small.MapPhase)
+	}
+}
+
+func TestWaveScheduling(t *testing.T) {
+	// 8 tasks on 2 trackers × 2 slots = 2 waves; the phase must take
+	// at least 2 × (launch + run) regardless of heartbeat luck.
+	c := cluster(t, 2)
+	res, err := c.Run(Job{Maps: 8, Reduces: 0, MapTime: 5 * time.Second, InputFiles: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	minimum := 2 * (c.profile.TaskLaunch + 5*time.Second)
+	if res.MapPhase < minimum {
+		t.Errorf("MapPhase %v below two-wave minimum %v", res.MapPhase, minimum)
+	}
+	if res.TaskAttempts != 8 {
+		t.Errorf("TaskAttempts = %d", res.TaskAttempts)
+	}
+}
+
+func TestHeartbeatQuantization(t *testing.T) {
+	// Even instantaneous tasks pay launch + heartbeat latency.
+	c := cluster(t, 1)
+	res, err := c.Run(Job{Maps: 1, Reduces: 0, InputFiles: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MapPhase < c.profile.TaskLaunch {
+		t.Errorf("MapPhase %v less than task launch %v", res.MapPhase, c.profile.TaskLaunch)
+	}
+}
+
+func TestZeroTaskPhases(t *testing.T) {
+	c := cluster(t, 3)
+	res, err := c.Run(Job{Maps: 0, Reduces: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MapPhase != 0 || res.ReducePhase != 0 {
+		t.Errorf("empty phases nonzero: %+v", res)
+	}
+	if res.Makespan != res.Setup+res.Cleanup {
+		t.Errorf("Makespan %v", res.Makespan)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	job := Job{Maps: 50, Reduces: 10, MapTime: time.Second, ReduceTime: time.Second, InputFiles: 10}
+	a, _ := cluster(t, 7).Run(job)
+	b, _ := cluster(t, 7).Run(job)
+	if a != b {
+		t.Errorf("simulation not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestFullGutenbergScanDominatesStartup(t *testing.T) {
+	// "With the full dataset, Hadoop struggles to load the data …
+	// making the start up time alone take nearly nine minutes."
+	c := cluster(t, 21)
+	res, err := c.Run(Job{Maps: 31173, Reduces: 126, MapTime: 500 * time.Millisecond,
+		ReduceTime: 5 * time.Second, InputFiles: 31173})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InputScan < 8*time.Minute || res.InputScan > 10*time.Minute {
+		t.Errorf("full-corpus scan = %v, want ~9 min", res.InputScan)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := NewCluster(0, DefaultProfile()); err == nil {
+		t.Error("zero trackers accepted")
+	}
+	p := DefaultProfile()
+	p.MapSlots = 0
+	if _, err := NewCluster(1, p); err == nil {
+		t.Error("zero slots accepted")
+	}
+	p = DefaultProfile()
+	p.HeartbeatInterval = 0
+	if _, err := NewCluster(1, p); err == nil {
+		t.Error("zero heartbeat accepted")
+	}
+	c := cluster(t, 1)
+	if _, err := c.Run(Job{Maps: -1}); err == nil {
+		t.Error("negative maps accepted")
+	}
+}
+
+func TestIterativeEstimateMatchesPaperExtrapolation(t *testing.T) {
+	// "Thus Hadoop would take approximately 2471 * 30 seconds or a
+	// little longer than 20 hours."
+	c := cluster(t, 21)
+	perIter, err := c.OverheadEmpty()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := time.Duration(2471) * perIter
+	if total < 18*time.Hour || total > 28*time.Hour {
+		t.Errorf("2471 iterations = %v, want ~20h+", total)
+	}
+}
+
+func BenchmarkSimulateLargeJob(b *testing.B) {
+	c, err := NewCluster(21, DefaultProfile())
+	if err != nil {
+		b.Fatal(err)
+	}
+	job := Job{Maps: 31173, Reduces: 126, MapTime: 500 * time.Millisecond,
+		ReduceTime: 5 * time.Second, InputFiles: 31173}
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Run(job); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

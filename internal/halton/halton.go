@@ -1,0 +1,179 @@
+// Package halton generates Halton low-discrepancy (quasi-random)
+// sequences. The Pi estimator in §V-B of the Mrs paper draws its sample
+// points from 2-dimensional Halton sequences (bases 2 and 3) instead of
+// uniform pseudorandom numbers, and notes that the implementation is
+// "optimized to minimize the number of function calls and the number of
+// comparison operations"; the incremental Sequence type below is that
+// optimization — each next point costs amortized O(1) digit updates
+// instead of a full radical-inverse recomputation.
+package halton
+
+import "fmt"
+
+// RadicalInverse returns the base-b radical inverse of index i: the
+// digits of i in base b mirrored about the radix point. It is the
+// direct (non-incremental) definition, useful for random access and as
+// the test oracle for Sequence.
+func RadicalInverse(b uint64, i uint64) float64 {
+	if b < 2 {
+		panic("halton: base must be >= 2")
+	}
+	var (
+		value float64
+		scale = 1.0
+	)
+	for i > 0 {
+		scale /= float64(b)
+		value += float64(i%b) * scale
+		i /= b
+	}
+	return value
+}
+
+// Sequence incrementally produces the base-b Halton sequence starting
+// at index 1. Next runs in amortized O(1) by maintaining the digit
+// expansion and the partial sums, the standard fast-Halton scheme.
+type Sequence struct {
+	base   uint64
+	invB   float64
+	digits []uint64  // digit i of the current index, least significant first
+	radix  []float64 // radix[i] = invB^(i+1)
+	sums   []float64 // sums[i] = contribution of digits >= i
+	value  float64
+	index  uint64
+}
+
+// NewSequence returns a base-b incremental Halton sequence positioned
+// before index 1 (the first Next returns the value for index 1).
+func NewSequence(base uint64) *Sequence {
+	if base < 2 {
+		panic("halton: base must be >= 2")
+	}
+	return &Sequence{
+		base: base,
+		invB: 1 / float64(base),
+		// Invariant: len(sums) == len(digits)+1; sums[len(digits)] == 0.
+		sums: []float64{0},
+	}
+}
+
+// NewSequenceAt returns a base-b sequence positioned before index
+// start+1; i.e. the first Next returns the value for index start+1.
+// Map tasks use this to jump directly to their sample range.
+func NewSequenceAt(base uint64, start uint64) *Sequence {
+	s := NewSequence(base)
+	s.Skip(start)
+	return s
+}
+
+// Skip advances the sequence position by n without producing values.
+// The incremental state is rebuilt once from the target index, so Skip
+// is O(log_b index) regardless of n.
+func (s *Sequence) Skip(n uint64) {
+	s.reseek(s.index + n)
+}
+
+// Index returns the index of the most recently produced value (0 if
+// none produced yet).
+func (s *Sequence) Index() uint64 { return s.index }
+
+func (s *Sequence) reseek(index uint64) {
+	s.index = index
+	s.digits = s.digits[:0]
+	s.radix = s.radix[:0]
+	s.sums = s.sums[:0]
+	i := index
+	scale := 1.0
+	for i > 0 {
+		scale *= s.invB
+		s.digits = append(s.digits, i%s.base)
+		s.radix = append(s.radix, scale)
+		i /= s.base
+	}
+	// sums[i] = sum over j >= i of digits[j]*radix[j].
+	s.sums = make([]float64, len(s.digits)+1)
+	for j := len(s.digits) - 1; j >= 0; j-- {
+		s.sums[j] = s.sums[j+1] + float64(s.digits[j])*s.radix[j]
+	}
+	s.value = 0
+	if len(s.sums) > 0 {
+		s.value = s.sums[0]
+	}
+}
+
+// Next advances to the next index and returns its Halton value in (0, 1).
+func (s *Sequence) Next() float64 {
+	s.index++
+	// Increment the base-b digit counter; on carry, rebuild partial sums
+	// for the affected prefix only.
+	d := 0
+	for {
+		if d == len(s.digits) {
+			// Counter grew a new most-significant digit.
+			scale := s.invB
+			if d > 0 {
+				scale = s.radix[d-1] * s.invB
+			}
+			s.digits = append(s.digits, 1)
+			s.radix = append(s.radix, scale)
+			s.sums = append(s.sums, 0)
+			break
+		}
+		s.digits[d]++
+		if s.digits[d] < s.base {
+			break
+		}
+		s.digits[d] = 0
+		d++
+	}
+	// Recompute sums[0..d] (digits above d are unchanged).
+	for j := d; j >= 0; j-- {
+		s.sums[j] = s.sums[j+1] + float64(s.digits[j])*s.radix[j]
+	}
+	s.value = s.sums[0]
+	return s.value
+}
+
+// Point2D is one 2-dimensional quasi-random sample.
+type Point2D struct{ X, Y float64 }
+
+// Sampler2D produces 2-D Halton points with co-prime bases (2, 3), as
+// used by the PiEstimator workload.
+type Sampler2D struct {
+	x, y *Sequence
+}
+
+// NewSampler2D returns a sampler positioned before index start+1.
+func NewSampler2D(start uint64) *Sampler2D {
+	return &Sampler2D{
+		x: NewSequenceAt(2, start),
+		y: NewSequenceAt(3, start),
+	}
+}
+
+// Next returns the next 2-D point.
+func (s *Sampler2D) Next() Point2D {
+	return Point2D{X: s.x.Next(), Y: s.y.Next()}
+}
+
+// InUnitCircle reports whether the point falls inside the quarter unit
+// circle centered at the origin corner of the unit square.
+func (p Point2D) InUnitCircle() bool {
+	return p.X*p.X+p.Y*p.Y <= 1
+}
+
+// CountInCircle draws n points starting after index start and returns
+// how many fall inside the quarter circle. This is the inner loop of
+// the Pi estimator map task.
+func CountInCircle(start, n uint64) (inside uint64) {
+	s := NewSampler2D(start)
+	for i := uint64(0); i < n; i++ {
+		if s.Next().InUnitCircle() {
+			inside++
+		}
+	}
+	return inside
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (p Point2D) String() string { return fmt.Sprintf("(%g, %g)", p.X, p.Y) }

@@ -1,0 +1,209 @@
+package halton
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRadicalInverseBase2KnownValues(t *testing.T) {
+	// Van der Corput sequence: 1/2, 1/4, 3/4, 1/8, 5/8, 3/8, 7/8, ...
+	want := []float64{0.5, 0.25, 0.75, 0.125, 0.625, 0.375, 0.875}
+	for i, w := range want {
+		if got := RadicalInverse(2, uint64(i+1)); math.Abs(got-w) > 1e-15 {
+			t.Errorf("RadicalInverse(2, %d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestRadicalInverseBase3KnownValues(t *testing.T) {
+	want := []float64{1.0 / 3, 2.0 / 3, 1.0 / 9, 4.0 / 9, 7.0 / 9, 2.0 / 9, 5.0 / 9, 8.0 / 9}
+	for i, w := range want {
+		if got := RadicalInverse(3, uint64(i+1)); math.Abs(got-w) > 1e-15 {
+			t.Errorf("RadicalInverse(3, %d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestRadicalInverseZero(t *testing.T) {
+	if got := RadicalInverse(2, 0); got != 0 {
+		t.Errorf("RadicalInverse(2, 0) = %v, want 0", got)
+	}
+}
+
+func TestRadicalInversePanicsOnBadBase(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for base 1")
+		}
+	}()
+	RadicalInverse(1, 5)
+}
+
+func TestSequenceMatchesRadicalInverse(t *testing.T) {
+	for _, base := range []uint64{2, 3, 5, 7, 10} {
+		s := NewSequence(base)
+		for i := uint64(1); i <= 2000; i++ {
+			got := s.Next()
+			want := RadicalInverse(base, i)
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("base %d index %d: incremental %v, direct %v", base, i, got, want)
+			}
+		}
+	}
+}
+
+func TestSequenceMatchesOracleProperty(t *testing.T) {
+	f := func(baseSel uint8, startSel uint16, steps uint8) bool {
+		bases := []uint64{2, 3, 5}
+		base := bases[int(baseSel)%len(bases)]
+		start := uint64(startSel)
+		s := NewSequenceAt(base, start)
+		n := uint64(steps%50) + 1
+		for i := uint64(1); i <= n; i++ {
+			if math.Abs(s.Next()-RadicalInverse(base, start+i)) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSkipEquivalence(t *testing.T) {
+	// Skipping k then reading must equal reading from a fresh sequence
+	// positioned at the same index.
+	a := NewSequence(3)
+	for i := 0; i < 100; i++ {
+		a.Next()
+	}
+	a.Skip(57)
+	b := NewSequenceAt(3, 157)
+	for i := 0; i < 100; i++ {
+		av, bv := a.Next(), b.Next()
+		if av != bv {
+			t.Fatalf("step %d: skip path %v, direct path %v", i, av, bv)
+		}
+	}
+}
+
+func TestIndexTracking(t *testing.T) {
+	s := NewSequenceAt(2, 10)
+	if s.Index() != 10 {
+		t.Errorf("Index after NewSequenceAt(2,10) = %d, want 10", s.Index())
+	}
+	s.Next()
+	if s.Index() != 11 {
+		t.Errorf("Index after Next = %d, want 11", s.Index())
+	}
+}
+
+func TestValuesInUnitInterval(t *testing.T) {
+	s := NewSequence(2)
+	for i := 0; i < 10000; i++ {
+		v := s.Next()
+		if v <= 0 || v >= 1 {
+			t.Fatalf("index %d: value %v outside (0,1)", i+1, v)
+		}
+	}
+}
+
+func TestLowDiscrepancy(t *testing.T) {
+	// A Halton sequence must cover [0,1) much more evenly than random:
+	// with n=1000 points and 10 equal bins, every bin count should be
+	// within 2 of n/10.
+	s := NewSequence(2)
+	counts := make([]int, 10)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		counts[int(s.Next()*10)]++
+	}
+	for b, c := range counts {
+		if c < 98 || c > 102 {
+			t.Errorf("bin %d: %d points; not low-discrepancy", b, c)
+		}
+	}
+}
+
+func TestSampler2DCoPrimeCoverage(t *testing.T) {
+	// 2-D points must not be diagonal-correlated; check mean of X*Y is
+	// close to 0.25 (product of independent uniform means).
+	s := NewSampler2D(0)
+	const n = 10000
+	var sum float64
+	for i := 0; i < n; i++ {
+		p := s.Next()
+		sum += p.X * p.Y
+	}
+	if mean := sum / n; math.Abs(mean-0.25) > 0.005 {
+		t.Errorf("mean X*Y = %v, want ~0.25", mean)
+	}
+}
+
+func TestPiConvergence(t *testing.T) {
+	// The whole point: the quarter-circle ratio converges to pi/4
+	// quickly thanks to low discrepancy.
+	for _, n := range []uint64{1000, 10000, 100000} {
+		inside := CountInCircle(0, n)
+		pi := 4 * float64(inside) / float64(n)
+		tol := 4 / math.Sqrt(float64(n)) // generous even for pseudo-random
+		if math.Abs(pi-math.Pi) > tol {
+			t.Errorf("n=%d: pi estimate %v off by more than %v", n, pi, tol)
+		}
+	}
+}
+
+func TestCountInCirclePartitioning(t *testing.T) {
+	// Splitting the sample range across "tasks" must give the same
+	// total as one task; this is exactly the map-task decomposition.
+	const total = 30000
+	whole := CountInCircle(0, total)
+	var split uint64
+	for start := uint64(0); start < total; start += 10000 {
+		split += CountInCircle(start, 10000)
+	}
+	if whole != split {
+		t.Errorf("partitioned count %d != whole count %d", split, whole)
+	}
+}
+
+func TestNewSequencePanicsOnBadBase(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for base 0")
+		}
+	}()
+	NewSequence(0)
+}
+
+func BenchmarkNextBase2(b *testing.B) {
+	s := NewSequence(2)
+	for i := 0; i < b.N; i++ {
+		s.Next()
+	}
+}
+
+func BenchmarkRadicalInverseBase2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		RadicalInverse(2, uint64(i+1))
+	}
+}
+
+func BenchmarkSampler2D(b *testing.B) {
+	s := NewSampler2D(0)
+	var inside uint64
+	for i := 0; i < b.N; i++ {
+		if s.Next().InUnitCircle() {
+			inside++
+		}
+	}
+	_ = inside
+}
+
+func BenchmarkCountInCircle1e6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		CountInCircle(0, 1e6)
+	}
+}

@@ -1,0 +1,95 @@
+// Package hash provides the hash primitives used throughout mrs-go:
+// FNV-1a for key partitioning, SplitMix64 for seed expansion, and a
+// multi-argument seed combiner that backs the independent pseudorandom
+// stream construction described in §IV-A of the Mrs paper.
+package hash
+
+// FNV-1a 64-bit constants.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// FNV1a64 returns the 64-bit FNV-1a hash of b.
+func FNV1a64(b []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// FNV1a64String is FNV1a64 for strings without an allocation.
+func FNV1a64String(s string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// SplitMix64 advances *state and returns the next SplitMix64 output.
+// SplitMix64 is a tiny, high-quality 64-bit mixer (Steele et al.); we use
+// it to expand small seeds into full generator states.
+func SplitMix64(state *uint64) uint64 {
+	*state += 0x9E3779B97F4A7C15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Mix64 returns a stateless mix of x (one SplitMix64 step from x).
+func Mix64(x uint64) uint64 {
+	s := x
+	return SplitMix64(&s)
+}
+
+// CombineSeeds hashes a variable number of 64-bit arguments into a single
+// seed such that any change to any argument (or to the number of
+// arguments) yields an unrelated seed. It is the Go analogue of the seed
+// construction behind mrs.MapReduce.random(*args): each (offset, value)
+// pair is mixed so that argument order matters.
+func CombineSeeds(args ...uint64) uint64 {
+	h := uint64(fnvOffset64)
+	h = mixInto(h, uint64(len(args)))
+	for i, a := range args {
+		h = mixInto(h, uint64(i)+0x9E3779B97F4A7C15)
+		h = mixInto(h, a)
+	}
+	return Mix64(h)
+}
+
+func mixInto(h, v uint64) uint64 {
+	h ^= Mix64(v)
+	h *= fnvPrime64
+	return h
+}
+
+// Bucket maps a hash value onto n buckets, n > 0. It uses the
+// multiply-shift trick to avoid modulo bias for small n.
+func Bucket(h uint64, n int) int {
+	if n <= 0 {
+		panic("hash: Bucket requires n > 0")
+	}
+	// Fixed-point multiply: (h/2^64) * n.
+	hi, _ := mul64(h, uint64(n))
+	return int(hi)
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += x0 * y1
+	hi = x1*y1 + w2 + w1>>32
+	lo = x * y
+	return
+}

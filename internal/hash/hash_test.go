@@ -1,0 +1,176 @@
+package hash
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFNV1a64KnownVectors(t *testing.T) {
+	// Reference values for FNV-1a 64-bit.
+	cases := []struct {
+		in   string
+		want uint64
+	}{
+		{"", 0xcbf29ce484222325},
+		{"a", 0xaf63dc4c8601ec8c},
+		{"foobar", 0x85944171f73967e8},
+	}
+	for _, c := range cases {
+		if got := FNV1a64([]byte(c.in)); got != c.want {
+			t.Errorf("FNV1a64(%q) = %#x, want %#x", c.in, got, c.want)
+		}
+		if got := FNV1a64String(c.in); got != c.want {
+			t.Errorf("FNV1a64String(%q) = %#x, want %#x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFNV1a64StringMatchesBytes(t *testing.T) {
+	f := func(b []byte) bool {
+		return FNV1a64(b) == FNV1a64String(string(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitMix64Sequence(t *testing.T) {
+	// Reference outputs of the canonical SplitMix64 with seed 0
+	// (Vigna's reference C implementation).
+	state := uint64(0)
+	want := []uint64{
+		0xE220A8397B1DCDAF,
+		0x6E789E6AA1B965F4,
+		0x06C45D188009454F,
+		0xF88BB8A8724C81EC,
+		0x1B39896A51A8749B,
+	}
+	for i, w := range want {
+		if got := SplitMix64(&state); got != w {
+			t.Errorf("SplitMix64 seed 0 output %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestCombineSeedsDistinct(t *testing.T) {
+	seen := map[uint64][]uint64{}
+	inputs := [][]uint64{
+		{},
+		{0},
+		{1},
+		{0, 0},
+		{0, 1},
+		{1, 0},
+		{1, 1},
+		{0, 0, 0},
+		{42, 7, 9},
+		{7, 42, 9},
+		{9, 7, 42},
+	}
+	for _, in := range inputs {
+		s := CombineSeeds(in...)
+		if prev, ok := seen[s]; ok {
+			t.Errorf("CombineSeeds collision: %v and %v both -> %#x", prev, in, s)
+		}
+		seen[s] = in
+	}
+}
+
+func TestCombineSeedsDeterministic(t *testing.T) {
+	a := CombineSeeds(3, 1, 4, 1, 5)
+	b := CombineSeeds(3, 1, 4, 1, 5)
+	if a != b {
+		t.Errorf("CombineSeeds not deterministic: %#x vs %#x", a, b)
+	}
+}
+
+func TestCombineSeedsOrderSensitive(t *testing.T) {
+	f := func(x, y uint64) bool {
+		if x == y {
+			return true
+		}
+		return CombineSeeds(x, y) != CombineSeeds(y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBucketRange(t *testing.T) {
+	f := func(h uint64, n uint8) bool {
+		buckets := int(n%64) + 1
+		b := Bucket(h, buckets)
+		return b >= 0 && b < buckets
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBucketSingle(t *testing.T) {
+	for _, h := range []uint64{0, 1, 1 << 63, ^uint64(0)} {
+		if got := Bucket(h, 1); got != 0 {
+			t.Errorf("Bucket(%d, 1) = %d, want 0", h, got)
+		}
+	}
+}
+
+func TestBucketPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Bucket(0, 0) did not panic")
+		}
+	}()
+	Bucket(0, 0)
+}
+
+func TestBucketRoughlyUniform(t *testing.T) {
+	const n = 16
+	const trials = 1 << 16
+	counts := make([]int, n)
+	state := uint64(99)
+	for i := 0; i < trials; i++ {
+		counts[Bucket(SplitMix64(&state), n)]++
+	}
+	want := trials / n
+	for i, c := range counts {
+		if c < want*8/10 || c > want*12/10 {
+			t.Errorf("bucket %d count %d far from expected %d", i, c, want)
+		}
+	}
+}
+
+func TestMul64(t *testing.T) {
+	cases := []struct {
+		x, y, hi, lo uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{1 << 32, 1 << 32, 1, 0},
+		{^uint64(0), ^uint64(0), ^uint64(0) - 1, 1},
+		{^uint64(0), 2, 1, ^uint64(0) - 1},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.x, c.y)
+		if hi != c.hi || lo != c.lo {
+			t.Errorf("mul64(%#x, %#x) = (%#x, %#x), want (%#x, %#x)", c.x, c.y, hi, lo, c.hi, c.lo)
+		}
+	}
+}
+
+func BenchmarkFNV1a64(b *testing.B) {
+	data := make([]byte, 64)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		FNV1a64(data)
+	}
+}
+
+func BenchmarkCombineSeeds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		CombineSeeds(uint64(i), 42, 7)
+	}
+}

@@ -1,0 +1,216 @@
+// Package hdfssim models the Hadoop Distributed File System to the
+// fidelity the paper's experiments require: a namenode namespace with
+// block placement across datanodes, plus a cost model for the
+// operations that dominate the paper's Hadoop numbers — formatting,
+// staging data in and out ("any data to be processed by the MapReduce
+// program must be copied into the HDFS, and likewise data produced must
+// be copied back out"), and per-file metadata work during input
+// scanning (the source of Hadoop's nine-minute startup on the full
+// Gutenberg tree).
+package hdfssim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// DefaultBlockSize is the classic HDFS block size of the era.
+const DefaultBlockSize = 64 << 20
+
+// DefaultReplication is HDFS's default replica count.
+const DefaultReplication = 3
+
+// Block is one replicated file block.
+type Block struct {
+	ID        int64
+	Size      int64
+	Locations []string // datanode names
+}
+
+// file is a namespace entry.
+type file struct {
+	name   string
+	size   int64
+	blocks []Block
+}
+
+// Namespace is the namenode's metadata: files, blocks, and placement.
+type Namespace struct {
+	blockSize   int64
+	replication int
+	datanodes   []string
+	nextBlock   int64
+	rrCursor    int
+	files       map[string]*file
+}
+
+// NewNamespace creates a formatted namespace over the given datanodes.
+func NewNamespace(datanodes []string, blockSize int64, replication int) *Namespace {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	if replication <= 0 {
+		replication = DefaultReplication
+	}
+	if replication > len(datanodes) && len(datanodes) > 0 {
+		replication = len(datanodes)
+	}
+	return &Namespace{
+		blockSize:   blockSize,
+		replication: replication,
+		datanodes:   append([]string(nil), datanodes...),
+		files:       map[string]*file{},
+	}
+}
+
+// AddFile writes a file of the given size, placing blocks round-robin
+// with rack-unaware replication (adequate for cost modeling).
+func (ns *Namespace) AddFile(name string, size int64) error {
+	if _, dup := ns.files[name]; dup {
+		return fmt.Errorf("hdfssim: %q exists", name)
+	}
+	if len(ns.datanodes) == 0 {
+		return fmt.Errorf("hdfssim: no datanodes")
+	}
+	f := &file{name: name, size: size}
+	remaining := size
+	for remaining > 0 || len(f.blocks) == 0 {
+		bs := remaining
+		if bs > ns.blockSize {
+			bs = ns.blockSize
+		}
+		if bs < 0 {
+			bs = 0
+		}
+		b := Block{ID: ns.nextBlock, Size: bs}
+		ns.nextBlock++
+		for r := 0; r < ns.replication; r++ {
+			dn := ns.datanodes[(ns.rrCursor+r)%len(ns.datanodes)]
+			b.Locations = append(b.Locations, dn)
+		}
+		ns.rrCursor = (ns.rrCursor + 1) % len(ns.datanodes)
+		f.blocks = append(f.blocks, b)
+		remaining -= bs
+		if bs == 0 {
+			break
+		}
+	}
+	ns.files[name] = f
+	return nil
+}
+
+// Delete removes a file.
+func (ns *Namespace) Delete(name string) error {
+	if _, ok := ns.files[name]; !ok {
+		return fmt.Errorf("hdfssim: %q not found", name)
+	}
+	delete(ns.files, name)
+	return nil
+}
+
+// Blocks returns a file's block list.
+func (ns *Namespace) Blocks(name string) ([]Block, error) {
+	f, ok := ns.files[name]
+	if !ok {
+		return nil, fmt.Errorf("hdfssim: %q not found", name)
+	}
+	return f.blocks, nil
+}
+
+// NumFiles returns the file count.
+func (ns *Namespace) NumFiles() int { return len(ns.files) }
+
+// TotalBytes returns the logical (pre-replication) byte count.
+func (ns *Namespace) TotalBytes() int64 {
+	var n int64
+	for _, f := range ns.files {
+		n += f.size
+	}
+	return n
+}
+
+// UsedBytes returns the physical bytes including replication.
+func (ns *Namespace) UsedBytes() int64 {
+	var n int64
+	for _, f := range ns.files {
+		for _, b := range f.blocks {
+			n += b.Size * int64(len(b.Locations))
+		}
+	}
+	return n
+}
+
+// DatanodeLoad returns stored bytes per datanode, sorted by name.
+func (ns *Namespace) DatanodeLoad() map[string]int64 {
+	load := map[string]int64{}
+	for _, dn := range ns.datanodes {
+		load[dn] = 0
+	}
+	for _, f := range ns.files {
+		for _, b := range f.blocks {
+			for _, dn := range b.Locations {
+				load[dn] += b.Size
+			}
+		}
+	}
+	return load
+}
+
+// Files lists file names sorted.
+func (ns *Namespace) Files() []string {
+	out := make([]string, 0, len(ns.files))
+	for n := range ns.files {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Cost model
+
+// Costs models HDFS operation latencies. All constants are documented
+// calibrations; see EXPERIMENTS.md.
+type Costs struct {
+	// Format is `hadoop namenode -format` plus daemon start readiness.
+	Format time.Duration
+	// MetadataOp is one namenode RPC (open, getFileStatus, …).
+	MetadataOp time.Duration
+	// ScanPerFileLinear and ScanPerFileQuad model input-directory
+	// scanning: t(n) = Linear·n + Quad·n². The quadratic term captures
+	// the namenode's degradation with many directories, calibrated so
+	// the paper's subset (8,316 files ≈ 1 min) and full set (31,173
+	// files ≈ 9 min) both fit.
+	ScanPerFileLinear time.Duration
+	ScanPerFileQuad   time.Duration
+	// StageThroughput is copyFromLocal/copyToLocal bytes per second.
+	StageThroughput int64
+}
+
+// DefaultCosts returns the calibrated 2012-era model.
+func DefaultCosts() Costs {
+	return Costs{
+		Format:            10 * time.Second,
+		MetadataOp:        2 * time.Millisecond,
+		ScanPerFileLinear: 3655 * time.Microsecond, // fit: see EXPERIMENTS.md
+		ScanPerFileQuad:   428 * time.Nanosecond,   // (per file²; t = L·n + Q·n²)
+		StageThroughput:   200 << 20,               // 200 MB/s aggregate
+	}
+}
+
+// ScanTime is the input-split enumeration time for n input files.
+func (c Costs) ScanTime(n int) time.Duration {
+	nn := float64(n)
+	return time.Duration(float64(c.ScanPerFileLinear)*nn + float64(c.ScanPerFileQuad)*nn*nn)
+}
+
+// StageTime is the time to copy `bytes` in or out of HDFS, including a
+// metadata op per file.
+func (c Costs) StageTime(files int, bytes int64) time.Duration {
+	if c.StageThroughput <= 0 {
+		return 0
+	}
+	xfer := time.Duration(float64(bytes) / float64(c.StageThroughput) * float64(time.Second))
+	return xfer + time.Duration(files)*c.MetadataOp
+}

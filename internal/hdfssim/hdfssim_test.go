@@ -1,0 +1,180 @@
+package hdfssim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func nodes(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = string(rune('a' + i))
+	}
+	return out
+}
+
+func TestAddFileBlocks(t *testing.T) {
+	ns := NewNamespace(nodes(4), 100, 3)
+	if err := ns.AddFile("/x", 250); err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := ns.Blocks("/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 3 {
+		t.Fatalf("got %d blocks, want 3", len(blocks))
+	}
+	if blocks[0].Size != 100 || blocks[2].Size != 50 {
+		t.Errorf("block sizes: %d, %d, %d", blocks[0].Size, blocks[1].Size, blocks[2].Size)
+	}
+	for _, b := range blocks {
+		if len(b.Locations) != 3 {
+			t.Errorf("block %d has %d replicas", b.ID, len(b.Locations))
+		}
+		seen := map[string]bool{}
+		for _, l := range b.Locations {
+			if seen[l] {
+				t.Errorf("block %d replicated twice on %s", b.ID, l)
+			}
+			seen[l] = true
+		}
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	ns := NewNamespace(nodes(2), 100, 2)
+	if err := ns.AddFile("/empty", 0); err != nil {
+		t.Fatal(err)
+	}
+	blocks, _ := ns.Blocks("/empty")
+	if len(blocks) != 1 || blocks[0].Size != 0 {
+		t.Errorf("empty file blocks: %+v", blocks)
+	}
+}
+
+func TestDuplicateFileRejected(t *testing.T) {
+	ns := NewNamespace(nodes(2), 100, 1)
+	ns.AddFile("/x", 10)
+	if err := ns.AddFile("/x", 10); err == nil {
+		t.Error("duplicate accepted")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	ns := NewNamespace(nodes(2), 100, 1)
+	ns.AddFile("/x", 10)
+	if err := ns.Delete("/x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.Delete("/x"); err == nil {
+		t.Error("double delete accepted")
+	}
+	if ns.NumFiles() != 0 {
+		t.Errorf("NumFiles = %d", ns.NumFiles())
+	}
+}
+
+func TestReplicationClampedToNodes(t *testing.T) {
+	ns := NewNamespace(nodes(2), 100, 3)
+	ns.AddFile("/x", 10)
+	blocks, _ := ns.Blocks("/x")
+	if len(blocks[0].Locations) != 2 {
+		t.Errorf("replicas = %d, want clamped 2", len(blocks[0].Locations))
+	}
+}
+
+func TestUsedBytesIncludesReplication(t *testing.T) {
+	ns := NewNamespace(nodes(5), 1000, 3)
+	ns.AddFile("/x", 500)
+	if got := ns.TotalBytes(); got != 500 {
+		t.Errorf("TotalBytes = %d", got)
+	}
+	if got := ns.UsedBytes(); got != 1500 {
+		t.Errorf("UsedBytes = %d, want 1500", got)
+	}
+}
+
+func TestPlacementBalance(t *testing.T) {
+	ns := NewNamespace(nodes(4), 10, 2)
+	for i := 0; i < 100; i++ {
+		if err := ns.AddFile(string(rune('A'+i%26))+string(rune('0'+i/26)), 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	load := ns.DatanodeLoad()
+	var minL, maxL int64 = 1 << 62, 0
+	for _, l := range load {
+		if l < minL {
+			minL = l
+		}
+		if l > maxL {
+			maxL = l
+		}
+	}
+	if maxL > minL*2 {
+		t.Errorf("placement imbalanced: min %d, max %d", minL, maxL)
+	}
+}
+
+func TestBytesConservedProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		ns := NewNamespace(nodes(3), 4096, 2)
+		var want int64
+		for i, s := range sizes {
+			name := string(rune('a'+i%26)) + string(rune('0'+i/26))
+			if ns.AddFile(name, int64(s)) != nil {
+				return true // name collision in generated data; skip
+			}
+			want += int64(s)
+		}
+		return ns.TotalBytes() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScanTimeMatchesPaperCalibration(t *testing.T) {
+	c := DefaultCosts()
+	// Subset: 8,316 files should take about a minute ("Hadoop takes one
+	// minute to prepare the data").
+	sub := c.ScanTime(8316)
+	if sub < 45*time.Second || sub > 80*time.Second {
+		t.Errorf("subset scan = %v, want ~1 min", sub)
+	}
+	// Full: 31,173 files should take nearly nine minutes.
+	full := c.ScanTime(31173)
+	if full < 8*time.Minute || full > 10*time.Minute {
+		t.Errorf("full scan = %v, want ~9 min", full)
+	}
+}
+
+func TestScanTimeSuperlinear(t *testing.T) {
+	c := DefaultCosts()
+	t1 := c.ScanTime(1000)
+	t4 := c.ScanTime(4000)
+	if t4 < 4*t1 {
+		t.Errorf("scan should be superlinear: %v vs 4x%v", t4, t1)
+	}
+}
+
+func TestStageTime(t *testing.T) {
+	c := DefaultCosts()
+	d := c.StageTime(10, 400<<20) // 400 MB at 200 MB/s ≈ 2s + metadata
+	if d < 2*time.Second || d > 3*time.Second {
+		t.Errorf("StageTime = %v", d)
+	}
+	zero := Costs{}
+	if zero.StageTime(10, 1<<30) != 0 {
+		t.Error("zero throughput should yield 0")
+	}
+}
+
+func TestNoDatanodes(t *testing.T) {
+	ns := NewNamespace(nil, 100, 3)
+	if err := ns.AddFile("/x", 10); err == nil {
+		t.Error("AddFile with no datanodes accepted")
+	}
+}

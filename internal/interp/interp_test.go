@@ -1,0 +1,110 @@
+package interp
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTierOrdering(t *testing.T) {
+	// The calibration must preserve the paper's ordering:
+	// C < Java < PyPy < CPython.
+	if !(C.Factor < Java.Factor && Java.Factor < PyPy.Factor && PyPy.Factor < CPython.Factor) {
+		t.Errorf("tier factors out of order: %v %v %v %v",
+			C.Factor, Java.Factor, PyPy.Factor, CPython.Factor)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, tier := range Tiers() {
+		got, err := ByName(tier.Name)
+		if err != nil || got != tier {
+			t.Errorf("ByName(%q) = %v, %v", tier.Name, got, err)
+		}
+	}
+	if _, err := ByName("fortran"); err == nil {
+		t.Error("unknown tier accepted")
+	}
+}
+
+func TestScale(t *testing.T) {
+	base := 100 * time.Millisecond
+	if got := Java.Scale(base); got != 130*time.Millisecond {
+		t.Errorf("Java.Scale = %v", got)
+	}
+	if got := C.ScaleSeconds(10); got != 9.5 {
+		t.Errorf("C.ScaleSeconds = %v", got)
+	}
+}
+
+func TestCalibrateSampleCostPositive(t *testing.T) {
+	per := CalibrateSampleCost(1 << 16)
+	if per <= 0 {
+		t.Fatalf("per-sample cost %v", per)
+	}
+	if per > time.Millisecond {
+		t.Errorf("per-sample cost %v implausibly slow", per)
+	}
+}
+
+func TestModelPredictComposition(t *testing.T) {
+	m := Model{
+		Startup:     2 * time.Second,
+		Overhead:    300 * time.Millisecond,
+		SampleCost:  100 * time.Nanosecond,
+		Parallelism: 4,
+	}
+	got := m.Predict(4_000_000)
+	want := 2*time.Second + 300*time.Millisecond + 100*time.Millisecond
+	if got != want {
+		t.Errorf("Predict = %v, want %v", got, want)
+	}
+	// Zero parallelism defaults to 1.
+	m.Parallelism = 0
+	if m.Predict(0) != 2300*time.Millisecond {
+		t.Errorf("Predict with no work = %v", m.Predict(0))
+	}
+}
+
+// TestPaperCrossoverClaims verifies that the calibrated model places
+// the Mrs-vs-Hadoop crossovers where the paper reports them: Hadoop
+// overtakes Mrs/CPython when the Hadoop-side task time reaches ~32 s,
+// and ~40 s for the PyPy tier; the C tier never crosses.
+func TestPaperCrossoverClaims(t *testing.T) {
+	const perSample = 30 * time.Nanosecond // arbitrary; cancels out
+	hadoop := Model{Name: "hadoop/java", Overhead: 30 * time.Second,
+		SampleCost: Java.Scale(perSample), Parallelism: 1}
+	mk := func(tier Tier) Model {
+		return Model{Name: "mrs/" + tier.Name, Overhead: 300 * time.Millisecond,
+			SampleCost: tier.Scale(perSample), Parallelism: 1}
+	}
+
+	check := func(tier Tier, wantTaskSeconds, tol float64) {
+		n := CrossoverSamples(mk(tier), hadoop)
+		if n == 0 {
+			t.Fatalf("%s: no crossover found", tier.Name)
+		}
+		taskTime := float64(n) * float64(hadoop.SampleCost) / float64(time.Second)
+		if taskTime < wantTaskSeconds-tol || taskTime > wantTaskSeconds+tol {
+			t.Errorf("%s crossover at Hadoop task time %.1fs, want ~%.0fs",
+				tier.Name, taskTime, wantTaskSeconds)
+		}
+	}
+	check(CPython, 32, 4)
+	check(PyPy, 40, 5)
+
+	if n := CrossoverSamples(mk(C), hadoop); n != 0 {
+		t.Errorf("C tier should never cross Hadoop, got crossover at %d samples", n)
+	}
+}
+
+func TestCrossoverDegenerateCases(t *testing.T) {
+	a := Model{Overhead: time.Second, SampleCost: 10}
+	if CrossoverSamples(a, a) != 0 {
+		t.Error("identical models should not cross")
+	}
+	b := Model{Overhead: 2 * time.Second, SampleCost: 20}
+	// b has higher fixed cost AND higher slope: never crosses from above.
+	if CrossoverSamples(b, a) != 0 {
+		t.Error("strictly dominated model reported a crossing")
+	}
+}

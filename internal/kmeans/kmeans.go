@@ -1,0 +1,460 @@
+// Package kmeans implements iterative MapReduce k-means clustering,
+// the first of the iterative algorithms the paper's introduction cites
+// as MapReduce-suitable scientific workloads ([2], Zhao et al.). It
+// doubles as the exercise for the framework's broadcast-parameter
+// mechanism: the current centroids travel to every map task as the
+// operation's Params (the role Hadoop's DistributedCache plays), while
+// the point set stays put as a static dataset — so the per-iteration
+// cost is exactly the framework overhead the paper optimizes.
+package kmeans
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/kvio"
+	"repro/internal/prand"
+)
+
+// Function names registered by Register.
+const (
+	AssignName = "kmeans_assign"
+	UpdateName = "kmeans_update"
+)
+
+// Config parameterizes a clustering run.
+type Config struct {
+	// K is the number of clusters.
+	K int
+	// Dims is the point dimensionality.
+	Dims int
+	// MaxIters bounds the iteration count.
+	MaxIters int
+	// Epsilon stops iteration when no centroid moves further than this.
+	Epsilon float64
+	// Tasks is the number of map splits.
+	Tasks int
+	// Seed drives deterministic initialization.
+	Seed uint64
+}
+
+func (c *Config) fill() error {
+	if c.K <= 0 {
+		c.K = 4
+	}
+	if c.Dims <= 0 {
+		c.Dims = 2
+	}
+	if c.MaxIters <= 0 {
+		c.MaxIters = 50
+	}
+	if c.Epsilon <= 0 {
+		c.Epsilon = 1e-6
+	}
+	if c.Tasks <= 0 {
+		c.Tasks = 4
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Wire encodings
+
+// EncodeCentroids packs k centroid vectors as the broadcast params.
+func EncodeCentroids(cs [][]float64) []byte {
+	out := binary.AppendVarint(nil, int64(len(cs)))
+	dims := 0
+	if len(cs) > 0 {
+		dims = len(cs[0])
+	}
+	out = binary.AppendVarint(out, int64(dims))
+	for _, c := range cs {
+		for _, x := range c {
+			var buf [8]byte
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+			out = append(out, buf[:]...)
+		}
+	}
+	return out
+}
+
+// DecodeCentroids unpacks broadcast params.
+func DecodeCentroids(data []byte) ([][]float64, error) {
+	k, n := binary.Varint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("kmeans: bad centroid params")
+	}
+	data = data[n:]
+	dims, n := binary.Varint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("kmeans: bad centroid params")
+	}
+	data = data[n:]
+	if k < 0 || k > 1<<20 || dims < 0 || dims > 1<<20 {
+		return nil, fmt.Errorf("kmeans: implausible shape k=%d dims=%d", k, dims)
+	}
+	if int64(len(data)) != k*dims*8 {
+		return nil, fmt.Errorf("kmeans: centroid payload size mismatch")
+	}
+	out := make([][]float64, k)
+	for i := range out {
+		out[i] = make([]float64, dims)
+		for d := range out[i] {
+			out[i][d] = math.Float64frombits(binary.LittleEndian.Uint64(data))
+			data = data[8:]
+		}
+	}
+	return out, nil
+}
+
+// encodePartial packs a (count, sum-vector) aggregation value.
+func encodePartial(count int64, sum []float64) []byte {
+	out := binary.AppendVarint(nil, count)
+	for _, x := range sum {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+		out = append(out, buf[:]...)
+	}
+	return out
+}
+
+func decodePartial(data []byte) (int64, []float64, error) {
+	count, n := binary.Varint(data)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("kmeans: bad partial")
+	}
+	data = data[n:]
+	if len(data)%8 != 0 {
+		return 0, nil, fmt.Errorf("kmeans: bad partial payload")
+	}
+	sum := make([]float64, len(data)/8)
+	for i := range sum {
+		sum[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+	}
+	return count, sum, nil
+}
+
+// ---------------------------------------------------------------------------
+// Registration
+
+// Register installs the k-means functions. The assign map is a factory:
+// its params carry the iteration's centroids.
+func Register(reg *core.Registry) {
+	reg.RegisterMapFactory(AssignName, func(params []byte) (core.MapFunc, error) {
+		centroids, err := DecodeCentroids(params)
+		if err != nil {
+			return nil, err
+		}
+		if len(centroids) == 0 {
+			return nil, fmt.Errorf("kmeans: no centroids in params")
+		}
+		return func(key, value []byte, emit kvio.Emitter) error {
+			point, err := codec.DecodeFloat64Slice(value)
+			if err != nil {
+				return err
+			}
+			best, bestDist := 0, math.Inf(1)
+			for i, c := range centroids {
+				if d := sqDist(point, c); d < bestDist {
+					best, bestDist = i, d
+				}
+			}
+			return emit.Emit(codec.EncodeVarint(int64(best)), encodePartial(1, point))
+		}, nil
+	})
+
+	// Update sums partials; it is its own combiner.
+	reg.RegisterReduce(UpdateName, func(key []byte, values [][]byte, emit kvio.Emitter) error {
+		var total int64
+		var sum []float64
+		for _, v := range values {
+			count, part, err := decodePartial(v)
+			if err != nil {
+				return err
+			}
+			if sum == nil {
+				sum = make([]float64, len(part))
+			}
+			if len(part) != len(sum) {
+				return fmt.Errorf("kmeans: dimension mismatch in partials")
+			}
+			for d := range part {
+				sum[d] += part[d]
+			}
+			total += count
+		}
+		return emit.Emit(key, encodePartial(total, sum))
+	})
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Data generation
+
+// GeneratePoints synthesizes n points around k true Gaussian clusters
+// and returns (points, true centers). Deterministic in cfg.Seed.
+func GeneratePoints(cfg Config, n int) ([][]float64, [][]float64, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, nil, err
+	}
+	rng := prand.Random(cfg.Seed, 0xC1)
+	centers := make([][]float64, cfg.K)
+	for i := range centers {
+		centers[i] = make([]float64, cfg.Dims)
+		for d := range centers[i] {
+			centers[i][d] = rng.Float64Range(-100, 100)
+		}
+	}
+	points := make([][]float64, n)
+	for p := range points {
+		c := centers[p%cfg.K]
+		points[p] = make([]float64, cfg.Dims)
+		for d := range points[p] {
+			points[p][d] = c[d] + rng.NormFloat64()*3
+		}
+	}
+	return points, centers, nil
+}
+
+// PointPairs converts points into a dataset's literal pairs.
+func PointPairs(points [][]float64) []kvio.Pair {
+	pairs := make([]kvio.Pair, len(points))
+	for i, p := range points {
+		pairs[i] = kvio.Pair{
+			Key:   codec.EncodeVarint(int64(i)),
+			Value: codec.EncodeFloat64Slice(p),
+		}
+	}
+	return pairs
+}
+
+// InitialCentroids picks k distinct points deterministically (the
+// classic Forgy initialization driven by the seeded stream).
+func InitialCentroids(cfg Config, points [][]float64) ([][]float64, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if len(points) < cfg.K {
+		return nil, fmt.Errorf("kmeans: %d points for k=%d", len(points), cfg.K)
+	}
+	rng := prand.Random(cfg.Seed, 0xC2)
+	perm := rng.Perm(len(points))
+	out := make([][]float64, cfg.K)
+	for i := 0; i < cfg.K; i++ {
+		out[i] = append([]float64(nil), points[perm[i]]...)
+	}
+	return out, nil
+}
+
+// InitialCentroidsPlusPlus implements k-means++ seeding (Arthur &
+// Vassilvitskii): the first centroid is a uniform draw; each subsequent
+// centroid is drawn with probability proportional to the squared
+// distance from the nearest centroid chosen so far. Far more robust to
+// the local optima that trap Forgy initialization.
+func InitialCentroidsPlusPlus(cfg Config, points [][]float64) ([][]float64, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if len(points) < cfg.K {
+		return nil, fmt.Errorf("kmeans: %d points for k=%d", len(points), cfg.K)
+	}
+	rng := prand.Random(cfg.Seed, 0xC3)
+	out := make([][]float64, 0, cfg.K)
+	out = append(out, append([]float64(nil), points[rng.Intn(len(points))]...))
+	dist := make([]float64, len(points))
+	for len(out) < cfg.K {
+		var total float64
+		last := out[len(out)-1]
+		for i, p := range points {
+			d := sqDist(p, last)
+			if len(out) == 1 || d < dist[i] {
+				dist[i] = d
+			}
+			total += dist[i]
+		}
+		if total == 0 {
+			// All remaining points coincide with centroids; fall back
+			// to an arbitrary distinct pick.
+			out = append(out, append([]float64(nil), points[rng.Intn(len(points))]...))
+			continue
+		}
+		target := rng.Float64() * total
+		idx := 0
+		for i, d := range dist {
+			target -= d
+			if target <= 0 {
+				idx = i
+				break
+			}
+		}
+		out = append(out, append([]float64(nil), points[idx]...))
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Drivers
+
+// Result summarizes a clustering run.
+type Result struct {
+	Centroids  [][]float64
+	Iterations int
+	Moved      float64 // final maximum centroid movement
+	Elapsed    time.Duration
+}
+
+// step computes new centroids from aggregated (count, sum) partials;
+// clusters that received no points keep their previous centroid.
+func step(prev [][]float64, agg map[int64]struct {
+	count int64
+	sum   []float64
+}) ([][]float64, float64) {
+	next := make([][]float64, len(prev))
+	maxMove := 0.0
+	for i := range prev {
+		a, ok := agg[int64(i)]
+		if !ok || a.count == 0 {
+			next[i] = append([]float64(nil), prev[i]...)
+			continue
+		}
+		next[i] = make([]float64, len(prev[i]))
+		for d := range next[i] {
+			next[i][d] = a.sum[d] / float64(a.count)
+		}
+		if move := math.Sqrt(sqDist(next[i], prev[i])); move > maxMove {
+			maxMove = move
+		}
+	}
+	return next, maxMove
+}
+
+// RunMapReduce clusters a points dataset. Register must have been
+// called on every participating process.
+func RunMapReduce(job *core.Job, cfg Config, points *core.Dataset, initial [][]float64) (*Result, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	centroids := initial
+	start := time.Now()
+	res := &Result{}
+	for iter := 1; iter <= cfg.MaxIters; iter++ {
+		mapped, err := job.Map(points, AssignName, core.OpOpts{
+			Splits:    1,
+			Partition: "constant",
+			Combine:   UpdateName,
+			Params:    EncodeCentroids(centroids),
+		})
+		if err != nil {
+			return nil, err
+		}
+		reduced, err := job.Reduce(mapped, UpdateName, core.OpOpts{Splits: 1, Partition: "constant"})
+		if err != nil {
+			return nil, err
+		}
+		pairs, err := reduced.Collect()
+		if err != nil {
+			return nil, err
+		}
+		agg := map[int64]struct {
+			count int64
+			sum   []float64
+		}{}
+		for _, kv := range pairs {
+			cid, err := codec.DecodeVarint(kv.Key)
+			if err != nil {
+				return nil, err
+			}
+			count, sum, err := decodePartial(kv.Value)
+			if err != nil {
+				return nil, err
+			}
+			agg[cid] = struct {
+				count int64
+				sum   []float64
+			}{count, sum}
+		}
+		var moved float64
+		centroids, moved = step(centroids, agg)
+		res.Iterations = iter
+		res.Moved = moved
+		_ = reduced.Free()
+		_ = mapped.Free()
+		if moved <= cfg.Epsilon {
+			break
+		}
+	}
+	res.Centroids = centroids
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// RunSerial is the plain-loop reference implementation.
+func RunSerial(cfg Config, points [][]float64, initial [][]float64) (*Result, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	centroids := initial
+	start := time.Now()
+	res := &Result{}
+	for iter := 1; iter <= cfg.MaxIters; iter++ {
+		agg := map[int64]struct {
+			count int64
+			sum   []float64
+		}{}
+		for _, p := range points {
+			best, bestDist := 0, math.Inf(1)
+			for i, c := range centroids {
+				if d := sqDist(p, c); d < bestDist {
+					best, bestDist = i, d
+				}
+			}
+			a := agg[int64(best)]
+			if a.sum == nil {
+				a.sum = make([]float64, len(p))
+			}
+			for d := range p {
+				a.sum[d] += p[d]
+			}
+			a.count++
+			agg[int64(best)] = a
+		}
+		var moved float64
+		centroids, moved = step(centroids, agg)
+		res.Iterations = iter
+		res.Moved = moved
+		if moved <= cfg.Epsilon {
+			break
+		}
+	}
+	res.Centroids = centroids
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// Inertia returns the sum of squared distances of points to their
+// nearest centroid (the k-means objective; lower is better).
+func Inertia(points, centroids [][]float64) float64 {
+	var total float64
+	for _, p := range points {
+		best := math.Inf(1)
+		for _, c := range centroids {
+			if d := sqDist(p, c); d < best {
+				best = d
+			}
+		}
+		total += best
+	}
+	return total
+}

@@ -1,0 +1,290 @@
+package kmeans
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+func config() Config {
+	return Config{K: 3, Dims: 2, MaxIters: 30, Epsilon: 1e-9, Tasks: 3, Seed: 11}
+}
+
+func TestCentroidsRoundTrip(t *testing.T) {
+	cs := [][]float64{{1, 2}, {3, 4}, {-5, 0.5}}
+	got, err := DecodeCentroids(EncodeCentroids(cs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[2][0] != -5 || got[1][1] != 4 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestCentroidsDecodeErrors(t *testing.T) {
+	if _, err := DecodeCentroids(nil); err == nil {
+		t.Error("empty accepted")
+	}
+	enc := EncodeCentroids([][]float64{{1, 2}})
+	if _, err := DecodeCentroids(enc[:len(enc)-4]); err == nil {
+		t.Error("truncated accepted")
+	}
+}
+
+func TestPartialRoundTrip(t *testing.T) {
+	count, sum, err := decodePartial(encodePartial(7, []float64{1.5, -2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 7 || sum[0] != 1.5 || sum[1] != -2 {
+		t.Errorf("got %d %v", count, sum)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := config()
+	a, ca, err := GeneratePoints(cfg, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, cb, err := GeneratePoints(cfg, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 50 || len(ca) != cfg.K {
+		t.Fatalf("shapes: %d points, %d centers", len(a), len(ca))
+	}
+	for i := range a {
+		for d := range a[i] {
+			if a[i][d] != b[i][d] {
+				t.Fatal("points not deterministic")
+			}
+		}
+	}
+	for i := range ca {
+		for d := range ca[i] {
+			if ca[i][d] != cb[i][d] {
+				t.Fatal("centers not deterministic")
+			}
+		}
+	}
+}
+
+func TestInitialCentroidsDistinct(t *testing.T) {
+	cfg := config()
+	points, _, _ := GeneratePoints(cfg, 30)
+	init, err := InitialCentroids(cfg, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(init) != cfg.K {
+		t.Fatalf("got %d centroids", len(init))
+	}
+	if _, err := InitialCentroids(Config{K: 100}, points[:3]); err == nil {
+		t.Error("too few points accepted")
+	}
+}
+
+func TestSerialConverges(t *testing.T) {
+	cfg := config()
+	points, trueCenters, _ := GeneratePoints(cfg, 300)
+	init, err := InitialCentroidsPlusPlus(cfg, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSerial(cfg, points, init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations >= cfg.MaxIters {
+		t.Logf("did not fully converge in %d iters (ok for some seeds)", res.Iterations)
+	}
+	// The converged inertia should match (or beat — fitted centroids
+	// track the sample means) the inertia of the true generating
+	// centers; that is the noise floor for this data.
+	finalInertia := Inertia(points, res.Centroids)
+	trueInertia := Inertia(points, trueCenters)
+	if finalInertia > trueInertia*1.05 {
+		t.Errorf("inertia %v above the true-center floor %v", finalInertia, trueInertia)
+	}
+	for _, c := range res.Centroids {
+		best := math.Inf(1)
+		for _, tc := range trueCenters {
+			if d := math.Sqrt(sqDist(c, tc)); d < best {
+				best = d
+			}
+		}
+		if best > 10 {
+			t.Errorf("centroid %v is %.1f away from any true center", c, best)
+		}
+	}
+}
+
+func TestMapReduceMatchesSerialExactly(t *testing.T) {
+	cfg := config()
+	points, _, _ := GeneratePoints(cfg, 200)
+	init, _ := InitialCentroids(cfg, points)
+
+	serial, err := RunSerial(cfg, points, init)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := core.NewRegistry()
+	Register(reg)
+	for _, mk := range []func() core.Executor{
+		func() core.Executor { return core.NewSerial(reg) },
+		func() core.Executor { return core.NewThreads(reg, 4) },
+	} {
+		exec := mk()
+		job := core.NewJob(exec)
+		src, err := job.LocalData(PointPairs(points), core.OpOpts{Splits: cfg.Tasks, Partition: "roundrobin"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunMapReduce(job, cfg, src, init)
+		if err != nil {
+			t.Fatal(err)
+		}
+		job.Close()
+		exec.Close()
+		if res.Iterations != serial.Iterations {
+			t.Errorf("iterations: MR %d, serial %d", res.Iterations, serial.Iterations)
+		}
+		for i := range serial.Centroids {
+			for d := range serial.Centroids[i] {
+				diff := math.Abs(res.Centroids[i][d] - serial.Centroids[i][d])
+				if diff > 1e-9 {
+					t.Errorf("centroid %d dim %d: MR %v, serial %v",
+						i, d, res.Centroids[i][d], serial.Centroids[i][d])
+				}
+			}
+		}
+	}
+}
+
+func TestEmptyClusterKeepsCentroid(t *testing.T) {
+	// Place an initial centroid far from all points; it must survive
+	// unchanged rather than collapse to NaN.
+	cfg := Config{K: 2, Dims: 1, MaxIters: 5, Epsilon: 1e-12, Tasks: 1, Seed: 1}
+	points := [][]float64{{0}, {1}, {2}}
+	init := [][]float64{{1}, {1e9}}
+	res, err := RunSerial(cfg, points, init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Centroids[1][0] != 1e9 {
+		t.Errorf("empty cluster centroid moved: %v", res.Centroids[1])
+	}
+	if math.IsNaN(res.Centroids[0][0]) {
+		t.Error("NaN centroid")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}
+	if err := cfg.fill(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.K != 4 || cfg.Dims != 2 || cfg.MaxIters != 50 {
+		t.Errorf("defaults: %+v", cfg)
+	}
+}
+
+func BenchmarkKMeansIterationMR(b *testing.B) {
+	cfg := Config{K: 4, Dims: 8, MaxIters: 1, Epsilon: 0, Tasks: 4, Seed: 3}
+	points, _, _ := GeneratePoints(cfg, 1000)
+	init, _ := InitialCentroids(cfg, points)
+	reg := core.NewRegistry()
+	Register(reg)
+	exec := core.NewThreads(reg, 4)
+	defer exec.Close()
+	job := core.NewJob(exec)
+	defer job.Close()
+	src, err := job.LocalData(PointPairs(points), core.OpOpts{Splits: 4, Partition: "roundrobin"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunMapReduce(job, cfg, src, init); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestPlusPlusSpreadsCentroids(t *testing.T) {
+	cfg := config()
+	points, trueCenters, _ := GeneratePoints(cfg, 300)
+	init, err := InitialCentroidsPlusPlus(cfg, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each true center should have an initial centroid nearby (within
+	// the inter-cluster scale), i.e. ++ seeding covers all clusters.
+	for _, tc := range trueCenters {
+		best := math.Inf(1)
+		for _, c := range init {
+			if d := math.Sqrt(sqDist(c, tc)); d < best {
+				best = d
+			}
+		}
+		if best > 30 {
+			t.Errorf("true center %v has no nearby seed (closest %.1f)", tc, best)
+		}
+	}
+}
+
+func TestPlusPlusDegenerate(t *testing.T) {
+	cfg := Config{K: 3, Dims: 1, Seed: 5}
+	points := [][]float64{{1}, {1}, {1}, {1}}
+	init, err := InitialCentroidsPlusPlus(cfg, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(init) != 3 {
+		t.Errorf("got %d centroids", len(init))
+	}
+}
+
+func TestMapReduceDistributedCluster(t *testing.T) {
+	// Broadcast params must survive the real XML-RPC path: run k-means
+	// on an actual master + slaves deployment and compare with serial.
+	cfg := config()
+	points, _, _ := GeneratePoints(cfg, 150)
+	init, _ := InitialCentroidsPlusPlus(cfg, points)
+	serial, err := RunSerial(cfg, points, init)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := core.NewRegistry()
+	Register(reg)
+	c, err := cluster.Start(reg, cluster.Options{Slaves: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	job := core.NewJob(c.Executor())
+	defer job.Close()
+	src, err := job.LocalData(PointPairs(points), core.OpOpts{Splits: 3, Partition: "roundrobin"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunMapReduce(job, cfg, src, init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != serial.Iterations {
+		t.Errorf("iterations: distributed %d, serial %d", res.Iterations, serial.Iterations)
+	}
+	for i := range serial.Centroids {
+		for d := range serial.Centroids[i] {
+			if diff := math.Abs(res.Centroids[i][d] - serial.Centroids[i][d]); diff > 1e-9 {
+				t.Errorf("centroid %d dim %d differs by %v", i, d, diff)
+			}
+		}
+	}
+}

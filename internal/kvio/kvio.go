@@ -1,0 +1,258 @@
+// Package kvio defines the key-value pair type and the length-prefixed
+// binary record-stream format used for all intermediate data in mrs-go.
+//
+// The format of a record stream is a sequence of records:
+//
+//	uvarint keyLen | keyLen bytes | uvarint valueLen | valueLen bytes
+//
+// terminated by EOF. The format is self-delimiting, streamable, and
+// independent of the key/value codecs (which live in internal/codec).
+package kvio
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxRecordLen bounds a single key or value, protecting readers from
+// corrupted or adversarial streams.
+const MaxRecordLen = 1 << 30
+
+// ErrRecordTooLarge is returned when a stream declares a key or value
+// larger than MaxRecordLen.
+var ErrRecordTooLarge = errors.New("kvio: record exceeds MaxRecordLen")
+
+// Pair is one key-value record. Key and Value are raw encoded bytes.
+type Pair struct {
+	Key   []byte
+	Value []byte
+}
+
+// String renders a pair for debugging.
+func (p Pair) String() string {
+	return fmt.Sprintf("(%q, %q)", p.Key, p.Value)
+}
+
+// Clone returns a deep copy of p.
+func (p Pair) Clone() Pair {
+	return Pair{Key: append([]byte(nil), p.Key...), Value: append([]byte(nil), p.Value...)}
+}
+
+// KeyLess reports whether a's key sorts before b's key.
+func KeyLess(a, b Pair) bool { return bytes.Compare(a.Key, b.Key) < 0 }
+
+// StrPair builds a Pair from strings; a convenience for text workloads.
+func StrPair(key, value string) Pair {
+	return Pair{Key: []byte(key), Value: []byte(value)}
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+
+// Writer serializes pairs to an io.Writer in record-stream format.
+type Writer struct {
+	w     *bufio.Writer
+	n     int64 // records written
+	bytes int64 // payload bytes written (keys+values, not framing)
+	err   error
+}
+
+// NewWriter returns a Writer on w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 64<<10)}
+}
+
+// Write appends one record.
+func (w *Writer) Write(p Pair) error {
+	if w.err != nil {
+		return w.err
+	}
+	var hdr [2 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(p.Key)))
+	if _, err := w.w.Write(hdr[:n]); err != nil {
+		w.err = err
+		return err
+	}
+	if _, err := w.w.Write(p.Key); err != nil {
+		w.err = err
+		return err
+	}
+	n = binary.PutUvarint(hdr[:], uint64(len(p.Value)))
+	if _, err := w.w.Write(hdr[:n]); err != nil {
+		w.err = err
+		return err
+	}
+	if _, err := w.w.Write(p.Value); err != nil {
+		w.err = err
+		return err
+	}
+	w.n++
+	w.bytes += int64(len(p.Key) + len(p.Value))
+	return nil
+}
+
+// Flush flushes buffered records to the underlying writer.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	w.err = w.w.Flush()
+	return w.err
+}
+
+// Count returns the number of records written so far.
+func (w *Writer) Count() int64 { return w.n }
+
+// Bytes returns the payload bytes written so far.
+func (w *Writer) Bytes() int64 { return w.bytes }
+
+// ---------------------------------------------------------------------------
+// Reader
+
+// Reader parses a record stream. Read returns io.EOF at a clean end of
+// stream and io.ErrUnexpectedEOF if the stream ends mid-record.
+type Reader struct {
+	r   *bufio.Reader
+	n   int64
+	err error
+}
+
+// NewReader returns a Reader on r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// Read returns the next record. The returned slices are freshly
+// allocated and safe to retain.
+func (r *Reader) Read() (Pair, error) {
+	if r.err != nil {
+		return Pair{}, r.err
+	}
+	key, err := r.readChunk(true)
+	if err != nil {
+		r.err = err
+		return Pair{}, err
+	}
+	value, err := r.readChunk(false)
+	if err != nil {
+		r.err = err
+		return Pair{}, err
+	}
+	r.n++
+	return Pair{Key: key, Value: value}, nil
+}
+
+// readChunk reads one uvarint-prefixed chunk. atRecordStart selects
+// whether EOF is clean (between records) or unexpected (mid-record).
+func (r *Reader) readChunk(atRecordStart bool) ([]byte, error) {
+	size, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		if err == io.EOF && !atRecordStart {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	if size > MaxRecordLen {
+		return nil, ErrRecordTooLarge
+	}
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(r.r, buf); err != nil {
+		if err == io.EOF {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Count returns the number of records read so far.
+func (r *Reader) Count() int64 { return r.n }
+
+// ReadAll drains the stream into a slice.
+func (r *Reader) ReadAll() ([]Pair, error) {
+	var out []Pair
+	for {
+		p, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, p)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// In-memory helpers
+
+// Marshal encodes pairs into a single record-stream buffer.
+func Marshal(pairs []Pair) []byte {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, p := range pairs {
+		if err := w.Write(p); err != nil {
+			// bytes.Buffer writes cannot fail.
+			panic(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// Unmarshal decodes a record-stream buffer produced by Marshal.
+func Unmarshal(data []byte) ([]Pair, error) {
+	return NewReader(bytes.NewReader(data)).ReadAll()
+}
+
+// ---------------------------------------------------------------------------
+// Emitters and sinks
+
+// Emitter receives the output records of a map or reduce call.
+type Emitter interface {
+	Emit(key, value []byte) error
+}
+
+// SliceEmitter accumulates emitted pairs in memory.
+type SliceEmitter struct {
+	Pairs []Pair
+}
+
+// Emit appends a deep copy of (key, value).
+func (e *SliceEmitter) Emit(key, value []byte) error {
+	e.Pairs = append(e.Pairs, Pair{
+		Key:   append([]byte(nil), key...),
+		Value: append([]byte(nil), value...),
+	})
+	return nil
+}
+
+// FuncEmitter adapts a function to the Emitter interface.
+type FuncEmitter func(key, value []byte) error
+
+// Emit calls the wrapped function.
+func (f FuncEmitter) Emit(key, value []byte) error { return f(key, value) }
+
+// CountingEmitter forwards to Next and counts records and bytes;
+// used for progress accounting and bench instrumentation.
+type CountingEmitter struct {
+	Next    Emitter
+	Records int64
+	Bytes   int64
+}
+
+// Emit forwards one record and updates counters.
+func (c *CountingEmitter) Emit(key, value []byte) error {
+	c.Records++
+	c.Bytes += int64(len(key) + len(value))
+	if c.Next == nil {
+		return nil
+	}
+	return c.Next.Emit(key, value)
+}

@@ -1,0 +1,275 @@
+package kvio
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func pairsEqual(a, b []Pair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !bytes.Equal(a[i].Key, b[i].Key) || !bytes.Equal(a[i].Value, b[i].Value) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	f := func(kv [][2][]byte) bool {
+		pairs := make([]Pair, len(kv))
+		for i, p := range kv {
+			pairs[i] = Pair{Key: p[0], Value: p[1]}
+		}
+		dec, err := Unmarshal(Marshal(pairs))
+		if err != nil {
+			return false
+		}
+		return pairsEqual(pairs, dec)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	dec, err := Unmarshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != 0 {
+		t.Errorf("want no pairs, got %v", dec)
+	}
+}
+
+func TestEmptyKeyAndValue(t *testing.T) {
+	in := []Pair{{}, {Key: []byte{}, Value: []byte{}}, StrPair("", "x"), StrPair("x", "")}
+	dec, err := Unmarshal(Marshal(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != len(in) {
+		t.Fatalf("got %d pairs, want %d", len(dec), len(in))
+	}
+	for i := range in {
+		if !bytes.Equal(dec[i].Key, in[i].Key) || !bytes.Equal(dec[i].Value, in[i].Value) {
+			t.Errorf("pair %d: got %v want %v", i, dec[i], in[i])
+		}
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	data := Marshal([]Pair{StrPair("hello", "world")})
+	for cut := 1; cut < len(data); cut++ {
+		_, err := Unmarshal(data[:cut])
+		if err == nil {
+			t.Errorf("truncation at %d: expected error", cut)
+		}
+		if err == io.EOF {
+			t.Errorf("truncation at %d: io.EOF should be reserved for clean ends", cut)
+		}
+	}
+}
+
+func TestOversizeRecordRejected(t *testing.T) {
+	// Hand-craft a header that declares a huge key.
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F}) // uvarint > MaxRecordLen
+	_, err := NewReader(&buf).Read()
+	if err != ErrRecordTooLarge {
+		t.Errorf("got %v, want ErrRecordTooLarge", err)
+	}
+}
+
+func TestReaderCount(t *testing.T) {
+	in := []Pair{StrPair("a", "1"), StrPair("b", "2"), StrPair("c", "3")}
+	r := NewReader(bytes.NewReader(Marshal(in)))
+	for i := 0; i < len(in); i++ {
+		if _, err := r.Read(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+	if r.Count() != 3 {
+		t.Errorf("Count = %d, want 3", r.Count())
+	}
+}
+
+func TestWriterCounters(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(StrPair("key", "value")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(StrPair("k", "v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 2 {
+		t.Errorf("Count = %d, want 2", w.Count())
+	}
+	if w.Bytes() != int64(len("keyvalue")+len("kv")) {
+		t.Errorf("Bytes = %d", w.Bytes())
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, io.ErrClosedPipe
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+func TestWriterStickyError(t *testing.T) {
+	w := NewWriter(&failWriter{n: 4})
+	big := Pair{Key: make([]byte, 1<<20), Value: nil}
+	err1 := w.Write(big)
+	if err1 == nil {
+		err1 = w.Flush()
+	}
+	if err1 == nil {
+		t.Fatal("expected write error")
+	}
+	if err2 := w.Write(StrPair("a", "b")); err2 == nil {
+		t.Error("expected sticky error on subsequent write")
+	}
+}
+
+func TestReadAfterError(t *testing.T) {
+	data := Marshal([]Pair{StrPair("hello", "world")})
+	r := NewReader(bytes.NewReader(data[:3]))
+	_, err1 := r.Read()
+	if err1 == nil {
+		t.Fatal("expected error")
+	}
+	_, err2 := r.Read()
+	if err2 != err1 {
+		t.Errorf("error not sticky: %v then %v", err1, err2)
+	}
+}
+
+func TestPairClone(t *testing.T) {
+	p := StrPair("abc", "def")
+	c := p.Clone()
+	p.Key[0] = 'X'
+	p.Value[0] = 'Y'
+	if string(c.Key) != "abc" || string(c.Value) != "def" {
+		t.Errorf("Clone aliases original: %v", c)
+	}
+}
+
+func TestKeyLess(t *testing.T) {
+	a, b := StrPair("a", ""), StrPair("b", "")
+	if !KeyLess(a, b) || KeyLess(b, a) || KeyLess(a, a) {
+		t.Error("KeyLess ordering wrong")
+	}
+}
+
+func TestSliceEmitterCopies(t *testing.T) {
+	var e SliceEmitter
+	key := []byte("k")
+	if err := e.Emit(key, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	key[0] = 'X'
+	if string(e.Pairs[0].Key) != "k" {
+		t.Error("SliceEmitter aliased the emitted key")
+	}
+}
+
+func TestCountingEmitter(t *testing.T) {
+	var inner SliceEmitter
+	c := CountingEmitter{Next: &inner}
+	if err := c.Emit([]byte("ab"), []byte("cde")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Emit(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.Records != 2 || c.Bytes != 5 {
+		t.Errorf("Records=%d Bytes=%d, want 2, 5", c.Records, c.Bytes)
+	}
+	if len(inner.Pairs) != 2 {
+		t.Errorf("inner got %d pairs", len(inner.Pairs))
+	}
+}
+
+func TestCountingEmitterNilNext(t *testing.T) {
+	var c CountingEmitter
+	if err := c.Emit([]byte("x"), []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if c.Records != 1 {
+		t.Error("nil-Next CountingEmitter should still count")
+	}
+}
+
+func TestFuncEmitter(t *testing.T) {
+	var got []string
+	f := FuncEmitter(func(k, v []byte) error {
+		got = append(got, string(k)+"="+string(v))
+		return nil
+	})
+	if err := f.Emit([]byte("a"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []string{"a=1"}) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestStreamInterleavedReadWrite(t *testing.T) {
+	// Writer output must be readable record-by-record as it streams.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if err := w.Write(Pair{Key: []byte{byte(i)}, Value: []byte{byte(i >> 8)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	for i := 0; i < n; i++ {
+		p, err := r.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Key[0] != byte(i) || p.Value[0] != byte(i>>8) {
+			t.Fatalf("record %d mismatch: %v", i, p)
+		}
+	}
+}
+
+func BenchmarkWriteRead(b *testing.B) {
+	pair := StrPair("some-moderate-key", "some-moderate-value-payload")
+	b.SetBytes(int64(len(pair.Key) + len(pair.Value)))
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < b.N; i++ {
+		if err := w.Write(pair); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if _, err := NewReader(&buf).ReadAll(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,509 @@
+// Package master implements the distributed master: it serves the
+// XML-RPC control plane, tracks slave liveness via heartbeats, drives
+// the task scheduler, and acts as a core.Executor so programs run on a
+// cluster exactly as they run serially.
+//
+// Mirroring §IV of the Mrs paper: starting a job requires only starting
+// one master and any number of slaves; no daemons or config files. The
+// master writes its address to a port file so startup scripts (and the
+// pbs simulator) can hand it to slaves.
+package master
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/bucket"
+	"repro/internal/core"
+	"repro/internal/rpcproto"
+	"repro/internal/sched"
+	"repro/internal/xmlrpc"
+)
+
+// Options configures a master.
+type Options struct {
+	// Addr is the listen address (default "127.0.0.1:0").
+	Addr string
+	// PortFile, if set, receives "host:port\n" once listening — the
+	// paper's mechanism for slaves to discover a master started by a
+	// batch script.
+	PortFile string
+	// Dir is the master's bucket directory (local data, collect
+	// staging). Empty means a fresh temp dir, removed on Close.
+	Dir string
+	// SharedDir, when non-empty, signals filesystem staging mode: the
+	// master (and every slave) uses this directory and file:// URLs.
+	SharedDir string
+	// HeartbeatInterval is sent to slaves at signin (default 250ms).
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout is how long a silent slave lives (default 8x
+	// the interval).
+	HeartbeatTimeout time.Duration
+	// MaxAttempts bounds task retries (default sched.DefaultMaxAttempts).
+	MaxAttempts int
+	// LongPoll bounds a get_task block (default 1s).
+	LongPoll time.Duration
+	// DisableAffinity turns off iteration affinity (ablation).
+	DisableAffinity bool
+}
+
+func (o *Options) fill() {
+	if o.Addr == "" {
+		o.Addr = "127.0.0.1:0"
+	}
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = 250 * time.Millisecond
+	}
+	if o.HeartbeatTimeout <= 0 {
+		o.HeartbeatTimeout = 8 * o.HeartbeatInterval
+	}
+	if o.LongPoll <= 0 {
+		o.LongPoll = time.Second
+	}
+}
+
+type slaveInfo struct {
+	id       string
+	lastSeen time.Time
+}
+
+// Master is the distributed executor.
+type Master struct {
+	opts    Options
+	sched   *sched.Scheduler
+	store   *bucket.Store
+	ln      net.Listener
+	httpSrv *http.Server
+	addr    string
+	ownsDir string
+
+	mu             sync.Mutex
+	slaves         map[string]*slaveInfo
+	nextSlave      int
+	pendingDeletes map[string][]string // slaveID -> bucket names
+	taskStats      TaskStats
+	closed         bool
+
+	reaperStop chan struct{}
+	reaperDone chan struct{}
+}
+
+// TaskStats counts control-plane events (benchmarks read these).
+type TaskStats struct {
+	TasksAssigned int64
+	TasksDone     int64
+	TasksFailed   int64
+	SlavesSeen    int64
+	SlavesLost    int64
+}
+
+// New starts a master listening on opts.Addr.
+func New(opts Options) (*Master, error) {
+	opts.fill()
+	m := &Master{
+		opts:           opts,
+		sched:          sched.New(opts.MaxAttempts),
+		slaves:         map[string]*slaveInfo{},
+		pendingDeletes: map[string][]string{},
+		reaperStop:     make(chan struct{}),
+		reaperDone:     make(chan struct{}),
+	}
+
+	dir := opts.Dir
+	if opts.SharedDir != "" {
+		dir = opts.SharedDir
+	} else if dir == "" {
+		d, err := os.MkdirTemp("", "mrs-master-*")
+		if err != nil {
+			return nil, err
+		}
+		dir = d
+		m.ownsDir = d
+	}
+
+	ln, err := net.Listen("tcp", opts.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("master: listen %s: %w", opts.Addr, err)
+	}
+	m.ln = ln
+	m.addr = ln.Addr().String()
+
+	baseURL := ""
+	if opts.SharedDir == "" {
+		baseURL = "http://" + m.addr + "/data"
+	}
+	store, err := bucket.NewFileStore(dir, baseURL)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	m.store = store
+
+	rpc := xmlrpc.NewServer()
+	rpc.Register(rpcproto.MethodSignin, m.handleSignin)
+	rpc.Register(rpcproto.MethodGetTask, m.handleGetTask)
+	rpc.Register(rpcproto.MethodTaskDone, m.handleTaskDone)
+	rpc.Register(rpcproto.MethodTaskFailed, m.handleTaskFailed)
+	rpc.Register(rpcproto.MethodPing, m.handlePing)
+
+	mux := http.NewServeMux()
+	mux.Handle(xmlrpc.RPCPath, rpc)
+	mux.HandleFunc("/data/", m.serveData)
+	m.httpSrv = &http.Server{Handler: mux}
+	go m.httpSrv.Serve(ln)
+	go m.reaper()
+
+	if opts.PortFile != "" {
+		if err := os.WriteFile(opts.PortFile, []byte(m.addr+"\n"), 0o644); err != nil {
+			m.Close()
+			return nil, fmt.Errorf("master: writing port file: %w", err)
+		}
+	}
+	return m, nil
+}
+
+// Addr returns the master's host:port.
+func (m *Master) Addr() string { return m.addr }
+
+// URL returns the master's RPC endpoint URL.
+func (m *Master) URL() string { return "http://" + m.addr + xmlrpc.RPCPath }
+
+// Stats returns a snapshot of control-plane counters.
+func (m *Master) Stats() TaskStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.taskStats
+}
+
+// Scheduler exposes the scheduler (ablation benches).
+func (m *Master) Scheduler() *sched.Scheduler { return m.sched }
+
+// serveData serves bucket files to slaves and to Collect.
+func (m *Master) serveData(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/data/")
+	path, err := m.store.ServeName(name)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	http.ServeFile(w, r, path)
+}
+
+// ---------------------------------------------------------------------------
+// RPC handlers
+
+func (m *Master) handleSignin(args []any) (any, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, fmt.Errorf("master: closed")
+	}
+	m.nextSlave++
+	id := fmt.Sprintf("slave-%d", m.nextSlave)
+	m.slaves[id] = &slaveInfo{id: id, lastSeen: time.Now()}
+	m.taskStats.SlavesSeen++
+	return rpcproto.SigninReply{
+		SlaveID:         id,
+		HeartbeatMillis: m.opts.HeartbeatInterval.Milliseconds(),
+	}.Encode(), nil
+}
+
+// touch refreshes a slave's liveness; returns false for unknown slaves
+// (e.g. ones already declared dead).
+func (m *Master) touch(slaveID string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	info, ok := m.slaves[slaveID]
+	if !ok {
+		return false
+	}
+	info.lastSeen = time.Now()
+	return true
+}
+
+func slaveIDArg(args []any) (string, error) {
+	if len(args) < 1 {
+		return "", fmt.Errorf("master: missing slave id")
+	}
+	id, ok := args[0].(string)
+	if !ok || id == "" {
+		return "", fmt.Errorf("master: bad slave id %v", args[0])
+	}
+	return id, nil
+}
+
+func (m *Master) handlePing(args []any) (any, error) {
+	id, err := slaveIDArg(args)
+	if err != nil {
+		return nil, err
+	}
+	if !m.touch(id) {
+		return nil, fmt.Errorf("master: unknown slave %s (declared dead?)", id)
+	}
+	return true, nil
+}
+
+func (m *Master) handleGetTask(args []any) (any, error) {
+	id, err := slaveIDArg(args)
+	if err != nil {
+		return nil, err
+	}
+	if !m.touch(id) {
+		return nil, fmt.Errorf("master: unknown slave %s", id)
+	}
+	// Collect piggybacked deletes.
+	m.mu.Lock()
+	deletes := m.pendingDeletes[id]
+	delete(m.pendingDeletes, id)
+	closed := m.closed
+	m.mu.Unlock()
+	if closed {
+		a := rpcproto.Assignment{Status: rpcproto.StatusShutdown, Deletes: deletes}
+		return encodeAssignment(a)
+	}
+	task, err := m.sched.Request(id, m.opts.LongPoll)
+	if err == sched.ErrClosed {
+		return encodeAssignment(rpcproto.Assignment{Status: rpcproto.StatusShutdown, Deletes: deletes})
+	}
+	if err != nil {
+		return nil, err
+	}
+	m.touch(id) // the long poll may have taken a while
+	if task == nil {
+		return encodeAssignment(rpcproto.Assignment{Status: rpcproto.StatusIdle, Deletes: deletes})
+	}
+	m.mu.Lock()
+	m.taskStats.TasksAssigned++
+	m.mu.Unlock()
+	return encodeAssignment(rpcproto.Assignment{
+		Status:  rpcproto.StatusTask,
+		TaskID:  int64(task.ID),
+		Spec:    task.Spec,
+		Deletes: deletes,
+	})
+}
+
+func encodeAssignment(a rpcproto.Assignment) (any, error) {
+	enc, err := a.Encode()
+	if err != nil {
+		return nil, err
+	}
+	return enc, nil
+}
+
+func (m *Master) handleTaskDone(args []any) (any, error) {
+	if len(args) < 3 {
+		return nil, fmt.Errorf("master: task_done wants (slave, task, outputs)")
+	}
+	id, err := slaveIDArg(args)
+	if err != nil {
+		return nil, err
+	}
+	taskID, ok := args[1].(int64)
+	if !ok {
+		return nil, fmt.Errorf("master: bad task id %v", args[1])
+	}
+	outputs, err := rpcproto.DecodeDescriptors(args[2])
+	if err != nil {
+		return nil, err
+	}
+	m.touch(id)
+	m.mu.Lock()
+	m.taskStats.TasksDone++
+	m.mu.Unlock()
+	err = m.sched.Complete(sched.TaskID(taskID), id, &core.TaskResult{Outputs: outputs})
+	if err != nil {
+		return nil, err
+	}
+	if m.opts.DisableAffinity {
+		m.sched.ClearAffinity()
+	}
+	return true, nil
+}
+
+func (m *Master) handleTaskFailed(args []any) (any, error) {
+	if len(args) < 3 {
+		return nil, fmt.Errorf("master: task_failed wants (slave, task, message)")
+	}
+	id, err := slaveIDArg(args)
+	if err != nil {
+		return nil, err
+	}
+	taskID, ok := args[1].(int64)
+	if !ok {
+		return nil, fmt.Errorf("master: bad task id %v", args[1])
+	}
+	msg, _ := args[2].(string)
+	m.touch(id)
+	m.mu.Lock()
+	m.taskStats.TasksFailed++
+	m.mu.Unlock()
+	if err := m.sched.Fail(sched.TaskID(taskID), id, msg); err != nil {
+		return nil, err
+	}
+	return true, nil
+}
+
+// ---------------------------------------------------------------------------
+// Liveness
+
+func (m *Master) reaper() {
+	defer close(m.reaperDone)
+	tick := time.NewTicker(m.opts.HeartbeatTimeout / 2)
+	defer tick.Stop()
+	for {
+		select {
+		case <-m.reaperStop:
+			return
+		case <-tick.C:
+			cutoff := time.Now().Add(-m.opts.HeartbeatTimeout)
+			var dead []string
+			m.mu.Lock()
+			for id, info := range m.slaves {
+				if info.lastSeen.Before(cutoff) {
+					dead = append(dead, id)
+					delete(m.slaves, id)
+					delete(m.pendingDeletes, id)
+					m.taskStats.SlavesLost++
+				}
+			}
+			m.mu.Unlock()
+			for _, id := range dead {
+				m.sched.SlaveDead(id)
+			}
+		}
+	}
+}
+
+// NumSlaves returns the count of live slaves.
+func (m *Master) NumSlaves() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.slaves)
+}
+
+// WaitForSlaves blocks until at least n slaves are signed in.
+func (m *Master) WaitForSlaves(ctx context.Context, n int) error {
+	for {
+		if m.NumSlaves() >= n {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("master: waiting for %d slaves: %w", n, ctx.Err())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// core.Executor
+
+// Store implements core.Executor.
+func (m *Master) Store() *bucket.Store { return m.store }
+
+// RunOp implements core.Executor: one task per input split, distributed
+// to slaves via the scheduler.
+func (m *Master) RunOp(op *core.Operation, input *core.Materialized) (*core.Materialized, error) {
+	if input == nil {
+		return nil, fmt.Errorf("master: %s op %d has no input", op.Kind, op.Dataset)
+	}
+	nTasks := input.NumSplits()
+	specs := make([]*core.TaskSpec, nTasks)
+	for t := 0; t < nTasks; t++ {
+		specs[t] = &core.TaskSpec{
+			Op:          op,
+			TaskIndex:   t,
+			InputURLs:   input.URLs(t),
+			InputFormat: input.Format,
+		}
+	}
+	group, err := m.sched.SubmitGroup(specs)
+	if err != nil {
+		return nil, err
+	}
+	results, err := group.Wait()
+	if err != nil {
+		return nil, err
+	}
+	out := core.NewMaterialized(op.Splits, core.FormatKV)
+	for t := 0; t < nTasks; t++ {
+		r := results[t]
+		if r == nil {
+			return nil, fmt.Errorf("master: missing result for task %d of ds%d", t, op.Dataset)
+		}
+		if len(r.Outputs) != op.Splits {
+			return nil, fmt.Errorf("master: task %d of ds%d returned %d outputs, want %d",
+				t, op.Dataset, len(r.Outputs), op.Splits)
+		}
+		for s, d := range r.Outputs {
+			if err := out.AddBucket(s, d); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// Free implements core.Executor. Buckets owned by the master (its own
+// store, or the shared directory) are removed directly; buckets served
+// by slaves are queued as piggybacked delete commands.
+func (m *Master) Free(mat *core.Materialized) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, split := range mat.Splits {
+		for _, d := range split {
+			if d.Name == "" {
+				continue
+			}
+			switch {
+			case strings.HasPrefix(d.URL, "file://"), strings.HasPrefix(d.URL, "http://"+m.addr+"/"):
+				_ = m.store.Remove(d.Name)
+			default:
+				// Ask every live slave to delete; removal is
+				// idempotent, so non-owners simply no-op.
+				for id := range m.slaves {
+					m.pendingDeletes[id] = append(m.pendingDeletes[id], d.Name)
+				}
+			}
+		}
+	}
+}
+
+// Close implements core.Executor: it tells slaves to shut down (via
+// get_task) and stops serving.
+func (m *Master) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.mu.Unlock()
+
+	m.sched.Close()
+	close(m.reaperStop)
+	<-m.reaperDone
+
+	// Closing the scheduler wakes every long-polled get_task, whose
+	// handlers then return shutdown. A short grace period lets slaves
+	// that were between polls get one more request in before the HTTP
+	// server stops accepting connections.
+	time.Sleep(100 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	err := m.httpSrv.Shutdown(ctx)
+	if err != nil {
+		m.httpSrv.Close()
+	}
+	if m.ownsDir != "" {
+		os.RemoveAll(m.ownsDir)
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+package master
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/rpcproto"
+	"repro/internal/xmlrpc"
+)
+
+func newMaster(t *testing.T, opts Options) *Master {
+	t.Helper()
+	m, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m
+}
+
+func client(m *Master) *xmlrpc.Client {
+	return xmlrpc.NewClient(m.URL())
+}
+
+func signin(t *testing.T, m *Master) rpcproto.SigninReply {
+	t.Helper()
+	raw, err := client(m).Call(rpcproto.MethodSignin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err := rpcproto.DecodeSigninReply(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reply
+}
+
+func TestPortFile(t *testing.T) {
+	dir := t.TempDir()
+	pf := filepath.Join(dir, "port")
+	m := newMaster(t, Options{PortFile: pf})
+	data, err := os.ReadFile(pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(string(data)); got != m.Addr() {
+		t.Errorf("port file contains %q, master at %q", got, m.Addr())
+	}
+}
+
+func TestSigninAssignsDistinctIDs(t *testing.T) {
+	m := newMaster(t, Options{})
+	a := signin(t, m)
+	b := signin(t, m)
+	if a.SlaveID == b.SlaveID {
+		t.Errorf("duplicate slave id %q", a.SlaveID)
+	}
+	if m.NumSlaves() != 2 {
+		t.Errorf("NumSlaves = %d", m.NumSlaves())
+	}
+	if m.Stats().SlavesSeen != 2 {
+		t.Errorf("SlavesSeen = %d", m.Stats().SlavesSeen)
+	}
+}
+
+func TestPingUnknownSlaveRejected(t *testing.T) {
+	m := newMaster(t, Options{})
+	if _, err := client(m).Call(rpcproto.MethodPing, "slave-999"); err == nil {
+		t.Error("ping from unknown slave accepted")
+	}
+}
+
+func TestGetTaskIdleWhenNoWork(t *testing.T) {
+	m := newMaster(t, Options{LongPoll: 50 * time.Millisecond})
+	reply := signin(t, m)
+	raw, err := client(m).Call(rpcproto.MethodGetTask, reply.SlaveID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := rpcproto.DecodeAssignment(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Status != rpcproto.StatusIdle {
+		t.Errorf("status = %q, want idle", a.Status)
+	}
+}
+
+func TestGetTaskAfterCloseIsShutdown(t *testing.T) {
+	m, err := New(Options{LongPoll: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply := signin(t, m)
+	// Closing in the background while a long poll could be in flight.
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	raw, err := client(m).Call(rpcproto.MethodGetTask, reply.SlaveID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := rpcproto.DecodeAssignment(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Status != rpcproto.StatusShutdown {
+		t.Errorf("status = %q, want shutdown", a.Status)
+	}
+	m.mu.Lock()
+	m.closed = false
+	m.mu.Unlock()
+	m.Close()
+}
+
+func TestReaperRemovesSilentSlaves(t *testing.T) {
+	m := newMaster(t, Options{
+		HeartbeatInterval: 20 * time.Millisecond,
+		HeartbeatTimeout:  80 * time.Millisecond,
+	})
+	signin(t, m)
+	deadline := time.Now().Add(3 * time.Second)
+	for m.NumSlaves() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("silent slave never reaped")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if m.Stats().SlavesLost != 1 {
+		t.Errorf("SlavesLost = %d", m.Stats().SlavesLost)
+	}
+}
+
+func TestHeartbeatKeepsSlaveAlive(t *testing.T) {
+	m := newMaster(t, Options{
+		HeartbeatInterval: 20 * time.Millisecond,
+		HeartbeatTimeout:  100 * time.Millisecond,
+	})
+	reply := signin(t, m)
+	c := client(m)
+	for i := 0; i < 10; i++ {
+		if _, err := c.Call(rpcproto.MethodPing, reply.SlaveID); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if m.NumSlaves() != 1 {
+		t.Error("heartbeating slave was reaped")
+	}
+}
+
+func TestWaitForSlavesTimeout(t *testing.T) {
+	m := newMaster(t, Options{})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := m.WaitForSlaves(ctx, 3); err == nil {
+		t.Error("WaitForSlaves returned without slaves")
+	}
+}
+
+func TestHandlerArgValidation(t *testing.T) {
+	m := newMaster(t, Options{})
+	c := client(m)
+	cases := []struct {
+		method string
+		args   []any
+	}{
+		{rpcproto.MethodPing, nil},
+		{rpcproto.MethodPing, []any{int64(7)}},
+		{rpcproto.MethodTaskDone, []any{"slave-1"}},
+		{rpcproto.MethodTaskDone, []any{"slave-1", "not-an-int", []any{}}},
+		{rpcproto.MethodTaskFailed, []any{"slave-1", int64(1)}},
+	}
+	for _, tc := range cases {
+		if _, err := c.Call(tc.method, tc.args...); err == nil {
+			t.Errorf("%s(%v) accepted", tc.method, tc.args)
+		}
+	}
+}
+
+func TestDataServerRejectsTraversal(t *testing.T) {
+	m := newMaster(t, Options{})
+	// Fetch via the bucket store's http path with a traversal name.
+	resp, err := xmlrpc.NewClient("http://" + m.Addr() + "/RPC2").HTTPClient.Get(
+		"http://" + m.Addr() + "/data/..%2F..%2Fetc%2Fpasswd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == 200 {
+		t.Error("path traversal served")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	m, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}

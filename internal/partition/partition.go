@@ -1,0 +1,100 @@
+// Package partition provides the partition functions that route an
+// intermediate key to one of n reduce splits. A partitioner must be
+// deterministic (same key, same n -> same split) so that serial,
+// mock-parallel, and distributed executions of a program agree — the
+// Mrs paper relies on that agreement as its primary debugging aid.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hash"
+)
+
+// Func maps a key and serial number to a split in [0, n). The serial
+// number is the index of the record within its input split; partitioners
+// that ignore the key (e.g. round-robin) use it instead.
+type Func func(key []byte, serial int64, n int) int
+
+// Hash partitions by FNV-1a of the key; the default partitioner.
+func Hash(key []byte, serial int64, n int) int {
+	if n == 1 {
+		return 0
+	}
+	// FNV-1a avalanches its low bits well but not its high bits; Bucket
+	// consumes high bits, so run the hash through a finalizing mix.
+	return hash.Bucket(hash.Mix64(hash.FNV1a64(key)), n)
+}
+
+// Constant routes everything to split 0; useful for single-reducer
+// operations such as global convergence checks.
+func Constant(key []byte, serial int64, n int) int {
+	return 0
+}
+
+// RoundRobin ignores keys and deals records out cyclically. It is only
+// valid for map inputs (where grouping is not yet required), never for
+// reduce inputs.
+func RoundRobin(key []byte, serial int64, n int) int {
+	if n <= 0 {
+		panic("partition: RoundRobin requires n > 0")
+	}
+	return int(serial % int64(n))
+}
+
+// ByName returns a named built-in partitioner; used when a partitioner
+// choice travels across the wire in dataset metadata.
+func ByName(name string) (Func, error) {
+	switch name {
+	case "", "hash":
+		return Hash, nil
+	case "constant":
+		return Constant, nil
+	case "roundrobin":
+		return RoundRobin, nil
+	}
+	return nil, fmt.Errorf("partition: unknown partitioner %q", name)
+}
+
+// Names lists the built-in partitioner names.
+func Names() []string { return []string{"constant", "hash", "roundrobin"} }
+
+// Range partitions keys by comparing against a sorted set of split
+// boundaries, giving totally ordered output across splits (the classic
+// sorted-output partitioner). Keys below Boundaries[0] go to split 0,
+// keys in [Boundaries[i-1], Boundaries[i]) to split i, and keys at or
+// above the last boundary to the final split. len(Boundaries) must be
+// n-1 for an n-way partition; extra boundaries are ignored.
+type Range struct {
+	Boundaries [][]byte
+}
+
+// NewRange builds a Range partitioner from (not necessarily sorted)
+// boundary keys.
+func NewRange(boundaries [][]byte) *Range {
+	bs := make([][]byte, len(boundaries))
+	for i, b := range boundaries {
+		bs[i] = append([]byte(nil), b...)
+	}
+	sort.Slice(bs, func(i, j int) bool { return lessBytes(bs[i], bs[j]) })
+	return &Range{Boundaries: bs}
+}
+
+// Partition implements Func.
+func (r *Range) Partition(key []byte, serial int64, n int) int {
+	if n <= 0 {
+		panic("partition: Range requires n > 0")
+	}
+	limit := n - 1
+	if limit > len(r.Boundaries) {
+		limit = len(r.Boundaries)
+	}
+	// The split index is the number of boundaries <= key, i.e. the first
+	// boundary index whose value exceeds key.
+	return sort.Search(limit, func(i int) bool {
+		return lessBytes(key, r.Boundaries[i])
+	})
+}
+
+func lessBytes(a, b []byte) bool { return string(a) < string(b) }

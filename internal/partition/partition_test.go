@@ -1,0 +1,147 @@
+package partition
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashDeterministic(t *testing.T) {
+	f := func(key []byte, serial int64, n uint8) bool {
+		splits := int(n%32) + 1
+		a := Hash(key, serial, splits)
+		b := Hash(key, 0, splits) // serial must not matter
+		return a == b && a >= 0 && a < splits
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashSingleSplit(t *testing.T) {
+	if got := Hash([]byte("anything"), 5, 1); got != 0 {
+		t.Errorf("Hash with n=1 = %d, want 0", got)
+	}
+}
+
+func TestHashSpread(t *testing.T) {
+	const n = 8
+	counts := make([]int, n)
+	for i := 0; i < 10000; i++ {
+		key := []byte(fmt.Sprintf("key-%d", i))
+		counts[Hash(key, 0, n)]++
+	}
+	for i, c := range counts {
+		if c < 800 || c > 1700 {
+			t.Errorf("split %d has %d of 10000 keys; poor spread", i, c)
+		}
+	}
+}
+
+func TestConstant(t *testing.T) {
+	f := func(key []byte, serial int64) bool {
+		return Constant(key, serial, 16) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundRobin(t *testing.T) {
+	for serial := int64(0); serial < 20; serial++ {
+		got := RoundRobin(nil, serial, 4)
+		if got != int(serial%4) {
+			t.Errorf("RoundRobin(serial=%d) = %d", serial, got)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		fn, err := ByName(name)
+		if err != nil || fn == nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	// Default name.
+	if fn, err := ByName(""); err != nil || fn == nil {
+		t.Errorf("ByName(\"\"): %v", err)
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Error("ByName(bogus): expected error")
+	}
+}
+
+func TestRangePartition(t *testing.T) {
+	r := NewRange([][]byte{[]byte("m"), []byte("f")}) // sorted to f, m
+	cases := []struct {
+		key  string
+		want int
+	}{
+		{"a", 0},
+		{"e", 0},
+		{"f", 1},
+		{"g", 1},
+		{"m", 2},
+		{"z", 2},
+	}
+	for _, c := range cases {
+		if got := r.Partition([]byte(c.key), 0, 3); got != c.want {
+			t.Errorf("Partition(%q) = %d, want %d", c.key, got, c.want)
+		}
+	}
+}
+
+func TestRangePartitionOrderPreserving(t *testing.T) {
+	r := NewRange([][]byte{[]byte("dd"), []byte("pp")})
+	f := func(a, b []byte) bool {
+		pa := r.Partition(a, 0, 3)
+		pb := r.Partition(b, 0, 3)
+		if string(a) < string(b) {
+			return pa <= pb
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRangeFewerSplitsThanBoundaries(t *testing.T) {
+	r := NewRange([][]byte{[]byte("b"), []byte("d"), []byte("f")})
+	// With n=2 only the first boundary applies.
+	if got := r.Partition([]byte("c"), 0, 2); got != 1 {
+		t.Errorf("Partition(c, n=2) = %d, want 1", got)
+	}
+	if got := r.Partition([]byte("a"), 0, 2); got != 0 {
+		t.Errorf("Partition(a, n=2) = %d, want 0", got)
+	}
+	if got := r.Partition([]byte("z"), 0, 2); got != 1 {
+		t.Errorf("Partition(z, n=2) = %d, want 1", got)
+	}
+}
+
+func TestRangeCopiesBoundaries(t *testing.T) {
+	b := []byte("m")
+	r := NewRange([][]byte{b})
+	b[0] = 'a'
+	if got := r.Partition([]byte("c"), 0, 2); got != 0 {
+		t.Error("NewRange aliased caller's boundary slice")
+	}
+}
+
+func TestRoundRobinPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	RoundRobin(nil, 0, 0)
+}
+
+func BenchmarkHashPartition(b *testing.B) {
+	key := []byte("the-quick-brown-fox")
+	for i := 0; i < b.N; i++ {
+		Hash(key, int64(i), 64)
+	}
+}

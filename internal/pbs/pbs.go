@@ -1,0 +1,227 @@
+// Package pbs reproduces the subjective evaluation of §V-A: the
+// comparison of the PBS startup scripts needed to run a Mrs job
+// (Program 3: four steps) versus a Hadoop job (Program 4: six major
+// parts, daemon management, HDFS formatting and staging). It models a
+// batch allocation, executes the step sequences against a simulated
+// cluster clock, and emits the actual script text so the comparison is
+// concrete rather than anecdotal.
+package pbs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/hdfssim"
+)
+
+// Step is one action a startup script performs.
+type Step struct {
+	// Name is a short description.
+	Name string
+	// Part groups steps into the numbered parts of Programs 3/4.
+	Part int
+	// Cost is the simulated wall time of the step.
+	Cost time.Duration
+	// EditsConfig marks steps that must rewrite configuration files
+	// (the paper calls out Hadoop's "sed" line as a complexity smell).
+	EditsConfig bool
+	// PerNode marks steps repeated across allocation nodes (their cost
+	// is charged once; parallel-ssh style fan-out).
+	PerNode bool
+}
+
+// Script is a named sequence of steps plus its shell text.
+type Script struct {
+	Name  string
+	Steps []Step
+	Text  string
+}
+
+// Parts returns the number of distinct major parts.
+func (s Script) Parts() int {
+	seen := map[int]bool{}
+	for _, st := range s.Steps {
+		seen[st.Part] = true
+	}
+	return len(seen)
+}
+
+// ConfigEdits counts configuration-rewriting steps.
+func (s Script) ConfigEdits() int {
+	n := 0
+	for _, st := range s.Steps {
+		if st.EditsConfig {
+			n++
+		}
+	}
+	return n
+}
+
+// StartupTime sums the step costs.
+func (s Script) StartupTime() time.Duration {
+	var total time.Duration
+	for _, st := range s.Steps {
+		total += st.Cost
+	}
+	return total
+}
+
+// Lines counts non-empty, non-comment script lines.
+func (s Script) Lines() int {
+	n := 0
+	for _, line := range strings.Split(s.Text, "\n") {
+		trim := strings.TrimSpace(line)
+		if trim != "" && !strings.HasPrefix(trim, "#") {
+			n++
+		}
+	}
+	return n
+}
+
+// MrsScript models Program 3: find the address, start the master, wait
+// for the port file, start the slaves.
+func MrsScript(nodes int) Script {
+	return Script{
+		Name: "mrs",
+		Steps: []Step{
+			{Name: "find network address", Part: 1, Cost: 100 * time.Millisecond},
+			{Name: "start master", Part: 2, Cost: 2 * time.Second},
+			{Name: "wait for port file", Part: 3, Cost: 1 * time.Second},
+			{Name: "start slaves (pbsdsh)", Part: 4, Cost: 2 * time.Second, PerNode: true},
+		},
+		Text: mrsScriptText,
+	}
+}
+
+// HadoopOptions tunes the Hadoop script model.
+type HadoopOptions struct {
+	// Nodes in the allocation.
+	Nodes int
+	// StageInBytes/StageOutBytes copied through HDFS around the job.
+	StageInBytes  int64
+	StageOutBytes int64
+	// InputFiles staged in.
+	InputFiles int
+	// HDFS cost model.
+	HDFS hdfssim.Costs
+}
+
+// HadoopScript models Program 4: configuration templating, daemon
+// startup on master and slaves, HDFS format, staging in and out, and
+// daemon shutdown.
+func HadoopScript(opts HadoopOptions) Script {
+	if opts.Nodes <= 0 {
+		opts.Nodes = 1
+	}
+	if opts.HDFS == (hdfssim.Costs{}) {
+		opts.HDFS = hdfssim.DefaultCosts()
+	}
+	steps := []Step{
+		{Name: "find network address", Part: 1, Cost: 100 * time.Millisecond},
+		{Name: "create log/conf dirs", Part: 2, Cost: 200 * time.Millisecond},
+		{Name: "template hadoop-site.xml (sed)", Part: 2, Cost: 300 * time.Millisecond, EditsConfig: true},
+		{Name: "format namenode", Part: 3, Cost: opts.HDFS.Format},
+		{Name: "start namenode daemon", Part: 3, Cost: 5 * time.Second},
+		{Name: "start jobtracker daemon", Part: 3, Cost: 5 * time.Second},
+		{Name: "start datanode+tasktracker on slaves", Part: 4, Cost: 10 * time.Second, PerNode: true},
+		{Name: "wait for HDFS out of safe mode", Part: 4, Cost: 15 * time.Second},
+		{Name: "copy input into HDFS", Part: 5, Cost: opts.HDFS.StageTime(opts.InputFiles, opts.StageInBytes)},
+		{Name: "run MapReduce job", Part: 5, Cost: 0}, // job time measured separately
+		{Name: "copy output out of HDFS", Part: 5, Cost: opts.HDFS.StageTime(1, opts.StageOutBytes)},
+		{Name: "stop daemons on master and slaves", Part: 6, Cost: 5 * time.Second, PerNode: true},
+	}
+	return Script{Name: "hadoop", Steps: steps, Text: hadoopScriptText}
+}
+
+// Comparison is the quantified Programs 3-vs-4 result.
+type Comparison struct {
+	Mrs, Hadoop Script
+}
+
+// Compare builds both scripts for the same allocation and workload.
+func Compare(nodes int, stageIn int64, inputFiles int) Comparison {
+	return Comparison{
+		Mrs: MrsScript(nodes),
+		Hadoop: HadoopScript(HadoopOptions{
+			Nodes:        nodes,
+			StageInBytes: stageIn,
+			InputFiles:   inputFiles,
+		}),
+	}
+}
+
+// String renders the comparison table.
+func (c Comparison) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-28s %10s %10s\n", "metric", "mrs", "hadoop")
+	fmt.Fprintf(&sb, "%-28s %10d %10d\n", "major parts", c.Mrs.Parts(), c.Hadoop.Parts())
+	fmt.Fprintf(&sb, "%-28s %10d %10d\n", "steps", len(c.Mrs.Steps), len(c.Hadoop.Steps))
+	fmt.Fprintf(&sb, "%-28s %10d %10d\n", "script lines", c.Mrs.Lines(), c.Hadoop.Lines())
+	fmt.Fprintf(&sb, "%-28s %10d %10d\n", "config files edited", c.Mrs.ConfigEdits(), c.Hadoop.ConfigEdits())
+	fmt.Fprintf(&sb, "%-28s %10s %10s\n", "simulated startup",
+		c.Mrs.StartupTime().Round(100*time.Millisecond).String(),
+		c.Hadoop.StartupTime().Round(100*time.Millisecond).String())
+	return sb.String()
+}
+
+// mrsScriptText is the Go-flavored equivalent of Program 3.
+const mrsScriptText = `#!/bin/bash
+#PBS -l nodes=8:ppn=6
+
+# Step 1: Find the network address.
+ADDR=$(/sbin/ip -o -4 addr list "$INTERFACE" | sed -e 's;^.*inet \(.*\)/.*$;\1;')
+
+# Step 2: Start the master.
+$MRS_BIN -mrs=master -mrs-addr="$ADDR:0" -mrs-portfile="$PORT_FILE" "$@" &
+
+# Step 3: Wait for the master to start.
+while [[ ! -e $PORT_FILE ]]; do sleep 1; done
+PORT=$(cat $PORT_FILE)
+
+# Step 4: Start the slaves.
+pbsdsh -u $MRS_BIN -mrs=slave -mrs-master="$ADDR:${PORT##*:}"
+`
+
+// hadoopScriptText is the Go-flavored equivalent of Program 4.
+const hadoopScriptText = `#!/bin/bash
+#PBS -l nodes=8:ppn=6
+
+# Step 1: Find the network address.
+ADDR=$(/sbin/ip -o -4 addr list "$INTERFACE" | sed -e 's;^.*inet \(.*\)/.*$;\1;')
+
+# Step 2: Set up the Hadoop configuration.
+export HADOOP_LOG_DIR=$JOBDIR/log
+mkdir $HADOOP_LOG_DIR
+export HADOOP_CONF_DIR=$JOBDIR/conf
+cp -R $HADOOP_HOME/conf $HADOOP_CONF_DIR
+sed -e "s/MASTER_IP_ADDRESS/$ADDR/g" \
+    -e "s@HADOOP_TMP_DIR@$JOBDIR/tmp@g" \
+    -e "s/MAP_TASKS/$MAP_TASKS/g" \
+    -e "s/REDUCE_TASKS/$REDUCE_TASKS/g" \
+    -e "s/TASKS_PER_NODE/$TASKS_PER_NODE/g" \
+    <$HADOOP_HOME/conf/hadoop-site.xml \
+    >$HADOOP_CONF_DIR/hadoop-site.xml
+
+# Step 3: Start daemons on the master.
+HADOOP="$HADOOP_HOME/bin/hadoop"
+$HADOOP namenode -format
+$HADOOP_HOME/bin/hadoop-daemon.sh start namenode
+$HADOOP_HOME/bin/hadoop-daemon.sh start jobtracker
+
+# Step 4: Start daemons on the slaves.
+pbsdsh -u $HADOOP_HOME/bin/hadoop-daemon.sh start datanode
+pbsdsh -u $HADOOP_HOME/bin/hadoop-daemon.sh start tasktracker
+$HADOOP dfsadmin -safemode wait
+
+# Step 5: Stage data, run the job, stage results.
+$HADOOP fs -copyFromLocal $INPUT_DIR /input
+$HADOOP jar $JOBJAR $JOBCLASS /input /output
+$HADOOP fs -copyToLocal /output $OUTPUT_DIR
+
+# Step 6: Stop the daemons.
+pbsdsh -u $HADOOP_HOME/bin/hadoop-daemon.sh stop tasktracker
+pbsdsh -u $HADOOP_HOME/bin/hadoop-daemon.sh stop datanode
+$HADOOP_HOME/bin/hadoop-daemon.sh stop jobtracker
+$HADOOP_HOME/bin/hadoop-daemon.sh stop namenode
+`

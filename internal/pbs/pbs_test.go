@@ -1,0 +1,102 @@
+package pbs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMrsScriptHasFourParts(t *testing.T) {
+	s := MrsScript(8)
+	if s.Parts() != 4 {
+		t.Errorf("Mrs parts = %d, want 4 (Program 3)", s.Parts())
+	}
+	if s.ConfigEdits() != 0 {
+		t.Errorf("Mrs edits %d config files, want 0", s.ConfigEdits())
+	}
+}
+
+func TestHadoopScriptHasSixParts(t *testing.T) {
+	s := HadoopScript(HadoopOptions{Nodes: 8})
+	if s.Parts() != 6 {
+		t.Errorf("Hadoop parts = %d, want 6 (Program 4)", s.Parts())
+	}
+	if s.ConfigEdits() == 0 {
+		t.Error("Hadoop script should require config edits (the sed line)")
+	}
+}
+
+func TestHadoopStartupSlower(t *testing.T) {
+	c := Compare(8, 1<<30, 1000)
+	if c.Hadoop.StartupTime() <= c.Mrs.StartupTime() {
+		t.Errorf("Hadoop startup %v should exceed Mrs %v",
+			c.Hadoop.StartupTime(), c.Mrs.StartupTime())
+	}
+	// The gap should be an order of magnitude, not marginal.
+	if c.Hadoop.StartupTime() < 5*c.Mrs.StartupTime() {
+		t.Errorf("gap too small: %v vs %v", c.Hadoop.StartupTime(), c.Mrs.StartupTime())
+	}
+}
+
+func TestMrsStartupAroundPaperValue(t *testing.T) {
+	// The paper: Mrs startup "is about 2 seconds" plus slave launch.
+	s := MrsScript(8)
+	if s.StartupTime() < 2*time.Second || s.StartupTime() > 10*time.Second {
+		t.Errorf("Mrs startup %v implausible", s.StartupTime())
+	}
+}
+
+func TestScriptTextsNonTrivial(t *testing.T) {
+	m, h := MrsScript(1), HadoopScript(HadoopOptions{})
+	if m.Lines() == 0 || h.Lines() == 0 {
+		t.Fatal("script text missing")
+	}
+	if h.Lines() <= m.Lines() {
+		t.Errorf("Hadoop script (%d lines) should be longer than Mrs (%d)", h.Lines(), m.Lines())
+	}
+	if !strings.Contains(h.Text, "namenode -format") {
+		t.Error("Hadoop script must format HDFS")
+	}
+	if !strings.Contains(m.Text, "PORT_FILE") {
+		t.Error("Mrs script must use the port file discovery mechanism")
+	}
+}
+
+func TestStagingScalesWithData(t *testing.T) {
+	small := HadoopScript(HadoopOptions{StageInBytes: 1 << 20, InputFiles: 10})
+	big := HadoopScript(HadoopOptions{StageInBytes: 10 << 30, InputFiles: 10})
+	if big.StartupTime() <= small.StartupTime() {
+		t.Error("staging cost should grow with data size")
+	}
+}
+
+func TestComparisonString(t *testing.T) {
+	out := Compare(8, 1<<30, 100).String()
+	for _, want := range []string{"major parts", "mrs", "hadoop", "config files edited"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("comparison table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestProgramComparison(t *testing.T) {
+	p := NewProgramComparison()
+	if p.MrsLines() == 0 || p.HadoopLines() == 0 {
+		t.Fatal("embedded sources missing")
+	}
+	if p.MrsLines() >= p.HadoopLines() {
+		t.Errorf("mrs WordCount (%d lines) should be shorter than Hadoop's (%d)",
+			p.MrsLines(), p.HadoopLines())
+	}
+	out := p.String()
+	if !strings.Contains(out, "code lines") {
+		t.Errorf("missing table row:\n%s", out)
+	}
+}
+
+func TestCodeLines(t *testing.T) {
+	src := "// comment\n\nreal line\n  * javadoc cont\n# hash\nanother\n"
+	if got := codeLines(src); got != 2 {
+		t.Errorf("codeLines = %d, want 2", got)
+	}
+}

@@ -1,0 +1,161 @@
+package pbs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ProgramComparison quantifies the Programs 1-vs-2 comparison of §V-A:
+// the same WordCount written against this library's API versus the
+// Hadoop/Java original reproduced from the paper.
+type ProgramComparison struct {
+	MrsSource    string
+	HadoopSource string
+}
+
+// NewProgramComparison returns the embedded sources.
+func NewProgramComparison() ProgramComparison {
+	return ProgramComparison{MrsSource: mrsWordCountSource, HadoopSource: hadoopWordCountSource}
+}
+
+// codeLines counts non-blank, non-comment lines.
+func codeLines(src string) int {
+	n := 0
+	for _, line := range strings.Split(src, "\n") {
+		t := strings.TrimSpace(line)
+		if t == "" || strings.HasPrefix(t, "//") || strings.HasPrefix(t, "#") ||
+			strings.HasPrefix(t, "*") || strings.HasPrefix(t, "/*") {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// MrsLines returns the code-line count of the mrs WordCount.
+func (p ProgramComparison) MrsLines() int { return codeLines(p.MrsSource) }
+
+// HadoopLines returns the code-line count of the Hadoop WordCount.
+func (p ProgramComparison) HadoopLines() int { return codeLines(p.HadoopSource) }
+
+// String renders the comparison.
+func (p ProgramComparison) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-28s %10s %10s\n", "metric", "mrs-go", "hadoop")
+	fmt.Fprintf(&sb, "%-28s %10d %10d\n", "code lines", p.MrsLines(), p.HadoopLines())
+	fmt.Fprintf(&sb, "%-28s %10d %10d\n", "bytes", len(p.MrsSource), len(p.HadoopSource))
+	return sb.String()
+}
+
+// mrsWordCountSource is the complete WordCount against this library
+// (the Go analogue of the paper's 11-line Program 1; Go's type system
+// and error handling cost some lines relative to Python, which the
+// comparison should honestly reflect).
+const mrsWordCountSource = `package main
+
+import (
+	"bytes"
+
+	mrs "repro"
+	"repro/internal/codec"
+)
+
+type WordCount struct{}
+
+func (WordCount) Register(reg *mrs.Registry) error {
+	reg.RegisterMap("map", func(key, value []byte, emit mrs.Emitter) error {
+		for _, w := range bytes.Fields(value) {
+			if err := emit.Emit(w, codec.EncodeVarint(1)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	reg.RegisterReduce("reduce", func(key []byte, values [][]byte, emit mrs.Emitter) error {
+		var n int64
+		for _, v := range values {
+			c, err := codec.DecodeVarint(v)
+			if err != nil {
+				return err
+			}
+			n += c
+		}
+		return emit.Emit(key, codec.EncodeVarint(n))
+	})
+	return nil
+}
+
+func (WordCount) Run(job *mrs.Job) error {
+	src, err := job.TextFileData(inputPaths())
+	if err != nil {
+		return err
+	}
+	out, err := job.MapReduce(src, "map", "reduce",
+		mrs.OpOpts{Combine: "reduce"}, mrs.OpOpts{})
+	if err != nil {
+		return err
+	}
+	return writeOutput(out)
+}
+
+func main() {
+	mrs.Main(WordCount{})
+}
+`
+
+// hadoopWordCountSource is Program 2 from the paper: the WordCount
+// example shipped with Hadoop (imports omitted there, and here).
+const hadoopWordCountSource = `public class WordCount {
+
+  public static class TokenizerMapper
+       extends Mapper<Object, Text, Text, IntWritable>{
+
+    private final static IntWritable one = new IntWritable(1);
+    private Text word = new Text();
+
+    public void map(Object key, Text value, Context context
+                    ) throws IOException, InterruptedException {
+      StringTokenizer itr = new StringTokenizer(value.toString());
+      while (itr.hasMoreTokens()) {
+        word.set(itr.nextToken());
+        context.write(word, one);
+      }
+    }
+  }
+
+  public static class IntSumReducer
+       extends Reducer<Text,IntWritable,Text,IntWritable> {
+    private IntWritable result = new IntWritable();
+
+    public void reduce(Text key, Iterable<IntWritable> values,
+                       Context context
+                       ) throws IOException, InterruptedException {
+      int sum = 0;
+      for (IntWritable val : values) {
+        sum += val.get();
+      }
+      result.set(sum);
+      context.write(key, result);
+    }
+  }
+
+  public static void main(String[] args) throws Exception {
+    Configuration conf = new Configuration();
+    String[] otherArgs = new GenericOptionsParser(conf, args).getRemainingArgs();
+    if (otherArgs.length != 2) {
+      System.err.println("Usage: wordcount <in> <out>");
+      System.exit(2);
+    }
+    Job job = new Job(conf, "word count");
+    job.setJarByClass(WordCount.class);
+    job.setMapperClass(TokenizerMapper.class);
+    job.setCombinerClass(IntSumReducer.class);
+    job.setReducerClass(IntSumReducer.class);
+    job.setOutputKeyClass(Text.class);
+    job.setOutputValueClass(IntWritable.class);
+    FileInputFormat.addInputPath(job, new Path(otherArgs[0]));
+    FileOutputFormat.setOutputPath(job, new Path(otherArgs[1]));
+    System.exit(job.waitForCompletion(true) ? 0 : 1);
+  }
+}
+`

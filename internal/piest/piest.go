@@ -1,0 +1,180 @@
+// Package piest implements the PiEstimator workload of §V-B: a Monte
+// Carlo estimate of pi whose sample points come from 2-D Halton
+// sequences (bases 2 and 3). Each map task owns a contiguous range of
+// the sample index space, counts points inside the quarter circle, and
+// a single reduce aggregates the counts — "computational in nature,
+// with no data on disk".
+package piest
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/halton"
+	"repro/internal/interp"
+	"repro/internal/kvio"
+)
+
+// Function names registered by Register.
+const (
+	MapName    = "pi_sample"
+	ReduceName = "pi_sum"
+)
+
+// Keys used in intermediate records.
+var (
+	keyInside = []byte("inside")
+	keyTotal  = []byte("total")
+)
+
+// Config parameterizes a pi estimation run.
+type Config struct {
+	// Samples is the total number of Halton points to draw.
+	Samples uint64
+	// Tasks is the number of map tasks splitting the index space.
+	Tasks int
+	// Tier optionally simulates a slower language runtime by scaling
+	// the inner-loop time (see internal/interp). Zero value (C) runs
+	// at native speed.
+	Tier interp.Tier
+}
+
+func (c *Config) fill() {
+	if c.Samples == 0 {
+		c.Samples = 1 << 20
+	}
+	if c.Tasks <= 0 {
+		c.Tasks = 1
+	}
+	if c.Tier.Name == "" {
+		c.Tier = interp.C
+	}
+}
+
+// Register installs the pi map/reduce functions bound to cfg.
+func Register(reg *core.Registry, cfg Config) {
+	cfg.fill()
+	reg.RegisterMap(MapName, func(key, value []byte, emit kvio.Emitter) error {
+		start, count, err := decodeRange(value)
+		if err != nil {
+			return err
+		}
+		t0 := time.Now()
+		inside := halton.CountInCircle(start, count)
+		if cfg.Tier.Factor > 1 {
+			// Simulate a slower runtime executing the same loop: pad
+			// with the extra time the modeled interpreter would need.
+			time.Sleep(time.Duration(float64(time.Since(t0)) * (cfg.Tier.Factor - 1)))
+		}
+		if err := emit.Emit(keyInside, codec.EncodeVarint(int64(inside))); err != nil {
+			return err
+		}
+		return emit.Emit(keyTotal, codec.EncodeVarint(int64(count)))
+	})
+	reg.RegisterReduce(ReduceName, func(key []byte, values [][]byte, emit kvio.Emitter) error {
+		var total int64
+		for _, v := range values {
+			n, err := codec.DecodeVarint(v)
+			if err != nil {
+				return err
+			}
+			total += n
+		}
+		return emit.Emit(key, codec.EncodeVarint(total))
+	})
+}
+
+// encodeRange packs (start, count) as the map input value.
+func encodeRange(start, count uint64) []byte {
+	out := codec.EncodeVarint(int64(start))
+	return append(out, codec.EncodeVarint(int64(count))...)
+}
+
+func decodeRange(v []byte) (start, count uint64, err error) {
+	s, n := binary.Varint(v)
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("piest: bad range")
+	}
+	c, m := binary.Varint(v[n:])
+	if m <= 0 || n+m != len(v) || s < 0 || c < 0 {
+		return 0, 0, fmt.Errorf("piest: bad range")
+	}
+	return uint64(s), uint64(c), nil
+}
+
+// InputPairs builds the map inputs: one (taskIndex, range) record per task.
+func InputPairs(cfg Config) []kvio.Pair {
+	cfg.fill()
+	per := cfg.Samples / uint64(cfg.Tasks)
+	rem := cfg.Samples % uint64(cfg.Tasks)
+	pairs := make([]kvio.Pair, cfg.Tasks)
+	var start uint64
+	for t := 0; t < cfg.Tasks; t++ {
+		count := per
+		if uint64(t) < rem {
+			count++
+		}
+		pairs[t] = kvio.Pair{
+			Key:   codec.EncodeVarint(int64(t)),
+			Value: encodeRange(start, count),
+		}
+		start += count
+	}
+	return pairs
+}
+
+// Result reports an estimate.
+type Result struct {
+	Pi      float64
+	Inside  int64
+	Total   int64
+	Elapsed time.Duration
+}
+
+// Run estimates pi on the given job. Register must have been called
+// with the same Config on every process involved.
+func Run(job *core.Job, cfg Config) (*Result, error) {
+	cfg.fill()
+	start := time.Now()
+	src, err := job.LocalData(InputPairs(cfg), core.OpOpts{Splits: cfg.Tasks, Partition: "roundrobin"})
+	if err != nil {
+		return nil, err
+	}
+	out, err := job.MapReduce(src, MapName, ReduceName,
+		core.OpOpts{Splits: 1, Partition: "constant"},
+		core.OpOpts{Splits: 1, Partition: "constant"})
+	if err != nil {
+		return nil, err
+	}
+	pairs, err := out.Collect()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Elapsed: time.Since(start)}
+	for _, p := range pairs {
+		n, err := codec.DecodeVarint(p.Value)
+		if err != nil {
+			return nil, err
+		}
+		switch string(p.Key) {
+		case string(keyInside):
+			res.Inside = n
+		case string(keyTotal):
+			res.Total = n
+		default:
+			return nil, fmt.Errorf("piest: unexpected key %q", p.Key)
+		}
+	}
+	if res.Total == 0 {
+		return nil, fmt.Errorf("piest: zero samples counted")
+	}
+	res.Pi = 4 * float64(res.Inside) / float64(res.Total)
+	return res, nil
+}
+
+// Error returns the absolute error of an estimate.
+func (r *Result) Error() float64 { return math.Abs(r.Pi - math.Pi) }

@@ -1,0 +1,161 @@
+package piest
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/halton"
+	"repro/internal/interp"
+)
+
+func runWith(t *testing.T, exec core.Executor, cfg Config) *Result {
+	t.Helper()
+	job := core.NewJob(exec)
+	defer job.Close()
+	res, err := Run(job, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestPiSerial(t *testing.T) {
+	cfg := Config{Samples: 200_000, Tasks: 4}
+	reg := core.NewRegistry()
+	Register(reg, cfg)
+	exec := core.NewSerial(reg)
+	defer exec.Close()
+	res := runWith(t, exec, cfg)
+	if res.Total != 200_000 {
+		t.Errorf("Total = %d", res.Total)
+	}
+	if res.Error() > 0.01 {
+		t.Errorf("pi = %v, error %v too large", res.Pi, res.Error())
+	}
+}
+
+func TestPiMatchesDirectCount(t *testing.T) {
+	// The MapReduce decomposition must count exactly the same points as
+	// a single direct pass over the Halton sequence.
+	const n = 50_000
+	cfg := Config{Samples: n, Tasks: 7}
+	reg := core.NewRegistry()
+	Register(reg, cfg)
+	exec := core.NewThreads(reg, 4)
+	defer exec.Close()
+	res := runWith(t, exec, cfg)
+	direct := halton.CountInCircle(0, n)
+	if uint64(res.Inside) != direct {
+		t.Errorf("MR inside = %d, direct = %d", res.Inside, direct)
+	}
+}
+
+func TestPiTaskCountInvariance(t *testing.T) {
+	// Any task decomposition gives the identical count.
+	const n = 30_000
+	var counts []int64
+	for _, tasks := range []int{1, 2, 3, 8, 13} {
+		cfg := Config{Samples: n, Tasks: tasks}
+		reg := core.NewRegistry()
+		Register(reg, cfg)
+		exec := core.NewSerial(reg)
+		res := runWith(t, exec, cfg)
+		exec.Close()
+		counts = append(counts, res.Inside)
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] != counts[0] {
+			t.Errorf("task decomposition changed the count: %v", counts)
+		}
+	}
+}
+
+func TestPiAccuracyImprovesWithSamples(t *testing.T) {
+	errAt := func(n uint64) float64 {
+		cfg := Config{Samples: n, Tasks: 2}
+		reg := core.NewRegistry()
+		Register(reg, cfg)
+		exec := core.NewSerial(reg)
+		defer exec.Close()
+		return runWith(t, exec, cfg).Error()
+	}
+	small := errAt(1_000)
+	large := errAt(300_000)
+	if large >= small {
+		t.Errorf("error did not shrink: %v -> %v", small, large)
+	}
+	if large > 1e-3 {
+		t.Errorf("error at 3e5 samples = %v; Halton should do much better", large)
+	}
+}
+
+func TestInputPairsPartitionExactly(t *testing.T) {
+	cfg := Config{Samples: 10, Tasks: 3}
+	pairs := InputPairs(cfg)
+	if len(pairs) != 3 {
+		t.Fatalf("got %d pairs", len(pairs))
+	}
+	var total uint64
+	var next uint64
+	for _, p := range pairs {
+		start, count, err := decodeRange(p.Value)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if start != next {
+			t.Errorf("range gap: start %d, want %d", start, next)
+		}
+		next = start + count
+		total += count
+	}
+	if total != 10 {
+		t.Errorf("ranges cover %d samples, want 10", total)
+	}
+}
+
+func TestDecodeRangeErrors(t *testing.T) {
+	if _, _, err := decodeRange(nil); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, _, err := decodeRange([]byte{2}); err == nil {
+		t.Error("half range accepted")
+	}
+	if _, _, err := decodeRange(append(encodeRange(0, 5), 9)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestTierSimulationSlowsMap(t *testing.T) {
+	run := func(tier interp.Tier) time.Duration {
+		cfg := Config{Samples: 400_000, Tasks: 1, Tier: tier}
+		reg := core.NewRegistry()
+		Register(reg, cfg)
+		exec := core.NewSerial(reg)
+		defer exec.Close()
+		start := time.Now()
+		runWith(t, exec, cfg)
+		return time.Since(start)
+	}
+	fast := run(interp.C)
+	slow := run(interp.CPython)
+	if slow < fast {
+		t.Errorf("CPython tier (%v) not slower than C tier (%v)", slow, fast)
+	}
+}
+
+func TestZeroSamplesDefaults(t *testing.T) {
+	cfg := Config{}
+	cfg.fill()
+	if cfg.Samples == 0 || cfg.Tasks != 1 || cfg.Tier != interp.C {
+		t.Errorf("defaults: %+v", cfg)
+	}
+}
+
+func TestResultError(t *testing.T) {
+	r := Result{Pi: math.Pi + 0.5}
+	if math.Abs(r.Error()-0.5) > 1e-12 {
+		t.Errorf("Error = %v", r.Error())
+	}
+}

@@ -1,0 +1,122 @@
+// Package pso implements Particle Swarm Optimization as evaluated in
+// §V-B of the Mrs paper: standard constricted PSO (Bratton & Kennedy),
+// subswarm/island decomposition in the style of the Apiary topology,
+// a serial baseline, and an iterative-MapReduce driver whose map tasks
+// move subswarms and whose reduce tasks merge neighbor-best messages.
+package pso
+
+import (
+	"fmt"
+	"math"
+)
+
+// Function is an objective to minimize.
+type Function struct {
+	// Name identifies the function in registries and reports.
+	Name string
+	// Eval returns the objective value at x.
+	Eval func(x []float64) float64
+	// Lower and Upper bound the search domain per dimension.
+	Lower, Upper float64
+	// InitLower and InitUpper bound the (often asymmetric) init region.
+	InitLower, InitUpper float64
+	// Target is the conventional "solved" threshold.
+	Target float64
+}
+
+// Rosenbrock is the classic banana valley; the paper's benchmark is
+// Rosenbrock in 250 dimensions with target 1e-5.
+var Rosenbrock = Function{
+	Name: "rosenbrock",
+	Eval: func(x []float64) float64 {
+		var sum float64
+		for i := 0; i+1 < len(x); i++ {
+			a := x[i+1] - x[i]*x[i]
+			b := 1 - x[i]
+			sum += 100*a*a + b*b
+		}
+		return sum
+	},
+	Lower: -30, Upper: 30,
+	InitLower: 15, InitUpper: 30,
+	Target: 1e-5,
+}
+
+// Sphere is the trivial unimodal bowl.
+var Sphere = Function{
+	Name: "sphere",
+	Eval: func(x []float64) float64 {
+		var sum float64
+		for _, v := range x {
+			sum += v * v
+		}
+		return sum
+	},
+	Lower: -50, Upper: 50,
+	InitLower: 25, InitUpper: 50,
+	Target: 1e-10,
+}
+
+// Rastrigin is highly multimodal with a regular lattice of minima.
+var Rastrigin = Function{
+	Name: "rastrigin",
+	Eval: func(x []float64) float64 {
+		sum := 10 * float64(len(x))
+		for _, v := range x {
+			sum += v*v - 10*math.Cos(2*math.Pi*v)
+		}
+		return sum
+	},
+	Lower: -5.12, Upper: 5.12,
+	InitLower: 2.56, InitUpper: 5.12,
+	Target: 100,
+}
+
+// Griewank couples dimensions through a product of cosines.
+var Griewank = Function{
+	Name: "griewank",
+	Eval: func(x []float64) float64 {
+		var sum float64
+		prod := 1.0
+		for i, v := range x {
+			sum += v * v / 4000
+			prod *= math.Cos(v / math.Sqrt(float64(i+1)))
+		}
+		return sum - prod + 1
+	},
+	Lower: -600, Upper: 600,
+	InitLower: 300, InitUpper: 600,
+	Target: 0.05,
+}
+
+// Ackley has an exponentially deep global funnel.
+var Ackley = Function{
+	Name: "ackley",
+	Eval: func(x []float64) float64 {
+		n := float64(len(x))
+		var sq, cs float64
+		for _, v := range x {
+			sq += v * v
+			cs += math.Cos(2 * math.Pi * v)
+		}
+		return -20*math.Exp(-0.2*math.Sqrt(sq/n)) - math.Exp(cs/n) + 20 + math.E
+	},
+	Lower: -32, Upper: 32,
+	InitLower: 16, InitUpper: 32,
+	Target: 1e-3,
+}
+
+// Functions lists the built-in objectives.
+func Functions() []Function {
+	return []Function{Rosenbrock, Sphere, Rastrigin, Griewank, Ackley}
+}
+
+// FunctionByName resolves an objective.
+func FunctionByName(name string) (Function, error) {
+	for _, f := range Functions() {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	return Function{}, fmt.Errorf("pso: unknown function %q", name)
+}

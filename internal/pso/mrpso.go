@@ -1,0 +1,435 @@
+package pso
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/kvio"
+	"repro/internal/prand"
+)
+
+// This file implements the fine-grained MRPSO formulation the paper
+// describes in §V-B (and cites as [5]): "the map function performing
+// motion simulation and evaluation of the objective function and the
+// reduce function calculating the neighborhood best by combining the
+// updated particle with messages from its neighbors." Each record is a
+// single particle. The paper notes this granularity is too fine for
+// computationally trivial objectives — which is exactly what the
+// granularity ablation bench demonstrates against the Apiary subswarm
+// version.
+
+// Function names registered by RegisterMRPSO.
+const (
+	ParticleMoveName  = "mrpso_move"
+	ParticleMergeName = "mrpso_merge"
+)
+
+// wire tags for MRPSO values.
+const (
+	tagParticle = 2
+	tagPBestMsg = 3
+)
+
+// mrParticle is one particle plus its neighborhood-best knowledge.
+type mrParticle struct {
+	ID       int64
+	Iter     int64
+	P        Particle
+	NBestPos []float64
+	NBestVal float64
+}
+
+// encodeParticle serializes a particle record.
+func encodeParticle(p *mrParticle) []byte {
+	out := []byte{tagParticle}
+	out = appendVarint(out, p.ID)
+	out = appendVarint(out, p.Iter)
+	out = appendVarint(out, int64(len(p.P.Pos)))
+	out = putFloats(out, p.P.Pos)
+	out = putFloats(out, p.P.Vel)
+	out = putFloats(out, p.P.PBestPos)
+	out = putFloats(out, []float64{p.P.Val, p.P.PBestVal, p.NBestVal})
+	if p.NBestPos != nil {
+		out = append(out, 1)
+		out = putFloats(out, p.NBestPos)
+	} else {
+		out = append(out, 0)
+	}
+	return out
+}
+
+func decodeParticle(data []byte) (*mrParticle, error) {
+	d := &decoder{data: data}
+	if tag := d.byte(); tag != tagParticle {
+		if d.err == nil {
+			d.err = fmt.Errorf("pso: expected particle tag, got %d", tag)
+		}
+		return nil, d.err
+	}
+	p := &mrParticle{}
+	p.ID = d.varint()
+	p.Iter = d.varint()
+	dims := int(d.varint())
+	if d.err != nil {
+		return nil, d.err
+	}
+	if dims < 0 || dims > 1<<20 {
+		return nil, fmt.Errorf("pso: implausible dims %d", dims)
+	}
+	p.P.Pos = d.floats(dims)
+	p.P.Vel = d.floats(dims)
+	p.P.PBestPos = d.floats(dims)
+	p.P.Val = d.float()
+	p.P.PBestVal = d.float()
+	p.NBestVal = d.float()
+	if d.byte() == 1 {
+		p.NBestPos = d.floats(dims)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return p, nil
+}
+
+// encodePBestMsg serializes a pbest message sent to a neighbor.
+func encodePBestMsg(val float64, pos []float64) []byte {
+	out := []byte{tagPBestMsg}
+	out = appendVarint(out, int64(len(pos)))
+	out = putFloats(out, []float64{val})
+	out = putFloats(out, pos)
+	return out
+}
+
+func decodePBestMsg(data []byte) (float64, []float64, error) {
+	d := &decoder{data: data}
+	if tag := d.byte(); tag != tagPBestMsg {
+		if d.err == nil {
+			d.err = fmt.Errorf("pso: expected pbest tag, got %d", tag)
+		}
+		return 0, nil, d.err
+	}
+	dims := int(d.varint())
+	val := d.float()
+	pos := d.floats(dims)
+	return val, pos, d.err
+}
+
+func appendVarint(dst []byte, v int64) []byte {
+	return append(dst, codec.EncodeVarint(v)...)
+}
+
+// MRPSOConfig parameterizes a fine-grained MRPSO run.
+type MRPSOConfig struct {
+	Function  string
+	Dims      int
+	Particles int
+	Seed      uint64
+	MaxIters  int
+	Target    float64
+	Tasks     int
+}
+
+func (c *MRPSOConfig) fill() error {
+	if c.Function == "" {
+		c.Function = Rosenbrock.Name
+	}
+	if _, err := FunctionByName(c.Function); err != nil {
+		return err
+	}
+	if c.Dims <= 0 {
+		c.Dims = 50
+	}
+	if c.Particles <= 0 {
+		c.Particles = 20
+	}
+	if c.MaxIters <= 0 {
+		c.MaxIters = 100
+	}
+	if c.Tasks <= 0 {
+		c.Tasks = 4
+	}
+	return nil
+}
+
+// RegisterMRPSO installs the particle-granularity map/reduce functions.
+func RegisterMRPSO(reg *core.Registry, cfg MRPSOConfig) error {
+	if err := cfg.fill(); err != nil {
+		return err
+	}
+	f, err := FunctionByName(cfg.Function)
+	if err != nil {
+		return err
+	}
+	n := int64(cfg.Particles)
+
+	// Move: one particle per call. Update velocity toward pbest and
+	// nbest, move, evaluate; send the updated particle to itself and a
+	// pbest message to each ring neighbor.
+	reg.RegisterMap(ParticleMoveName, func(key, value []byte, emit kvio.Emitter) error {
+		p, err := decodeParticle(value)
+		if err != nil {
+			return err
+		}
+		rng := prand.Random(cfg.Seed, uint64(p.ID), uint64(p.Iter)+1)
+		for d := range p.P.Pos {
+			r1, r2 := rng.Float64(), rng.Float64()
+			nb := p.P.PBestPos[d]
+			if p.NBestPos != nil {
+				nb = p.NBestPos[d]
+			}
+			p.P.Vel[d] = Chi * (p.P.Vel[d] +
+				C1*r1*(p.P.PBestPos[d]-p.P.Pos[d]) +
+				C2*r2*(nb-p.P.Pos[d]))
+			p.P.Pos[d] += p.P.Vel[d]
+			if p.P.Pos[d] < f.Lower {
+				p.P.Pos[d] = f.Lower
+				p.P.Vel[d] = 0
+			} else if p.P.Pos[d] > f.Upper {
+				p.P.Pos[d] = f.Upper
+				p.P.Vel[d] = 0
+			}
+		}
+		p.P.Val = f.Eval(p.P.Pos)
+		if p.P.Val < p.P.PBestVal {
+			p.P.PBestVal = p.P.Val
+			copy(p.P.PBestPos, p.P.Pos)
+		}
+		p.Iter++
+		if err := emit.Emit(key, encodeParticle(p)); err != nil {
+			return err
+		}
+		msg := encodePBestMsg(p.P.PBestVal, p.P.PBestPos)
+		left := (p.ID - 1 + n) % n
+		right := (p.ID + 1) % n
+		for _, nb := range []int64{left, right} {
+			if nb == p.ID {
+				continue
+			}
+			if err := emit.Emit(codec.EncodeVarint(nb), msg); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	// Merge: fold neighbor pbest messages into the particle's nbest.
+	reg.RegisterReduce(ParticleMergeName, func(key []byte, values [][]byte, emit kvio.Emitter) error {
+		var p *mrParticle
+		type msg struct {
+			val float64
+			pos []float64
+		}
+		var msgs []msg
+		for _, v := range values {
+			tag, err := ValueTag(v)
+			if err != nil {
+				return err
+			}
+			switch tag {
+			case tagParticle:
+				if p != nil {
+					return fmt.Errorf("pso: duplicate particle for key %x", key)
+				}
+				if p, err = decodeParticle(v); err != nil {
+					return err
+				}
+			case tagPBestMsg:
+				val, pos, err := decodePBestMsg(v)
+				if err != nil {
+					return err
+				}
+				msgs = append(msgs, msg{val, pos})
+			default:
+				return fmt.Errorf("pso: unknown tag %d in mrpso merge", tag)
+			}
+		}
+		if p == nil {
+			return fmt.Errorf("pso: no particle for key %x", key)
+		}
+		// nbest = best of own pbest and neighbor pbests.
+		bestVal := p.P.PBestVal
+		bestPos := p.P.PBestPos
+		for _, m := range msgs {
+			if m.val < bestVal {
+				bestVal = m.val
+				bestPos = m.pos
+			}
+		}
+		p.NBestVal = bestVal
+		p.NBestPos = append([]float64(nil), bestPos...)
+		return emit.Emit(key, encodeParticle(p))
+	})
+	return nil
+}
+
+// initialParticles builds the deterministic starting population (ring
+// topology over individual particles).
+func initialParticles(cfg MRPSOConfig) ([]*mrParticle, error) {
+	f, err := FunctionByName(cfg.Function)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*mrParticle, cfg.Particles)
+	vspan := f.Upper - f.Lower
+	for i := range out {
+		rng := prand.Random(cfg.Seed, uint64(i), 0xFACE)
+		p := &mrParticle{ID: int64(i), NBestVal: math.Inf(1)}
+		p.P.Pos = make([]float64, cfg.Dims)
+		p.P.Vel = make([]float64, cfg.Dims)
+		p.P.PBestPos = make([]float64, cfg.Dims)
+		for d := 0; d < cfg.Dims; d++ {
+			p.P.Pos[d] = rng.Float64Range(f.InitLower, f.InitUpper)
+			p.P.Vel[d] = rng.Float64Range(-vspan/2, vspan/2)
+		}
+		p.P.Val = f.Eval(p.P.Pos)
+		copy(p.P.PBestPos, p.P.Pos)
+		p.P.PBestVal = p.P.Val
+		out[i] = p
+	}
+	return out, nil
+}
+
+// RunMRPSO runs the fine-grained formulation as an iterative MapReduce
+// program and returns the best value found.
+func RunMRPSO(job *core.Job, cfg MRPSOConfig) (*Result, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	particles, err := initialParticles(cfg)
+	if err != nil {
+		return nil, err
+	}
+	pairs := make([]kvio.Pair, len(particles))
+	for i, p := range particles {
+		pairs[i] = kvio.Pair{Key: codec.EncodeVarint(p.ID), Value: encodeParticle(p)}
+	}
+	state, err := job.LocalData(pairs, core.OpOpts{Splits: cfg.Tasks})
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res := &Result{Best: math.Inf(1)}
+	for iter := 1; iter <= cfg.MaxIters; iter++ {
+		moved, err := job.Map(state, ParticleMoveName, core.OpOpts{Splits: cfg.Tasks})
+		if err != nil {
+			return nil, err
+		}
+		state, err = job.Reduce(moved, ParticleMergeName, core.OpOpts{Splits: cfg.Tasks})
+		if err != nil {
+			return nil, err
+		}
+		res.OuterIters = iter
+		res.Evaluations += int64(cfg.Particles)
+	}
+	final, err := state.Collect()
+	if err != nil {
+		return nil, err
+	}
+	for _, kv := range final {
+		p, err := decodeParticle(kv.Value)
+		if err != nil {
+			return nil, err
+		}
+		if p.P.PBestVal < res.Best {
+			res.Best = p.P.PBestVal
+		}
+	}
+	res.Elapsed = time.Since(start)
+	res.Converged = cfg.Target > 0 && res.Best <= cfg.Target
+	res.History = append(res.History, Point{
+		OuterIter:   res.OuterIters,
+		Evaluations: res.Evaluations,
+		Best:        res.Best,
+		Elapsed:     res.Elapsed,
+	})
+	return res, nil
+}
+
+// RunParticleSerial runs the identical particle-level dynamics in a
+// plain loop (reference for the equivalence test).
+func RunParticleSerial(cfg MRPSOConfig) (*Result, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	f, _ := FunctionByName(cfg.Function)
+	particles, err := initialParticles(cfg)
+	if err != nil {
+		return nil, err
+	}
+	n := int64(cfg.Particles)
+	start := time.Now()
+	res := &Result{Best: math.Inf(1)}
+	for iter := 1; iter <= cfg.MaxIters; iter++ {
+		// Move every particle (same update as the map function).
+		for _, p := range particles {
+			rng := prand.Random(cfg.Seed, uint64(p.ID), uint64(p.Iter)+1)
+			for d := range p.P.Pos {
+				r1, r2 := rng.Float64(), rng.Float64()
+				nb := p.P.PBestPos[d]
+				if p.NBestPos != nil {
+					nb = p.NBestPos[d]
+				}
+				p.P.Vel[d] = Chi * (p.P.Vel[d] +
+					C1*r1*(p.P.PBestPos[d]-p.P.Pos[d]) +
+					C2*r2*(nb-p.P.Pos[d]))
+				p.P.Pos[d] += p.P.Vel[d]
+				if p.P.Pos[d] < f.Lower {
+					p.P.Pos[d] = f.Lower
+					p.P.Vel[d] = 0
+				} else if p.P.Pos[d] > f.Upper {
+					p.P.Pos[d] = f.Upper
+					p.P.Vel[d] = 0
+				}
+			}
+			p.P.Val = f.Eval(p.P.Pos)
+			if p.P.Val < p.P.PBestVal {
+				p.P.PBestVal = p.P.Val
+				copy(p.P.PBestPos, p.P.Pos)
+			}
+			p.Iter++
+		}
+		// Exchange pbests around the ring (same as map-emit/reduce-merge).
+		type snap struct {
+			val float64
+			pos []float64
+		}
+		snaps := make([]snap, n)
+		for i, p := range particles {
+			snaps[i] = snap{p.P.PBestVal, append([]float64(nil), p.P.PBestPos...)}
+		}
+		for i, p := range particles {
+			bestVal := p.P.PBestVal
+			bestPos := p.P.PBestPos
+			for _, j := range []int64{(int64(i) - 1 + n) % n, (int64(i) + 1) % n} {
+				if j == int64(i) {
+					continue
+				}
+				if snaps[j].val < bestVal {
+					bestVal = snaps[j].val
+					bestPos = snaps[j].pos
+				}
+			}
+			p.NBestVal = bestVal
+			p.NBestPos = append([]float64(nil), bestPos...)
+		}
+		res.OuterIters = iter
+		res.Evaluations += int64(cfg.Particles)
+	}
+	for _, p := range particles {
+		if p.P.PBestVal < res.Best {
+			res.Best = p.P.PBestVal
+		}
+	}
+	res.Elapsed = time.Since(start)
+	res.Converged = cfg.Target > 0 && res.Best <= cfg.Target
+	res.History = append(res.History, Point{
+		OuterIter:   res.OuterIters,
+		Evaluations: res.Evaluations,
+		Best:        res.Best,
+		Elapsed:     res.Elapsed,
+	})
+	return res, nil
+}

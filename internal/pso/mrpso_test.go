@@ -1,0 +1,183 @@
+package pso
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func mrpsoConfig() MRPSOConfig {
+	return MRPSOConfig{
+		Function:  "sphere",
+		Dims:      6,
+		Particles: 10,
+		Seed:      77,
+		MaxIters:  40,
+		Tasks:     3,
+	}
+}
+
+func TestParticleEncodeDecodeRoundTrip(t *testing.T) {
+	ps, err := initialParticles(mrpsoConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ps[3]
+	p.NBestPos = append([]float64(nil), p.P.Pos...)
+	p.NBestVal = 1.5
+	got, err := decodeParticle(encodeParticle(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != p.ID || got.Iter != p.Iter || got.P.PBestVal != p.P.PBestVal || got.NBestVal != 1.5 {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	for d := range p.P.Pos {
+		if got.P.Pos[d] != p.P.Pos[d] || got.P.Vel[d] != p.P.Vel[d] {
+			t.Fatalf("vector mismatch at %d", d)
+		}
+	}
+}
+
+func TestPBestMsgRoundTrip(t *testing.T) {
+	val, pos, err := decodePBestMsg(encodePBestMsg(2.5, []float64{1, 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val != 2.5 || len(pos) != 2 || pos[1] != 2 {
+		t.Errorf("got %v %v", val, pos)
+	}
+}
+
+func TestMRPSODecodeErrors(t *testing.T) {
+	if _, err := decodeParticle([]byte{tagBest}); err == nil {
+		t.Error("wrong tag accepted")
+	}
+	if _, _, err := decodePBestMsg([]byte{tagParticle}); err == nil {
+		t.Error("wrong tag accepted")
+	}
+}
+
+func TestMRPSOConvergesOnSphere(t *testing.T) {
+	cfg := mrpsoConfig()
+	reg := core.NewRegistry()
+	if err := RegisterMRPSO(reg, cfg); err != nil {
+		t.Fatal(err)
+	}
+	exec := core.NewThreads(reg, 4)
+	defer exec.Close()
+	job := core.NewJob(exec)
+	defer job.Close()
+	res, err := RunMRPSO(job, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Initial positions are in [25, 50]^6, so sphere starts >= 6*625.
+	if res.Best > 100 {
+		t.Errorf("MRPSO barely improved: best %v", res.Best)
+	}
+	if res.Evaluations != int64(cfg.Particles*cfg.MaxIters) {
+		t.Errorf("Evaluations = %d", res.Evaluations)
+	}
+}
+
+func TestMRPSOMatchesParticleSerial(t *testing.T) {
+	cfg := mrpsoConfig()
+	serial, err := RunParticleSerial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := core.NewRegistry()
+	if err := RegisterMRPSO(reg, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, exec := range []core.Executor{core.NewSerial(reg), core.NewThreads(reg, 4)} {
+		job := core.NewJob(exec)
+		res, err := RunMRPSO(job, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		job.Close()
+		exec.Close()
+		if res.Best != serial.Best {
+			t.Errorf("MRPSO best %v != particle-serial best %v", res.Best, serial.Best)
+		}
+	}
+}
+
+func TestMRPSOSingleParticle(t *testing.T) {
+	cfg := mrpsoConfig()
+	cfg.Particles = 1
+	cfg.Tasks = 1
+	reg := core.NewRegistry()
+	if err := RegisterMRPSO(reg, cfg); err != nil {
+		t.Fatal(err)
+	}
+	exec := core.NewSerial(reg)
+	defer exec.Close()
+	job := core.NewJob(exec)
+	defer job.Close()
+	res, err := RunMRPSO(job, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(res.Best, 1) {
+		t.Error("no best recorded for single particle")
+	}
+}
+
+func TestMRPSOConfigValidation(t *testing.T) {
+	cfg := MRPSOConfig{Function: "bogus"}
+	if err := cfg.fill(); err == nil {
+		t.Error("bad function accepted")
+	}
+	cfg = MRPSOConfig{}
+	if err := cfg.fill(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Particles != 20 || cfg.Dims != 50 {
+		t.Errorf("defaults: %+v", cfg)
+	}
+}
+
+func BenchmarkGranularityParticle(b *testing.B) {
+	// Fine-grained MRPSO: one particle per record (the formulation the
+	// paper says is too fine for trivial objectives).
+	cfg := MRPSOConfig{Function: "sphere", Dims: 10, Particles: 40, Seed: 1, MaxIters: 10, Tasks: 4}
+	reg := core.NewRegistry()
+	if err := RegisterMRPSO(reg, cfg); err != nil {
+		b.Fatal(err)
+	}
+	exec := core.NewThreads(reg, 4)
+	defer exec.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		job := core.NewJob(exec)
+		if _, err := RunMRPSO(job, cfg); err != nil {
+			b.Fatal(err)
+		}
+		job.Close()
+	}
+}
+
+func BenchmarkGranularitySubswarm(b *testing.B) {
+	// Apiary subswarms doing the same number of evaluations (40
+	// particles x 10 iterations) in one MapReduce iteration.
+	cfg := Config{Function: "sphere", Dims: 10, NumSwarms: 8, SwarmSize: 5,
+		InnerIters: 10, Seed: 1, MaxOuter: 1, Tasks: 4, CheckEvery: 1}
+	reg := core.NewRegistry()
+	if err := Register(reg, cfg); err != nil {
+		b.Fatal(err)
+	}
+	exec := core.NewThreads(reg, 4)
+	defer exec.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		job := core.NewJob(exec)
+		if _, err := RunMapReduce(job, cfg); err != nil {
+			b.Fatal(err)
+		}
+		job.Close()
+	}
+}

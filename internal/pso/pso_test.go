@@ -1,0 +1,396 @@
+package pso
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func TestFunctionsAtKnownOptima(t *testing.T) {
+	ones := []float64{1, 1, 1, 1}
+	if v := Rosenbrock.Eval(ones); v != 0 {
+		t.Errorf("Rosenbrock(1..1) = %v", v)
+	}
+	zeros := make([]float64, 6)
+	for _, f := range []Function{Sphere, Rastrigin, Griewank} {
+		if v := f.Eval(zeros); math.Abs(v) > 1e-12 {
+			t.Errorf("%s(0..0) = %v", f.Name, v)
+		}
+	}
+	if v := Ackley.Eval(zeros); math.Abs(v) > 1e-9 {
+		t.Errorf("Ackley(0..0) = %v", v)
+	}
+}
+
+func TestFunctionsNonNegativeNearOptimum(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		x := []float64{math.Mod(a, 5), math.Mod(b, 5), math.Mod(c, 5)}
+		return Sphere.Eval(x) >= 0 && Rastrigin.Eval(x) >= -1e-9 &&
+			Rosenbrock.Eval(x) >= 0 && Griewank.Eval(x) >= -1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFunctionByName(t *testing.T) {
+	for _, f := range Functions() {
+		got, err := FunctionByName(f.Name)
+		if err != nil || got.Name != f.Name {
+			t.Errorf("FunctionByName(%q): %v", f.Name, err)
+		}
+	}
+	if _, err := FunctionByName("nope"); err == nil {
+		t.Error("unknown function accepted")
+	}
+}
+
+func TestNewSwarmDeterministic(t *testing.T) {
+	a := NewSwarm(Sphere, 10, 5, 3, 42)
+	b := NewSwarm(Sphere, 10, 5, 3, 42)
+	if a.BestVal != b.BestVal {
+		t.Error("same seed gave different swarms")
+	}
+	c := NewSwarm(Sphere, 10, 5, 4, 42)
+	if a.BestVal == c.BestVal {
+		t.Error("different swarm ids gave identical populations")
+	}
+	for _, p := range a.Particles {
+		for _, x := range p.Pos {
+			if x < Sphere.InitLower || x > Sphere.InitUpper {
+				t.Fatalf("init position %v outside init region", x)
+			}
+		}
+	}
+}
+
+func TestStepImprovesSphere(t *testing.T) {
+	s := NewSwarm(Sphere, 10, 10, 0, 7)
+	initial := s.BestVal
+	s.StepMany(Sphere, 7, 200)
+	if s.BestVal >= initial {
+		t.Errorf("no improvement after 200 iters: %v -> %v", initial, s.BestVal)
+	}
+	if s.BestVal > initial/100 {
+		t.Errorf("Sphere should improve dramatically: %v -> %v", initial, s.BestVal)
+	}
+}
+
+func TestStepDeterministic(t *testing.T) {
+	run := func() float64 {
+		s := NewSwarm(Rosenbrock, 20, 5, 1, 99)
+		s.StepMany(Rosenbrock, 99, 50)
+		return s.BestVal
+	}
+	if run() != run() {
+		t.Error("identical runs diverged")
+	}
+}
+
+func TestStepRespectsBounds(t *testing.T) {
+	s := NewSwarm(Sphere, 5, 8, 0, 3)
+	s.StepMany(Sphere, 3, 100)
+	for _, p := range s.Particles {
+		for _, x := range p.Pos {
+			if x < Sphere.Lower || x > Sphere.Upper {
+				t.Fatalf("position %v escaped bounds", x)
+			}
+		}
+	}
+}
+
+func TestPBestMonotone(t *testing.T) {
+	s := NewSwarm(Rastrigin, 8, 6, 0, 11)
+	prev := make([]float64, len(s.Particles))
+	for i, p := range s.Particles {
+		prev[i] = p.PBestVal
+	}
+	for iter := 0; iter < 50; iter++ {
+		s.Step(Rastrigin, 11)
+		for i, p := range s.Particles {
+			if p.PBestVal > prev[i] {
+				t.Fatalf("pbest worsened: %v -> %v", prev[i], p.PBestVal)
+			}
+			prev[i] = p.PBestVal
+		}
+	}
+}
+
+func TestSwarmEncodeDecodeRoundTrip(t *testing.T) {
+	s := NewSwarm(Rosenbrock, 25, 5, 7, 123)
+	s.StepMany(Rosenbrock, 123, 10)
+	s.AbsorbExternal(make([]float64, 25), 0.5)
+	got, err := DecodeSwarm(EncodeSwarm(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != s.ID || got.Iter != s.Iter || got.BestVal != s.BestVal {
+		t.Errorf("header mismatch: %+v vs %+v", got.ID, s.ID)
+	}
+	if got.ExtVal != 0.5 {
+		t.Errorf("ExtVal = %v", got.ExtVal)
+	}
+	if len(got.Particles) != len(s.Particles) {
+		t.Fatalf("particle count %d vs %d", len(got.Particles), len(s.Particles))
+	}
+	for i := range s.Particles {
+		for d := range s.Particles[i].Pos {
+			if got.Particles[i].Pos[d] != s.Particles[i].Pos[d] ||
+				got.Particles[i].Vel[d] != s.Particles[i].Vel[d] ||
+				got.Particles[i].PBestPos[d] != s.Particles[i].PBestPos[d] {
+				t.Fatalf("particle %d dim %d mismatch", i, d)
+			}
+		}
+	}
+	// Decoded swarm must continue the exact same trajectory.
+	s2 := got
+	s.Step(Rosenbrock, 123)
+	s2.Step(Rosenbrock, 123)
+	if s.BestVal != s2.BestVal {
+		t.Error("decoded swarm diverged from original")
+	}
+}
+
+func TestSwarmEncodeNoExternal(t *testing.T) {
+	s := NewSwarm(Sphere, 3, 2, 0, 1)
+	got, err := DecodeSwarm(EncodeSwarm(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(got.ExtVal, 1) || got.ExtPos != nil {
+		t.Errorf("external state should be empty: %v %v", got.ExtVal, got.ExtPos)
+	}
+}
+
+func TestBestMessageRoundTrip(t *testing.T) {
+	pos := []float64{1.5, -2.5, 3.5}
+	val, got, err := DecodeBest(EncodeBest(0.25, pos))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val != 0.25 || len(got) != 3 || got[1] != -2.5 {
+		t.Errorf("got %v %v", val, got)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := DecodeSwarm(nil); err == nil {
+		t.Error("empty state accepted")
+	}
+	if _, err := DecodeSwarm([]byte{tagBest}); err == nil {
+		t.Error("wrong tag accepted")
+	}
+	if _, _, err := DecodeBest([]byte{tagState}); err == nil {
+		t.Error("wrong tag accepted for best")
+	}
+	s := NewSwarm(Sphere, 3, 2, 0, 1)
+	enc := EncodeSwarm(s)
+	if _, err := DecodeSwarm(enc[:len(enc)/2]); err == nil {
+		t.Error("truncated state accepted")
+	}
+}
+
+func smallConfig() Config {
+	return Config{
+		Function:   "sphere",
+		Dims:       8,
+		NumSwarms:  4,
+		SwarmSize:  5,
+		InnerIters: 5,
+		Seed:       2024,
+		MaxOuter:   12,
+		Tasks:      2,
+		CheckEvery: 3,
+	}
+}
+
+func TestRunSerialConverges(t *testing.T) {
+	cfg := smallConfig()
+	cfg.MaxOuter = 60
+	res, err := RunSerial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) == 0 {
+		t.Fatal("no history recorded")
+	}
+	first := res.History[0].Best
+	last := res.History[len(res.History)-1].Best
+	if last >= first {
+		t.Errorf("no convergence: %v -> %v", first, last)
+	}
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i].Best > res.History[i-1].Best+1e-12 {
+			t.Errorf("best increased at %d: %v -> %v", i, res.History[i-1].Best, res.History[i].Best)
+		}
+		if res.History[i].Evaluations <= res.History[i-1].Evaluations {
+			t.Errorf("evaluations not increasing at %d", i)
+		}
+	}
+}
+
+func TestSerialMatchesMapReduceExactly(t *testing.T) {
+	// The paper's marquee invariant applied to its marquee workload:
+	// the serial baseline and the MapReduce execution produce
+	// bit-identical best values at every checkpoint.
+	cfg := smallConfig()
+	serial, err := RunSerial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := core.NewRegistry()
+	if err := Register(reg, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, mk := range []func() core.Executor{
+		func() core.Executor { return core.NewSerial(reg) },
+		func() core.Executor { return core.NewThreads(reg, 4) },
+	} {
+		exec := mk()
+		job := core.NewJob(exec)
+		mr, err := RunMapReduce(job, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := job.Close(); err != nil {
+			t.Fatal(err)
+		}
+		exec.Close()
+		if len(mr.History) != len(serial.History) {
+			t.Fatalf("history lengths differ: %d vs %d", len(mr.History), len(serial.History))
+		}
+		for i := range mr.History {
+			if mr.History[i].Best != serial.History[i].Best {
+				t.Errorf("checkpoint %d: MR best %v, serial best %v",
+					i, mr.History[i].Best, serial.History[i].Best)
+			}
+			if mr.History[i].Evaluations != serial.History[i].Evaluations {
+				t.Errorf("checkpoint %d: evaluations %d vs %d",
+					i, mr.History[i].Evaluations, serial.History[i].Evaluations)
+			}
+		}
+	}
+}
+
+func TestTargetStopsRun(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Target = 1e6 // trivially reached immediately
+	cfg.MaxOuter = 50
+	res, err := RunSerial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("serial run did not report convergence")
+	}
+	if res.OuterIters >= 50 {
+		t.Errorf("ran %d iters despite trivial target", res.OuterIters)
+	}
+
+	reg := core.NewRegistry()
+	if err := Register(reg, cfg); err != nil {
+		t.Fatal(err)
+	}
+	exec := core.NewSerial(reg)
+	defer exec.Close()
+	job := core.NewJob(exec)
+	defer job.Close()
+	mres, err := RunMapReduce(job, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mres.Converged {
+		t.Error("MR run did not report convergence")
+	}
+}
+
+func TestSingleSwarmNoMessages(t *testing.T) {
+	cfg := smallConfig()
+	cfg.NumSwarms = 1
+	cfg.Tasks = 1
+	serial, err := RunSerial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := core.NewRegistry()
+	if err := Register(reg, cfg); err != nil {
+		t.Fatal(err)
+	}
+	exec := core.NewSerial(reg)
+	defer exec.Close()
+	job := core.NewJob(exec)
+	defer job.Close()
+	mr, err := RunMapReduce(job, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.Best != serial.Best {
+		t.Errorf("single-swarm MR best %v != serial %v", mr.Best, serial.Best)
+	}
+}
+
+func TestMigrationHelps(t *testing.T) {
+	// With the ring migration channel, isolated swarms share progress;
+	// the external best absorbed must never be worse than ignoring it.
+	s := NewSwarm(Sphere, 4, 3, 0, 5)
+	s.AbsorbExternal([]float64{0.01, 0.01, 0.01, 0.01}, Sphere.Eval([]float64{0.01, 0.01, 0.01, 0.01}))
+	before := s.BestVal
+	s.StepMany(Sphere, 5, 120)
+	if s.BestVal >= before {
+		t.Errorf("migrated best did not help: %v -> %v", before, s.BestVal)
+	}
+	if s.BestVal > before/5 {
+		t.Errorf("swarm barely used excellent migrant: %v -> %v", before, s.BestVal)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := Config{Function: "nope"}
+	if err := cfg.fill(); err == nil {
+		t.Error("bad function accepted")
+	}
+	cfg = Config{}
+	if err := cfg.fill(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Function != "rosenbrock" || cfg.Dims != 250 {
+		t.Errorf("defaults: %+v", cfg)
+	}
+	cfg = Config{Tasks: 100, NumSwarms: 4}
+	cfg.fill()
+	if cfg.Tasks != 4 {
+		t.Errorf("tasks not clamped to swarms: %d", cfg.Tasks)
+	}
+}
+
+func BenchmarkRosenbrock250Eval(b *testing.B) {
+	x := make([]float64, 250)
+	for i := range x {
+		x[i] = 1.5
+	}
+	for i := 0; i < b.N; i++ {
+		Rosenbrock.Eval(x)
+	}
+}
+
+func BenchmarkSwarmStep(b *testing.B) {
+	s := NewSwarm(Rosenbrock, 250, 5, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step(Rosenbrock, 1)
+	}
+}
+
+func BenchmarkSwarmEncodeDecode(b *testing.B) {
+	s := NewSwarm(Rosenbrock, 250, 5, 0, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		enc := EncodeSwarm(s)
+		if _, err := DecodeSwarm(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

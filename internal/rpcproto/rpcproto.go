@@ -1,0 +1,212 @@
+// Package rpcproto defines the typed messages exchanged between the
+// master and slaves over XML-RPC, and their conversions to and from
+// the generic XML-RPC value types.
+package rpcproto
+
+import (
+	"fmt"
+
+	"repro/internal/bucket"
+	"repro/internal/core"
+)
+
+// Method names served by the master.
+const (
+	MethodSignin     = "signin"
+	MethodGetTask    = "get_task"
+	MethodTaskDone   = "task_done"
+	MethodTaskFailed = "task_failed"
+	MethodPing       = "ping"
+)
+
+// GetTask response statuses.
+const (
+	StatusTask     = "task"
+	StatusIdle     = "idle"
+	StatusShutdown = "shutdown"
+)
+
+// SigninReply is the master's answer to a slave's signin.
+type SigninReply struct {
+	SlaveID         string
+	HeartbeatMillis int64
+}
+
+// Encode converts the reply to an XML-RPC struct.
+func (r SigninReply) Encode() map[string]any {
+	return map[string]any{
+		"slave_id":         r.SlaveID,
+		"heartbeat_millis": r.HeartbeatMillis,
+	}
+}
+
+// DecodeSigninReply parses a signin reply.
+func DecodeSigninReply(v any) (SigninReply, error) {
+	st, ok := v.(map[string]any)
+	if !ok {
+		return SigninReply{}, fmt.Errorf("rpcproto: signin reply is %T", v)
+	}
+	id, ok := st["slave_id"].(string)
+	if !ok || id == "" {
+		return SigninReply{}, fmt.Errorf("rpcproto: signin reply missing slave_id")
+	}
+	hb, _ := st["heartbeat_millis"].(int64)
+	if hb <= 0 {
+		hb = 500
+	}
+	return SigninReply{SlaveID: id, HeartbeatMillis: hb}, nil
+}
+
+// Assignment is the master's answer to get_task.
+type Assignment struct {
+	Status  string
+	TaskID  int64
+	Spec    *core.TaskSpec
+	Deletes []string // bucket names the slave should remove (piggybacked)
+}
+
+// Encode converts the assignment to an XML-RPC struct.
+func (a Assignment) Encode() (map[string]any, error) {
+	out := map[string]any{"status": a.Status}
+	if len(a.Deletes) > 0 {
+		out["deletes"] = toAnySlice(a.Deletes)
+	}
+	if a.Status != StatusTask {
+		return out, nil
+	}
+	if a.Spec == nil || a.Spec.Op == nil {
+		return nil, fmt.Errorf("rpcproto: task assignment without spec")
+	}
+	op := a.Spec.Op
+	out["task_id"] = a.TaskID
+	out["dataset"] = int64(op.Dataset)
+	out["kind"] = int64(op.Kind)
+	out["func"] = op.FuncName
+	out["combine"] = op.CombineName
+	out["splits"] = int64(op.Splits)
+	out["partition"] = op.Partition
+	out["task_index"] = int64(a.Spec.TaskIndex)
+	out["input_urls"] = toAnySlice(a.Spec.InputURLs)
+	out["input_format"] = a.Spec.InputFormat
+	if len(op.Params) > 0 {
+		out["params"] = op.Params
+	}
+	return out, nil
+}
+
+// DecodeAssignment parses a get_task response.
+func DecodeAssignment(v any) (Assignment, error) {
+	st, ok := v.(map[string]any)
+	if !ok {
+		return Assignment{}, fmt.Errorf("rpcproto: assignment is %T", v)
+	}
+	a := Assignment{}
+	a.Status, _ = st["status"].(string)
+	if dels, ok := st["deletes"].([]any); ok {
+		for _, d := range dels {
+			if s, ok := d.(string); ok {
+				a.Deletes = append(a.Deletes, s)
+			}
+		}
+	}
+	switch a.Status {
+	case StatusIdle, StatusShutdown:
+		return a, nil
+	case StatusTask:
+	default:
+		return Assignment{}, fmt.Errorf("rpcproto: bad assignment status %q", a.Status)
+	}
+	id, ok := st["task_id"].(int64)
+	if !ok {
+		return Assignment{}, fmt.Errorf("rpcproto: assignment missing task_id")
+	}
+	a.TaskID = id
+	kind, _ := st["kind"].(int64)
+	dataset, _ := st["dataset"].(int64)
+	splits, _ := st["splits"].(int64)
+	taskIndex, _ := st["task_index"].(int64)
+	fn, _ := st["func"].(string)
+	combine, _ := st["combine"].(string)
+	part, _ := st["partition"].(string)
+	format, _ := st["input_format"].(string)
+	params, _ := st["params"].([]byte)
+	var urls []string
+	if raw, ok := st["input_urls"].([]any); ok {
+		for _, u := range raw {
+			s, ok := u.(string)
+			if !ok {
+				return Assignment{}, fmt.Errorf("rpcproto: non-string input url %T", u)
+			}
+			urls = append(urls, s)
+		}
+	}
+	a.Spec = &core.TaskSpec{
+		Op: &core.Operation{
+			Dataset: int(dataset),
+			Kind:    core.OpKind(kind),
+			// The slave never resolves the input dataset itself — it
+			// receives explicit InputURLs — but Validate requires a
+			// plausible id for map/reduce ops.
+			Input:       0,
+			FuncName:    fn,
+			CombineName: combine,
+			Splits:      int(splits),
+			Partition:   part,
+			Params:      params,
+		},
+		TaskIndex:   int(taskIndex),
+		InputURLs:   urls,
+		InputFormat: format,
+	}
+	if err := a.Spec.Op.Validate(); err != nil {
+		return Assignment{}, err
+	}
+	return a, nil
+}
+
+// EncodeDescriptors converts bucket descriptors for task_done.
+func EncodeDescriptors(descs []bucket.Descriptor) []any {
+	out := make([]any, len(descs))
+	for i, d := range descs {
+		out[i] = map[string]any{
+			"name":    d.Name,
+			"url":     d.URL,
+			"records": d.Records,
+			"bytes":   d.Bytes,
+		}
+	}
+	return out
+}
+
+// DecodeDescriptors parses the outputs argument of task_done.
+func DecodeDescriptors(v any) ([]bucket.Descriptor, error) {
+	arr, ok := v.([]any)
+	if !ok {
+		return nil, fmt.Errorf("rpcproto: outputs is %T", v)
+	}
+	out := make([]bucket.Descriptor, len(arr))
+	for i, e := range arr {
+		st, ok := e.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("rpcproto: output %d is %T", i, e)
+		}
+		d := bucket.Descriptor{}
+		d.Name, _ = st["name"].(string)
+		d.URL, _ = st["url"].(string)
+		d.Records, _ = st["records"].(int64)
+		d.Bytes, _ = st["bytes"].(int64)
+		if d.URL == "" {
+			return nil, fmt.Errorf("rpcproto: output %d missing url", i)
+		}
+		out[i] = d
+	}
+	return out, nil
+}
+
+func toAnySlice(ss []string) []any {
+	out := make([]any, len(ss))
+	for i, s := range ss {
+		out[i] = s
+	}
+	return out
+}

@@ -1,0 +1,303 @@
+// Package sched implements the master's task scheduler. Slaves pull
+// tasks; the scheduler prefers giving a slave the same task index it
+// completed in a previous operation ("affinity", §IV-A of the Mrs
+// paper: corresponding tasks go to the same processor from one
+// iteration to the next, cutting inter-iteration communication), and
+// it reassigns tasks when slaves fail or report errors.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// DefaultMaxAttempts is how many times a task may be attempted before
+// its group fails.
+const DefaultMaxAttempts = 5
+
+// ErrClosed is returned by blocked calls when the scheduler shuts down.
+var ErrClosed = errors.New("sched: scheduler closed")
+
+// TaskID uniquely identifies a task attempt set.
+type TaskID int64
+
+// Task is one schedulable unit.
+type Task struct {
+	ID       TaskID
+	Spec     *core.TaskSpec
+	Attempts int
+	group    *Group
+}
+
+// Group tracks the tasks of one operation.
+type Group struct {
+	sched     *Scheduler
+	remaining int
+	results   []*core.TaskResult // indexed by TaskIndex
+	err       error
+	done      chan struct{}
+}
+
+// Wait blocks until every task in the group completed or the group
+// failed; results are indexed by task index.
+func (g *Group) Wait() ([]*core.TaskResult, error) {
+	<-g.done
+	g.sched.mu.Lock()
+	defer g.sched.mu.Unlock()
+	if g.err != nil {
+		return nil, g.err
+	}
+	return g.results, nil
+}
+
+// Scheduler coordinates pending and running tasks.
+type Scheduler struct {
+	mu          sync.Mutex
+	cond        *sync.Cond
+	pending     []*Task
+	running     map[TaskID]*runningEntry
+	affinity    map[int]string // task index -> last slave to complete it
+	nextID      TaskID
+	maxAttempts int
+	closed      bool
+}
+
+type runningEntry struct {
+	task  *Task
+	slave string
+}
+
+// New returns a scheduler. maxAttempts <= 0 selects the default.
+func New(maxAttempts int) *Scheduler {
+	if maxAttempts <= 0 {
+		maxAttempts = DefaultMaxAttempts
+	}
+	s := &Scheduler{
+		running:     map[TaskID]*runningEntry{},
+		affinity:    map[int]string{},
+		maxAttempts: maxAttempts,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// SubmitGroup queues one task per spec and returns the group handle.
+func (s *Scheduler) SubmitGroup(specs []*core.TaskSpec) (*Group, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	g := &Group{
+		sched:     s,
+		remaining: len(specs),
+		results:   make([]*core.TaskResult, len(specs)),
+		done:      make(chan struct{}),
+	}
+	if len(specs) == 0 {
+		close(g.done)
+		return g, nil
+	}
+	for _, spec := range specs {
+		s.nextID++
+		s.pending = append(s.pending, &Task{ID: s.nextID, Spec: spec, group: g})
+	}
+	s.cond.Broadcast()
+	return g, nil
+}
+
+// Request returns a task for the slave, blocking up to timeout if none
+// is available. A nil task with nil error means the timeout elapsed.
+func (s *Scheduler) Request(slaveID string, timeout time.Duration) (*Task, error) {
+	deadline := time.Now().Add(timeout)
+	timer := time.AfterFunc(timeout, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer timer.Stop()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.closed {
+			return nil, ErrClosed
+		}
+		if t := s.takeLocked(slaveID); t != nil {
+			s.running[t.ID] = &runningEntry{task: t, slave: slaveID}
+			t.Attempts++
+			return t, nil
+		}
+		if !time.Now().Before(deadline) {
+			return nil, nil
+		}
+		s.cond.Wait()
+	}
+}
+
+// takeLocked picks the best pending task for a slave: first preference
+// is a task whose index this slave completed before (affinity), then
+// a task with no affinity at all, then FIFO.
+func (s *Scheduler) takeLocked(slaveID string) *Task {
+	if len(s.pending) == 0 {
+		return nil
+	}
+	best := -1
+	for i, t := range s.pending {
+		owner, has := s.affinity[t.Spec.TaskIndex]
+		switch {
+		case has && owner == slaveID:
+			best = i
+		case !has && best == -1:
+			best = i
+		}
+		if best == i && has && owner == slaveID {
+			break
+		}
+	}
+	if best == -1 {
+		best = 0 // all pending tasks have affinity to other slaves; steal the oldest
+	}
+	t := s.pending[best]
+	s.pending = append(s.pending[:best], s.pending[best+1:]...)
+	return t
+}
+
+// Complete records a successful task.
+func (s *Scheduler) Complete(id TaskID, slaveID string, result *core.TaskResult) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entry, ok := s.running[id]
+	if !ok {
+		// Duplicate completion (e.g. the task was reassigned after a
+		// presumed-dead slave came back). Ignore.
+		return nil
+	}
+	if entry.slave != slaveID {
+		return fmt.Errorf("sched: task %d completed by %q but assigned to %q", id, slaveID, entry.slave)
+	}
+	delete(s.running, id)
+	s.affinity[entry.task.Spec.TaskIndex] = slaveID
+	g := entry.task.group
+	if g.err == nil {
+		if result != nil {
+			// Stamp identity so callers need not echo it over the wire.
+			result.TaskIndex = entry.task.Spec.TaskIndex
+			result.Dataset = entry.task.Spec.Op.Dataset
+		}
+		g.results[entry.task.Spec.TaskIndex] = result
+		g.remaining--
+		if g.remaining == 0 {
+			close(g.done)
+		}
+	}
+	return nil
+}
+
+// Fail reports a task error from a slave; the task is retried on any
+// slave until attempts are exhausted, at which point its whole group
+// fails.
+func (s *Scheduler) Fail(id TaskID, slaveID string, taskErr string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entry, ok := s.running[id]
+	if !ok {
+		return nil
+	}
+	delete(s.running, id)
+	s.requeueOrAbortLocked(entry.task, fmt.Errorf("sched: task %d failed on %s: %s", id, slaveID, taskErr))
+	return nil
+}
+
+// SlaveDead requeues every task running on the slave and drops its
+// affinities so future preferences don't point at a corpse.
+func (s *Scheduler) SlaveDead(slaveID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, entry := range s.running {
+		if entry.slave != slaveID {
+			continue
+		}
+		delete(s.running, id)
+		s.requeueOrAbortLocked(entry.task, fmt.Errorf("sched: slave %s died running task %d", slaveID, id))
+	}
+	for idx, owner := range s.affinity {
+		if owner == slaveID {
+			delete(s.affinity, idx)
+		}
+	}
+}
+
+// requeueOrAbortLocked retries a task or fails its group.
+func (s *Scheduler) requeueOrAbortLocked(t *Task, cause error) {
+	g := t.group
+	if g.err != nil {
+		return // group already failed
+	}
+	if t.Attempts >= s.maxAttempts {
+		g.err = fmt.Errorf("sched: giving up after %d attempts: %w", t.Attempts, cause)
+		close(g.done)
+		return
+	}
+	// Retry: push to the front so recovery happens before new work.
+	s.pending = append([]*Task{t}, s.pending...)
+	s.cond.Broadcast()
+}
+
+// Pending returns the number of queued tasks (diagnostics).
+func (s *Scheduler) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}
+
+// Running returns the number of in-flight tasks (diagnostics).
+func (s *Scheduler) Running() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.running)
+}
+
+// Affinity returns the slave last known to have completed task index
+// idx ("" if none); exposed for the affinity ablation bench.
+func (s *Scheduler) Affinity(idx int) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.affinity[idx]
+}
+
+// ClearAffinity erases affinity state (ablation support).
+func (s *Scheduler) ClearAffinity() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.affinity = map[int]string{}
+}
+
+// Close aborts all groups and wakes all blocked requests.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, t := range s.pending {
+		if t.group.err == nil {
+			t.group.err = ErrClosed
+			close(t.group.done)
+		}
+	}
+	s.pending = nil
+	for _, e := range s.running {
+		if e.task.group.err == nil {
+			e.task.group.err = ErrClosed
+			close(e.task.group.done)
+		}
+	}
+	s.running = map[TaskID]*runningEntry{}
+	s.cond.Broadcast()
+}

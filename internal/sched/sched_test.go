@@ -1,0 +1,344 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func specs(n int) []*core.TaskSpec {
+	out := make([]*core.TaskSpec, n)
+	for i := range out {
+		out[i] = &core.TaskSpec{
+			Op:        &core.Operation{Kind: core.OpMap, FuncName: "m", Splits: 1, Dataset: 1},
+			TaskIndex: i,
+		}
+	}
+	return out
+}
+
+func result(t *Task) *core.TaskResult {
+	return &core.TaskResult{Dataset: t.Spec.Op.Dataset, TaskIndex: t.Spec.TaskIndex}
+}
+
+func TestBasicFlow(t *testing.T) {
+	s := New(0)
+	defer s.Close()
+	g, err := s.SubmitGroup(specs(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		task, err := s.Request("w1", time.Second)
+		if err != nil || task == nil {
+			t.Fatalf("request %d: %v, %v", i, task, err)
+		}
+		if err := s.Complete(task.ID, "w1", result(task)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, err := g.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, r := range results {
+		if r == nil || r.TaskIndex != i {
+			t.Errorf("result[%d] = %+v", i, r)
+		}
+	}
+}
+
+func TestEmptyGroup(t *testing.T) {
+	s := New(0)
+	defer s.Close()
+	g, err := s.SubmitGroup(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := g.Wait()
+	if err != nil || len(results) != 0 {
+		t.Errorf("empty group: %v, %v", results, err)
+	}
+}
+
+func TestRequestTimeout(t *testing.T) {
+	s := New(0)
+	defer s.Close()
+	start := time.Now()
+	task, err := s.Request("w1", 50*time.Millisecond)
+	if err != nil || task != nil {
+		t.Fatalf("got %v, %v", task, err)
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Errorf("returned after %v, should have waited ~50ms", elapsed)
+	}
+}
+
+func TestRequestWakesOnSubmit(t *testing.T) {
+	s := New(0)
+	defer s.Close()
+	got := make(chan *Task, 1)
+	go func() {
+		task, _ := s.Request("w1", 5*time.Second)
+		got <- task
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if _, err := s.SubmitGroup(specs(1)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case task := <-got:
+		if task == nil {
+			t.Fatal("woken with nil task")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Request did not wake on submit")
+	}
+}
+
+func TestAffinityPreference(t *testing.T) {
+	s := New(0)
+	defer s.Close()
+	// Round 1: w1 does task 0, w2 does task 1.
+	g, _ := s.SubmitGroup(specs(2))
+	t0, _ := s.Request("w1", time.Second)
+	t1, _ := s.Request("w2", time.Second)
+	s.Complete(t0.ID, "w1", result(t0))
+	s.Complete(t1.ID, "w2", result(t1))
+	if _, err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Affinity(t0.Spec.TaskIndex) != "w1" {
+		t.Errorf("affinity[%d] = %q", t0.Spec.TaskIndex, s.Affinity(t0.Spec.TaskIndex))
+	}
+	// Round 2 (next iteration): each worker must receive its own index
+	// regardless of request order.
+	g2, _ := s.SubmitGroup(specs(2))
+	r2, _ := s.Request("w2", time.Second) // w2 asks first; must get index 1
+	r1, _ := s.Request("w1", time.Second)
+	if r2.Spec.TaskIndex != t1.Spec.TaskIndex {
+		t.Errorf("w2 got index %d, want %d", r2.Spec.TaskIndex, t1.Spec.TaskIndex)
+	}
+	if r1.Spec.TaskIndex != t0.Spec.TaskIndex {
+		t.Errorf("w1 got index %d, want %d", r1.Spec.TaskIndex, t0.Spec.TaskIndex)
+	}
+	s.Complete(r1.ID, "w1", result(r1))
+	s.Complete(r2.ID, "w2", result(r2))
+	if _, err := g2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAffinityStealing(t *testing.T) {
+	// If the preferred slave never asks, another slave takes the task.
+	s := New(0)
+	defer s.Close()
+	g, _ := s.SubmitGroup(specs(1))
+	t0, _ := s.Request("w1", time.Second)
+	s.Complete(t0.ID, "w1", result(t0))
+	g.Wait()
+
+	g2, _ := s.SubmitGroup(specs(1))
+	stolen, err := s.Request("w2", time.Second)
+	if err != nil || stolen == nil {
+		t.Fatalf("w2 could not steal: %v, %v", stolen, err)
+	}
+	s.Complete(stolen.ID, "w2", result(stolen))
+	if _, err := g2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Affinity(0) != "w2" {
+		t.Errorf("affinity should move to w2, got %q", s.Affinity(0))
+	}
+}
+
+func TestFailRetries(t *testing.T) {
+	s := New(3)
+	defer s.Close()
+	g, _ := s.SubmitGroup(specs(1))
+	// Fail twice, succeed on the third attempt.
+	for i := 0; i < 2; i++ {
+		task, _ := s.Request("w1", time.Second)
+		if task == nil {
+			t.Fatalf("attempt %d: no task", i)
+		}
+		s.Fail(task.ID, "w1", "transient")
+	}
+	task, _ := s.Request("w2", time.Second)
+	if task == nil {
+		t.Fatal("no retry offered")
+	}
+	if task.Attempts != 3 {
+		t.Errorf("Attempts = %d, want 3", task.Attempts)
+	}
+	s.Complete(task.ID, "w2", result(task))
+	if _, err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailExhaustsAttempts(t *testing.T) {
+	s := New(2)
+	defer s.Close()
+	g, _ := s.SubmitGroup(specs(1))
+	for i := 0; i < 2; i++ {
+		task, _ := s.Request("w1", time.Second)
+		if task == nil {
+			t.Fatalf("attempt %d: no task", i)
+		}
+		s.Fail(task.ID, "w1", "permanent")
+	}
+	if _, err := g.Wait(); err == nil {
+		t.Fatal("group should fail after max attempts")
+	}
+}
+
+func TestSlaveDeadRequeues(t *testing.T) {
+	s := New(0)
+	defer s.Close()
+	g, _ := s.SubmitGroup(specs(2))
+	a, _ := s.Request("w1", time.Second)
+	b, _ := s.Request("w1", time.Second)
+	if a == nil || b == nil {
+		t.Fatal("no tasks")
+	}
+	s.SlaveDead("w1")
+	if s.Running() != 0 {
+		t.Errorf("Running = %d after SlaveDead", s.Running())
+	}
+	// w2 picks up both.
+	for i := 0; i < 2; i++ {
+		task, _ := s.Request("w2", time.Second)
+		if task == nil {
+			t.Fatalf("requeued task %d missing", i)
+		}
+		s.Complete(task.ID, "w2", result(task))
+	}
+	if _, err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlaveDeadDropsAffinity(t *testing.T) {
+	s := New(0)
+	defer s.Close()
+	g, _ := s.SubmitGroup(specs(1))
+	task, _ := s.Request("w1", time.Second)
+	s.Complete(task.ID, "w1", result(task))
+	g.Wait()
+	s.SlaveDead("w1")
+	if got := s.Affinity(0); got != "" {
+		t.Errorf("affinity survives slave death: %q", got)
+	}
+}
+
+func TestCompleteFromWrongSlave(t *testing.T) {
+	s := New(0)
+	defer s.Close()
+	_, _ = s.SubmitGroup(specs(1))
+	task, _ := s.Request("w1", time.Second)
+	if err := s.Complete(task.ID, "w2", result(task)); err == nil {
+		t.Error("completion from wrong slave accepted")
+	}
+}
+
+func TestDuplicateCompleteIgnored(t *testing.T) {
+	s := New(0)
+	defer s.Close()
+	g, _ := s.SubmitGroup(specs(1))
+	task, _ := s.Request("w1", time.Second)
+	if err := s.Complete(task.ID, "w1", result(task)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Complete(task.ID, "w1", result(task)); err != nil {
+		t.Errorf("duplicate completion errored: %v", err)
+	}
+	if _, err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloseAbortsGroupsAndRequests(t *testing.T) {
+	s := New(0)
+	g, _ := s.SubmitGroup(specs(2))
+	reqErr := make(chan error, 1)
+	go func() {
+		_, err := s.Request("w1", 10*time.Second)
+		reqErr <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	// One task running when Close hits.
+	task, _ := s.Request("w2", time.Second)
+	_ = task
+	s.Close()
+	if _, err := g.Wait(); err != ErrClosed {
+		t.Errorf("group Wait err = %v, want ErrClosed", err)
+	}
+	select {
+	case err := <-reqErr:
+		if err != ErrClosed && err != nil {
+			t.Errorf("blocked request err = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Error("blocked Request not woken by Close")
+	}
+	if _, err := s.SubmitGroup(specs(1)); err != ErrClosed {
+		t.Errorf("submit after close: %v", err)
+	}
+	s.Close() // idempotent
+}
+
+func TestConcurrentWorkers(t *testing.T) {
+	s := New(0)
+	defer s.Close()
+	const tasks = 200
+	const workers = 8
+	g, _ := s.SubmitGroup(specs(tasks))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := fmt.Sprintf("w%d", w)
+			for {
+				task, err := s.Request(id, 100*time.Millisecond)
+				if err != nil || task == nil {
+					return
+				}
+				s.Complete(task.ID, id, result(task))
+			}
+		}(w)
+	}
+	results, err := g.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r == nil {
+			t.Errorf("missing result %d", i)
+		}
+	}
+	wg.Wait()
+	if s.Pending() != 0 || s.Running() != 0 {
+		t.Errorf("leftover work: pending=%d running=%d", s.Pending(), s.Running())
+	}
+}
+
+func TestClearAffinity(t *testing.T) {
+	s := New(0)
+	defer s.Close()
+	g, _ := s.SubmitGroup(specs(1))
+	task, _ := s.Request("w1", time.Second)
+	s.Complete(task.ID, "w1", result(task))
+	g.Wait()
+	s.ClearAffinity()
+	if s.Affinity(0) != "" {
+		t.Error("affinity not cleared")
+	}
+}

@@ -1,0 +1,311 @@
+// Package shuffle implements the sort-and-group stage between map and
+// reduce: records are accumulated, sorted by key, optionally combined
+// (the "local reduce" optimization from the original MapReduce paper,
+// used by both the Mrs and Hadoop WordCount measurements in §V), and
+// delivered as (key, values) groups. Buffers that exceed a spill
+// threshold are sorted and written to temporary run files, which are
+// k-way merged on read — the classic external sort, so a reduce split
+// can exceed memory.
+package shuffle
+
+import (
+	"bytes"
+	"container/heap"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/kvio"
+)
+
+// CombineFunc merges the values of a single key into (usually fewer)
+// values. It must be associative and commutative in the values for the
+// final answer to be independent of spill boundaries; this mirrors the
+// requirement on MapReduce combiners.
+type CombineFunc func(key []byte, values [][]byte) ([][]byte, error)
+
+// Options configures a Sorter.
+type Options struct {
+	// SpillBytes is the approximate in-memory payload limit before a
+	// sorted run is spilled to disk. Zero means never spill.
+	SpillBytes int64
+	// TempDir is where run files are created. Empty means os.TempDir().
+	TempDir string
+	// Combine, if non-nil, is applied to each key group as runs are
+	// spilled and again during the final merge.
+	Combine CombineFunc
+}
+
+// Sorter accumulates pairs and then yields key groups in sorted order.
+// Usage: Add*, then Groups (exactly once), then Close.
+type Sorter struct {
+	opts    Options
+	buf     []kvio.Pair
+	bufSize int64
+	runs    []string // spilled run file paths
+	closed  bool
+
+	// stats
+	added   int64
+	spills  int
+	spilled int64
+}
+
+// NewSorter returns an empty Sorter.
+func NewSorter(opts Options) *Sorter {
+	return &Sorter{opts: opts}
+}
+
+// Add buffers one record, spilling if the memory threshold is crossed.
+func (s *Sorter) Add(p kvio.Pair) error {
+	if s.closed {
+		return fmt.Errorf("shuffle: Add after Close")
+	}
+	s.buf = append(s.buf, p)
+	s.bufSize += int64(len(p.Key) + len(p.Value))
+	s.added++
+	if s.opts.SpillBytes > 0 && s.bufSize >= s.opts.SpillBytes {
+		return s.spill()
+	}
+	return nil
+}
+
+// AddStream drains a record stream into the sorter.
+func (s *Sorter) AddStream(r *kvio.Reader) error {
+	for {
+		p, err := r.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := s.Add(p); err != nil {
+			return err
+		}
+	}
+}
+
+// Added returns the number of records added.
+func (s *Sorter) Added() int64 { return s.added }
+
+// Spills returns how many run files were written.
+func (s *Sorter) Spills() int { return s.spills }
+
+// sortBuf stably sorts the in-memory buffer by key. Stability keeps
+// value order deterministic across implementations, which the Mrs
+// debugging story (serial == parallel output) depends on.
+func (s *Sorter) sortBuf() {
+	sort.SliceStable(s.buf, func(i, j int) bool {
+		return bytes.Compare(s.buf[i].Key, s.buf[j].Key) < 0
+	})
+}
+
+// spill sorts, combines, and writes the current buffer as a run file.
+func (s *Sorter) spill() error {
+	if len(s.buf) == 0 {
+		return nil
+	}
+	s.sortBuf()
+	f, err := os.CreateTemp(s.opts.TempDir, "mrs-spill-*.run")
+	if err != nil {
+		return fmt.Errorf("shuffle: creating spill file: %w", err)
+	}
+	w := kvio.NewWriter(f)
+	err = forEachGroup(s.buf, func(key []byte, values [][]byte) error {
+		values, cerr := s.combine(key, values)
+		if cerr != nil {
+			return cerr
+		}
+		for _, v := range values {
+			if werr := w.Write(kvio.Pair{Key: key, Value: v}); werr != nil {
+				return werr
+			}
+		}
+		return nil
+	})
+	if err == nil {
+		err = w.Flush()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	s.runs = append(s.runs, f.Name())
+	s.spills++
+	s.spilled += s.bufSize
+	s.buf = s.buf[:0]
+	s.bufSize = 0
+	return nil
+}
+
+func (s *Sorter) combine(key []byte, values [][]byte) ([][]byte, error) {
+	if s.opts.Combine == nil {
+		return values, nil
+	}
+	return s.opts.Combine(key, values)
+}
+
+// Groups yields each key with all of its values, keys in ascending
+// order, by calling fn. Returning a non-nil error from fn aborts the
+// iteration. The key and value slices are only valid during the call.
+func (s *Sorter) Groups(fn func(key []byte, values [][]byte) error) error {
+	if s.closed {
+		return fmt.Errorf("shuffle: Groups after Close")
+	}
+	if len(s.runs) == 0 {
+		s.sortBuf()
+		return forEachGroup(s.buf, func(key []byte, values [][]byte) error {
+			values, err := s.combine(key, values)
+			if err != nil {
+				return err
+			}
+			return fn(key, values)
+		})
+	}
+	// Spill the remainder so everything is in sorted runs, then merge.
+	if err := s.spill(); err != nil {
+		return err
+	}
+	return s.mergeRuns(fn)
+}
+
+// Close removes any spill files. It is safe to call multiple times.
+func (s *Sorter) Close() error {
+	s.closed = true
+	var first error
+	for _, path := range s.runs {
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) && first == nil {
+			first = err
+		}
+	}
+	s.runs = nil
+	s.buf = nil
+	return first
+}
+
+// forEachGroup walks a key-sorted pair slice and invokes fn once per
+// distinct key with the values in encounter order.
+func forEachGroup(sorted []kvio.Pair, fn func(key []byte, values [][]byte) error) error {
+	i := 0
+	var values [][]byte
+	for i < len(sorted) {
+		j := i + 1
+		for j < len(sorted) && bytes.Equal(sorted[j].Key, sorted[i].Key) {
+			j++
+		}
+		values = values[:0]
+		for k := i; k < j; k++ {
+			values = append(values, sorted[k].Value)
+		}
+		if err := fn(sorted[i].Key, values); err != nil {
+			return err
+		}
+		i = j
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// k-way merge of run files
+
+type runHead struct {
+	pair kvio.Pair
+	r    *kvio.Reader
+	f    *os.File
+	seq  int // tie-break: earlier runs first, preserving stability
+}
+
+type runHeap []*runHead
+
+func (h runHeap) Len() int { return len(h) }
+func (h runHeap) Less(i, j int) bool {
+	c := bytes.Compare(h[i].pair.Key, h[j].pair.Key)
+	if c != 0 {
+		return c < 0
+	}
+	return h[i].seq < h[j].seq
+}
+func (h runHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *runHeap) Push(x any)   { *h = append(*h, x.(*runHead)) }
+func (h *runHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h runHeap) top() *runHead { return h[0] }
+func (h *runHeap) closeAll() {
+	for _, rh := range *h {
+		rh.f.Close()
+	}
+}
+
+func (s *Sorter) mergeRuns(fn func(key []byte, values [][]byte) error) error {
+	var h runHeap
+	defer h.closeAll()
+	for seq, path := range s.runs {
+		f, err := os.Open(path)
+		if err != nil {
+			return fmt.Errorf("shuffle: opening run: %w", err)
+		}
+		rh := &runHead{r: kvio.NewReader(f), f: f, seq: seq}
+		p, err := rh.r.Read()
+		if err == io.EOF {
+			f.Close()
+			continue
+		}
+		if err != nil {
+			f.Close()
+			return err
+		}
+		rh.pair = p
+		h = append(h, rh)
+	}
+	heap.Init(&h)
+
+	var (
+		curKey  []byte
+		haveKey bool // distinguishes "no current group" from the empty key
+		values  [][]byte
+	)
+	flush := func() error {
+		if !haveKey {
+			return nil
+		}
+		vals, err := s.combine(curKey, values)
+		if err != nil {
+			return err
+		}
+		if err := fn(curKey, vals); err != nil {
+			return err
+		}
+		haveKey = false
+		values = values[:0]
+		return nil
+	}
+	for h.Len() > 0 {
+		rh := h.top()
+		if haveKey && !bytes.Equal(rh.pair.Key, curKey) {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+		if !haveKey {
+			curKey = append(curKey[:0], rh.pair.Key...)
+			haveKey = true
+		}
+		values = append(values, rh.pair.Value)
+		p, err := rh.r.Read()
+		if err == io.EOF {
+			rh.f.Close()
+			heap.Pop(&h) // exhausted runs leave the heap, so closeAll skips them
+			continue
+		} else if err != nil {
+			return err
+		} else {
+			rh.pair = p
+			heap.Fix(&h, 0)
+		}
+	}
+	return flush()
+}

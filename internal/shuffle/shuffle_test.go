@@ -1,0 +1,338 @@
+package shuffle
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/codec"
+	"repro/internal/kvio"
+)
+
+// collect runs a sorter over pairs and returns the groups as a map and
+// the key order observed.
+func collect(t *testing.T, opts Options, pairs []kvio.Pair) (map[string][]string, []string) {
+	t.Helper()
+	s := NewSorter(opts)
+	defer s.Close()
+	for _, p := range pairs {
+		if err := s.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	groups := map[string][]string{}
+	var order []string
+	err := s.Groups(func(key []byte, values [][]byte) error {
+		k := string(key)
+		if _, dup := groups[k]; dup {
+			t.Fatalf("key %q delivered twice", k)
+		}
+		var vs []string
+		for _, v := range values {
+			vs = append(vs, string(v))
+		}
+		groups[k] = vs
+		order = append(order, k)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return groups, order
+}
+
+func TestInMemoryGrouping(t *testing.T) {
+	pairs := []kvio.Pair{
+		kvio.StrPair("b", "1"),
+		kvio.StrPair("a", "2"),
+		kvio.StrPair("b", "3"),
+		kvio.StrPair("c", "4"),
+		kvio.StrPair("a", "5"),
+	}
+	groups, order := collect(t, Options{}, pairs)
+	if want := []string{"a", "b", "c"}; !equalStrings(order, want) {
+		t.Errorf("key order = %v, want %v", order, want)
+	}
+	if !equalStrings(groups["a"], []string{"2", "5"}) {
+		t.Errorf("group a = %v (value order must be stable)", groups["a"])
+	}
+	if !equalStrings(groups["b"], []string{"1", "3"}) {
+		t.Errorf("group b = %v", groups["b"])
+	}
+}
+
+func TestEmptySorter(t *testing.T) {
+	groups, _ := collect(t, Options{}, nil)
+	if len(groups) != 0 {
+		t.Errorf("expected no groups, got %v", groups)
+	}
+}
+
+func TestSpillingMatchesInMemory(t *testing.T) {
+	var pairs []kvio.Pair
+	for i := 0; i < 5000; i++ {
+		pairs = append(pairs, kvio.StrPair(fmt.Sprintf("key-%03d", i%97), fmt.Sprintf("v%d", i)))
+	}
+	mem, memOrder := collect(t, Options{}, pairs)
+	tmp := t.TempDir()
+	spill, spillOrder := collect(t, Options{SpillBytes: 4 << 10, TempDir: tmp}, pairs)
+	if !equalStrings(memOrder, spillOrder) {
+		t.Fatalf("key orders differ: %d vs %d keys", len(memOrder), len(spillOrder))
+	}
+	for k, vs := range mem {
+		if !equalStrings(vs, spill[k]) {
+			t.Errorf("key %q: in-memory %v, spilled %v", k, vs, spill[k])
+		}
+	}
+}
+
+func TestSpillActuallySpills(t *testing.T) {
+	s := NewSorter(Options{SpillBytes: 1 << 10, TempDir: t.TempDir()})
+	defer s.Close()
+	for i := 0; i < 1000; i++ {
+		if err := s.Add(kvio.StrPair(fmt.Sprintf("key-%d", i), "some-value-payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Spills() == 0 {
+		t.Error("expected at least one spill")
+	}
+	if s.Added() != 1000 {
+		t.Errorf("Added = %d", s.Added())
+	}
+}
+
+func sumCombine(key []byte, values [][]byte) ([][]byte, error) {
+	var total int64
+	for _, v := range values {
+		n, err := codec.DecodeVarint(v)
+		if err != nil {
+			return nil, err
+		}
+		total += n
+	}
+	return [][]byte{codec.EncodeVarint(total)}, nil
+}
+
+func TestCombinerInMemory(t *testing.T) {
+	s := NewSorter(Options{Combine: sumCombine})
+	defer s.Close()
+	for i := 0; i < 10; i++ {
+		if err := s.Add(kvio.Pair{Key: []byte("x"), Value: codec.EncodeVarint(1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got int64
+	var count int
+	err := s.Groups(func(key []byte, values [][]byte) error {
+		count = len(values)
+		n, err := codec.DecodeVarint(values[0])
+		got = n
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 || got != 10 {
+		t.Errorf("combined group: %d values, total %d; want 1 value, total 10", count, got)
+	}
+}
+
+func TestCombinerAcrossSpills(t *testing.T) {
+	// The combiner runs per spill and again at merge; the total must be
+	// exact regardless of spill boundaries.
+	s := NewSorter(Options{Combine: sumCombine, SpillBytes: 256, TempDir: t.TempDir()})
+	defer s.Close()
+	const n = 2000
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("k%d", i%7)
+		if err := s.Add(kvio.Pair{Key: []byte(key), Value: codec.EncodeVarint(1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Spills() == 0 {
+		t.Fatal("test requires spills; lower the threshold")
+	}
+	totals := map[string]int64{}
+	err := s.Groups(func(key []byte, values [][]byte) error {
+		if len(values) != 1 {
+			return fmt.Errorf("key %q: %d values after final combine", key, len(values))
+		}
+		v, err := codec.DecodeVarint(values[0])
+		totals[string(key)] = v
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for _, v := range totals {
+		sum += v
+	}
+	if sum != n {
+		t.Errorf("grand total %d, want %d", sum, n)
+	}
+}
+
+func TestGroupsPropertyAgainstReferenceModel(t *testing.T) {
+	f := func(raw [][2][]byte) bool {
+		pairs := make([]kvio.Pair, len(raw))
+		for i, kv := range raw {
+			pairs[i] = kvio.Pair{Key: kv[0], Value: kv[1]}
+		}
+		// Reference model: map from key to values in input order.
+		want := map[string][]string{}
+		for _, p := range pairs {
+			want[string(p.Key)] = append(want[string(p.Key)], string(p.Value))
+		}
+		s := NewSorter(Options{SpillBytes: 64, TempDir: t.TempDir()})
+		defer s.Close()
+		for _, p := range pairs {
+			if err := s.Add(p); err != nil {
+				return false
+			}
+		}
+		got := map[string][]string{}
+		var keys []string
+		err := s.Groups(func(key []byte, values [][]byte) error {
+			var vs []string
+			for _, v := range values {
+				vs = append(vs, string(v))
+			}
+			got[string(key)] = vs
+			keys = append(keys, string(key))
+			return nil
+		})
+		if err != nil {
+			return false
+		}
+		if !sort.StringsAreSorted(keys) {
+			return false
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for k, vs := range want {
+			gvs, ok := got[k]
+			if !ok || len(gvs) != len(vs) {
+				return false
+			}
+			// External merge preserves per-key value order because runs
+			// are spilled in input order and merged with seq tie-break.
+			for i := range vs {
+				if gvs[i] != vs[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddAfterCloseFails(t *testing.T) {
+	s := NewSorter(Options{})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(kvio.StrPair("a", "b")); err == nil {
+		t.Error("Add after Close should fail")
+	}
+	if err := s.Groups(func([]byte, [][]byte) error { return nil }); err == nil {
+		t.Error("Groups after Close should fail")
+	}
+}
+
+func TestGroupsErrorPropagation(t *testing.T) {
+	s := NewSorter(Options{})
+	defer s.Close()
+	if err := s.Add(kvio.StrPair("a", "1")); err != nil {
+		t.Fatal(err)
+	}
+	sentinel := fmt.Errorf("stop")
+	if err := s.Groups(func([]byte, [][]byte) error { return sentinel }); err != sentinel {
+		t.Errorf("got %v, want sentinel", err)
+	}
+}
+
+func TestAddStream(t *testing.T) {
+	data := kvio.Marshal([]kvio.Pair{kvio.StrPair("a", "1"), kvio.StrPair("a", "2")})
+	s := NewSorter(Options{})
+	defer s.Close()
+	if err := s.AddStream(kvio.NewReader(bytes.NewReader(data))); err != nil {
+		t.Fatal(err)
+	}
+	if s.Added() != 2 {
+		t.Errorf("Added = %d, want 2", s.Added())
+	}
+}
+
+func TestBinaryKeysSortedBytewise(t *testing.T) {
+	pairs := []kvio.Pair{
+		{Key: []byte{0xFF}, Value: []byte("hi")},
+		{Key: []byte{0x00}, Value: []byte("lo")},
+		{Key: []byte{0x7F}, Value: []byte("mid")},
+	}
+	_, order := collect(t, Options{}, pairs)
+	want := []string{"\x00", "\x7f", "\xff"}
+	if !equalStrings(order, want) {
+		t.Errorf("order = %q, want %q", order, want)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func BenchmarkSortGroupInMemory(b *testing.B) {
+	pairs := make([]kvio.Pair, 10000)
+	for i := range pairs {
+		pairs[i] = kvio.StrPair(fmt.Sprintf("key-%04d", i%500), "v")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewSorter(Options{})
+		for _, p := range pairs {
+			if err := s.Add(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := s.Groups(func([]byte, [][]byte) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+		s.Close()
+	}
+}
+
+func BenchmarkSortGroupExternal(b *testing.B) {
+	pairs := make([]kvio.Pair, 10000)
+	for i := range pairs {
+		pairs[i] = kvio.StrPair(fmt.Sprintf("key-%04d", i%500), "v")
+	}
+	dir := b.TempDir()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewSorter(Options{SpillBytes: 16 << 10, TempDir: dir})
+		for _, p := range pairs {
+			if err := s.Add(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := s.Groups(func([]byte, [][]byte) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+		s.Close()
+	}
+}

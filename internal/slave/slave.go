@@ -1,0 +1,278 @@
+// Package slave implements the worker process: it signs in with the
+// master, heartbeats, pulls tasks, executes them with the shared task
+// engine from internal/core, and serves its output buckets to peers
+// over a built-in HTTP server (§IV-B's "direct communication" path) or
+// stages them on a shared filesystem (the fault-tolerant path).
+package slave
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bucket"
+	"repro/internal/core"
+	"repro/internal/rpcproto"
+	"repro/internal/xmlrpc"
+)
+
+// Options configures a slave.
+type Options struct {
+	// MasterAddr is the master's host:port.
+	MasterAddr string
+	// Dir is the local bucket directory (default: fresh temp dir).
+	Dir string
+	// SharedDir enables filesystem staging: buckets live here and are
+	// advertised as file:// URLs; no data server is started.
+	SharedDir string
+	// Addr is the data server listen address (default "127.0.0.1:0").
+	Addr string
+	// Logger receives slave diagnostics (default: discard).
+	Logger *log.Logger
+	// MaxConsecutiveRPCErrors before the slave gives up on the master.
+	MaxConsecutiveRPCErrors int
+}
+
+// Slave is one worker.
+type Slave struct {
+	opts    Options
+	reg     *core.Registry
+	client  *xmlrpc.Client
+	store   *bucket.Store
+	env     *core.TaskEnv
+	ln      net.Listener
+	httpSrv *http.Server
+	ownsDir string
+	id      string
+	logger  *log.Logger
+
+	tasksRun atomic.Int64
+	stopHB   chan struct{}
+}
+
+// New prepares a slave (listening for data but not yet signed in).
+func New(reg *core.Registry, opts Options) (*Slave, error) {
+	if opts.MasterAddr == "" {
+		return nil, fmt.Errorf("slave: MasterAddr required")
+	}
+	if opts.Addr == "" {
+		opts.Addr = "127.0.0.1:0"
+	}
+	if opts.MaxConsecutiveRPCErrors <= 0 {
+		opts.MaxConsecutiveRPCErrors = 10
+	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = log.New(os.Stderr, "", 0)
+		logger.SetOutput(discard{})
+	}
+	s := &Slave{
+		opts:   opts,
+		reg:    reg,
+		client: xmlrpc.NewClient("http://" + opts.MasterAddr + xmlrpc.RPCPath),
+		logger: logger,
+		stopHB: make(chan struct{}),
+	}
+
+	dir := opts.Dir
+	if opts.SharedDir != "" {
+		dir = opts.SharedDir
+	} else if dir == "" {
+		d, err := os.MkdirTemp("", "mrs-slave-*")
+		if err != nil {
+			return nil, err
+		}
+		dir = d
+		s.ownsDir = d
+	}
+
+	baseURL := ""
+	if opts.SharedDir == "" {
+		ln, err := net.Listen("tcp", opts.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("slave: listen %s: %w", opts.Addr, err)
+		}
+		s.ln = ln
+		baseURL = "http://" + ln.Addr().String() + "/data"
+	}
+	store, err := bucket.NewFileStore(dir, baseURL)
+	if err != nil {
+		if s.ln != nil {
+			s.ln.Close()
+		}
+		return nil, err
+	}
+	s.store = store
+	s.env = &core.TaskEnv{Store: store, Reg: reg, TempDir: dir}
+
+	if s.ln != nil {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/data/", s.serveData)
+		s.httpSrv = &http.Server{Handler: mux}
+		go s.httpSrv.Serve(s.ln)
+	}
+	return s, nil
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// DataAddr returns the data server address ("" in shared-dir mode).
+func (s *Slave) DataAddr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// ID returns the master-assigned slave id (empty before signin).
+func (s *Slave) ID() string { return s.id }
+
+// TasksRun returns how many tasks this slave has executed.
+func (s *Slave) TasksRun() int64 { return s.tasksRun.Load() }
+
+func (s *Slave) serveData(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/data/")
+	path, err := s.store.ServeName(name)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	http.ServeFile(w, r, path)
+}
+
+// Run signs in and processes tasks until the master shuts down, the
+// context is cancelled, or the master becomes unreachable.
+func (s *Slave) Run(ctx context.Context) error {
+	defer s.cleanup()
+
+	reply, err := s.signin(ctx)
+	if err != nil {
+		return err
+	}
+	s.id = reply.SlaveID
+	interval := time.Duration(reply.HeartbeatMillis) * time.Millisecond
+	go s.heartbeat(interval)
+	defer close(s.stopHB)
+
+	consecutiveErrs := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		raw, err := s.client.Call(rpcproto.MethodGetTask, s.id)
+		if err != nil {
+			consecutiveErrs++
+			s.logger.Printf("slave %s: get_task: %v", s.id, err)
+			if consecutiveErrs >= s.opts.MaxConsecutiveRPCErrors {
+				return fmt.Errorf("slave: master unreachable: %w", err)
+			}
+			if !sleepCtx(ctx, backoff(consecutiveErrs)) {
+				return ctx.Err()
+			}
+			continue
+		}
+		consecutiveErrs = 0
+		a, err := rpcproto.DecodeAssignment(raw)
+		if err != nil {
+			return fmt.Errorf("slave: bad assignment: %w", err)
+		}
+		for _, name := range a.Deletes {
+			_ = s.store.Remove(name)
+		}
+		switch a.Status {
+		case rpcproto.StatusShutdown:
+			return nil
+		case rpcproto.StatusIdle:
+			continue
+		case rpcproto.StatusTask:
+			s.runTask(a)
+		}
+	}
+}
+
+func (s *Slave) runTask(a rpcproto.Assignment) {
+	result, err := core.ExecTask(s.env, a.Spec)
+	s.tasksRun.Add(1)
+	if err != nil {
+		s.logger.Printf("slave %s: task %d failed: %v", s.id, a.TaskID, err)
+		if _, rerr := s.client.Call(rpcproto.MethodTaskFailed, s.id, a.TaskID, err.Error()); rerr != nil {
+			s.logger.Printf("slave %s: reporting failure: %v", s.id, rerr)
+		}
+		return
+	}
+	outputs := rpcproto.EncodeDescriptors(result.Outputs)
+	if _, rerr := s.client.Call(rpcproto.MethodTaskDone, s.id, a.TaskID, outputs); rerr != nil {
+		s.logger.Printf("slave %s: reporting completion: %v", s.id, rerr)
+	}
+}
+
+func (s *Slave) signin(ctx context.Context) (rpcproto.SigninReply, error) {
+	var lastErr error
+	for attempt := 0; attempt < 20; attempt++ {
+		select {
+		case <-ctx.Done():
+			return rpcproto.SigninReply{}, ctx.Err()
+		default:
+		}
+		raw, err := s.client.Call(rpcproto.MethodSignin)
+		if err == nil {
+			return rpcproto.DecodeSigninReply(raw)
+		}
+		lastErr = err
+		if !sleepCtx(ctx, backoff(attempt+1)) {
+			return rpcproto.SigninReply{}, ctx.Err()
+		}
+	}
+	return rpcproto.SigninReply{}, fmt.Errorf("slave: signin failed: %w", lastErr)
+}
+
+func (s *Slave) heartbeat(interval time.Duration) {
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stopHB:
+			return
+		case <-tick.C:
+			if _, err := s.client.Call(rpcproto.MethodPing, s.id); err != nil {
+				s.logger.Printf("slave %s: ping: %v", s.id, err)
+			}
+		}
+	}
+}
+
+func (s *Slave) cleanup() {
+	if s.httpSrv != nil {
+		s.httpSrv.Close()
+	}
+	if s.ownsDir != "" {
+		os.RemoveAll(s.ownsDir)
+	}
+}
+
+func backoff(attempt int) time.Duration {
+	d := time.Duration(attempt) * 50 * time.Millisecond
+	if d > time.Second {
+		d = time.Second
+	}
+	return d
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	select {
+	case <-ctx.Done():
+		return false
+	case <-time.After(d):
+		return true
+	}
+}

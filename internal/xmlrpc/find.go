@@ -1,0 +1,24 @@
+package xmlrpc
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+)
+
+// findAndParseValue scans forward to the next <value> element and
+// parses it; used for the single value inside <fault>.
+func findAndParseValue(d *xml.Decoder) (any, error) {
+	for {
+		tok, err := d.Token()
+		if err == io.EOF {
+			return nil, fmt.Errorf("xmlrpc: no value found")
+		}
+		if err != nil {
+			return nil, err
+		}
+		if se, ok := tok.(xml.StartElement); ok && se.Name.Local == "value" {
+			return parseValue(d)
+		}
+	}
+}

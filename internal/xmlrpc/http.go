@@ -1,0 +1,128 @@
+package xmlrpc
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// RPCPath is the conventional endpoint path.
+const RPCPath = "/RPC2"
+
+// Handler is a registered server method.
+type Handler func(args []any) (any, error)
+
+// Server dispatches XML-RPC calls to registered handlers. It
+// implements http.Handler and is mounted at RPCPath by convention.
+type Server struct {
+	mu      sync.RWMutex
+	methods map[string]Handler
+}
+
+// NewServer returns an empty server.
+func NewServer() *Server {
+	return &Server{methods: map[string]Handler{}}
+}
+
+// Register adds a method. Re-registering a name replaces the handler.
+func (s *Server) Register(name string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.methods[name] = h
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "xmlrpc requires POST", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	method, args, err := UnmarshalCall(body)
+	if err != nil {
+		s.writeFault(w, &Fault{Code: -32700, Message: "parse error: " + err.Error()})
+		return
+	}
+	s.mu.RLock()
+	h, ok := s.methods[method]
+	s.mu.RUnlock()
+	if !ok {
+		s.writeFault(w, &Fault{Code: -32601, Message: fmt.Sprintf("method %q not found", method)})
+		return
+	}
+	result, err := h(args)
+	if err != nil {
+		if f, isFault := err.(*Fault); isFault {
+			s.writeFault(w, f)
+		} else {
+			s.writeFault(w, &Fault{Code: 1, Message: err.Error()})
+		}
+		return
+	}
+	resp, err := MarshalResponse(result)
+	if err != nil {
+		s.writeFault(w, &Fault{Code: 2, Message: "marshal error: " + err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "text/xml")
+	w.Write(resp)
+}
+
+func (s *Server) writeFault(w http.ResponseWriter, f *Fault) {
+	data, err := MarshalFault(f)
+	if err != nil {
+		http.Error(w, f.Message, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/xml")
+	w.Write(data)
+}
+
+// Client calls a remote XML-RPC endpoint.
+type Client struct {
+	// URL is the full endpoint, e.g. "http://host:1234/RPC2".
+	URL string
+	// HTTPClient may be replaced for custom timeouts; the default has
+	// a generous timeout sized for long-poll task requests.
+	HTTPClient *http.Client
+}
+
+// DefaultTimeout bounds a single RPC round trip.
+const DefaultTimeout = 60 * time.Second
+
+// NewClient returns a client for the endpoint URL.
+func NewClient(url string) *Client {
+	return &Client{URL: url, HTTPClient: &http.Client{Timeout: DefaultTimeout}}
+}
+
+// Call invokes a remote method. Server faults come back as *Fault.
+func (c *Client) Call(method string, args ...any) (any, error) {
+	body, err := MarshalCall(method, args)
+	if err != nil {
+		return nil, err
+	}
+	httpClient := c.HTTPClient
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: DefaultTimeout}
+	}
+	resp, err := httpClient.Post(c.URL, "text/xml", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("xmlrpc: %s: %w", method, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("xmlrpc: %s: HTTP %s", method, resp.Status)
+	}
+	return UnmarshalResponse(data)
+}

@@ -1,0 +1,452 @@
+// Package xmlrpc implements the XML-RPC protocol over HTTP. The Mrs
+// paper chose XML-RPC for master/slave communication *because it ships
+// with the Python standard library* even though faster protocols exist
+// (§IV-B); we reproduce that choice on top of net/http and encoding/xml
+// to preserve the measured control-plane characteristics.
+//
+// Supported value types and their Go mappings:
+//
+//	<int>/<i4>      int64
+//	<boolean>       bool
+//	<double>        float64
+//	<string>        string
+//	<base64>        []byte
+//	<array>         []any
+//	<struct>        map[string]any
+//
+// Faults are returned as *Fault errors.
+package xmlrpc
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Fault is an XML-RPC fault response.
+type Fault struct {
+	Code    int64
+	Message string
+}
+
+// Error implements the error interface.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("xmlrpc: fault %d: %s", f.Code, f.Message)
+}
+
+// ---------------------------------------------------------------------------
+// Marshalling
+
+// MarshalCall encodes a method call document.
+func MarshalCall(method string, args []any) ([]byte, error) {
+	var b bytes.Buffer
+	b.WriteString(xml.Header)
+	b.WriteString("<methodCall><methodName>")
+	if err := xml.EscapeText(&b, []byte(method)); err != nil {
+		return nil, err
+	}
+	b.WriteString("</methodName><params>")
+	for _, a := range args {
+		b.WriteString("<param>")
+		if err := writeValue(&b, a); err != nil {
+			return nil, err
+		}
+		b.WriteString("</param>")
+	}
+	b.WriteString("</params></methodCall>")
+	return b.Bytes(), nil
+}
+
+// MarshalResponse encodes a successful method response with one result.
+func MarshalResponse(result any) ([]byte, error) {
+	var b bytes.Buffer
+	b.WriteString(xml.Header)
+	b.WriteString("<methodResponse><params><param>")
+	if err := writeValue(&b, result); err != nil {
+		return nil, err
+	}
+	b.WriteString("</param></params></methodResponse>")
+	return b.Bytes(), nil
+}
+
+// MarshalFault encodes a fault response.
+func MarshalFault(f *Fault) ([]byte, error) {
+	var b bytes.Buffer
+	b.WriteString(xml.Header)
+	b.WriteString("<methodResponse><fault>")
+	err := writeValue(&b, map[string]any{
+		"faultCode":   f.Code,
+		"faultString": f.Message,
+	})
+	if err != nil {
+		return nil, err
+	}
+	b.WriteString("</fault></methodResponse>")
+	return b.Bytes(), nil
+}
+
+func writeValue(b *bytes.Buffer, v any) error {
+	b.WriteString("<value>")
+	switch x := v.(type) {
+	case nil:
+		// XML-RPC has no null in the base spec; encode as empty string.
+		b.WriteString("<string></string>")
+	case int:
+		b.WriteString("<int>")
+		b.WriteString(strconv.FormatInt(int64(x), 10))
+		b.WriteString("</int>")
+	case int64:
+		b.WriteString("<int>")
+		b.WriteString(strconv.FormatInt(x, 10))
+		b.WriteString("</int>")
+	case bool:
+		if x {
+			b.WriteString("<boolean>1</boolean>")
+		} else {
+			b.WriteString("<boolean>0</boolean>")
+		}
+	case float64:
+		b.WriteString("<double>")
+		b.WriteString(strconv.FormatFloat(x, 'g', -1, 64))
+		b.WriteString("</double>")
+	case string:
+		b.WriteString("<string>")
+		if err := xml.EscapeText(b, []byte(x)); err != nil {
+			return err
+		}
+		b.WriteString("</string>")
+	case []byte:
+		b.WriteString("<base64>")
+		b.WriteString(base64.StdEncoding.EncodeToString(x))
+		b.WriteString("</base64>")
+	case []any:
+		b.WriteString("<array><data>")
+		for _, e := range x {
+			if err := writeValue(b, e); err != nil {
+				return err
+			}
+		}
+		b.WriteString("</data></array>")
+	case []string:
+		b.WriteString("<array><data>")
+		for _, e := range x {
+			if err := writeValue(b, e); err != nil {
+				return err
+			}
+		}
+		b.WriteString("</data></array>")
+	case map[string]any:
+		b.WriteString("<struct>")
+		for _, k := range sortedKeys(x) {
+			b.WriteString("<member><name>")
+			if err := xml.EscapeText(b, []byte(k)); err != nil {
+				return err
+			}
+			b.WriteString("</name>")
+			if err := writeValue(b, x[k]); err != nil {
+				return err
+			}
+			b.WriteString("</member>")
+		}
+		b.WriteString("</struct>")
+	default:
+		return fmt.Errorf("xmlrpc: unsupported type %T", v)
+	}
+	b.WriteString("</value>")
+	return nil
+}
+
+func sortedKeys(m map[string]any) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	// insertion sort; structs are small
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// ---------------------------------------------------------------------------
+// Unmarshalling
+
+// UnmarshalCall parses a method call document.
+func UnmarshalCall(data []byte) (method string, args []any, err error) {
+	d := xml.NewDecoder(bytes.NewReader(data))
+	if err := expectStart(d, "methodCall"); err != nil {
+		return "", nil, err
+	}
+	for {
+		tok, err := d.Token()
+		if err == io.EOF {
+			return method, args, nil
+		}
+		if err != nil {
+			return "", nil, err
+		}
+		se, ok := tok.(xml.StartElement)
+		if !ok {
+			continue
+		}
+		switch se.Name.Local {
+		case "methodName":
+			s, err := readCharData(d, "methodName")
+			if err != nil {
+				return "", nil, err
+			}
+			method = s
+		case "value":
+			v, err := parseValue(d)
+			if err != nil {
+				return "", nil, err
+			}
+			args = append(args, v)
+		}
+	}
+}
+
+// UnmarshalResponse parses a method response; faults become *Fault errors.
+func UnmarshalResponse(data []byte) (any, error) {
+	d := xml.NewDecoder(bytes.NewReader(data))
+	if err := expectStart(d, "methodResponse"); err != nil {
+		return nil, err
+	}
+	for {
+		tok, err := d.Token()
+		if err == io.EOF {
+			return nil, fmt.Errorf("xmlrpc: response with no value")
+		}
+		if err != nil {
+			return nil, err
+		}
+		se, ok := tok.(xml.StartElement)
+		if !ok {
+			continue
+		}
+		switch se.Name.Local {
+		case "fault":
+			v, err := findAndParseValue(d)
+			if err != nil {
+				return nil, err
+			}
+			st, ok := v.(map[string]any)
+			if !ok {
+				return nil, fmt.Errorf("xmlrpc: malformed fault")
+			}
+			f := &Fault{}
+			if c, ok := st["faultCode"].(int64); ok {
+				f.Code = c
+			}
+			if s, ok := st["faultString"].(string); ok {
+				f.Message = s
+			}
+			return nil, f
+		case "value":
+			return parseValue(d)
+		}
+	}
+}
+
+func expectStart(d *xml.Decoder, name string) error {
+	for {
+		tok, err := d.Token()
+		if err != nil {
+			return fmt.Errorf("xmlrpc: expected <%s>: %w", name, err)
+		}
+		if se, ok := tok.(xml.StartElement); ok {
+			if se.Name.Local != name {
+				return fmt.Errorf("xmlrpc: expected <%s>, got <%s>", name, se.Name.Local)
+			}
+			return nil
+		}
+	}
+}
+
+// readCharData consumes character data until the close tag of elem.
+func readCharData(d *xml.Decoder, elem string) (string, error) {
+	var sb strings.Builder
+	for {
+		tok, err := d.Token()
+		if err != nil {
+			return "", err
+		}
+		switch t := tok.(type) {
+		case xml.CharData:
+			sb.Write(t)
+		case xml.EndElement:
+			if t.Name.Local == elem {
+				return sb.String(), nil
+			}
+		case xml.StartElement:
+			return "", fmt.Errorf("xmlrpc: unexpected <%s> inside <%s>", t.Name.Local, elem)
+		}
+	}
+}
+
+// parseValue parses the contents of an already-opened <value> element
+// through its closing tag.
+func parseValue(d *xml.Decoder) (any, error) {
+	var text strings.Builder
+	for {
+		tok, err := d.Token()
+		if err != nil {
+			return nil, err
+		}
+		switch t := tok.(type) {
+		case xml.CharData:
+			text.Write(t)
+		case xml.EndElement:
+			// </value> with no typed child: per spec, the text is a string.
+			if t.Name.Local == "value" {
+				return text.String(), nil
+			}
+		case xml.StartElement:
+			v, err := parseTyped(d, t.Name.Local)
+			if err != nil {
+				return nil, err
+			}
+			// consume until </value>
+			if err := skipToEnd(d, "value"); err != nil {
+				return nil, err
+			}
+			return v, nil
+		}
+	}
+}
+
+func skipToEnd(d *xml.Decoder, elem string) error {
+	depth := 0
+	for {
+		tok, err := d.Token()
+		if err != nil {
+			return err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			depth++
+		case xml.EndElement:
+			if depth == 0 && t.Name.Local == elem {
+				return nil
+			}
+			depth--
+		}
+	}
+}
+
+func parseTyped(d *xml.Decoder, typ string) (any, error) {
+	switch typ {
+	case "int", "i4", "i8":
+		s, err := readCharData(d, typ)
+		if err != nil {
+			return nil, err
+		}
+		return strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	case "boolean":
+		s, err := readCharData(d, typ)
+		if err != nil {
+			return nil, err
+		}
+		switch strings.TrimSpace(s) {
+		case "1", "true":
+			return true, nil
+		case "0", "false":
+			return false, nil
+		}
+		return nil, fmt.Errorf("xmlrpc: bad boolean %q", s)
+	case "double":
+		s, err := readCharData(d, typ)
+		if err != nil {
+			return nil, err
+		}
+		return strconv.ParseFloat(strings.TrimSpace(s), 64)
+	case "string":
+		return readCharData(d, typ)
+	case "base64":
+		s, err := readCharData(d, typ)
+		if err != nil {
+			return nil, err
+		}
+		return base64.StdEncoding.DecodeString(strings.Map(dropSpace, s))
+	case "array":
+		return parseArray(d)
+	case "struct":
+		return parseStruct(d)
+	case "nil":
+		if err := skipToEnd(d, "nil"); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+	return nil, fmt.Errorf("xmlrpc: unknown value type <%s>", typ)
+}
+
+func dropSpace(r rune) rune {
+	switch r {
+	case ' ', '\t', '\n', '\r':
+		return -1
+	}
+	return r
+}
+
+func parseArray(d *xml.Decoder) (any, error) {
+	out := []any{}
+	for {
+		tok, err := d.Token()
+		if err != nil {
+			return nil, err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if t.Name.Local == "value" {
+				v, err := parseValue(d)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, v)
+			}
+		case xml.EndElement:
+			if t.Name.Local == "array" {
+				return out, nil
+			}
+		}
+	}
+}
+
+func parseStruct(d *xml.Decoder) (any, error) {
+	out := map[string]any{}
+	var name string
+	for {
+		tok, err := d.Token()
+		if err != nil {
+			return nil, err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			switch t.Name.Local {
+			case "name":
+				s, err := readCharData(d, "name")
+				if err != nil {
+					return nil, err
+				}
+				name = s
+			case "value":
+				v, err := parseValue(d)
+				if err != nil {
+					return nil, err
+				}
+				out[name] = v
+			}
+		case xml.EndElement:
+			if t.Name.Local == "struct" {
+				return out, nil
+			}
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package mrs_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"strings"
+	"testing"
+
+	mrs "repro"
+	"repro/internal/codec"
+)
+
+// countProgram is the canonical WordCount written against the public
+// API — the Go equivalent of Program 1 in the paper.
+type countProgram struct {
+	input  []string
+	output map[string]int64
+	useBy  bool
+}
+
+func (p *countProgram) Register(reg *mrs.Registry) error {
+	reg.RegisterMap("map", func(key, value []byte, emit mrs.Emitter) error {
+		for _, w := range bytes.Fields(value) {
+			if err := emit.Emit(w, codec.EncodeVarint(1)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	reg.RegisterReduce("reduce", func(key []byte, values [][]byte, emit mrs.Emitter) error {
+		var total int64
+		for _, v := range values {
+			n, err := codec.DecodeVarint(v)
+			if err != nil {
+				return err
+			}
+			total += n
+		}
+		return emit.Emit(key, codec.EncodeVarint(total))
+	})
+	return nil
+}
+
+func (p *countProgram) Run(job *mrs.Job) error {
+	pairs := make([]mrs.Pair, len(p.input))
+	for i, line := range p.input {
+		pairs[i] = mrs.Pair{Key: codec.EncodeVarint(int64(i)), Value: []byte(line)}
+	}
+	src, err := job.LocalData(pairs, mrs.OpOpts{Splits: 2, Partition: "roundrobin"})
+	if err != nil {
+		return err
+	}
+	out, err := job.MapReduce(src, "map", "reduce",
+		mrs.OpOpts{Splits: 2, Combine: "reduce"}, mrs.OpOpts{Splits: 2})
+	if err != nil {
+		return err
+	}
+	collected, err := out.Collect()
+	if err != nil {
+		return err
+	}
+	p.output = map[string]int64{}
+	for _, kv := range collected {
+		n, err := codec.DecodeVarint(kv.Value)
+		if err != nil {
+			return err
+		}
+		p.output[string(kv.Key)] += n
+	}
+	return nil
+}
+
+// Bypass implements the bypass mode with a plain loop.
+func (p *countProgram) Bypass() error {
+	p.useBy = true
+	p.output = map[string]int64{}
+	for _, line := range p.input {
+		for _, w := range strings.Fields(line) {
+			p.output[w]++
+		}
+	}
+	return nil
+}
+
+var testInput = []string{"a b a", "c a b", "c c"}
+var testWant = map[string]int64{"a": 3, "b": 2, "c": 3}
+
+func checkOutput(t *testing.T, got map[string]int64) {
+	t.Helper()
+	if len(got) != len(testWant) {
+		t.Errorf("got %v, want %v", got, testWant)
+	}
+	for w, n := range testWant {
+		if got[w] != n {
+			t.Errorf("count[%q] = %d, want %d", w, got[w], n)
+		}
+	}
+}
+
+func TestAllImplementationsAgree(t *testing.T) {
+	for _, impl := range []string{"serial", "mock", "threads", "local", "bypass"} {
+		t.Run(impl, func(t *testing.T) {
+			p := &countProgram{input: testInput}
+			if err := mrs.Run(p, mrs.Options{Implementation: impl}); err != nil {
+				t.Fatal(err)
+			}
+			checkOutput(t, p.output)
+			if impl == "bypass" && !p.useBy {
+				t.Error("bypass mode did not call Bypass")
+			}
+		})
+	}
+}
+
+func TestUnknownImplementation(t *testing.T) {
+	if err := mrs.Run(&countProgram{}, mrs.Options{Implementation: "quantum"}); err == nil {
+		t.Error("unknown implementation accepted")
+	}
+}
+
+func TestSlaveRequiresMaster(t *testing.T) {
+	if err := mrs.Run(&countProgram{}, mrs.Options{Implementation: "slave"}); err == nil {
+		t.Error("slave without master address accepted")
+	}
+}
+
+func TestBypassWithoutImplementation(t *testing.T) {
+	p := &onlyMR{}
+	if err := mrs.Run(p, mrs.Options{Implementation: "bypass"}); err == nil {
+		t.Error("bypass accepted for program without Bypass method")
+	}
+}
+
+type onlyMR struct{}
+
+func (*onlyMR) Register(reg *mrs.Registry) error { return nil }
+func (*onlyMR) Run(job *mrs.Job) error           { return nil }
+
+func TestRunErrorPropagates(t *testing.T) {
+	p := &failingProgram{}
+	err := mrs.Run(p, mrs.Options{})
+	if err == nil || !strings.Contains(err.Error(), "run failed") {
+		t.Errorf("got %v", err)
+	}
+}
+
+type failingProgram struct{}
+
+func (*failingProgram) Register(reg *mrs.Registry) error { return nil }
+func (*failingProgram) Run(job *mrs.Job) error           { return fmt.Errorf("run failed") }
+
+func TestRandomDeterminism(t *testing.T) {
+	a := mrs.Random(1, 2, 3).Uint64()
+	b := mrs.Random(1, 2, 3).Uint64()
+	if a != b {
+		t.Error("Random not deterministic")
+	}
+	c := mrs.Random(1, 3, 2).Uint64()
+	if a == c {
+		t.Error("Random insensitive to argument order")
+	}
+}
+
+func TestBindFlags(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	o := mrs.BindFlags(fs)
+	err := fs.Parse([]string{
+		"-mrs=threads", "-mrs-workers=7", "-mrs-seed=99",
+		"-mrs-shared=/tmp/x", "-mrs-min-slaves=3",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Implementation != "threads" || o.Workers != 7 || o.Seed != 99 ||
+		o.SharedDir != "/tmp/x" || o.MinSlaves != 3 {
+		t.Errorf("parsed options: %+v", o)
+	}
+}
+
+func TestLocalImplementationUsesCluster(t *testing.T) {
+	p := &countProgram{input: testInput}
+	if err := mrs.Run(p, mrs.Options{Implementation: "local", Slaves: 3}); err != nil {
+		t.Fatal(err)
+	}
+	checkOutput(t, p.output)
+}
+
+func TestMasterSlaveEndToEnd(t *testing.T) {
+	// Drive the explicit master/slave modes the way separate processes
+	// would, but in-process: start the master in a goroutine with a
+	// port file, then a slave against the discovered address.
+	dir := t.TempDir()
+	portFile := dir + "/master.port"
+	p := &countProgram{input: testInput}
+	masterErr := make(chan error, 1)
+	go func() {
+		masterErr <- mrs.Run(p, mrs.Options{
+			Implementation: "master",
+			PortFile:       portFile,
+			MinSlaves:      1,
+		})
+	}()
+	addr := waitForPortFile(t, portFile)
+	slaveErr := make(chan error, 1)
+	go func() {
+		q := &countProgram{}
+		slaveErr <- mrs.Run(q, mrs.Options{Implementation: "slave", MasterAddr: addr})
+	}()
+	if err := <-masterErr; err != nil {
+		t.Fatalf("master: %v", err)
+	}
+	if err := <-slaveErr; err != nil {
+		t.Fatalf("slave: %v", err)
+	}
+	checkOutput(t, p.output)
+}
+
+func TestLocalSharedDirMode(t *testing.T) {
+	p := &countProgram{input: testInput}
+	err := mrs.Run(p, mrs.Options{
+		Implementation: "local",
+		Slaves:         2,
+		SharedDir:      t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkOutput(t, p.output)
+}

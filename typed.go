@@ -1,0 +1,143 @@
+package mrs
+
+import (
+	"fmt"
+
+	"repro/internal/codec"
+	"repro/internal/kvio"
+)
+
+// This file provides typed adaptors over the []byte-level MapReduce
+// interfaces: write map and reduce logic against Go types, and the
+// adaptors handle encoding. This recovers much of the convenience the
+// Python original gets for free from dynamic typing (§IV-A), without
+// giving up the explicit wire format.
+
+// Codec converts one Go type to and from its byte encoding.
+type Codec[T any] struct {
+	Encode func(T) []byte
+	Decode func([]byte) (T, error)
+}
+
+// String is the codec for string keys/values.
+func String() Codec[string] {
+	return Codec[string]{
+		Encode: func(s string) []byte { return []byte(s) },
+		Decode: func(b []byte) (string, error) { return string(b), nil },
+	}
+}
+
+// Int64 is the codec for int64 counters (compact varint encoding).
+func Int64() Codec[int64] {
+	return Codec[int64]{
+		Encode: codec.EncodeVarint,
+		Decode: codec.DecodeVarint,
+	}
+}
+
+// Float64 is the codec for float64 values.
+func Float64() Codec[float64] {
+	return Codec[float64]{
+		Encode: codec.EncodeFloat64,
+		Decode: codec.DecodeFloat64,
+	}
+}
+
+// Float64Slice is the codec for numeric vectors.
+func Float64Slice() Codec[[]float64] {
+	return Codec[[]float64]{
+		Encode: codec.EncodeFloat64Slice,
+		Decode: codec.DecodeFloat64Slice,
+	}
+}
+
+// Bytes is the identity codec.
+func Bytes() Codec[[]byte] {
+	return Codec[[]byte]{
+		Encode: func(b []byte) []byte { return b },
+		Decode: func(b []byte) ([]byte, error) { return b, nil },
+	}
+}
+
+// TypedEmit is the emit callback seen by typed map/reduce functions.
+type TypedEmit[K, V any] func(key K, value V) error
+
+// TypedMap adapts a typed map function to the framework's MapFunc.
+// Input records decode with (ki, vi); emitted records encode with
+// (ko, vo).
+func TypedMap[KI, VI, KO, VO any](
+	ki Codec[KI], vi Codec[VI], ko Codec[KO], vo Codec[VO],
+	fn func(key KI, value VI, emit TypedEmit[KO, VO]) error,
+) MapFunc {
+	return func(key, value []byte, emit kvio.Emitter) error {
+		k, err := ki.Decode(key)
+		if err != nil {
+			return fmt.Errorf("mrs: decoding map key: %w", err)
+		}
+		v, err := vi.Decode(value)
+		if err != nil {
+			return fmt.Errorf("mrs: decoding map value: %w", err)
+		}
+		return fn(k, v, func(ok KO, ov VO) error {
+			return emit.Emit(ko.Encode(ok), vo.Encode(ov))
+		})
+	}
+}
+
+// TypedReduce adapts a typed reduce function to the framework's
+// ReduceFunc. Keys decode with kc; input and output values with vc
+// (reduce preserves the value type, matching the paper's definition
+// reduce: (K2, list(V2)) -> list(V2)).
+func TypedReduce[K, V any](
+	kc Codec[K], vc Codec[V],
+	fn func(key K, values []V, emit TypedEmit[K, V]) error,
+) ReduceFunc {
+	return func(key []byte, values [][]byte, emit kvio.Emitter) error {
+		k, err := kc.Decode(key)
+		if err != nil {
+			return fmt.Errorf("mrs: decoding reduce key: %w", err)
+		}
+		vs := make([]V, len(values))
+		for i, raw := range values {
+			v, err := vc.Decode(raw)
+			if err != nil {
+				return fmt.Errorf("mrs: decoding reduce value %d: %w", i, err)
+			}
+			vs[i] = v
+		}
+		return fn(k, vs, func(ok K, ov V) error {
+			return emit.Emit(kc.Encode(ok), vc.Encode(ov))
+		})
+	}
+}
+
+// CollectTyped decodes a dataset's records with the given codecs.
+func CollectTyped[K, V any](d *Dataset, kc Codec[K], vc Codec[V]) ([]K, []V, error) {
+	pairs, err := d.Collect()
+	if err != nil {
+		return nil, nil, err
+	}
+	keys := make([]K, len(pairs))
+	values := make([]V, len(pairs))
+	for i, p := range pairs {
+		if keys[i], err = kc.Decode(p.Key); err != nil {
+			return nil, nil, fmt.Errorf("mrs: decoding key %d: %w", i, err)
+		}
+		if values[i], err = vc.Decode(p.Value); err != nil {
+			return nil, nil, fmt.Errorf("mrs: decoding value %d: %w", i, err)
+		}
+	}
+	return keys, values, nil
+}
+
+// TypedPairs encodes typed records as a dataset's literal pairs.
+func TypedPairs[K, V any](kc Codec[K], vc Codec[V], keys []K, values []V) ([]Pair, error) {
+	if len(keys) != len(values) {
+		return nil, fmt.Errorf("mrs: %d keys but %d values", len(keys), len(values))
+	}
+	pairs := make([]Pair, len(keys))
+	for i := range keys {
+		pairs[i] = Pair{Key: kc.Encode(keys[i]), Value: vc.Encode(values[i])}
+	}
+	return pairs, nil
+}

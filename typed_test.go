@@ -1,0 +1,116 @@
+package mrs_test
+
+import (
+	"strings"
+	"testing"
+
+	mrs "repro"
+)
+
+// typedProgram is WordCount written entirely against the typed API.
+type typedProgram struct {
+	input  []string
+	output map[string]int64
+}
+
+func (p *typedProgram) Register(reg *mrs.Registry) error {
+	reg.RegisterMap("map", mrs.TypedMap(
+		mrs.Int64(), mrs.String(), mrs.String(), mrs.Int64(),
+		func(lineNo int64, line string, emit mrs.TypedEmit[string, int64]) error {
+			for _, w := range strings.Fields(line) {
+				if err := emit(w, 1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}))
+	reg.RegisterReduce("reduce", mrs.TypedReduce(
+		mrs.String(), mrs.Int64(),
+		func(word string, counts []int64, emit mrs.TypedEmit[string, int64]) error {
+			var total int64
+			for _, c := range counts {
+				total += c
+			}
+			return emit(word, total)
+		}))
+	return nil
+}
+
+func (p *typedProgram) Run(job *mrs.Job) error {
+	keys := make([]int64, len(p.input))
+	for i := range keys {
+		keys[i] = int64(i)
+	}
+	pairs, err := mrs.TypedPairs(mrs.Int64(), mrs.String(), keys, p.input)
+	if err != nil {
+		return err
+	}
+	src, err := job.LocalData(pairs, mrs.OpOpts{Splits: 2, Partition: "roundrobin"})
+	if err != nil {
+		return err
+	}
+	out, err := job.MapReduce(src, "map", "reduce",
+		mrs.OpOpts{Splits: 2, Combine: "reduce"}, mrs.OpOpts{Splits: 2})
+	if err != nil {
+		return err
+	}
+	words, counts, err := mrs.CollectTyped(out, mrs.String(), mrs.Int64())
+	if err != nil {
+		return err
+	}
+	p.output = map[string]int64{}
+	for i, w := range words {
+		p.output[w] += counts[i]
+	}
+	return nil
+}
+
+func TestTypedWordCount(t *testing.T) {
+	p := &typedProgram{input: testInput}
+	for _, impl := range []string{"serial", "threads", "local"} {
+		p.output = nil
+		if err := mrs.Run(p, mrs.Options{Implementation: impl}); err != nil {
+			t.Fatalf("%s: %v", impl, err)
+		}
+		checkOutput(t, p.output)
+	}
+}
+
+func TestTypedCodecs(t *testing.T) {
+	s := mrs.String()
+	if got, err := s.Decode(s.Encode("héllo")); err != nil || got != "héllo" {
+		t.Errorf("string codec: %q, %v", got, err)
+	}
+	i := mrs.Int64()
+	if got, err := i.Decode(i.Encode(-42)); err != nil || got != -42 {
+		t.Errorf("int64 codec: %d, %v", got, err)
+	}
+	f := mrs.Float64()
+	if got, err := f.Decode(f.Encode(2.5)); err != nil || got != 2.5 {
+		t.Errorf("float64 codec: %v, %v", got, err)
+	}
+	fs := mrs.Float64Slice()
+	if got, err := fs.Decode(fs.Encode([]float64{1, 2})); err != nil || len(got) != 2 || got[1] != 2 {
+		t.Errorf("[]float64 codec: %v, %v", got, err)
+	}
+	b := mrs.Bytes()
+	if got, err := b.Decode(b.Encode([]byte{7})); err != nil || got[0] != 7 {
+		t.Errorf("bytes codec: %v, %v", got, err)
+	}
+}
+
+func TestTypedPairsLengthMismatch(t *testing.T) {
+	if _, err := mrs.TypedPairs(mrs.Int64(), mrs.String(), []int64{1}, nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestTypedMapDecodeError(t *testing.T) {
+	fn := mrs.TypedMap(mrs.Int64(), mrs.String(), mrs.String(), mrs.Int64(),
+		func(k int64, v string, emit mrs.TypedEmit[string, int64]) error { return nil })
+	// Int64 varint codec rejects this malformed key.
+	err := fn([]byte{0x80}, []byte("x"), nil)
+	if err == nil {
+		t.Error("malformed key accepted")
+	}
+}
