@@ -26,6 +26,8 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/fault"
+	"repro/internal/hash"
 	"repro/internal/kvio"
 )
 
@@ -52,8 +54,9 @@ type Store struct {
 	dir     string // if non-empty, buckets are files under dir
 	baseURL string // if non-empty, file buckets advertise baseURL/<name>
 
-	mu  sync.Mutex
-	mem map[string][]byte // record-stream payloads for mem buckets
+	mu     sync.Mutex
+	mem    map[string][]byte // record-stream payloads for mem buckets
+	client *http.Client      // overrides the shared fetch client (fault injection)
 }
 
 // NewMemStore returns a Store that keeps buckets in memory. Its
@@ -80,6 +83,23 @@ func NewFileStore(dir, baseURL string) (*Store, error) {
 // Dir returns the store's directory ("" for memory stores).
 func (s *Store) Dir() string { return s.dir }
 
+// SetHTTPClient overrides the HTTP client used for remote bucket
+// fetches — the hook internal/fault uses to perturb the data path.
+func (s *Store) SetHTTPClient(c *http.Client) {
+	s.mu.Lock()
+	s.client = c
+	s.mu.Unlock()
+}
+
+func (s *Store) fetchClient() *http.Client {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.client != nil {
+		return s.client
+	}
+	return httpClient
+}
+
 // InMemory reports whether this store keeps buckets in memory.
 func (s *Store) InMemory() bool { return s.dir == "" }
 
@@ -89,8 +109,13 @@ type Writer struct {
 	name  string
 	// memory path
 	buf *bytes.Buffer
-	// file path
+	// file path: records accumulate in tmp and are renamed to path on
+	// Close, so a bucket is only ever observed complete. Duplicate task
+	// attempts (reassignment races, lease requeues) then cannot expose
+	// a half-written file to a concurrent reader — last rename wins and
+	// both attempts produced identical content.
 	f    *os.File
+	tmp  string
 	path string
 
 	w      *kvio.Writer
@@ -108,11 +133,11 @@ func (s *Store) Create(name string) (*Writer, error) {
 		return &Writer{store: s, name: name, buf: buf, w: kvio.NewWriter(buf)}, nil
 	}
 	path := filepath.Join(s.dir, flatten(name))
-	f, err := os.Create(path)
+	f, err := os.CreateTemp(s.dir, "."+flatten(name)+".tmp-*")
 	if err != nil {
 		return nil, fmt.Errorf("bucket: creating %s: %w", path, err)
 	}
-	return &Writer{store: s, name: name, f: f, path: path, w: kvio.NewWriter(f)}, nil
+	return &Writer{store: s, name: name, f: f, tmp: f.Name(), path: path, w: kvio.NewWriter(f)}, nil
 }
 
 // Write appends one record to the bucket.
@@ -137,6 +162,7 @@ func (w *Writer) Close() (Descriptor, error) {
 	if err := w.w.Flush(); err != nil {
 		if w.f != nil {
 			w.f.Close()
+			os.Remove(w.tmp)
 		}
 		return Descriptor{}, err
 	}
@@ -150,7 +176,12 @@ func (w *Writer) Close() (Descriptor, error) {
 		return d, nil
 	}
 	if err := w.f.Close(); err != nil {
+		os.Remove(w.tmp)
 		return Descriptor{}, err
+	}
+	if err := os.Rename(w.tmp, w.path); err != nil {
+		os.Remove(w.tmp)
+		return Descriptor{}, fmt.Errorf("bucket: publishing %s: %w", w.path, err)
 	}
 	if s.baseURL != "" {
 		d.URL = s.baseURL + "/" + url.PathEscape(flatten(w.name))
@@ -258,21 +289,26 @@ func (s *Store) Open(rawURL string) (io.ReadCloser, error) {
 	case strings.HasPrefix(rawURL, "file://"):
 		return os.Open(strings.TrimPrefix(rawURL, "file://"))
 	case strings.HasPrefix(rawURL, "http://"), strings.HasPrefix(rawURL, "https://"):
-		return openHTTP(rawURL)
+		return s.openHTTP(rawURL)
 	}
 	return nil, fmt.Errorf("bucket: unsupported URL %q", rawURL)
 }
 
 // FetchRetries is how many times an http bucket fetch is attempted.
-const FetchRetries = 3
+const FetchRetries = 5
 
-func openHTTP(rawURL string) (io.ReadCloser, error) {
+func (s *Store) openHTTP(rawURL string) (io.ReadCloser, error) {
+	// Jitter is seeded from the URL so a given fetch's retry schedule is
+	// reproducible while distinct fetches desynchronize (no retry storms
+	// hammering a recovering slave in lockstep).
+	retry := fault.NewBackoff(hash.FNV1a64String(rawURL))
+	client := s.fetchClient()
 	var lastErr error
-	for attempt := 0; attempt < FetchRetries; attempt++ {
-		if attempt > 0 {
-			time.Sleep(time.Duration(attempt) * 100 * time.Millisecond)
+	for attempt := 1; attempt <= FetchRetries; attempt++ {
+		if attempt > 1 {
+			time.Sleep(retry.Delay(attempt - 1))
 		}
-		resp, err := httpClient.Get(rawURL)
+		resp, err := client.Get(rawURL)
 		if err != nil {
 			lastErr = err
 			continue
@@ -292,14 +328,32 @@ func openHTTP(rawURL string) (io.ReadCloser, error) {
 	return nil, lastErr
 }
 
-// ReadAll opens a URL and decodes every record.
+// ReadAll opens a URL and decodes every record. Remote fetches that die
+// mid-stream (connection dropped partway through the body) are retried
+// whole, since a partial record stream is useless to the caller.
 func (s *Store) ReadAll(rawURL string) ([]kvio.Pair, error) {
-	rc, err := s.Open(rawURL)
-	if err != nil {
-		return nil, err
+	remote := strings.HasPrefix(rawURL, "http://") || strings.HasPrefix(rawURL, "https://")
+	retry := fault.NewBackoff(hash.FNV1a64String(rawURL) + 1)
+	var lastErr error
+	for attempt := 1; attempt <= FetchRetries; attempt++ {
+		if attempt > 1 {
+			time.Sleep(retry.Delay(attempt - 1))
+		}
+		rc, err := s.Open(rawURL)
+		if err != nil {
+			return nil, err // Open already retried transport errors
+		}
+		pairs, err := kvio.NewReader(rc).ReadAll()
+		rc.Close()
+		if err == nil {
+			return pairs, nil
+		}
+		lastErr = fmt.Errorf("bucket: reading %s: %w", rawURL, err)
+		if !remote {
+			return nil, lastErr // local reads don't heal by retrying
+		}
 	}
-	defer rc.Close()
-	return kvio.NewReader(rc).ReadAll()
+	return nil, lastErr
 }
 
 // ReadAllMulti concatenates the records of several buckets in order.

@@ -1,0 +1,178 @@
+// Package clock abstracts time for the distributed runtime. The master
+// and scheduler take a Clock so liveness machinery (heartbeat reaping,
+// task leases, long-poll deadlines) can be driven by a Fake clock in
+// tests instead of real sleeps, which makes timeout tests deterministic
+// under load.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the subset of package time the runtime depends on.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// NewTicker returns a ticker firing every d.
+	NewTicker(d time.Duration) Ticker
+	// AfterFunc runs f once d has elapsed.
+	AfterFunc(d time.Duration, f func()) Timer
+}
+
+// Ticker mirrors time.Ticker behind an interface.
+type Ticker interface {
+	Chan() <-chan time.Time
+	Stop()
+}
+
+// Timer mirrors the stoppable half of time.Timer.
+type Timer interface {
+	Stop() bool
+}
+
+// ---------------------------------------------------------------------------
+// Real clock
+
+// Real is the wall clock.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// NewTicker implements Clock.
+func (Real) NewTicker(d time.Duration) Ticker { return realTicker{time.NewTicker(d)} }
+
+// AfterFunc implements Clock.
+func (Real) AfterFunc(d time.Duration, f func()) Timer { return time.AfterFunc(d, f) }
+
+type realTicker struct{ t *time.Ticker }
+
+func (r realTicker) Chan() <-chan time.Time { return r.t.C }
+func (r realTicker) Stop()                  { r.t.Stop() }
+
+// ---------------------------------------------------------------------------
+// Fake clock
+
+// Fake is a manually advanced clock. Time only moves when Advance is
+// called; due timers run synchronously (outside the clock lock) and due
+// tickers get a non-blocking send, like the real ticker's dropped-tick
+// behavior.
+type Fake struct {
+	mu      sync.Mutex
+	now     time.Time
+	timers  []*fakeTimer
+	tickers []*fakeTicker
+}
+
+// NewFake returns a Fake clock positioned at start.
+func NewFake(start time.Time) *Fake { return &Fake{now: start} }
+
+// Now implements Clock.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// NewTicker implements Clock.
+func (f *Fake) NewTicker(d time.Duration) Ticker {
+	if d <= 0 {
+		panic("clock: non-positive ticker period")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	t := &fakeTicker{clk: f, period: d, next: f.now.Add(d), c: make(chan time.Time, 1)}
+	f.tickers = append(f.tickers, t)
+	return t
+}
+
+// AfterFunc implements Clock.
+func (f *Fake) AfterFunc(d time.Duration, fn func()) Timer {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	t := &fakeTimer{clk: f, at: f.now.Add(d), fn: fn}
+	f.timers = append(f.timers, t)
+	return t
+}
+
+// Advance moves the clock forward by d, firing every timer and ticker
+// that comes due, in time order.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	target := f.now.Add(d)
+	for {
+		var (
+			nextAt     time.Time
+			dueTimer   *fakeTimer
+			dueTicker  *fakeTicker
+			haveDueYet bool
+		)
+		for _, t := range f.timers {
+			if t.stopped || t.at.After(target) {
+				continue
+			}
+			if !haveDueYet || t.at.Before(nextAt) {
+				nextAt, dueTimer, dueTicker, haveDueYet = t.at, t, nil, true
+			}
+		}
+		for _, t := range f.tickers {
+			if t.stopped || t.next.After(target) {
+				continue
+			}
+			if !haveDueYet || t.next.Before(nextAt) {
+				nextAt, dueTimer, dueTicker, haveDueYet = t.next, nil, t, true
+			}
+		}
+		if !haveDueYet {
+			break
+		}
+		f.now = nextAt
+		if dueTimer != nil {
+			dueTimer.stopped = true
+			fn := dueTimer.fn
+			f.mu.Unlock()
+			fn()
+			f.mu.Lock()
+		} else {
+			dueTicker.next = dueTicker.next.Add(dueTicker.period)
+			select {
+			case dueTicker.c <- f.now:
+			default: // receiver behind; drop the tick like time.Ticker
+			}
+		}
+	}
+	f.now = target
+	f.mu.Unlock()
+}
+
+type fakeTimer struct {
+	clk     *Fake
+	at      time.Time
+	fn      func()
+	stopped bool
+}
+
+func (t *fakeTimer) Stop() bool {
+	t.clk.mu.Lock()
+	defer t.clk.mu.Unlock()
+	was := !t.stopped
+	t.stopped = true
+	return was
+}
+
+type fakeTicker struct {
+	clk     *Fake
+	period  time.Duration
+	next    time.Time
+	c       chan time.Time
+	stopped bool
+}
+
+func (t *fakeTicker) Chan() <-chan time.Time { return t.c }
+
+func (t *fakeTicker) Stop() {
+	t.clk.mu.Lock()
+	defer t.clk.mu.Unlock()
+	t.stopped = true
+}

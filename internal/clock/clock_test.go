@@ -1,0 +1,103 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFakeNowAdvances(t *testing.T) {
+	start := time.Unix(1000, 0)
+	f := NewFake(start)
+	if !f.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", f.Now(), start)
+	}
+	f.Advance(3 * time.Second)
+	if want := start.Add(3 * time.Second); !f.Now().Equal(want) {
+		t.Errorf("Now = %v, want %v", f.Now(), want)
+	}
+}
+
+func TestFakeAfterFuncFiresInOrder(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	var fired []int
+	f.AfterFunc(30*time.Millisecond, func() { fired = append(fired, 3) })
+	f.AfterFunc(10*time.Millisecond, func() { fired = append(fired, 1) })
+	f.AfterFunc(20*time.Millisecond, func() { fired = append(fired, 2) })
+	f.Advance(25 * time.Millisecond)
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 2 {
+		t.Errorf("fired = %v, want [1 2]", fired)
+	}
+	f.Advance(10 * time.Millisecond)
+	if len(fired) != 3 || fired[2] != 3 {
+		t.Errorf("fired = %v, want [1 2 3]", fired)
+	}
+}
+
+func TestFakeTimerStop(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	ran := false
+	tm := f.AfterFunc(time.Second, func() { ran = true })
+	if !tm.Stop() {
+		t.Error("first Stop reported already-stopped")
+	}
+	if tm.Stop() {
+		t.Error("second Stop reported active")
+	}
+	f.Advance(2 * time.Second)
+	if ran {
+		t.Error("stopped timer fired")
+	}
+}
+
+func TestFakeTickerTicksAndDrops(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	tk := f.NewTicker(10 * time.Millisecond)
+	// Three periods elapse but the channel holds one tick (dropped-tick
+	// semantics, like time.Ticker with a slow receiver).
+	f.Advance(30 * time.Millisecond)
+	select {
+	case <-tk.Chan():
+	default:
+		t.Fatal("no tick after 3 periods")
+	}
+	select {
+	case <-tk.Chan():
+		t.Fatal("backlogged ticks were not dropped")
+	default:
+	}
+	// A drained ticker ticks again on the next period.
+	f.Advance(10 * time.Millisecond)
+	select {
+	case <-tk.Chan():
+	default:
+		t.Fatal("no tick after drain + 1 period")
+	}
+	tk.Stop()
+	f.Advance(50 * time.Millisecond)
+	select {
+	case <-tk.Chan():
+		t.Fatal("stopped ticker ticked")
+	default:
+	}
+}
+
+func TestRealClockBasics(t *testing.T) {
+	var c Clock = Real{}
+	if d := time.Since(c.Now()); d > time.Minute || d < -time.Minute {
+		t.Errorf("Real.Now far from wall clock: %v", d)
+	}
+	done := make(chan struct{})
+	c.AfterFunc(time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Real.AfterFunc never fired")
+	}
+	tk := c.NewTicker(time.Millisecond)
+	defer tk.Stop()
+	select {
+	case <-tk.Chan():
+	case <-time.After(2 * time.Second):
+		t.Fatal("Real ticker never ticked")
+	}
+}

@@ -8,10 +8,13 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"net/http"
 	"sync"
 	"time"
 
+	"repro/internal/bucket"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/master"
 	"repro/internal/slave"
 )
@@ -29,14 +32,25 @@ type Options struct {
 	HeartbeatTimeout  time.Duration
 	MaxAttempts       int
 	DisableAffinity   bool
+	// TaskLease, when set, forwards to the master: running assignments
+	// older than the lease are requeued (recovery from lost get_task
+	// responses under chaos). Leave zero outside fault tests.
+	TaskLease time.Duration
+	// Chaos, when non-nil, injects faults into every slave's RPC and
+	// data path and applies the injector's crash/hang plan to the
+	// cluster. Slave i gets the stream role "slave<i>".
+	Chaos *fault.Injector
 }
 
 // Cluster is a running local deployment.
 type Cluster struct {
 	M *master.Master
 
+	chaos *fault.Injector
+
 	mu      sync.Mutex
 	slaves  []*slaveHandle
+	timers  []*time.Timer // pending chaos events, stopped on Close
 	nextIdx int
 }
 
@@ -59,11 +73,12 @@ func Start(reg *core.Registry, opts Options) (*Cluster, error) {
 		HeartbeatTimeout:  opts.HeartbeatTimeout,
 		MaxAttempts:       opts.MaxAttempts,
 		DisableAffinity:   opts.DisableAffinity,
+		TaskLease:         opts.TaskLease,
 	})
 	if err != nil {
 		return nil, err
 	}
-	c := &Cluster{M: m}
+	c := &Cluster{M: m, chaos: opts.Chaos}
 	for i := 0; i < opts.Slaves; i++ {
 		if _, err := c.AddSlave(reg, opts.SharedDir); err != nil {
 			c.Close()
@@ -76,16 +91,61 @@ func Start(reg *core.Registry, opts Options) (*Cluster, error) {
 		c.Close()
 		return nil, err
 	}
+	c.scheduleChaos(opts.Slaves)
 	return c, nil
+}
+
+// slaveRole names the fault stream of slave i; the same naming is used
+// for decisions and for crash/hang plan targeting so a chaos run's
+// schedule is stable across executions.
+func slaveRole(i int) string { return fmt.Sprintf("slave%d", i) }
+
+// scheduleChaos arms the injector's crash/hang plan against this
+// cluster. Crashes cancel the slave's Run loop (its data server dies
+// too); hangs stall the slave's RPC paths past the heartbeat timeout so
+// the master reaps it and the slave must re-sign in.
+func (c *Cluster) scheduleChaos(nSlaves int) {
+	if c.chaos == nil {
+		return
+	}
+	for _, ev := range c.chaos.Plan(nSlaves) {
+		ev := ev
+		var fire func()
+		switch ev.Kind {
+		case fault.PlanCrash:
+			fire = func() { _ = c.KillSlave(ev.Slave) }
+		case fault.PlanHang:
+			fire = func() { c.chaos.HangFor(slaveRole(ev.Slave), ev.Dur) }
+		default:
+			continue
+		}
+		c.mu.Lock()
+		c.timers = append(c.timers, time.AfterFunc(ev.At, fire))
+		c.mu.Unlock()
+	}
 }
 
 // AddSlave starts one more slave (usable mid-run, e.g. in elasticity
 // tests) and returns its index.
 func (c *Cluster) AddSlave(reg *core.Registry, sharedDir string) (int, error) {
-	s, err := slave.New(reg, slave.Options{
+	c.mu.Lock()
+	idx := c.nextIdx
+	c.nextIdx++
+	c.mu.Unlock()
+	sopts := slave.Options{
 		MasterAddr: c.M.Addr(),
 		SharedDir:  sharedDir,
-	})
+	}
+	if c.chaos != nil {
+		role := slaveRole(idx)
+		sopts.RPCIntercept = c.chaos.Intercept(role)
+		sopts.DataClient = &http.Client{
+			Timeout:   bucket.HTTPTimeout,
+			Transport: c.chaos.RoundTripper(role, nil),
+		}
+		sopts.BackoffSeed = uint64(idx) + 1
+	}
+	s, err := slave.New(reg, sopts)
 	if err != nil {
 		return 0, err
 	}
@@ -96,8 +156,10 @@ func (c *Cluster) AddSlave(reg *core.Registry, sharedDir string) (int, error) {
 		close(h.done)
 	}()
 	c.mu.Lock()
-	c.slaves = append(c.slaves, h)
-	idx := len(c.slaves) - 1
+	for len(c.slaves) <= idx {
+		c.slaves = append(c.slaves, nil)
+	}
+	c.slaves[idx] = h
 	c.mu.Unlock()
 	return idx, nil
 }
@@ -123,7 +185,7 @@ func (c *Cluster) Slave(i int) *slave.Slave {
 // server dies with it, simulating a crashed worker.
 func (c *Cluster) KillSlave(i int) error {
 	c.mu.Lock()
-	if i < 0 || i >= len(c.slaves) {
+	if i < 0 || i >= len(c.slaves) || c.slaves[i] == nil {
 		c.mu.Unlock()
 		return fmt.Errorf("cluster: no slave %d", i)
 	}
@@ -141,11 +203,21 @@ func (c *Cluster) KillSlave(i int) error {
 // Close shuts down the whole cluster: master first (which tells slaves
 // to shut down via get_task), then force-cancels stragglers.
 func (c *Cluster) Close() error {
+	c.mu.Lock()
+	timers := c.timers
+	c.timers = nil
+	c.mu.Unlock()
+	for _, t := range timers {
+		t.Stop()
+	}
 	err := c.M.Close()
 	c.mu.Lock()
 	handles := append([]*slaveHandle(nil), c.slaves...)
 	c.mu.Unlock()
 	for _, h := range handles {
+		if h == nil {
+			continue
+		}
 		select {
 		case <-h.done:
 		case <-time.After(3 * time.Second):

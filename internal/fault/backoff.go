@@ -1,0 +1,84 @@
+package fault
+
+import (
+	"time"
+
+	"repro/internal/prand"
+)
+
+// Backoff defaults.
+const (
+	DefaultBackoffBase   = 50 * time.Millisecond
+	DefaultBackoffMax    = 2 * time.Second
+	DefaultBackoffFactor = 2.0
+	DefaultBackoffJitter = 0.5
+)
+
+// Backoff computes exponential retry delays with seeded jitter. The
+// jitter stream comes from a prand generator, so a fixed seed yields a
+// reproducible delay schedule — retry storms in chaos tests are as
+// deterministic as the faults that cause them. Not safe for concurrent
+// use; give each retry loop its own instance.
+type Backoff struct {
+	// Base is the un-jittered delay of attempt 1.
+	Base time.Duration
+	// Max caps the un-jittered delay.
+	Max time.Duration
+	// Factor is the per-attempt growth multiplier.
+	Factor float64
+	// Jitter spreads each delay uniformly over [d*(1-J), d*(1+J)].
+	Jitter float64
+
+	rng *prand.MT
+}
+
+// NewBackoff returns a Backoff with default shape and the given jitter
+// seed.
+func NewBackoff(seed uint64) *Backoff {
+	return &Backoff{
+		Base:   DefaultBackoffBase,
+		Max:    DefaultBackoffMax,
+		Factor: DefaultBackoffFactor,
+		Jitter: DefaultBackoffJitter,
+		rng:    prand.Random(seed, 0xbac0ff),
+	}
+}
+
+// Delay returns the jittered delay for the given 1-based attempt.
+// Successive calls consume the jitter stream in order.
+func (b *Backoff) Delay(attempt int) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	base, maxd, factor := b.Base, b.Max, b.Factor
+	if base <= 0 {
+		base = DefaultBackoffBase
+	}
+	if maxd <= 0 {
+		maxd = DefaultBackoffMax
+	}
+	if factor < 1 {
+		factor = DefaultBackoffFactor
+	}
+	d := float64(base)
+	for i := 1; i < attempt && d < float64(maxd); i++ {
+		d *= factor
+	}
+	if d > float64(maxd) {
+		d = float64(maxd)
+	}
+	j := b.Jitter
+	if j < 0 {
+		j = 0
+	}
+	if j > 1 {
+		j = 1
+	}
+	if j > 0 && b.rng != nil {
+		d *= 1 - j + 2*j*b.rng.Float64()
+	}
+	if d < float64(time.Millisecond) {
+		d = float64(time.Millisecond)
+	}
+	return time.Duration(d)
+}

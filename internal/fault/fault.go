@@ -1,0 +1,324 @@
+// Package fault is the deterministic fault-injection layer for the
+// distributed runtime, plus the retry/backoff helpers the runtime uses
+// to survive what the injector throws.
+//
+// Every decision the injector makes — refuse a call, drop a response
+// after the server handled it, deliver it twice, add latency, crash or
+// hang a slave — is a pure function of (seed, stream, ordinal), where a
+// stream names one fault site (e.g. "slave0/task_done") and the ordinal
+// counts calls through that site. Re-running with the same seed and
+// configuration therefore reproduces the identical injection schedule,
+// which is what makes chaos runs debuggable: the paper's determinism
+// guarantee (§IV-A, prand streams) extended to the failures themselves.
+package fault
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/hash"
+	"repro/internal/prand"
+	"repro/internal/xmlrpc"
+)
+
+// Config describes the fault mix. All rates are probabilities in [0,1]
+// evaluated independently per call; Refuse/Drop/Duplicate are mutually
+// exclusive outcomes of a single draw, Delay is a separate draw.
+type Config struct {
+	// Seed drives every injection decision.
+	Seed uint64
+	// RefuseRate fails a call before it reaches the server (connection
+	// refused). The server never sees the request.
+	RefuseRate float64
+	// DropRate lets the server handle the call, then discards the
+	// response (mid-response connection drop). The caller sees an error
+	// for work that actually happened — the duplicate-delivery trap.
+	DropRate float64
+	// DupRate delivers the call twice; the second response is discarded.
+	DupRate float64
+	// DelayRate adds latency to a call; the delay magnitude is uniform
+	// in (0, MaxDelay].
+	DelayRate float64
+	// MaxDelay bounds injected latency (default 50ms when DelayRate>0).
+	MaxDelay time.Duration
+	// Crashes is how many slaves the plan kills outright.
+	Crashes int
+	// Hangs is how many slaves the plan freezes for HangDur.
+	Hangs int
+	// HangDur is how long a hung slave stays frozen (default 500ms).
+	HangDur time.Duration
+	// Window is the period over which crashes and hangs are scheduled
+	// after cluster start (default 1s).
+	Window time.Duration
+}
+
+func (c Config) fill() Config {
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 50 * time.Millisecond
+	}
+	if c.HangDur <= 0 {
+		c.HangDur = 500 * time.Millisecond
+	}
+	if c.Window <= 0 {
+		c.Window = time.Second
+	}
+	return c
+}
+
+// Decision is the fate of one intercepted call.
+type Decision struct {
+	Refuse    bool
+	Drop      bool
+	Duplicate bool
+	Delay     time.Duration
+}
+
+// Faulty reports whether the decision perturbs the call at all.
+func (d Decision) Faulty() bool {
+	return d.Refuse || d.Drop || d.Duplicate || d.Delay > 0
+}
+
+// DecisionAt returns the fate of the ordinal-th call through stream.
+// It is a pure function: the same (config, stream, ordinal) always
+// yields the same decision, independent of goroutine interleaving.
+func (c Config) DecisionAt(stream string, ordinal uint64) Decision {
+	c = c.fill()
+	rng := prand.Random(c.Seed, hash.FNV1a64String(stream), ordinal)
+	var d Decision
+	u := rng.Float64()
+	switch {
+	case u < c.RefuseRate:
+		d.Refuse = true
+	case u < c.RefuseRate+c.DropRate:
+		d.Drop = true
+	case u < c.RefuseRate+c.DropRate+c.DupRate:
+		d.Duplicate = true
+	}
+	if rng.Float64() < c.DelayRate {
+		d.Delay = time.Duration(rng.Float64() * float64(c.MaxDelay))
+		if d.Delay <= 0 {
+			d.Delay = time.Millisecond
+		}
+	}
+	return d
+}
+
+// PlanKind labels a scheduled slave-level event.
+type PlanKind int
+
+// Plan event kinds.
+const (
+	PlanCrash PlanKind = iota
+	PlanHang
+)
+
+// PlanEvent is one scheduled slave crash or hang.
+type PlanEvent struct {
+	Kind  PlanKind
+	Slave int           // slave index within the cluster
+	At    time.Duration // offset from cluster start
+	Dur   time.Duration // hang duration (zero for crashes)
+}
+
+// Plan derives the crash/hang schedule for a cluster of nSlaves. Targets
+// are distinct slaves; Crashes+Hangs is clamped to nSlaves-1 so at least
+// one slave always survives.
+func (c Config) Plan(nSlaves int) []PlanEvent {
+	c = c.fill()
+	if nSlaves <= 1 {
+		return nil
+	}
+	rng := prand.Random(c.Seed, hash.FNV1a64String("plan"))
+	targets := rng.Perm(nSlaves)
+	budget := nSlaves - 1
+	crashes := min(c.Crashes, budget)
+	hangs := min(c.Hangs, budget-crashes)
+	var events []PlanEvent
+	for i := 0; i < crashes; i++ {
+		events = append(events, PlanEvent{
+			Kind:  PlanCrash,
+			Slave: targets[i],
+			At:    time.Duration(rng.Float64() * float64(c.Window)),
+		})
+	}
+	for i := 0; i < hangs; i++ {
+		events = append(events, PlanEvent{
+			Kind:  PlanHang,
+			Slave: targets[crashes+i],
+			At:    time.Duration(rng.Float64() * float64(c.Window)),
+			Dur:   c.HangDur,
+		})
+	}
+	return events
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Event is one recorded injection decision.
+type Event struct {
+	Stream   string
+	Ordinal  uint64
+	Decision Decision
+}
+
+// Injector applies a Config to live traffic. It hands out xmlrpc
+// interceptors for the control plane and http.RoundTrippers for the
+// bucket data path, counts calls per stream, and records every decision
+// so a run's schedule can be audited and replayed.
+type Injector struct {
+	cfg Config
+
+	mu       sync.Mutex
+	counters map[string]uint64
+	events   []Event
+	hangs    map[string]time.Time // role -> frozen until
+}
+
+// New returns an injector for cfg.
+func New(cfg Config) *Injector {
+	return &Injector{
+		cfg:      cfg.fill(),
+		counters: map[string]uint64{},
+		hangs:    map[string]time.Time{},
+	}
+}
+
+// Config returns the (filled) configuration.
+func (in *Injector) Config() Config { return in.cfg }
+
+// next assigns the stream's next ordinal and returns its fate.
+func (in *Injector) next(stream string) Decision {
+	in.mu.Lock()
+	ord := in.counters[stream]
+	in.counters[stream] = ord + 1
+	d := in.cfg.DecisionAt(stream, ord)
+	in.events = append(in.events, Event{Stream: stream, Ordinal: ord, Decision: d})
+	in.mu.Unlock()
+	return d
+}
+
+// Events returns a copy of every decision made so far.
+func (in *Injector) Events() []Event {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Event(nil), in.events...)
+}
+
+// Plan derives the crash/hang schedule (see Config.Plan).
+func (in *Injector) Plan(nSlaves int) []PlanEvent { return in.cfg.Plan(nSlaves) }
+
+// HangFor freezes the role's traffic for d starting now; intercepted
+// calls block until the window passes, simulating a stalled process
+// that neither works nor heartbeats.
+func (in *Injector) HangFor(role string, d time.Duration) {
+	in.mu.Lock()
+	in.hangs[role] = time.Now().Add(d)
+	in.mu.Unlock()
+}
+
+func (in *Injector) maybeHang(role string) {
+	in.mu.Lock()
+	until := in.hangs[role]
+	in.mu.Unlock()
+	if wait := time.Until(until); wait > 0 {
+		time.Sleep(wait)
+	}
+}
+
+// Intercept returns an xmlrpc.Intercept injecting the configured RPC
+// faults for the given role (stream = role + "/" + method).
+func (in *Injector) Intercept(role string) xmlrpc.Intercept {
+	return func(method string, call func() (any, error)) (any, error) {
+		in.maybeHang(role)
+		d := in.next(role + "/" + method)
+		if d.Delay > 0 {
+			time.Sleep(d.Delay)
+		}
+		if d.Refuse {
+			return nil, fmt.Errorf("fault: injected refusal of %s", method)
+		}
+		res, err := call()
+		if d.Duplicate && err == nil {
+			// Redeliver; the extra response is discarded, exactly like a
+			// client retry racing a slow first response.
+			_, _ = call()
+		}
+		if d.Drop {
+			return nil, fmt.Errorf("fault: injected response drop for %s", method)
+		}
+		return res, err
+	}
+}
+
+// RoundTripper wraps base with data-path injection for the given role
+// (stream = role + "/data"): refusals become transport errors, drops
+// truncate the response body mid-read, delays stall the request.
+func (in *Injector) RoundTripper(role string, base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &faultTripper{in: in, stream: role + "/data", role: role, base: base}
+}
+
+type faultTripper struct {
+	in     *Injector
+	stream string
+	role   string
+	base   http.RoundTripper
+}
+
+func (t *faultTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.in.maybeHang(t.role)
+	d := t.in.next(t.stream)
+	if d.Delay > 0 {
+		time.Sleep(d.Delay)
+	}
+	if d.Refuse {
+		return nil, fmt.Errorf("fault: injected connection refusal for %s", req.URL)
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if d.Drop {
+		// Let roughly half the body through, then sever the stream.
+		n := int64(1)
+		if resp.ContentLength > 1 {
+			n = resp.ContentLength / 2
+		}
+		resp.Body = &truncBody{rc: resp.Body, remain: n}
+	}
+	return resp, nil
+}
+
+// truncBody forwards remain bytes then fails, imitating a connection
+// dropped mid-response.
+type truncBody struct {
+	rc     io.ReadCloser
+	remain int64
+}
+
+func (b *truncBody) Read(p []byte) (int, error) {
+	if b.remain <= 0 {
+		return 0, fmt.Errorf("fault: injected mid-response drop")
+	}
+	if int64(len(p)) > b.remain {
+		p = p[:b.remain]
+	}
+	n, err := b.rc.Read(p)
+	b.remain -= int64(n)
+	if err == nil && b.remain <= 0 {
+		err = fmt.Errorf("fault: injected mid-response drop")
+	}
+	return n, err
+}
+
+func (b *truncBody) Close() error { return b.rc.Close() }

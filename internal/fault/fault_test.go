@@ -1,0 +1,240 @@
+package fault
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/xmlrpc"
+)
+
+func TestDecisionDeterministicAcrossInjectors(t *testing.T) {
+	cfg := Config{Seed: 7, RefuseRate: 0.1, DropRate: 0.1, DupRate: 0.1, DelayRate: 0.2, MaxDelay: 30 * time.Millisecond}
+	a, b := New(cfg), New(cfg)
+	streams := []string{"slave0/get_task", "slave0/task_done", "slave3/data"}
+	for i := 0; i < 500; i++ {
+		for _, s := range streams {
+			if da, db := a.next(s), b.next(s); da != db {
+				t.Fatalf("decision %d of %s diverged: %+v vs %+v", i, s, da, db)
+			}
+		}
+	}
+	// The recorded schedule replays from the pure function alone.
+	for _, ev := range a.Events() {
+		if got := cfg.DecisionAt(ev.Stream, ev.Ordinal); got != ev.Decision {
+			t.Fatalf("event %s/%d: recorded %+v, replay %+v", ev.Stream, ev.Ordinal, ev.Decision, got)
+		}
+	}
+}
+
+func TestDecisionSchedulingMath(t *testing.T) {
+	// Table-driven checks of the failure-scheduling math: rates of zero
+	// or one pin the outcome; partitions are mutually exclusive; the
+	// delay magnitude respects MaxDelay.
+	cases := []struct {
+		name string
+		cfg  Config
+		want func(Decision) bool
+	}{
+		{"all-zero is clean", Config{Seed: 1},
+			func(d Decision) bool { return !d.Faulty() }},
+		{"refuse=1 always refuses", Config{Seed: 2, RefuseRate: 1},
+			func(d Decision) bool { return d.Refuse && !d.Drop && !d.Duplicate }},
+		{"drop=1 always drops", Config{Seed: 3, DropRate: 1},
+			func(d Decision) bool { return d.Drop && !d.Refuse && !d.Duplicate }},
+		{"dup=1 always duplicates", Config{Seed: 4, DupRate: 1},
+			func(d Decision) bool { return d.Duplicate && !d.Refuse && !d.Drop }},
+		{"delay=1 bounded by MaxDelay", Config{Seed: 5, DelayRate: 1, MaxDelay: 20 * time.Millisecond},
+			func(d Decision) bool { return d.Delay > 0 && d.Delay <= 20*time.Millisecond }},
+		{"fates exclusive at mixed rates", Config{Seed: 6, RefuseRate: 0.3, DropRate: 0.3, DupRate: 0.3},
+			func(d Decision) bool {
+				n := 0
+				for _, b := range []bool{d.Refuse, d.Drop, d.Duplicate} {
+					if b {
+						n++
+					}
+				}
+				return n <= 1
+			}},
+	}
+	for _, tc := range cases {
+		for ord := uint64(0); ord < 300; ord++ {
+			if d := tc.cfg.DecisionAt("s", ord); !tc.want(d) {
+				t.Errorf("%s: ordinal %d got %+v", tc.name, ord, d)
+			}
+		}
+	}
+}
+
+func TestDecisionRatesApproximate(t *testing.T) {
+	cfg := Config{Seed: 11, RefuseRate: 0.25}
+	refused := 0
+	const n = 4000
+	for ord := uint64(0); ord < n; ord++ {
+		if cfg.DecisionAt("rpc", ord).Refuse {
+			refused++
+		}
+	}
+	got := float64(refused) / n
+	if got < 0.20 || got > 0.30 {
+		t.Errorf("refusal rate %.3f, want ~0.25", got)
+	}
+}
+
+func TestPlanDeterministicAndBounded(t *testing.T) {
+	cfg := Config{Seed: 9, Crashes: 2, Hangs: 1, Window: time.Second, HangDur: 300 * time.Millisecond}
+	p1, p2 := cfg.Plan(4), cfg.Plan(4)
+	if len(p1) != 3 {
+		t.Fatalf("plan has %d events, want 3", len(p1))
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("plan event %d diverged: %+v vs %+v", i, p1[i], p2[i])
+		}
+	}
+	seen := map[int]bool{}
+	for _, ev := range p1 {
+		if ev.Slave < 0 || ev.Slave >= 4 {
+			t.Errorf("event targets slave %d of 4", ev.Slave)
+		}
+		if seen[ev.Slave] {
+			t.Errorf("slave %d targeted twice", ev.Slave)
+		}
+		seen[ev.Slave] = true
+		if ev.At < 0 || ev.At > time.Second {
+			t.Errorf("event at %v outside window", ev.At)
+		}
+	}
+	// Crashes+Hangs never exhausts the cluster: clamped to nSlaves-1.
+	greedy := Config{Seed: 9, Crashes: 10, Hangs: 10}
+	if got := len(greedy.Plan(3)); got != 2 {
+		t.Errorf("clamped plan has %d events, want 2", got)
+	}
+	if p := (Config{Seed: 9, Crashes: 5}).Plan(1); p != nil {
+		t.Errorf("single-slave plan should be empty, got %v", p)
+	}
+}
+
+func TestRetryBackoffDeterministic(t *testing.T) {
+	a, b := NewBackoff(42), NewBackoff(42)
+	other := NewBackoff(43)
+	var prevUnjittered time.Duration
+	differs := false
+	for attempt := 1; attempt <= 12; attempt++ {
+		da := a.Delay(attempt)
+		db := b.Delay(attempt)
+		if da != db {
+			t.Fatalf("attempt %d: same seed diverged (%v vs %v)", attempt, da, db)
+		}
+		if da != other.Delay(attempt) {
+			differs = true
+		}
+		// Jitter bounds: delay within [d*(1-J), d*(1+J)] of the pure
+		// exponential, and never above Max*(1+J).
+		d := float64(DefaultBackoffBase)
+		for i := 1; i < attempt && d < float64(DefaultBackoffMax); i++ {
+			d *= DefaultBackoffFactor
+		}
+		if d > float64(DefaultBackoffMax) {
+			d = float64(DefaultBackoffMax)
+		}
+		lo := time.Duration(d * (1 - DefaultBackoffJitter))
+		hi := time.Duration(d * (1 + DefaultBackoffJitter))
+		if da < lo || da > hi {
+			t.Errorf("attempt %d: delay %v outside jitter bounds [%v, %v]", attempt, da, lo, hi)
+		}
+		if time.Duration(d) < prevUnjittered {
+			t.Errorf("attempt %d: un-jittered delay shrank", attempt)
+		}
+		prevUnjittered = time.Duration(d)
+	}
+	if !differs {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+func TestInterceptRefuseAndDuplicate(t *testing.T) {
+	srv := xmlrpc.NewServer()
+	calls := 0
+	srv.Register("echo", func(args []any) (any, error) {
+		calls++
+		return "ok", nil
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	c := xmlrpc.NewClient(ts.URL)
+	c.Intercept = New(Config{Seed: 1, RefuseRate: 1}).Intercept("r")
+	if _, err := c.Call("echo"); err == nil || !strings.Contains(err.Error(), "injected refusal") {
+		t.Errorf("refusal not injected: %v", err)
+	}
+	if calls != 0 {
+		t.Errorf("refused call reached the server %d times", calls)
+	}
+
+	c.Intercept = New(Config{Seed: 1, DupRate: 1}).Intercept("r")
+	res, err := c.Call("echo")
+	if err != nil || res != "ok" {
+		t.Fatalf("duplicated call: %v, %v", res, err)
+	}
+	if calls != 2 {
+		t.Errorf("duplicate delivery reached the server %d times, want 2", calls)
+	}
+
+	calls = 0
+	c.Intercept = New(Config{Seed: 1, DropRate: 1}).Intercept("r")
+	if _, err := c.Call("echo"); err == nil || !strings.Contains(err.Error(), "response drop") {
+		t.Errorf("drop not injected: %v", err)
+	}
+	if calls != 1 {
+		t.Errorf("dropped call reached the server %d times, want 1 (server-side effect persists)", calls)
+	}
+}
+
+func TestRoundTripperDropTruncatesBody(t *testing.T) {
+	payload := strings.Repeat("x", 4096)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, payload)
+	}))
+	defer ts.Close()
+
+	client := &http.Client{Transport: New(Config{Seed: 1, DropRate: 1}).RoundTripper("r", nil)}
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatal("truncated body read fully without error")
+	}
+	if len(data) >= len(payload) {
+		t.Errorf("drop delivered the whole %d-byte body", len(data))
+	}
+
+	clean := &http.Client{Transport: New(Config{Seed: 1}).RoundTripper("r", nil)}
+	resp2, err := clean.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if data, err := io.ReadAll(resp2.Body); err != nil || len(data) != len(payload) {
+		t.Errorf("clean injector perturbed the fetch: %d bytes, %v", len(data), err)
+	}
+}
+
+func TestHangBlocksUntilWindowPasses(t *testing.T) {
+	in := New(Config{Seed: 1})
+	in.HangFor("r", 60*time.Millisecond)
+	intercept := in.Intercept("r")
+	start := time.Now()
+	if _, err := intercept("m", func() (any, error) { return true, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Errorf("hung call returned after %v, want ≥ ~60ms", elapsed)
+	}
+}

@@ -20,11 +20,16 @@ import (
 	"time"
 
 	"repro/internal/bucket"
+	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/rpcproto"
 	"repro/internal/sched"
 	"repro/internal/xmlrpc"
 )
+
+// DefaultBlacklistAfter is how many task failures a slave may report
+// before the master stops assigning it work (while other slaves live).
+const DefaultBlacklistAfter = 16
 
 // Options configures a master.
 type Options struct {
@@ -51,6 +56,20 @@ type Options struct {
 	LongPoll time.Duration
 	// DisableAffinity turns off iteration affinity (ablation).
 	DisableAffinity bool
+	// TaskLease, when positive, requeues tasks that have been running
+	// longer than this — recovery for assignments whose get_task
+	// response was lost in flight. Completions are idempotent, so
+	// requeuing a task that is secretly still running is safe; size the
+	// lease well above the longest legitimate task. Zero disables.
+	TaskLease time.Duration
+	// BlacklistAfter stops assigning tasks to a slave after this many
+	// reported task failures, as long as at least one other slave is
+	// alive (repeat-offender quarantine). Zero selects
+	// DefaultBlacklistAfter; negative disables.
+	BlacklistAfter int
+	// Clock drives heartbeat reaping, leases, and long-poll deadlines
+	// (default: the wall clock; tests inject a fake).
+	Clock clock.Clock
 }
 
 func (o *Options) fill() {
@@ -65,6 +84,12 @@ func (o *Options) fill() {
 	}
 	if o.LongPoll <= 0 {
 		o.LongPoll = time.Second
+	}
+	if o.BlacklistAfter == 0 {
+		o.BlacklistAfter = DefaultBlacklistAfter
+	}
+	if o.Clock == nil {
+		o.Clock = clock.Real{}
 	}
 }
 
@@ -99,8 +124,10 @@ type TaskStats struct {
 	TasksAssigned int64
 	TasksDone     int64
 	TasksFailed   int64
+	TasksRequeued int64 // stale leases reclaimed (lost assignments)
 	SlavesSeen    int64
 	SlavesLost    int64
+	Blacklisted   int64 // get_task requests parked by the blacklist
 }
 
 // New starts a master listening on opts.Addr.
@@ -108,7 +135,7 @@ func New(opts Options) (*Master, error) {
 	opts.fill()
 	m := &Master{
 		opts:           opts,
-		sched:          sched.New(opts.MaxAttempts),
+		sched:          sched.NewWithClock(opts.MaxAttempts, opts.Clock),
 		slaves:         map[string]*slaveInfo{},
 		pendingDeletes: map[string][]string{},
 		reaperStop:     make(chan struct{}),
@@ -206,7 +233,7 @@ func (m *Master) handleSignin(args []any) (any, error) {
 	}
 	m.nextSlave++
 	id := fmt.Sprintf("slave-%d", m.nextSlave)
-	m.slaves[id] = &slaveInfo{id: id, lastSeen: time.Now()}
+	m.slaves[id] = &slaveInfo{id: id, lastSeen: m.opts.Clock.Now()}
 	m.taskStats.SlavesSeen++
 	return rpcproto.SigninReply{
 		SlaveID:         id,
@@ -223,8 +250,16 @@ func (m *Master) touch(slaveID string) bool {
 	if !ok {
 		return false
 	}
-	info.lastSeen = time.Now()
+	info.lastSeen = m.opts.Clock.Now()
 	return true
+}
+
+// unknownSlaveFault is the typed fault slaves key their re-signin on.
+func unknownSlaveFault(slaveID string) *xmlrpc.Fault {
+	return &xmlrpc.Fault{
+		Code:    rpcproto.FaultUnknownSlave,
+		Message: fmt.Sprintf("master: unknown slave %s (declared dead?)", slaveID),
+	}
 }
 
 func slaveIDArg(args []any) (string, error) {
@@ -244,7 +279,7 @@ func (m *Master) handlePing(args []any) (any, error) {
 		return nil, err
 	}
 	if !m.touch(id) {
-		return nil, fmt.Errorf("master: unknown slave %s (declared dead?)", id)
+		return nil, unknownSlaveFault(id)
 	}
 	return true, nil
 }
@@ -255,7 +290,7 @@ func (m *Master) handleGetTask(args []any) (any, error) {
 		return nil, err
 	}
 	if !m.touch(id) {
-		return nil, fmt.Errorf("master: unknown slave %s", id)
+		return nil, unknownSlaveFault(id)
 	}
 	// Collect piggybacked deletes.
 	m.mu.Lock()
@@ -266,6 +301,16 @@ func (m *Master) handleGetTask(args []any) (any, error) {
 	if closed {
 		a := rpcproto.Assignment{Status: rpcproto.StatusShutdown, Deletes: deletes}
 		return encodeAssignment(a)
+	}
+	if m.blacklisted(id) {
+		// Park the repeat offender for a long-poll period so it paces
+		// itself like an idle slave, then send it away empty-handed.
+		time.Sleep(m.opts.LongPoll)
+		m.touch(id)
+		m.mu.Lock()
+		m.taskStats.Blacklisted++
+		m.mu.Unlock()
+		return encodeAssignment(rpcproto.Assignment{Status: rpcproto.StatusIdle, Deletes: deletes})
 	}
 	task, err := m.sched.Request(id, m.opts.LongPoll)
 	if err == sched.ErrClosed {
@@ -284,9 +329,25 @@ func (m *Master) handleGetTask(args []any) (any, error) {
 	return encodeAssignment(rpcproto.Assignment{
 		Status:  rpcproto.StatusTask,
 		TaskID:  int64(task.ID),
+		Attempt: int64(task.Attempts),
 		Spec:    task.Spec,
 		Deletes: deletes,
 	})
+}
+
+// blacklisted reports whether the slave has failed enough tasks to be
+// quarantined. The last live slave is never blacklisted — a degraded
+// worker beats a deadlocked job.
+func (m *Master) blacklisted(id string) bool {
+	if m.opts.BlacklistAfter <= 0 {
+		return false
+	}
+	if m.sched.FailureCount(id) < m.opts.BlacklistAfter {
+		return false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.slaves) > 1
 }
 
 func encodeAssignment(a rpcproto.Assignment) (any, error) {
@@ -355,14 +416,14 @@ func (m *Master) handleTaskFailed(args []any) (any, error) {
 
 func (m *Master) reaper() {
 	defer close(m.reaperDone)
-	tick := time.NewTicker(m.opts.HeartbeatTimeout / 2)
+	tick := m.opts.Clock.NewTicker(m.opts.HeartbeatTimeout / 2)
 	defer tick.Stop()
 	for {
 		select {
 		case <-m.reaperStop:
 			return
-		case <-tick.C:
-			cutoff := time.Now().Add(-m.opts.HeartbeatTimeout)
+		case <-tick.Chan():
+			cutoff := m.opts.Clock.Now().Add(-m.opts.HeartbeatTimeout)
 			var dead []string
 			m.mu.Lock()
 			for id, info := range m.slaves {
@@ -376,6 +437,13 @@ func (m *Master) reaper() {
 			m.mu.Unlock()
 			for _, id := range dead {
 				m.sched.SlaveDead(id)
+			}
+			if m.opts.TaskLease > 0 {
+				if n := m.sched.RequeueStale(m.opts.TaskLease); n > 0 {
+					m.mu.Lock()
+					m.taskStats.TasksRequeued += int64(n)
+					m.mu.Unlock()
+				}
 			}
 		}
 	}

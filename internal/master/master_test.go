@@ -8,9 +8,23 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/clock"
+	"repro/internal/core"
 	"repro/internal/rpcproto"
 	"repro/internal/xmlrpc"
 )
+
+func specsForTest(n int) []*core.TaskSpec {
+	out := make([]*core.TaskSpec, n)
+	for i := range out {
+		out[i] = &core.TaskSpec{
+			Op:        &core.Operation{Kind: core.OpMap, FuncName: "m", Splits: 1, Dataset: 1},
+			TaskIndex: i,
+			InputURLs: []string{"mem:0/none"},
+		}
+	}
+	return out
+}
 
 func newMaster(t *testing.T, opts Options) *Master {
 	t.Helper()
@@ -117,39 +131,107 @@ func TestGetTaskAfterCloseIsShutdown(t *testing.T) {
 	m.Close()
 }
 
+// waitCond polls for an asynchronous effect (reaper goroutine catching
+// up with an already-advanced fake clock); no simulated time passes
+// while polling.
+func waitCond(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 func TestReaperRemovesSilentSlaves(t *testing.T) {
+	// Driven entirely by the fake clock: the slave goes "silent" by the
+	// clock jumping past the heartbeat timeout, no real sleeps.
+	clk := clock.NewFake(time.Unix(1000, 0))
 	m := newMaster(t, Options{
 		HeartbeatInterval: 20 * time.Millisecond,
 		HeartbeatTimeout:  80 * time.Millisecond,
+		Clock:             clk,
 	})
 	signin(t, m)
-	deadline := time.Now().Add(3 * time.Second)
-	for m.NumSlaves() > 0 {
-		if time.Now().After(deadline) {
-			t.Fatal("silent slave never reaped")
-		}
-		time.Sleep(10 * time.Millisecond)
+	if m.NumSlaves() != 1 {
+		t.Fatal("slave not signed in")
 	}
+	clk.Advance(100 * time.Millisecond) // past timeout; fires the reaper tick
+	waitCond(t, "silent slave to be reaped", func() bool { return m.NumSlaves() == 0 })
 	if m.Stats().SlavesLost != 1 {
 		t.Errorf("SlavesLost = %d", m.Stats().SlavesLost)
 	}
 }
 
 func TestHeartbeatKeepsSlaveAlive(t *testing.T) {
+	clk := clock.NewFake(time.Unix(1000, 0))
 	m := newMaster(t, Options{
 		HeartbeatInterval: 20 * time.Millisecond,
 		HeartbeatTimeout:  100 * time.Millisecond,
+		Clock:             clk,
 	})
 	reply := signin(t, m)
 	c := client(m)
+	// Advance in sub-timeout steps, pinging after each: the reaper ticks
+	// fire but the slave is never older than the cutoff.
 	for i := 0; i < 10; i++ {
+		clk.Advance(60 * time.Millisecond)
 		if _, err := c.Call(rpcproto.MethodPing, reply.SlaveID); err != nil {
 			t.Fatal(err)
 		}
-		time.Sleep(25 * time.Millisecond)
 	}
 	if m.NumSlaves() != 1 {
 		t.Error("heartbeating slave was reaped")
+	}
+}
+
+func TestTaskLeaseRequeuesLostAssignment(t *testing.T) {
+	// A slave takes a task and its get_task response is "lost" (it never
+	// reports back but keeps heartbeating). With TaskLease set, the
+	// reaper reclaims the assignment once the lease expires — without
+	// declaring the slave dead.
+	clk := clock.NewFake(time.Unix(1000, 0))
+	m := newMaster(t, Options{
+		HeartbeatInterval: 20 * time.Millisecond,
+		HeartbeatTimeout:  10 * time.Second, // slave stays alive throughout
+		TaskLease:         200 * time.Millisecond,
+		LongPoll:          time.Millisecond,
+		Clock:             clk,
+	})
+	reply := signin(t, m)
+	task, err := m.Scheduler().SubmitGroup(specsForTest(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = task
+	raw, err := client(m).Call(rpcproto.MethodGetTask, reply.SlaveID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := rpcproto.DecodeAssignment(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Status != rpcproto.StatusTask {
+		t.Fatalf("status = %q, want task", a.Status)
+	}
+	if m.Scheduler().Running() != 1 {
+		t.Fatal("task not running")
+	}
+	// The reaper ticks every HeartbeatTimeout/2 (5s); one tick is far
+	// past the 200ms lease but still inside the 10s liveness window.
+	clk.Advance(5 * time.Second)
+	waitCond(t, "stale lease requeue", func() bool { return m.Scheduler().Pending() == 1 })
+	if m.Scheduler().Running() != 0 {
+		t.Errorf("Running = %d after lease expiry", m.Scheduler().Running())
+	}
+	if m.Stats().TasksRequeued != 1 {
+		t.Errorf("TasksRequeued = %d, want 1", m.Stats().TasksRequeued)
+	}
+	if m.NumSlaves() != 1 {
+		t.Error("slave wrongly reaped by lease requeue")
 	}
 }
 

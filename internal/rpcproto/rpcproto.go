@@ -26,6 +26,13 @@ const (
 	StatusShutdown = "shutdown"
 )
 
+// FaultUnknownSlave is the XML-RPC fault code the master returns for a
+// slave id it no longer recognizes (reaped after silence, or never
+// signed in). Slaves react by re-signing in under a fresh id instead of
+// retrying blindly, which is how a worker recovers from a hang that
+// outlived the heartbeat timeout.
+const FaultUnknownSlave = 100
+
 // SigninReply is the master's answer to a slave's signin.
 type SigninReply struct {
 	SlaveID         string
@@ -61,6 +68,7 @@ func DecodeSigninReply(v any) (SigninReply, error) {
 type Assignment struct {
 	Status  string
 	TaskID  int64
+	Attempt int64 // which attempt of the task this assignment is (1-based)
 	Spec    *core.TaskSpec
 	Deletes []string // bucket names the slave should remove (piggybacked)
 }
@@ -79,6 +87,9 @@ func (a Assignment) Encode() (map[string]any, error) {
 	}
 	op := a.Spec.Op
 	out["task_id"] = a.TaskID
+	if a.Attempt > 0 {
+		out["attempt"] = a.Attempt
+	}
 	out["dataset"] = int64(op.Dataset)
 	out["kind"] = int64(op.Kind)
 	out["func"] = op.FuncName
@@ -121,6 +132,7 @@ func DecodeAssignment(v any) (Assignment, error) {
 		return Assignment{}, fmt.Errorf("rpcproto: assignment missing task_id")
 	}
 	a.TaskID = id
+	a.Attempt, _ = st["attempt"].(int64)
 	kind, _ := st["kind"].(int64)
 	dataset, _ := st["dataset"].(int64)
 	splits, _ := st["splits"].(int64)

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/core"
 )
 
@@ -31,6 +32,20 @@ type Task struct {
 	Spec     *core.TaskSpec
 	Attempts int
 	group    *Group
+	// assignees lists every slave this task was ever given to, so a
+	// completion or failure arriving from a *previous* assignee after
+	// the task was reassigned is recognized as stale, not a protocol
+	// violation.
+	assignees []string
+}
+
+func (t *Task) wasAssignedTo(slaveID string) bool {
+	for _, s := range t.assignees {
+		if s == slaveID {
+			return true
+		}
+	}
+	return false
 }
 
 // Group tracks the tasks of one operation.
@@ -61,25 +76,39 @@ type Scheduler struct {
 	pending     []*Task
 	running     map[TaskID]*runningEntry
 	affinity    map[int]string // task index -> last slave to complete it
+	failures    map[string]int // slave -> task failures reported (blacklist input)
 	nextID      TaskID
 	maxAttempts int
+	clk         clock.Clock
 	closed      bool
 }
 
 type runningEntry struct {
 	task  *Task
 	slave string
+	since time.Time // assignment time, for stale-lease requeue
 }
 
 // New returns a scheduler. maxAttempts <= 0 selects the default.
 func New(maxAttempts int) *Scheduler {
+	return NewWithClock(maxAttempts, clock.Real{})
+}
+
+// NewWithClock is New with an injectable clock (deterministic timeout
+// and lease tests).
+func NewWithClock(maxAttempts int, clk clock.Clock) *Scheduler {
 	if maxAttempts <= 0 {
 		maxAttempts = DefaultMaxAttempts
+	}
+	if clk == nil {
+		clk = clock.Real{}
 	}
 	s := &Scheduler{
 		running:     map[TaskID]*runningEntry{},
 		affinity:    map[int]string{},
+		failures:    map[string]int{},
 		maxAttempts: maxAttempts,
+		clk:         clk,
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
@@ -113,8 +142,8 @@ func (s *Scheduler) SubmitGroup(specs []*core.TaskSpec) (*Group, error) {
 // Request returns a task for the slave, blocking up to timeout if none
 // is available. A nil task with nil error means the timeout elapsed.
 func (s *Scheduler) Request(slaveID string, timeout time.Duration) (*Task, error) {
-	deadline := time.Now().Add(timeout)
-	timer := time.AfterFunc(timeout, func() {
+	deadline := s.clk.Now().Add(timeout)
+	timer := s.clk.AfterFunc(timeout, func() {
 		s.mu.Lock()
 		s.cond.Broadcast()
 		s.mu.Unlock()
@@ -128,11 +157,12 @@ func (s *Scheduler) Request(slaveID string, timeout time.Duration) (*Task, error
 			return nil, ErrClosed
 		}
 		if t := s.takeLocked(slaveID); t != nil {
-			s.running[t.ID] = &runningEntry{task: t, slave: slaveID}
+			s.running[t.ID] = &runningEntry{task: t, slave: slaveID, since: s.clk.Now()}
 			t.Attempts++
+			t.assignees = append(t.assignees, slaveID)
 			return t, nil
 		}
-		if !time.Now().Before(deadline) {
+		if !s.clk.Now().Before(deadline) {
 			return nil, nil
 		}
 		s.cond.Wait()
@@ -167,17 +197,26 @@ func (s *Scheduler) takeLocked(slaveID string) *Task {
 	return t
 }
 
-// Complete records a successful task.
+// Complete records a successful task. Duplicate or stale completions —
+// the same delivery arriving twice, or a previous assignee finishing
+// after the task was requeued to another slave — are ignored, so the
+// control plane tolerates at-least-once delivery.
 func (s *Scheduler) Complete(id TaskID, slaveID string, result *core.TaskResult) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	entry, ok := s.running[id]
 	if !ok {
-		// Duplicate completion (e.g. the task was reassigned after a
-		// presumed-dead slave came back). Ignore.
+		// Duplicate completion (e.g. a redelivered task_done, or the
+		// task was reassigned after a presumed-dead slave came back).
+		// Ignore.
 		return nil
 	}
 	if entry.slave != slaveID {
+		if entry.task.wasAssignedTo(slaveID) {
+			// Stale completion from a previous assignee racing the
+			// current one; the live assignment proceeds untouched.
+			return nil
+		}
 		return fmt.Errorf("sched: task %d completed by %q but assigned to %q", id, slaveID, entry.slave)
 	}
 	delete(s.running, id)
@@ -200,7 +239,9 @@ func (s *Scheduler) Complete(id TaskID, slaveID string, result *core.TaskResult)
 
 // Fail reports a task error from a slave; the task is retried on any
 // slave until attempts are exhausted, at which point its whole group
-// fails.
+// fails. Stale failures from a previous assignee do not disturb the
+// current assignment (the reassignment race: a slave presumed dead
+// reports failure for a task already requeued and running elsewhere).
 func (s *Scheduler) Fail(id TaskID, slaveID string, taskErr string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -208,9 +249,43 @@ func (s *Scheduler) Fail(id TaskID, slaveID string, taskErr string) error {
 	if !ok {
 		return nil
 	}
+	if entry.slave != slaveID {
+		if entry.task.wasAssignedTo(slaveID) {
+			return nil
+		}
+		return fmt.Errorf("sched: task %d failed by %q but assigned to %q", id, slaveID, entry.slave)
+	}
 	delete(s.running, id)
+	s.failures[slaveID]++
 	s.requeueOrAbortLocked(entry.task, fmt.Errorf("sched: task %d failed on %s: %s", id, slaveID, taskErr))
 	return nil
+}
+
+// FailureCount returns how many task failures the slave has reported —
+// the input to the master's repeat-offender blacklist.
+func (s *Scheduler) FailureCount(slaveID string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failures[slaveID]
+}
+
+// RequeueStale requeues every task that has been running longer than
+// lease, reclaiming assignments whose delivery was lost (the get_task
+// response never reached the slave). Returns how many were requeued.
+func (s *Scheduler) RequeueStale(lease time.Duration) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clk.Now()
+	n := 0
+	for id, entry := range s.running {
+		if now.Sub(entry.since) < lease {
+			continue
+		}
+		delete(s.running, id)
+		n++
+		s.requeueOrAbortLocked(entry.task, fmt.Errorf("sched: task %d leased to %s expired (assignment lost?)", id, entry.slave))
+	}
+	return n
 }
 
 // SlaveDead requeues every task running on the slave and drops its
@@ -230,6 +305,7 @@ func (s *Scheduler) SlaveDead(slaveID string) {
 			delete(s.affinity, idx)
 		}
 	}
+	delete(s.failures, slaveID)
 }
 
 // requeueOrAbortLocked retries a task or fails its group.

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/core"
 )
 
@@ -259,6 +260,130 @@ func TestDuplicateCompleteIgnored(t *testing.T) {
 	if err := s.Complete(task.ID, "w1", result(task)); err != nil {
 		t.Errorf("duplicate completion errored: %v", err)
 	}
+	if _, err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchedulerDuplicateDone(t *testing.T) {
+	// The reassignment race, success flavor: a slave presumed dead is
+	// reaped, its task requeued and completed by another slave — then
+	// the original slave's task_done arrives. The stale completion must
+	// be ignored (not an error), and the second assignee keeps the
+	// affinity credit.
+	s := New(0)
+	defer s.Close()
+	g, _ := s.SubmitGroup(specs(1))
+	task, _ := s.Request("w1", time.Second)
+	s.SlaveDead("w1") // requeues the task
+	task2, _ := s.Request("w2", time.Second)
+	if task2 == nil || task2.ID != task.ID {
+		t.Fatalf("task not requeued to w2: %v", task2)
+	}
+	if err := s.Complete(task2.ID, "w2", result(task2)); err != nil {
+		t.Fatal(err)
+	}
+	// w1 comes back from the dead and reports the same task done.
+	if err := s.Complete(task.ID, "w1", result(task)); err != nil {
+		t.Errorf("stale completion from past assignee errored: %v", err)
+	}
+	if _, err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Affinity(0) != "w2" {
+		t.Errorf("affinity = %q, want w2 (the live assignee)", s.Affinity(0))
+	}
+}
+
+func TestSchedulerFailAfterDone(t *testing.T) {
+	// Failure flavor of the same race: the task was requeued and is
+	// running on w2 when w1's stale task_failed arrives. It must not
+	// disturb w2's live assignment or burn an attempt.
+	s := New(2) // tight budget: a spurious burned attempt would abort the group
+	defer s.Close()
+	g, _ := s.SubmitGroup(specs(1))
+	task, _ := s.Request("w1", time.Second)
+	s.SlaveDead("w1")
+	task2, _ := s.Request("w2", time.Second)
+	if task2 == nil || task2.ID != task.ID {
+		t.Fatalf("task not requeued to w2: %v", task2)
+	}
+	if err := s.Fail(task.ID, "w1", "stale failure from zombie"); err != nil {
+		t.Errorf("stale failure from past assignee errored: %v", err)
+	}
+	if s.Running() != 1 {
+		t.Fatalf("live assignment disturbed: Running = %d", s.Running())
+	}
+	if s.FailureCount("w1") != 0 {
+		t.Errorf("stale failure counted against w1: %d", s.FailureCount("w1"))
+	}
+	if err := s.Complete(task2.ID, "w2", result(task2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// A completion/failure from a slave that was never assigned the
+	// task is still a protocol violation, not staleness.
+	g2, _ := s.SubmitGroup(specs(1))
+	task3, _ := s.Request("w1", time.Second)
+	if err := s.Fail(task3.ID, "w9", "imposter"); err == nil {
+		t.Error("failure from never-assigned slave accepted")
+	}
+	s.Complete(task3.ID, "w1", result(task3))
+	g2.Wait()
+}
+
+func TestFailureCounting(t *testing.T) {
+	s := New(5)
+	defer s.Close()
+	g, _ := s.SubmitGroup(specs(1))
+	for i := 0; i < 2; i++ {
+		task, _ := s.Request("w1", time.Second)
+		s.Fail(task.ID, "w1", "boom")
+	}
+	if got := s.FailureCount("w1"); got != 2 {
+		t.Errorf("FailureCount = %d, want 2", got)
+	}
+	// Death clears the count: a restarted slave starts fresh.
+	s.SlaveDead("w1")
+	if got := s.FailureCount("w1"); got != 0 {
+		t.Errorf("FailureCount after death = %d, want 0", got)
+	}
+	task, _ := s.Request("w2", time.Second)
+	s.Complete(task.ID, "w2", result(task))
+	g.Wait()
+}
+
+func TestRequeueStaleReclaimsLostAssignments(t *testing.T) {
+	clk := clock.NewFake(time.Unix(1000, 0))
+	s := NewWithClock(0, clk)
+	defer s.Close()
+	g, _ := s.SubmitGroup(specs(2))
+	a, _ := s.Request("w1", time.Millisecond)
+	clk.Advance(3 * time.Second)
+	b, _ := s.Request("w1", time.Millisecond)
+	if a == nil || b == nil {
+		t.Fatal("no tasks assigned")
+	}
+	// Only a's lease (3s old) is past a 2s lease; b is fresh.
+	if n := s.RequeueStale(2 * time.Second); n != 1 {
+		t.Fatalf("RequeueStale = %d, want 1", n)
+	}
+	if s.Pending() != 1 || s.Running() != 1 {
+		t.Fatalf("pending=%d running=%d after requeue", s.Pending(), s.Running())
+	}
+	// The requeued task goes to w2; a late completion from w1 (whose
+	// get_task response we pretended was lost) is stale, not fatal.
+	re, _ := s.Request("w2", time.Millisecond)
+	if re == nil || re.ID != a.ID {
+		t.Fatalf("requeued task not offered: %v", re)
+	}
+	if err := s.Complete(a.ID, "w1", result(a)); err != nil {
+		t.Errorf("late completion after lease requeue errored: %v", err)
+	}
+	s.Complete(re.ID, "w2", result(re))
+	s.Complete(b.ID, "w1", result(b))
 	if _, err := g.Wait(); err != nil {
 		t.Fatal(err)
 	}

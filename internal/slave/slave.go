@@ -13,11 +13,13 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/bucket"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/rpcproto"
 	"repro/internal/xmlrpc"
 )
@@ -37,6 +39,15 @@ type Options struct {
 	Logger *log.Logger
 	// MaxConsecutiveRPCErrors before the slave gives up on the master.
 	MaxConsecutiveRPCErrors int
+	// RPCIntercept wraps every outgoing master RPC (fault injection,
+	// tracing). Nil means direct calls.
+	RPCIntercept xmlrpc.Intercept
+	// DataClient overrides the HTTP client used for slave-to-slave
+	// bucket fetches (fault injection). Nil selects the shared default.
+	DataClient *http.Client
+	// BackoffSeed seeds the retry-jitter stream so a slave's backoff
+	// schedule is reproducible (0 selects a fixed default).
+	BackoffSeed uint64
 }
 
 // Slave is one worker.
@@ -49,11 +60,15 @@ type Slave struct {
 	ln      net.Listener
 	httpSrv *http.Server
 	ownsDir string
-	id      string
 	logger  *log.Logger
+	retry   *fault.Backoff
 
-	tasksRun atomic.Int64
-	stopHB   chan struct{}
+	idMu sync.Mutex
+	id   string // master-assigned; rewritten on re-signin
+
+	tasksRun  atomic.Int64
+	resignins atomic.Int64
+	stopHB    chan struct{}
 }
 
 // New prepares a slave (listening for data but not yet signed in).
@@ -72,13 +87,19 @@ func New(reg *core.Registry, opts Options) (*Slave, error) {
 		logger = log.New(os.Stderr, "", 0)
 		logger.SetOutput(discard{})
 	}
+	seed := opts.BackoffSeed
+	if seed == 0 {
+		seed = 1
+	}
 	s := &Slave{
 		opts:   opts,
 		reg:    reg,
 		client: xmlrpc.NewClient("http://" + opts.MasterAddr + xmlrpc.RPCPath),
 		logger: logger,
+		retry:  fault.NewBackoff(seed),
 		stopHB: make(chan struct{}),
 	}
+	s.client.Intercept = opts.RPCIntercept
 
 	dir := opts.Dir
 	if opts.SharedDir != "" {
@@ -109,6 +130,9 @@ func New(reg *core.Registry, opts Options) (*Slave, error) {
 		return nil, err
 	}
 	s.store = store
+	if opts.DataClient != nil {
+		store.SetHTTPClient(opts.DataClient)
+	}
 	s.env = &core.TaskEnv{Store: store, Reg: reg, TempDir: dir}
 
 	if s.ln != nil {
@@ -133,10 +157,24 @@ func (s *Slave) DataAddr() string {
 }
 
 // ID returns the master-assigned slave id (empty before signin).
-func (s *Slave) ID() string { return s.id }
+func (s *Slave) ID() string {
+	s.idMu.Lock()
+	defer s.idMu.Unlock()
+	return s.id
+}
+
+func (s *Slave) setID(id string) {
+	s.idMu.Lock()
+	s.id = id
+	s.idMu.Unlock()
+}
 
 // TasksRun returns how many tasks this slave has executed.
 func (s *Slave) TasksRun() int64 { return s.tasksRun.Load() }
+
+// Resignins returns how many times the slave re-signed in after the
+// master declared it dead (e.g. it hung past the heartbeat timeout).
+func (s *Slave) Resignins() int64 { return s.resignins.Load() }
 
 func (s *Slave) serveData(w http.ResponseWriter, r *http.Request) {
 	name := strings.TrimPrefix(r.URL.Path, "/data/")
@@ -157,7 +195,7 @@ func (s *Slave) Run(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	s.id = reply.SlaveID
+	s.setID(reply.SlaveID)
 	interval := time.Duration(reply.HeartbeatMillis) * time.Millisecond
 	go s.heartbeat(interval)
 	defer close(s.stopHB)
@@ -169,14 +207,29 @@ func (s *Slave) Run(ctx context.Context) error {
 			return ctx.Err()
 		default:
 		}
-		raw, err := s.client.Call(rpcproto.MethodGetTask, s.id)
+		id := s.ID()
+		raw, err := s.client.Call(rpcproto.MethodGetTask, id)
 		if err != nil {
+			if f, ok := err.(*xmlrpc.Fault); ok && f.Code == rpcproto.FaultUnknownSlave {
+				// The master reaped us (we hung or our heartbeats were
+				// lost past the timeout). Our old tasks were requeued;
+				// rejoin under a fresh identity rather than dying.
+				s.logger.Printf("slave %s: declared dead by master; re-signing in", id)
+				reply, err := s.signin(ctx)
+				if err != nil {
+					return fmt.Errorf("slave: re-signin after being declared dead: %w", err)
+				}
+				s.setID(reply.SlaveID)
+				s.resignins.Add(1)
+				consecutiveErrs = 0
+				continue
+			}
 			consecutiveErrs++
-			s.logger.Printf("slave %s: get_task: %v", s.id, err)
+			s.logger.Printf("slave %s: get_task: %v", id, err)
 			if consecutiveErrs >= s.opts.MaxConsecutiveRPCErrors {
 				return fmt.Errorf("slave: master unreachable: %w", err)
 			}
-			if !sleepCtx(ctx, backoff(consecutiveErrs)) {
+			if !sleepCtx(ctx, s.retry.Delay(consecutiveErrs)) {
 				return ctx.Err()
 			}
 			continue
@@ -200,20 +253,45 @@ func (s *Slave) Run(ctx context.Context) error {
 	}
 }
 
+// reportRetries bounds task_done/task_failed delivery attempts. Losing
+// a report is survivable (the master's task lease reclaims the
+// assignment) but expensive, so reports retry harder than polls.
+const reportRetries = 6
+
 func (s *Slave) runTask(a rpcproto.Assignment) {
+	id := s.ID()
 	result, err := core.ExecTask(s.env, a.Spec)
 	s.tasksRun.Add(1)
 	if err != nil {
-		s.logger.Printf("slave %s: task %d failed: %v", s.id, a.TaskID, err)
-		if _, rerr := s.client.Call(rpcproto.MethodTaskFailed, s.id, a.TaskID, err.Error()); rerr != nil {
-			s.logger.Printf("slave %s: reporting failure: %v", s.id, rerr)
-		}
+		s.logger.Printf("slave %s: task %d (attempt %d) failed: %v", id, a.TaskID, a.Attempt, err)
+		s.report(rpcproto.MethodTaskFailed, id, a.TaskID, err.Error())
 		return
 	}
 	outputs := rpcproto.EncodeDescriptors(result.Outputs)
-	if _, rerr := s.client.Call(rpcproto.MethodTaskDone, s.id, a.TaskID, outputs); rerr != nil {
-		s.logger.Printf("slave %s: reporting completion: %v", s.id, rerr)
+	s.report(rpcproto.MethodTaskDone, id, a.TaskID, outputs)
+}
+
+// report delivers a task outcome with retries and backoff. Transport
+// errors (including injected drops, where the master may already have
+// processed the call) are retried — the master treats redelivery
+// idempotently. Server-side faults are final: retrying a call the
+// master rejected cannot succeed.
+func (s *Slave) report(method string, args ...any) {
+	var lastErr error
+	for attempt := 1; attempt <= reportRetries; attempt++ {
+		if attempt > 1 {
+			time.Sleep(s.retry.Delay(attempt - 1))
+		}
+		_, err := s.client.Call(method, args...)
+		if err == nil {
+			return
+		}
+		lastErr = err
+		if _, isFault := err.(*xmlrpc.Fault); isFault {
+			break
+		}
 	}
+	s.logger.Printf("slave %s: %s undelivered: %v", s.ID(), method, lastErr)
 }
 
 func (s *Slave) signin(ctx context.Context) (rpcproto.SigninReply, error) {
@@ -229,7 +307,7 @@ func (s *Slave) signin(ctx context.Context) (rpcproto.SigninReply, error) {
 			return rpcproto.DecodeSigninReply(raw)
 		}
 		lastErr = err
-		if !sleepCtx(ctx, backoff(attempt+1)) {
+		if !sleepCtx(ctx, s.retry.Delay(attempt+1)) {
 			return rpcproto.SigninReply{}, ctx.Err()
 		}
 	}
@@ -244,8 +322,9 @@ func (s *Slave) heartbeat(interval time.Duration) {
 		case <-s.stopHB:
 			return
 		case <-tick.C:
-			if _, err := s.client.Call(rpcproto.MethodPing, s.id); err != nil {
-				s.logger.Printf("slave %s: ping: %v", s.id, err)
+			id := s.ID()
+			if _, err := s.client.Call(rpcproto.MethodPing, id); err != nil {
+				s.logger.Printf("slave %s: ping: %v", id, err)
 			}
 		}
 	}
@@ -258,14 +337,6 @@ func (s *Slave) cleanup() {
 	if s.ownsDir != "" {
 		os.RemoveAll(s.ownsDir)
 	}
-}
-
-func backoff(attempt int) time.Duration {
-	d := time.Duration(attempt) * 50 * time.Millisecond
-	if d > time.Second {
-		d = time.Second
-	}
-	return d
 }
 
 func sleepCtx(ctx context.Context, d time.Duration) bool {

@@ -142,11 +142,16 @@ func TestRunAgainstRealMaster(t *testing.T) {
 	}
 }
 
-func TestBackoffBounded(t *testing.T) {
-	if backoff(1) <= 0 {
-		t.Error("backoff(1) not positive")
+func TestRetryBackoffBounded(t *testing.T) {
+	s, err := New(reg(), Options{MasterAddr: "127.0.0.1:1", BackoffSeed: 7})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if backoff(1000) > time.Second {
-		t.Errorf("backoff unbounded: %v", backoff(1000))
+	defer s.cleanup()
+	if s.retry.Delay(1) <= 0 {
+		t.Error("Delay(1) not positive")
+	}
+	if d := s.retry.Delay(1000); d > s.retry.Max+s.retry.Max/2 {
+		t.Errorf("backoff unbounded: %v", d)
 	}
 }

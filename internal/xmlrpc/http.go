@@ -85,6 +85,12 @@ func (s *Server) writeFault(w http.ResponseWriter, f *Fault) {
 	w.Write(data)
 }
 
+// Intercept wraps an outgoing call. call performs the real round trip;
+// an interceptor may refuse it, delay it, invoke it more than once
+// (duplicate delivery), or discard its response — the mechanism behind
+// internal/fault's chaos injection, also usable for tracing.
+type Intercept func(method string, call func() (any, error)) (any, error)
+
 // Client calls a remote XML-RPC endpoint.
 type Client struct {
 	// URL is the full endpoint, e.g. "http://host:1234/RPC2".
@@ -92,6 +98,8 @@ type Client struct {
 	// HTTPClient may be replaced for custom timeouts; the default has
 	// a generous timeout sized for long-poll task requests.
 	HTTPClient *http.Client
+	// Intercept, when non-nil, wraps every Call.
+	Intercept Intercept
 }
 
 // DefaultTimeout bounds a single RPC round trip.
@@ -104,6 +112,13 @@ func NewClient(url string) *Client {
 
 // Call invokes a remote method. Server faults come back as *Fault.
 func (c *Client) Call(method string, args ...any) (any, error) {
+	if c.Intercept != nil {
+		return c.Intercept(method, func() (any, error) { return c.call(method, args) })
+	}
+	return c.call(method, args)
+}
+
+func (c *Client) call(method string, args []any) (any, error) {
 	body, err := MarshalCall(method, args)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,36 @@
+#!/bin/sh
+# Two-tier verification.
+#
+#   Tier 1 (default): build + full test suite. The repo's correctness
+#   gate; chaos tests run too unless -short is requested via TIER1_SHORT.
+#
+#   Tier 2 (VERIFY_TIER=2 or "all"): race detector, every test twice.
+#   Catches data races in the control/data planes and flakiness in the
+#   fault-injection suite (same-seed reruns must behave identically).
+#
+# Usage:
+#   scripts/verify.sh            # tier 1
+#   VERIFY_TIER=2 scripts/verify.sh
+#   VERIFY_TIER=all scripts/verify.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+tier="${VERIFY_TIER:-1}"
+
+if [ "$tier" = "1" ] || [ "$tier" = "all" ]; then
+	echo "== tier 1: go build ./... && go test ./..."
+	go build ./...
+	go vet ./...
+	if [ "${TIER1_SHORT:-}" = "1" ]; then
+		go test -short ./...
+	else
+		go test ./...
+	fi
+fi
+
+if [ "$tier" = "2" ] || [ "$tier" = "all" ]; then
+	echo "== tier 2: go test -race -count=2 ./..."
+	go test -race -count=2 ./...
+fi
+
+echo "verify: OK (tier $tier)"
