@@ -9,6 +9,7 @@ package mrs_test
 import (
 	"fmt"
 	"os"
+	"strconv"
 	"testing"
 	"time"
 
@@ -19,6 +20,7 @@ import (
 	"repro/internal/hadoopsim"
 	"repro/internal/interp"
 	"repro/internal/kvio"
+	"repro/internal/partition"
 	"repro/internal/pbs"
 	"repro/internal/piest"
 	"repro/internal/pso"
@@ -240,21 +242,40 @@ func BenchmarkPSOMapReduceDistributed(b *testing.B) {
 	}
 }
 
-// BenchmarkIterationOverhead measures the per-operation overhead of the
-// distributed runtime: each b.N iteration is one empty map over the
-// cluster (the paper's ~0.3 s figure; see EXPERIMENTS.md for ours).
-func BenchmarkIterationOverhead(b *testing.B) {
+// splitKeys returns one key per hash split of n, so an n-split dataset
+// of these keys has exactly one key (and one record) per split.
+func splitKeys(n int) []kvio.Pair {
+	pairs := make([]kvio.Pair, 0, n)
+	seen := make(map[int]bool)
+	for i := 0; len(pairs) < n && i < 100*n; i++ {
+		k := []byte(fmt.Sprintf("k%d", i))
+		s := partition.Hash(k, 0, n)
+		if !seen[s] {
+			seen[s] = true
+			pairs = append(pairs, kvio.Pair{Key: k, Value: []byte("x")})
+		}
+	}
+	return pairs
+}
+
+// benchIterChain runs a b.N-long chain of narrow (key-aligned) reduces
+// over a 4-split dataset on a 4-slave cluster. waitEach mimics a driver
+// that blocks on every iteration; queued drivers enqueue the whole
+// chain and wait once at the end, which is where split-level
+// pipelining pays: each split's chain advances independently instead
+// of re-synchronizing at every operation.
+func benchIterChain(b *testing.B, pipelined, waitEach bool) {
+	b.Helper()
 	reg := core.NewRegistry()
-	reg.RegisterMap("identity", func(k, v []byte, e kvio.Emitter) error { return e.Emit(k, v) })
+	reg.RegisterReduce("keep", func(k []byte, vs [][]byte, e kvio.Emitter) error { return e.Emit(k, vs[0]) })
 	c, err := cluster.Start(reg, cluster.Options{Slaves: 4})
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer c.Close()
-	job := core.NewJob(c.Executor())
+	job := core.NewJobWith(c.Executor(), core.JobOptions{Pipeline: pipelined})
 	defer job.Close()
-	ds, err := job.LocalData([]kvio.Pair{{Key: codec.EncodeVarint(1), Value: []byte("x")}},
-		core.OpOpts{Splits: 4, Partition: "roundrobin"})
+	ds, err := job.LocalData(splitKeys(4), core.OpOpts{Splits: 4})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -263,14 +284,115 @@ func BenchmarkIterationOverhead(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ds, err = job.Map(ds, "identity", core.OpOpts{Splits: 4})
+		ds, err = job.Reduce(ds, "keep", core.OpOpts{Splits: 4, KeyAligned: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if waitEach {
+			if err := ds.Wait(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := ds.Wait(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkIterationOverhead measures the per-operation overhead of the
+// distributed runtime (the paper's ~0.3 s figure; see EXPERIMENTS.md
+// for ours). "waited" is the paper's measurement: one empty map per
+// iteration, driver blocking each time. "queued" is the same length of
+// chain driven the asynchronous way — queue ahead, wait once — which
+// the pipelined scheduler overlaps across splits.
+func BenchmarkIterationOverhead(b *testing.B) {
+	b.Run("waited", func(b *testing.B) {
+		reg := core.NewRegistry()
+		reg.RegisterMap("identity", func(k, v []byte, e kvio.Emitter) error { return e.Emit(k, v) })
+		c, err := cluster.Start(reg, cluster.Options{Slaves: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		job := core.NewJob(c.Executor())
+		defer job.Close()
+		ds, err := job.LocalData([]kvio.Pair{{Key: codec.EncodeVarint(1), Value: []byte("x")}},
+			core.OpOpts{Splits: 4, Partition: "roundrobin"})
 		if err != nil {
 			b.Fatal(err)
 		}
 		if err := ds.Wait(); err != nil {
 			b.Fatal(err)
 		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ds, err = job.Map(ds, "identity", core.OpOpts{Splits: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := ds.Wait(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("queued", func(b *testing.B) { benchIterChain(b, true, false) })
+}
+
+// benchStaggerChain is benchIterChain with a rotating straggler: in
+// iteration i, the task of split (i mod 4) sleeps 20 ms. Barriered,
+// every iteration pays the straggler; pipelined, each split's chain
+// advances independently so a given split pays only every 4th
+// iteration — the paper's "iteration i+1 overlaps iteration i's
+// stragglers" claim in benchmark form.
+func benchStaggerChain(b *testing.B, pipelined bool) {
+	b.Helper()
+	reg := core.NewRegistry()
+	reg.RegisterReduce("stagger", func(k []byte, vs [][]byte, e kvio.Emitter) error {
+		n, err := strconv.Atoi(string(vs[0]))
+		if err != nil {
+			return err
+		}
+		if n%4 == partition.Hash(k, 0, 4) {
+			time.Sleep(20 * time.Millisecond)
+		}
+		return e.Emit(k, []byte(strconv.Itoa(n+1)))
+	})
+	c, err := cluster.Start(reg, cluster.Options{Slaves: 4})
+	if err != nil {
+		b.Fatal(err)
 	}
+	defer c.Close()
+	job := core.NewJobWith(c.Executor(), core.JobOptions{Pipeline: pipelined})
+	defer job.Close()
+	pairs := splitKeys(4)
+	for i := range pairs {
+		pairs[i].Value = []byte("0")
+	}
+	ds, err := job.LocalData(pairs, core.OpOpts{Splits: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := ds.Wait(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds, err = job.Reduce(ds, "stagger", core.OpOpts{Splits: 4, KeyAligned: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := ds.Wait(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkPipelineAblation compares the pipelined DAG scheduler to the
+// barriered ablation (JobOptions.Pipeline=false) on an identical queued
+// chain of narrow reduces with a rotating straggler (DESIGN.md §5).
+func BenchmarkPipelineAblation(b *testing.B) {
+	b.Run("pipelined", func(b *testing.B) { benchStaggerChain(b, true) })
+	b.Run("barriered", func(b *testing.B) { benchStaggerChain(b, false) })
 }
 
 // BenchmarkHadoopIterationOverhead is the simulated Hadoop equivalent.

@@ -12,6 +12,7 @@ package main
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/hadoopsim"
 	"repro/internal/interp"
 	"repro/internal/kvio"
+	"repro/internal/partition"
 	"repro/internal/pbs"
 	"repro/internal/piest"
 	"repro/internal/pso"
@@ -40,6 +42,7 @@ var (
 	dims     = flag.Int("dims", 250, "dimensions for -exp pso")
 	slaves   = flag.Int("slaves", 4, "slaves for distributed measurements")
 	iterN    = flag.Int("iters", 50, "iterations for -exp iter overhead measurement")
+	iterJSON = flag.String("iter-json", "BENCH_iter.json", "file for -exp iter machine-readable results (empty disables)")
 	trackers = flag.Int("trackers", 21, "simulated Hadoop TaskTrackers (paper: 21 nodes)")
 	csvDir   = flag.String("csv", "", "directory to also write figure series as CSV files")
 )
@@ -466,6 +469,77 @@ func expPSO() error {
 	return nil
 }
 
+// splitKeyPairs returns one key per hash split of n, so an n-split
+// dataset of these keys carries exactly one record per split.
+func splitKeyPairs(n int) []kvio.Pair {
+	pairs := make([]kvio.Pair, 0, n)
+	seen := make(map[int]bool)
+	for i := 0; len(pairs) < n && i < 100*n; i++ {
+		k := []byte(fmt.Sprintf("k%d", i))
+		if s := partition.Hash(k, 0, n); !seen[s] {
+			seen[s] = true
+			pairs = append(pairs, kvio.Pair{Key: k, Value: []byte("x")})
+		}
+	}
+	return pairs
+}
+
+// staggerSleep is the rotating straggler's task time in the chain
+// measurement: in iteration i, the reduce task of split (i mod slaves)
+// sleeps this long.
+const staggerSleep = 20 * time.Millisecond
+
+// measureChainOverhead times a queued chain of iters narrow reduces
+// with a rotating straggler on a live cluster — the whole chain
+// enqueued up front, one wait at the end — and returns the
+// per-operation time. Barriered, every iteration pays the straggler;
+// pipelined, each split's chain advances independently so a given
+// split pays only every (slaves)th iteration. With pipelined=false the
+// job runs the barriered ablation over the identical chain.
+func measureChainOverhead(iters int, pipelined bool) (time.Duration, error) {
+	n := *slaves
+	reg := core.NewRegistry()
+	reg.RegisterReduce("stagger", func(k []byte, vs [][]byte, e kvio.Emitter) error {
+		i, err := strconv.Atoi(string(vs[0]))
+		if err != nil {
+			return err
+		}
+		if i%n == partition.Hash(k, 0, n) {
+			time.Sleep(staggerSleep)
+		}
+		return e.Emit(k, []byte(strconv.Itoa(i+1)))
+	})
+	c, err := cluster.Start(reg, cluster.Options{Slaves: n})
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	job := core.NewJobWith(c.Executor(), core.JobOptions{Pipeline: pipelined})
+	defer job.Close()
+	pairs := splitKeyPairs(n)
+	for i := range pairs {
+		pairs[i].Value = []byte("0")
+	}
+	ds, err := job.LocalData(pairs, core.OpOpts{Splits: n})
+	if err != nil {
+		return 0, err
+	}
+	if err := ds.Wait(); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		ds, err = job.Reduce(ds, "stagger", core.OpOpts{Splits: n, KeyAligned: true})
+		if err != nil {
+			return 0, err
+		}
+	}
+	if err := ds.Wait(); err != nil {
+		return 0, err
+	}
+	return time.Since(start) / time.Duration(iters), nil
+}
+
 func expIter() error {
 	hc, err := hadoopCluster()
 	if err != nil {
@@ -479,10 +553,22 @@ func expIter() error {
 	if err != nil {
 		return err
 	}
+	perPipelined, err := measureChainOverhead(*iterN, true)
+	if err != nil {
+		return err
+	}
+	perBarriered, err := measureChainOverhead(*iterN, false)
+	if err != nil {
+		return err
+	}
 	const paperIters = 2471
 	fmt.Printf("%-44s %14s\n", "quantity", "value")
 	fmt.Printf("%-44s %14s   (paper: ~2 s)\n", "mrs cluster startup (measured)", startup.Round(time.Millisecond))
 	fmt.Printf("%-44s %14s   (paper: ~0.3 s)\n", "mrs per-operation overhead (measured)", perIter.Round(time.Microsecond))
+	fmt.Printf("%-44s %14s\n", "mrs per-op, straggler chain, pipelined", perPipelined.Round(time.Microsecond))
+	fmt.Printf("%-44s %14s\n", "mrs per-op, straggler chain, barriered", perBarriered.Round(time.Microsecond))
+	speedup := float64(perBarriered) / float64(perPipelined)
+	fmt.Printf("%-44s %13.2fx\n", "split-level pipelining speedup", speedup)
 	fmt.Printf("%-44s %14s   (paper: >=30 s)\n", "hadoop per-operation overhead (simulated)", hadoopOverhead.Round(time.Second))
 	ratio := float64(hadoopOverhead) / float64(perIter)
 	fmt.Printf("%-44s %14.0fx  (paper: ~100x, 'two orders of magnitude')\n", "overhead ratio", ratio)
@@ -490,6 +576,29 @@ func expIter() error {
 		(time.Duration(paperIters) * hadoopOverhead).Round(time.Minute))
 	fmt.Printf("%-44s %14s\n", "mrs, 2471 PSO iterations (extrapolated)",
 		(time.Duration(paperIters) * perIter).Round(time.Second))
+
+	if *iterJSON != "" {
+		blob, err := json.MarshalIndent(map[string]any{
+			"experiment":                    "iter",
+			"slaves":                        *slaves,
+			"iters":                         *iterN,
+			"startup_ms":                    float64(startup) / float64(time.Millisecond),
+			"per_op_waited_us":              float64(perIter) / float64(time.Microsecond),
+			"per_op_straggler_pipelined_us": float64(perPipelined) / float64(time.Microsecond),
+			"per_op_straggler_barriered_us": float64(perBarriered) / float64(time.Microsecond),
+			"straggler_sleep_ms":            float64(staggerSleep) / float64(time.Millisecond),
+			"pipeline_speedup":              speedup,
+			"hadoop_per_op_ms_sim":          float64(hadoopOverhead) / float64(time.Millisecond),
+			"overhead_ratio":                ratio,
+		}, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*iterJSON, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\n(wrote %s)\n", *iterJSON)
+	}
 	return nil
 }
 

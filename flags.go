@@ -26,6 +26,8 @@ func BindFlags(fs *flag.FlagSet) *Options {
 	fs.DurationVar(&o.MinSlavesTimeout, "mrs-slave-timeout", 60*time.Second,
 		"how long the master waits for -mrs-min-slaves")
 	fs.Uint64Var(&o.Seed, "mrs-seed", 42, "base seed for mrs.Random streams")
+	fs.BoolVar(&o.NoPipeline, "mrs-no-pipeline", false,
+		"disable split-level pipelining (barriered ablation)")
 	return o
 }
 

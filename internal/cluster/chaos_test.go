@@ -40,8 +40,15 @@ func runIterativeJob(t *testing.T, c *Cluster) []kvio.Pair {
 			t.Fatal(err)
 		}
 	}
-	out, err := job.MapReduce(ds, "split", "sum",
+	mid, err := job.MapReduce(ds, "split", "sum",
 		core.OpOpts{Splits: 4, Combine: "sum"}, core.OpOpts{Splits: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A narrow follow-on reduce (re-summing single totals is the
+	// identity) keeps the split-level release path under fault pressure
+	// too.
+	out, err := job.Reduce(mid, "sum", core.OpOpts{Splits: 2, KeyAligned: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,202 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kvio"
+	"repro/internal/partition"
+)
+
+// TestAllExecutorsAgreeExactly extends the core invariant test of the
+// same name across the network: serial, mock-parallel, threads, and a
+// real master/slave cluster must produce byte-identical sorted record
+// streams — and the pipelined scheduler must agree with the barriered
+// ablation on every executor. The program ends in a narrow follow-on
+// reduce so the split-level release path is on the line for all of
+// them.
+func TestAllExecutorsAgreeExactly(t *testing.T) {
+	program := func(exec core.Executor, opts core.JobOptions) []kvio.Pair {
+		job := core.NewJobWith(exec, opts)
+		src, err := job.LocalData(inputPairs(), core.OpOpts{Splits: 3, Partition: "roundrobin"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mid, err := job.MapReduce(src, "split", "sum",
+			core.OpOpts{Splits: 4, Combine: "sum"}, core.OpOpts{Splits: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := job.Reduce(mid, "sum", core.OpOpts{Splits: 2, KeyAligned: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs, err := out.CollectSorted()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := job.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return pairs
+	}
+
+	type run struct {
+		name  string
+		pairs []kvio.Pair
+	}
+	var runs []run
+	for _, pipelined := range []bool{true, false} {
+		opts := core.JobOptions{Pipeline: pipelined}
+		suffix := "/pipelined"
+		if !pipelined {
+			suffix = "/barriered"
+		}
+
+		serial := core.NewSerial(testRegistry())
+		runs = append(runs, run{"serial" + suffix, program(serial, opts)})
+		serial.Close()
+
+		mock, err := core.NewMockParallel(testRegistry(), "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, run{"mock" + suffix, program(mock, opts)})
+		mock.Close()
+
+		threads := core.NewThreads(testRegistry(), 8)
+		runs = append(runs, run{"threads" + suffix, program(threads, opts)})
+		threads.Close()
+
+		c, err := Start(testRegistry(), Options{Slaves: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, run{"cluster" + suffix, program(c.Executor(), opts)})
+		c.Close()
+	}
+
+	base := runs[0]
+	if len(base.pairs) == 0 {
+		t.Fatalf("%s produced no output", base.name)
+	}
+	for _, r := range runs[1:] {
+		if len(r.pairs) != len(base.pairs) {
+			t.Fatalf("%s: %d records vs %s %d", r.name, len(r.pairs), base.name, len(base.pairs))
+			continue
+		}
+		for i := range base.pairs {
+			if !bytes.Equal(base.pairs[i].Key, r.pairs[i].Key) ||
+				!bytes.Equal(base.pairs[i].Value, r.pairs[i].Value) {
+				t.Errorf("%s: record %d differs: %v vs %v", r.name, i, r.pairs[i], base.pairs[i])
+			}
+		}
+	}
+}
+
+// TestPipelineOverlapsIterations is the pipelining acceptance test: on
+// a two-slave cluster, a downstream map task must start while the
+// slowest task of a narrow reduce is still running — iteration i+1
+// overlapping iteration i's straggler. The barriered ablation must show
+// no such overlap.
+func TestPipelineOverlapsIterations(t *testing.T) {
+	// Two keys that the default hash partitioner routes to different
+	// splits of 2, so the slow and fast work land on distinct tasks.
+	var slowKey, fastKey string
+	for i := 0; i < 1000 && (slowKey == "" || fastKey == ""); i++ {
+		k := fmt.Sprintf("k%d", i)
+		switch partition.Hash([]byte(k), 0, 2) {
+		case 0:
+			if slowKey == "" {
+				slowKey = k
+			}
+		default:
+			if fastKey == "" {
+				fastKey = k
+			}
+		}
+	}
+	if slowKey == "" || fastKey == "" {
+		t.Fatal("no keys found covering both hash splits")
+	}
+
+	run := func(pipelined bool, window time.Duration) bool {
+		slowRelease := make(chan struct{})
+		fastSeen := make(chan struct{})
+		var once sync.Once
+		reg := testRegistry()
+		reg.RegisterReduce("slowred", func(key []byte, values [][]byte, emit kvio.Emitter) error {
+			if string(key) == slowKey {
+				select {
+				case <-slowRelease:
+				case <-time.After(30 * time.Second):
+					return fmt.Errorf("slow reduce never released")
+				}
+			}
+			return emit.Emit(key, values[0])
+		})
+		reg.RegisterMap("recorder", func(key, value []byte, emit kvio.Emitter) error {
+			if string(key) == fastKey {
+				once.Do(func() { close(fastSeen) })
+			}
+			return emit.Emit(key, value)
+		})
+
+		c, err := Start(reg, Options{Slaves: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		job := core.NewJobWith(c.Executor(), core.JobOptions{Pipeline: pipelined})
+		// Hash partitioning puts each key in its own source split.
+		src, err := job.LocalData([]kvio.Pair{
+			{Key: []byte(slowKey), Value: []byte("s")},
+			{Key: []byte(fastKey), Value: []byte("f")},
+		}, core.OpOpts{Splits: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		red, err := job.Reduce(src, "slowred", core.OpOpts{Splits: 2, KeyAligned: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := job.Map(red, "recorder", core.OpOpts{Splits: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The slow split's reduce task is still blocked on slowRelease:
+		// did the downstream map of the fast split run anyway?
+		overlapped := false
+		select {
+		case <-fastSeen:
+			overlapped = true
+		case <-time.After(window):
+		}
+		close(slowRelease)
+		if err := rec.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		pairs, err := rec.Collect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pairs) != 2 {
+			t.Fatalf("pipelined=%v: %d records out, want 2", pipelined, len(pairs))
+		}
+		if err := job.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return overlapped
+	}
+
+	if !run(true, 8*time.Second) {
+		t.Error("pipelined: downstream map never overlapped the straggling reduce task")
+	}
+	if run(false, 1500*time.Millisecond) {
+		t.Error("barriered: overlap observed despite the barrier")
+	}
+}

@@ -202,6 +202,22 @@ type Operation struct {
 	// such as k-means centroids). It travels with every task.
 	Params []byte
 
+	// KeyAligned is the program's promise that this reduce emits only
+	// keys from its own input group (key-preserving output). It is the
+	// opt-in half of the "narrow reduce" optimization: combined with a
+	// key-pure partitioner shared with the producing operation and an
+	// equal split count, output split s depends only on input split s,
+	// so downstream tasks may start as soon as task s finishes instead
+	// of waiting for the whole shuffle barrier.
+	KeyAligned bool
+	// Narrow is set by the Job when KeyAligned plus the structural
+	// conditions actually hold for this queue. It travels with every
+	// task so the task engine can *enforce* the alignment promise: a
+	// narrow reduce task errors if an emitted key would route outside
+	// the task's own split, instead of silently corrupting downstream
+	// reads.
+	Narrow bool
+
 	// rangeFormat marks an OpFile whose Paths are byte-range URLs
 	// (TextFileDataSplit). Master-side only; slaves see the range
 	// format through the task spec's InputFormat.

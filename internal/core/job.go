@@ -11,12 +11,20 @@ import (
 	"repro/internal/partition"
 )
 
-// Executor runs operations. Implementations: Serial, MockParallel,
-// Threads (this package) and the distributed master (internal/master).
+// Executor runs tasks. Implementations: Serial, MockParallel, Threads
+// (this package, all sharing one async worker-pool runner) and the
+// distributed master (internal/master).
+//
+// The contract is asynchronous: Submit hands one task to the executor
+// and returns immediately; done is invoked exactly once, from some
+// other goroutine, never synchronously from inside Submit. That lets
+// the Job submit follow-on tasks from inside completion callbacks
+// while holding its own lock without deadlocking.
 type Executor interface {
-	// RunOp executes a map or reduce operation given the materialized
-	// input and returns the output materialization.
-	RunOp(op *Operation, input *Materialized) (*Materialized, error)
+	// Submit schedules one task for execution. done receives the task's
+	// result or error (after the executor's own retry policy, if any,
+	// is exhausted).
+	Submit(spec *TaskSpec, done func(*TaskResult, error))
 	// Store is the executor's local bucket store; the driver uses it to
 	// materialize source data and to fetch results for Collect.
 	Store() *bucket.Store
@@ -26,103 +34,307 @@ type Executor interface {
 	Close() error
 }
 
-// Job is the handle a Program's Run method uses to queue operations.
-// Queueing methods never block on execution; a background driver
-// executes operations in queue order (asynchronously, which is what
-// lets iterative programs overlap convergence checks with subsequent
-// iterations). Wait/Collect block until the named dataset is complete.
-type Job struct {
-	exec Executor
-
-	mu      sync.Mutex
-	ops     []*Operation
-	results []*Materialized
-	done    []chan struct{}
-	failed  map[int]bool
-	err     error
-
-	queue  chan int
-	closed bool
-	wg     sync.WaitGroup
+// JobOptions tunes the Job driver.
+type JobOptions struct {
+	// Pipeline enables the split-level pipelined DAG runner: every
+	// queued operation is scheduled immediately, a task starts as soon
+	// as its input split is ready, and narrow (key-aligned) reduces
+	// release their splits one task at a time so iteration i+1 can
+	// overlap iteration i's stragglers. When false the driver falls
+	// back to the barriered behaviour — strict queue order, one
+	// operation materialized fully before the next starts — kept as an
+	// ablation (BenchmarkPipelineAblation).
+	Pipeline bool
 }
 
-// NewJob starts a job driver over the executor.
+// Job is the handle a Program's Run method uses to queue operations.
+// Queueing methods never block on execution: the Job is a DAG
+// scheduler that submits every runnable task to the executor the
+// moment its input split is ready, and builds each dataset's
+// Materialized incrementally as per-task completion events land.
+// Wait/Collect/Stats resolve as soon as their own dataset completes,
+// not when the whole queue prefix does — which is what lets iterative
+// programs overlap convergence checks with subsequent iterations
+// (§IV/§V-B of the Mrs paper).
+type Job struct {
+	exec     Executor
+	pipeline bool
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	states []*dsState
+	err    error
+	closed bool
+}
+
+// dsState is the scheduler's view of one queued dataset.
+type dsState struct {
+	op     *Operation
+	splits int // output split count (== op.Splits)
+	nTasks int // tasks to run (== input split count; 0 for sources)
+	// narrow marks a key-aligned reduce whose output split s depends
+	// only on its own task s (see Operation.KeyAligned).
+	narrow bool
+
+	out       *Materialized
+	submitted []bool
+	taskDone  []bool
+	ndone     int
+
+	started  bool // a task was submitted or the source materialized
+	complete bool
+	failed   bool
+	err      error
+	done     chan struct{} // closed when complete (success or failure)
+
+	// Deferred Free bookkeeping: Free records intent; storage is
+	// released once the dataset and every consumer queued so far have
+	// completed.
+	freeWanted     bool
+	freed          bool
+	nConsumers     int
+	nConsumersDone int
+}
+
+// NewJob starts a pipelined job driver over the executor.
 func NewJob(exec Executor) *Job {
-	j := &Job{
-		exec:   exec,
-		failed: map[int]bool{},
-		queue:  make(chan int, 1024),
-	}
-	j.wg.Add(1)
-	go j.driveLoop()
+	return NewJobWith(exec, JobOptions{Pipeline: true})
+}
+
+// NewJobWith starts a job driver with explicit options.
+func NewJobWith(exec Executor, opts JobOptions) *Job {
+	j := &Job{exec: exec, pipeline: opts.Pipeline}
+	j.cond = sync.NewCond(&j.mu)
 	return j
 }
 
-// driveLoop executes queued operations in order.
-func (j *Job) driveLoop() {
-	defer j.wg.Done()
-	for id := range j.queue {
-		j.mu.Lock()
-		op := j.ops[id]
-		jobErr := j.err
-		var input *Materialized
-		if op.Input >= 0 {
-			input = j.results[op.Input]
-		}
-		inputFailed := op.Input >= 0 && j.failed[op.Input]
-		j.mu.Unlock()
+// Pipelined reports whether split-level pipelining is enabled.
+func (j *Job) Pipelined() bool { return j.pipeline }
 
-		var m *Materialized
-		var err error
-		switch {
-		case jobErr != nil || inputFailed:
-			err = fmt.Errorf("core: dataset %d skipped: upstream failure", id)
-		case op.Kind == OpLocal:
-			m, err = MaterializeLocal(j.exec.Store(), op)
-		case op.Kind == OpFile && op.rangeFormat:
-			m, err = materializeRangedFiles(op)
-		case op.Kind == OpFile:
-			m, err = MaterializeFiles(op)
-		default:
-			m, err = j.exec.RunOp(op, input)
-		}
-
-		j.mu.Lock()
-		if err != nil {
-			j.failed[id] = true
-			if j.err == nil {
-				j.err = err
-			}
-		} else {
-			j.results[id] = m
-		}
-		close(j.done[id])
-		j.mu.Unlock()
-	}
-}
-
-// enqueue registers and queues an operation, returning its dataset.
+// enqueue registers an operation and immediately schedules whatever is
+// runnable. The pending set is the states slice itself — unbounded, so
+// iterative programs can queue arbitrarily many operations ahead
+// without deadlocking the driver.
 func (j *Job) enqueue(op *Operation, splits int) (*Dataset, error) {
 	j.mu.Lock()
+	defer j.mu.Unlock()
 	if j.closed {
-		j.mu.Unlock()
 		return nil, fmt.Errorf("core: job is closed")
 	}
-	op.Dataset = len(j.ops)
+	op.Dataset = len(j.states)
 	if err := op.Validate(); err != nil {
-		j.mu.Unlock()
 		return nil, err
 	}
-	j.ops = append(j.ops, op)
-	j.results = append(j.results, nil)
-	j.done = append(j.done, make(chan struct{}))
-	j.mu.Unlock()
-	j.queue <- op.Dataset
+	st := &dsState{op: op, splits: op.Splits, done: make(chan struct{})}
+	if op.Input >= 0 {
+		if op.Input >= len(j.states) {
+			return nil, fmt.Errorf("core: op %d: unknown input dataset %d", op.Dataset, op.Input)
+		}
+		in := j.states[op.Input]
+		in.nConsumers++
+		st.nTasks = in.splits
+		st.narrow = narrowReduce(op, in)
+		op.Narrow = st.narrow
+		st.submitted = make([]bool, st.nTasks)
+		st.taskDone = make([]bool, st.nTasks)
+		st.out = NewMaterialized(op.Splits, FormatKV)
+	}
+	j.states = append(j.states, st)
+	j.scheduleLocked()
 	return &Dataset{job: j, id: op.Dataset, splits: splits}, nil
 }
 
-// Close stops the driver after all queued operations finish. The
-// runner harness calls this when Run returns.
+// narrowReduce decides whether op is a narrow (split-aligned) reduce
+// over its input: the program promised key-preserving output
+// (KeyAligned), producer and consumer share a key-pure partitioner and
+// a split count, and the input is in KV format. Then every key of
+// input split s re-partitions back to output split s, so split s is
+// complete the moment task s finishes — the other tasks' buckets for s
+// are provably empty.
+func narrowReduce(op *Operation, in *dsState) bool {
+	if op.Kind != OpReduce || !op.KeyAligned {
+		return false
+	}
+	switch in.op.Kind {
+	case OpMap, OpReduce, OpLocal:
+	default:
+		return false
+	}
+	if op.Splits != in.splits {
+		return false
+	}
+	if !partition.KeyPure(op.Partition) || !partition.KeyPure(in.op.Partition) {
+		return false
+	}
+	return normPartName(op.Partition) == normPartName(in.op.Partition)
+}
+
+func normPartName(name string) string {
+	if name == "" {
+		return "hash"
+	}
+	return name
+}
+
+// scheduleLocked submits every task whose input split is ready. It is
+// re-run after each enqueue and each task completion; it must be called
+// with j.mu held.
+func (j *Job) scheduleLocked() {
+	for id := 0; id < len(j.states); id++ {
+		d := j.states[id]
+		if d.complete {
+			continue
+		}
+		if j.err != nil && !d.started {
+			j.failLocked(d, fmt.Errorf("core: dataset %d skipped: upstream failure", id))
+			continue
+		}
+		if !j.pipeline && id > 0 && !j.states[id-1].complete {
+			// Barriered ablation: strict queue order, one operation at
+			// a time to full materialization.
+			break
+		}
+		if d.op.Input < 0 {
+			if !d.started {
+				j.runSourceLocked(d)
+			}
+			continue
+		}
+		in := j.states[d.op.Input]
+		if in.failed {
+			j.failLocked(d, fmt.Errorf("core: dataset %d skipped: upstream failure", id))
+			continue
+		}
+		for t := 0; t < d.nTasks; t++ {
+			if d.submitted[t] || !j.inputReadyLocked(in, t) {
+				continue
+			}
+			d.submitted[t] = true
+			d.started = true
+			spec := &TaskSpec{
+				Op:          d.op,
+				TaskIndex:   t,
+				InputURLs:   in.out.URLs(t),
+				InputFormat: in.out.Format,
+			}
+			dd, tt := d, t
+			j.exec.Submit(spec, func(res *TaskResult, err error) {
+				j.taskFinished(dd, tt, res, err)
+			})
+		}
+	}
+}
+
+// inputReadyLocked reports whether split t of the input dataset is
+// ready to be consumed: the whole dataset completed, or — pipelined,
+// narrow producers only — its own task t did.
+func (j *Job) inputReadyLocked(in *dsState, t int) bool {
+	if in.complete && !in.failed {
+		return true
+	}
+	if !j.pipeline {
+		return false
+	}
+	return in.narrow && t < len(in.taskDone) && in.taskDone[t]
+}
+
+// runSourceLocked materializes a source operation driver-side.
+func (j *Job) runSourceLocked(d *dsState) {
+	d.started = true
+	var m *Materialized
+	var err error
+	switch {
+	case d.op.Kind == OpLocal:
+		m, err = MaterializeLocal(j.exec.Store(), d.op)
+	case d.op.rangeFormat:
+		m, err = materializeRangedFiles(d.op)
+	default:
+		m, err = MaterializeFiles(d.op)
+	}
+	if err != nil {
+		j.failLocked(d, err)
+		return
+	}
+	d.out = m
+	j.completeLocked(d)
+}
+
+// taskFinished is the executor's completion callback for one task.
+func (j *Job) taskFinished(d *dsState, t int, res *TaskResult, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case d.complete:
+		// Late result after the dataset already failed; drop it.
+	case err != nil:
+		j.failLocked(d, err)
+	case res == nil || len(res.Outputs) != d.splits:
+		n := 0
+		if res != nil {
+			n = len(res.Outputs)
+		}
+		j.failLocked(d, fmt.Errorf("core: op %d task %d returned %d outputs, want %d",
+			d.op.Dataset, t, n, d.splits))
+	case !d.taskDone[t]:
+		for s, desc := range res.Outputs {
+			if err := d.out.SetTaskBucket(t, s, desc); err != nil {
+				j.failLocked(d, err)
+				return
+			}
+		}
+		d.taskDone[t] = true
+		d.ndone++
+		if d.ndone == d.nTasks {
+			j.completeLocked(d)
+		}
+	}
+	j.scheduleLocked()
+}
+
+// completeLocked marks a dataset finished (success or failure), wakes
+// waiters, and advances deferred-free bookkeeping.
+func (j *Job) completeLocked(d *dsState) {
+	if d.complete {
+		return
+	}
+	d.complete = true
+	close(d.done)
+	j.cond.Broadcast()
+	if d.op.Input >= 0 {
+		in := j.states[d.op.Input]
+		in.nConsumersDone++
+		j.maybeFreeLocked(in)
+	}
+	j.maybeFreeLocked(d)
+}
+
+func (j *Job) failLocked(d *dsState, err error) {
+	if d.complete {
+		return
+	}
+	d.failed = true
+	d.err = err
+	if j.err == nil {
+		j.err = err
+	}
+	j.completeLocked(d)
+}
+
+// maybeFreeLocked releases a dataset's storage once Free was requested,
+// the dataset completed, and every consumer queued so far completed.
+func (j *Job) maybeFreeLocked(st *dsState) {
+	if !st.freeWanted || st.freed || !st.complete || st.failed || st.out == nil {
+		return
+	}
+	if st.nConsumersDone < st.nConsumers {
+		return
+	}
+	st.freed = true
+	j.exec.Free(st.out)
+}
+
+// Close blocks until every queued operation has completed (in-flight
+// work is never abandoned) and reports the first execution error.
 func (j *Job) Close() error {
 	j.mu.Lock()
 	if j.closed {
@@ -130,10 +342,20 @@ func (j *Job) Close() error {
 		return nil
 	}
 	j.closed = true
+	for !j.allCompleteLocked() {
+		j.cond.Wait()
+	}
 	j.mu.Unlock()
-	close(j.queue)
-	j.wg.Wait()
 	return j.Err()
+}
+
+func (j *Job) allCompleteLocked() bool {
+	for _, d := range j.states {
+		if !d.complete {
+			return false
+		}
+	}
+	return true
 }
 
 // Err returns the first execution error, if any.
@@ -156,6 +378,15 @@ type OpOpts struct {
 	// Params is opaque per-operation state delivered to map/reduce
 	// factories on every executing process (broadcast variables).
 	Params []byte
+	// KeyAligned promises (reduces only) that the function emits only
+	// keys from its own input group. When the structural conditions
+	// also hold (shared key-pure partitioner, equal split count) the
+	// scheduler runs the reduce "narrow": each output split is released
+	// downstream as soon as its own task finishes, instead of after the
+	// whole shuffle barrier. The promise is enforced — a task that
+	// emits a foreign key fails rather than corrupting downstream
+	// reads.
+	KeyAligned bool
 }
 
 func (o OpOpts) splitsOr(def int) int {
@@ -219,6 +450,7 @@ func (j *Job) Reduce(src *Dataset, funcName string, opts OpOpts) (*Dataset, erro
 		Splits:      splits,
 		Partition:   opts.Partition,
 		Params:      append([]byte(nil), opts.Params...),
+		KeyAligned:  opts.KeyAligned,
 	}, splits)
 }
 
@@ -235,19 +467,23 @@ func (j *Job) MapReduce(src *Dataset, mapName, reduceName string, mapOpts, reduc
 // wait blocks until dataset id completes; returns the materialization.
 func (j *Job) wait(id int) (*Materialized, error) {
 	j.mu.Lock()
-	if id < 0 || id >= len(j.done) {
+	if id < 0 || id >= len(j.states) {
 		j.mu.Unlock()
 		return nil, fmt.Errorf("core: unknown dataset %d", id)
 	}
-	ch := j.done[id]
+	st := j.states[id]
+	ch := st.done
 	j.mu.Unlock()
 	<-ch
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.failed[id] {
+	if st.failed {
+		if st.err != nil {
+			return nil, st.err
+		}
 		return nil, j.err
 	}
-	return j.results[id], nil
+	return st.out, nil
 }
 
 // Dataset is a handle to a queued (possibly not yet computed) dataset.
@@ -269,24 +505,62 @@ func (d *Dataset) Wait() error {
 	return err
 }
 
+// collectWorkers bounds the per-split fetch concurrency in Collect.
+const collectWorkers = 8
+
 // Collect waits for the dataset and fetches every record, splits in
 // order, each split's buckets in producer order. For reduce outputs
-// this yields records sorted by key within each split.
+// this yields records sorted by key within each split. Split fetches
+// run on a bounded worker pool; the returned order is unaffected.
 func (d *Dataset) Collect() ([]kvio.Pair, error) {
 	m, err := d.job.wait(d.id)
 	if err != nil {
 		return nil, err
 	}
+	if d.job.freeRequested(d.id) {
+		return nil, fmt.Errorf("core: dataset %d was freed", d.id)
+	}
 	store := d.job.exec.Store()
+	n := m.NumSplits()
+	perSplit := make([][]kvio.Pair, n)
+	errs := make([]error, n)
+	workers := collectWorkers
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	splitCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range splitCh {
+				perSplit[s], errs[s] = store.ReadAllMulti(m.URLs(s))
+			}
+		}()
+	}
+	for s := 0; s < n; s++ {
+		splitCh <- s
+	}
+	close(splitCh)
+	wg.Wait()
 	var out []kvio.Pair
-	for s := range m.Splits {
-		pairs, err := store.ReadAllMulti(m.URLs(s))
-		if err != nil {
-			return nil, err
+	for s := 0; s < n; s++ {
+		if errs[s] != nil {
+			return nil, errs[s]
 		}
-		out = append(out, pairs...)
+		out = append(out, perSplit[s]...)
 	}
 	return out, nil
+}
+
+func (j *Job) freeRequested(id int) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.states[id].freeWanted
 }
 
 // CollectSorted is Collect with a global bytewise key sort applied,
@@ -328,14 +602,18 @@ func (d *Dataset) Stats() (DatasetStats, error) {
 	return s, nil
 }
 
-// Free waits for the dataset and then releases its storage. Iterative
-// programs call this on datasets from finished iterations.
+// Free releases the dataset's storage without blocking: the intent is
+// recorded and storage is reclaimed as soon as the dataset and every
+// consumer queued so far have completed. Iterative programs call this
+// on datasets from finished iterations; a Free on a still-running
+// iteration no longer stalls the driver goroutine.
 func (d *Dataset) Free() error {
-	m, err := d.job.wait(d.id)
-	if err != nil {
-		return err
-	}
-	d.job.exec.Free(m)
+	j := d.job
+	j.mu.Lock()
+	st := j.states[d.id]
+	st.freeWanted = true
+	j.maybeFreeLocked(st)
+	j.mu.Unlock()
 	return nil
 }
 

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"os"
 	"sync"
 
@@ -22,18 +21,39 @@ import (
 //
 // The fourth mode, Bypass, doesn't execute operations at all; the
 // public mrs package dispatches it before a Job exists.
+//
+// All three modes share one asynchronous runner: an unbounded FIFO task
+// queue drained by `workers` goroutines. Submit never blocks and never
+// invokes the completion callback synchronously — the same contract the
+// distributed master provides — so every executor drives the Job's
+// pipelined DAG scheduler through the identical code path.
 type LocalExecutor struct {
 	env     *TaskEnv
 	workers int
 	ownsDir string // temp dir to remove on Close ("" if none)
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []localTask // unbounded pending set
+	started bool
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+type localTask struct {
+	spec *TaskSpec
+	done func(*TaskResult, error)
+}
+
+func newLocal(env *TaskEnv, workers int, ownsDir string) *LocalExecutor {
+	e := &LocalExecutor{env: env, workers: workers, ownsDir: ownsDir}
+	e.cond = sync.NewCond(&e.mu)
+	return e
 }
 
 // NewSerial returns the serial executor.
 func NewSerial(reg *Registry) *LocalExecutor {
-	return &LocalExecutor{
-		env:     &TaskEnv{Store: bucket.NewMemStore(), Reg: reg},
-		workers: 1,
-	}
+	return newLocal(&TaskEnv{Store: bucket.NewMemStore(), Reg: reg}, 1, "")
 }
 
 // NewMockParallel returns the mock-parallel executor. dir receives the
@@ -53,11 +73,7 @@ func NewMockParallel(reg *Registry, dir string) (*LocalExecutor, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &LocalExecutor{
-		env:     &TaskEnv{Store: store, Reg: reg, TempDir: dir},
-		workers: 1,
-		ownsDir: owns,
-	}, nil
+	return newLocal(&TaskEnv{Store: store, Reg: reg, TempDir: dir}, 1, owns), nil
 }
 
 // NewThreads returns an in-process parallel executor with n workers.
@@ -65,10 +81,7 @@ func NewThreads(reg *Registry, n int) *LocalExecutor {
 	if n < 1 {
 		n = 1
 	}
-	return &LocalExecutor{
-		env:     &TaskEnv{Store: bucket.NewMemStore(), Reg: reg},
-		workers: n,
-	}
+	return newLocal(&TaskEnv{Store: bucket.NewMemStore(), Reg: reg}, n, "")
 }
 
 // Store implements Executor.
@@ -78,66 +91,43 @@ func (e *LocalExecutor) Store() *bucket.Store { return e.env.Store }
 // spill ablation bench).
 func (e *LocalExecutor) SetSpillBytes(n int64) { e.env.SpillBytes = n }
 
-// RunOp implements Executor: it runs one task per input split, with up
-// to `workers` tasks in flight.
-func (e *LocalExecutor) RunOp(op *Operation, input *Materialized) (*Materialized, error) {
-	if input == nil {
-		return nil, fmt.Errorf("core: %s op %d has no input", op.Kind, op.Dataset)
+// Submit implements Executor: the task joins the FIFO queue and is
+// executed by one of the worker goroutines (started lazily on first
+// use).
+func (e *LocalExecutor) Submit(spec *TaskSpec, done func(*TaskResult, error)) {
+	e.mu.Lock()
+	if !e.started {
+		e.started = true
+		for w := 0; w < e.workers; w++ {
+			e.wg.Add(1)
+			go e.worker()
+		}
 	}
-	nTasks := input.NumSplits()
-	out := NewMaterialized(op.Splits, FormatKV)
-	if nTasks == 0 {
-		return out, nil
-	}
-	results := make([]*TaskResult, nTasks)
-	errs := make([]error, nTasks)
+	e.queue = append(e.queue, localTask{spec: spec, done: done})
+	e.cond.Signal()
+	e.mu.Unlock()
+}
 
-	if e.workers == 1 {
-		for t := 0; t < nTasks; t++ {
-			results[t], errs[t] = ExecTask(e.env, &TaskSpec{
-				Op:          op,
-				TaskIndex:   t,
-				InputURLs:   input.URLs(t),
-				InputFormat: input.Format,
-			})
-			if errs[t] != nil {
-				return nil, errs[t]
-			}
+// worker drains the queue until Close; the queue is fully drained even
+// when Close races with late submissions, so every Submit's callback
+// fires exactly once.
+func (e *LocalExecutor) worker() {
+	defer e.wg.Done()
+	for {
+		e.mu.Lock()
+		for len(e.queue) == 0 && !e.closed {
+			e.cond.Wait()
 		}
-	} else {
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, e.workers)
-		for t := 0; t < nTasks; t++ {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(t int) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				results[t], errs[t] = ExecTask(e.env, &TaskSpec{
-					Op:          op,
-					TaskIndex:   t,
-					InputURLs:   input.URLs(t),
-					InputFormat: input.Format,
-				})
-			}(t)
+		if len(e.queue) == 0 && e.closed {
+			e.mu.Unlock()
+			return
 		}
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
-			}
-		}
+		t := e.queue[0]
+		e.queue = e.queue[1:]
+		e.mu.Unlock()
+		res, err := ExecTask(e.env, t.spec)
+		t.done(res, err)
 	}
-
-	// Assemble output splits in task order for determinism.
-	for t := 0; t < nTasks; t++ {
-		for s, d := range results[t].Outputs {
-			if err := out.AddBucket(s, d); err != nil {
-				return nil, err
-			}
-		}
-	}
-	return out, nil
 }
 
 // Free implements Executor.
@@ -147,8 +137,14 @@ func (e *LocalExecutor) Free(m *Materialized) {
 	}
 }
 
-// Close implements Executor.
+// Close implements Executor: waits for in-flight and queued tasks to
+// finish, then releases resources.
 func (e *LocalExecutor) Close() error {
+	e.mu.Lock()
+	e.closed = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	e.wg.Wait()
 	if e.ownsDir != "" {
 		return os.RemoveAll(e.ownsDir)
 	}

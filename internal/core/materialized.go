@@ -10,8 +10,17 @@ import (
 // for each split, the ordered list of buckets holding its records
 // (one bucket per producing task). Order matters — concatenating a
 // split's buckets in task order yields a deterministic record sequence.
+//
+// Under the pipelined runner a Materialized is built incrementally:
+// SetTaskBucket records buckets at their task index as completion
+// events land, leaving zero-value placeholders for tasks that have not
+// reported yet. Accessors skip placeholders, so a consumer reading an
+// incomplete (narrow) split sees exactly the buckets delivered so far
+// in task order.
 type Materialized struct {
-	// Splits[s] lists the buckets that together form split s.
+	// Splits[s] lists the buckets that together form split s, indexed
+	// by producing task. A zero-value Descriptor (empty URL) marks a
+	// task whose bucket has not been recorded.
 	Splits [][]bucket.Descriptor
 	// Format tells consumers how to decode the bucket payloads.
 	Format string
@@ -47,11 +56,15 @@ func (m *Materialized) Bytes() int64 {
 	return n
 }
 
-// URLs returns the bucket URLs of split s in task order.
+// URLs returns the bucket URLs of split s in task order, skipping
+// placeholders for tasks that have not reported their bucket yet.
 func (m *Materialized) URLs(s int) []string {
-	urls := make([]string, len(m.Splits[s]))
-	for i, d := range m.Splits[s] {
-		urls[i] = d.URL
+	urls := make([]string, 0, len(m.Splits[s]))
+	for _, d := range m.Splits[s] {
+		if d.URL == "" {
+			continue
+		}
+		urls = append(urls, d.URL)
 	}
 	return urls
 }
@@ -76,6 +89,23 @@ func (m *Materialized) AddBucket(s int, d bucket.Descriptor) error {
 		return fmt.Errorf("core: split %d out of range [0,%d)", s, len(m.Splits))
 	}
 	m.Splits[s] = append(m.Splits[s], d)
+	return nil
+}
+
+// SetTaskBucket records task's output bucket for split s at its task
+// index, growing the split with placeholders as needed so buckets stay
+// in producer-task order no matter what order completions arrive in.
+func (m *Materialized) SetTaskBucket(task, s int, d bucket.Descriptor) error {
+	if s < 0 || s >= len(m.Splits) {
+		return fmt.Errorf("core: split %d out of range [0,%d)", s, len(m.Splits))
+	}
+	if task < 0 {
+		return fmt.Errorf("core: negative task index %d", task)
+	}
+	for len(m.Splits[s]) <= task {
+		m.Splits[s] = append(m.Splits[s], bucket.Descriptor{})
+	}
+	m.Splits[s][task] = d
 	return nil
 }
 

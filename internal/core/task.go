@@ -77,6 +77,12 @@ type partitionedEmitter struct {
 	splits  int
 	serial  int64
 	writers []*bucket.Writer
+	// ownSplit, when >= 0, enforces the narrow-reduce alignment
+	// promise: every emitted record must route to this split (the
+	// task's own index). Downstream tasks may already be consuming the
+	// task's split, so a violation must fail the task rather than
+	// silently scatter records the scheduler assumed were aligned.
+	ownSplit int
 }
 
 func (e *partitionedEmitter) Emit(key, value []byte) error {
@@ -84,6 +90,10 @@ func (e *partitionedEmitter) Emit(key, value []byte) error {
 	e.serial++
 	if s < 0 || s >= e.splits {
 		return fmt.Errorf("core: partitioner returned split %d of %d", s, e.splits)
+	}
+	if e.ownSplit >= 0 && s != e.ownSplit {
+		return fmt.Errorf("core: key-aligned reduce emitted key %q routing to split %d, not its own split %d",
+			key, s, e.ownSplit)
 	}
 	return e.writers[s].Emit(key, value)
 }
@@ -131,7 +141,7 @@ func execMapTask(env *TaskEnv, spec *TaskSpec) (*TaskResult, error) {
 
 	if op.CombineName == "" {
 		// Direct path: emitted records go straight to their bucket.
-		emit := &partitionedEmitter{parter: parter, splits: op.Splits, writers: writers}
+		emit := &partitionedEmitter{parter: parter, splits: op.Splits, writers: writers, ownSplit: -1}
 		err = forEachInputRecord(env, spec, func(key, value []byte) error {
 			return mapFn(key, value, emit)
 		})
@@ -234,7 +244,11 @@ func execReduceTask(env *TaskEnv, spec *TaskSpec) (*TaskResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	emit := &partitionedEmitter{parter: parter, splits: op.Splits, writers: writers}
+	ownSplit := -1
+	if op.Narrow {
+		ownSplit = spec.TaskIndex
+	}
+	emit := &partitionedEmitter{parter: parter, splits: op.Splits, writers: writers, ownSplit: ownSplit}
 	err = sorter.Groups(func(key []byte, values [][]byte) error {
 		return reduceFn(key, values, emit)
 	})

@@ -359,7 +359,7 @@ func RunMapReduce(job *core.Job, cfg Config, points *core.Dataset, initial [][]f
 		if err != nil {
 			return nil, err
 		}
-		reduced, err := job.Reduce(mapped, UpdateName, core.OpOpts{Splits: 1, Partition: "constant"})
+		reduced, err := job.Reduce(mapped, UpdateName, core.OpOpts{Splits: 1, Partition: "constant", KeyAligned: true})
 		if err != nil {
 			return nil, err
 		}

@@ -476,47 +476,18 @@ func (m *Master) WaitForSlaves(ctx context.Context, n int) error {
 // Store implements core.Executor.
 func (m *Master) Store() *bucket.Store { return m.store }
 
-// RunOp implements core.Executor: one task per input split, distributed
-// to slaves via the scheduler.
-func (m *Master) RunOp(op *core.Operation, input *core.Materialized) (*core.Materialized, error) {
-	if input == nil {
-		return nil, fmt.Errorf("master: %s op %d has no input", op.Kind, op.Dataset)
+// Submit implements core.Executor: the task enters the scheduler's
+// pending set, where tasks from any number of concurrent operations
+// interleave, and slaves pull it via get_task. The callback fires when
+// the task succeeds, exhausts its retry budget, or the master shuts
+// down; the scheduler guarantees it never fires synchronously from
+// inside Submit and never while internal locks are held.
+func (m *Master) Submit(spec *core.TaskSpec, done func(*core.TaskResult, error)) {
+	if _, err := m.sched.Submit(spec, sched.Callback(done)); err != nil {
+		// Scheduler already closed; deliver the refusal asynchronously
+		// to honor the Executor contract.
+		go done(nil, err)
 	}
-	nTasks := input.NumSplits()
-	specs := make([]*core.TaskSpec, nTasks)
-	for t := 0; t < nTasks; t++ {
-		specs[t] = &core.TaskSpec{
-			Op:          op,
-			TaskIndex:   t,
-			InputURLs:   input.URLs(t),
-			InputFormat: input.Format,
-		}
-	}
-	group, err := m.sched.SubmitGroup(specs)
-	if err != nil {
-		return nil, err
-	}
-	results, err := group.Wait()
-	if err != nil {
-		return nil, err
-	}
-	out := core.NewMaterialized(op.Splits, core.FormatKV)
-	for t := 0; t < nTasks; t++ {
-		r := results[t]
-		if r == nil {
-			return nil, fmt.Errorf("master: missing result for task %d of ds%d", t, op.Dataset)
-		}
-		if len(r.Outputs) != op.Splits {
-			return nil, fmt.Errorf("master: task %d of ds%d returned %d outputs, want %d",
-				t, op.Dataset, len(r.Outputs), op.Splits)
-		}
-		for s, d := range r.Outputs {
-			if err := out.AddBucket(s, d); err != nil {
-				return nil, err
-			}
-		}
-	}
-	return out, nil
 }
 
 // Free implements core.Executor. Buckets owned by the master (its own

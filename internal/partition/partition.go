@@ -60,6 +60,21 @@ func ByName(name string) (Func, error) {
 // Names lists the built-in partitioner names.
 func Names() []string { return []string{"constant", "hash", "roundrobin"} }
 
+// KeyPure reports whether the named built-in partitioner routes a
+// record by its key alone (ignoring the serial number). Key-pure
+// partitioners are a prerequisite for split-aligned ("narrow")
+// reduces: if producer and consumer share a key-pure partitioner and a
+// split count, every key in input split s provably lands back in
+// output split s. RoundRobin is serial-based and therefore not
+// key-pure.
+func KeyPure(name string) bool {
+	switch name {
+	case "", "hash", "constant":
+		return true
+	}
+	return false
+}
+
 // Range partitions keys by comparing against a sorted set of split
 // boundaries, giving totally ordered output across splits (the classic
 // sorted-output partitioner). Keys below Boundaries[0] go to split 0,

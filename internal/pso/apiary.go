@@ -373,7 +373,11 @@ func RunMapReduce(job *core.Job, cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		next, err := job.Reduce(moved, MergeName, core.OpOpts{Splits: cfg.Tasks})
+		// Merge emits only the group key (the swarm id), so the reduce
+		// is key-aligned: split s of s_outer is ready as soon as merge
+		// task s finishes, and the next iteration's move tasks overlap
+		// this iteration's reduce stragglers.
+		next, err := job.Reduce(moved, MergeName, core.OpOpts{Splits: cfg.Tasks, KeyAligned: true})
 		if err != nil {
 			return nil, err
 		}
@@ -387,7 +391,7 @@ func RunMapReduce(job *core.Job, cfg Config) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			bd, err := job.Reduce(bm, MinName, core.OpOpts{Splits: 1, Partition: "constant"})
+			bd, err := job.Reduce(bm, MinName, core.OpOpts{Splits: 1, Partition: "constant", KeyAligned: true})
 			if err != nil {
 				return nil, err
 			}

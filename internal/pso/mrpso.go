@@ -317,7 +317,11 @@ func RunMRPSO(job *core.Job, cfg MRPSOConfig) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		state, err = job.Reduce(moved, ParticleMergeName, core.OpOpts{Splits: cfg.Tasks})
+		// ParticleMerge emits only the group key, so the reduce is
+		// key-aligned: each iteration's reduce splits release as their
+		// own task finishes, letting the next iteration's move tasks
+		// overlap this iteration's stragglers.
+		state, err = job.Reduce(moved, ParticleMergeName, core.OpOpts{Splits: cfg.Tasks, KeyAligned: true})
 		if err != nil {
 			return nil, err
 		}

@@ -102,6 +102,9 @@ func (a Assignment) Encode() (map[string]any, error) {
 	if len(op.Params) > 0 {
 		out["params"] = op.Params
 	}
+	if op.Narrow {
+		out["narrow"] = true
+	}
 	return out, nil
 }
 
@@ -142,6 +145,7 @@ func DecodeAssignment(v any) (Assignment, error) {
 	part, _ := st["partition"].(string)
 	format, _ := st["input_format"].(string)
 	params, _ := st["params"].([]byte)
+	narrow, _ := st["narrow"].(bool)
 	var urls []string
 	if raw, ok := st["input_urls"].([]any); ok {
 		for _, u := range raw {
@@ -165,6 +169,7 @@ func DecodeAssignment(v any) (Assignment, error) {
 			Splits:      int(splits),
 			Partition:   part,
 			Params:      params,
+			Narrow:      narrow,
 		},
 		TaskIndex:   int(taskIndex),
 		InputURLs:   urls,

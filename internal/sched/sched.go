@@ -4,6 +4,15 @@
 // paper: corresponding tasks go to the same processor from one
 // iteration to the next, cutting inter-iteration communication), and
 // it reassigns tasks when slaves fail or report errors.
+//
+// The submission model is per-task and asynchronous: Submit queues one
+// task and fires its completion callback exactly once when the task
+// succeeds, exhausts its attempts, or the scheduler closes. Tasks from
+// any number of concurrent operations interleave in the pending set,
+// which is what lets the pipelined Job driver keep several operations
+// in flight at once. SubmitGroup remains as a convenience barrier built
+// on top of Submit. Callbacks are always invoked without the scheduler
+// lock held.
 package sched
 
 import (
@@ -17,7 +26,7 @@ import (
 )
 
 // DefaultMaxAttempts is how many times a task may be attempted before
-// its group fails.
+// it is reported failed.
 const DefaultMaxAttempts = 5
 
 // ErrClosed is returned by blocked calls when the scheduler shuts down.
@@ -26,12 +35,16 @@ var ErrClosed = errors.New("sched: scheduler closed")
 // TaskID uniquely identifies a task attempt set.
 type TaskID int64
 
+// Callback receives a task's final outcome (result or error), exactly
+// once, from a goroutine that does not hold the scheduler lock.
+type Callback func(*core.TaskResult, error)
+
 // Task is one schedulable unit.
 type Task struct {
 	ID       TaskID
 	Spec     *core.TaskSpec
 	Attempts int
-	group    *Group
+	done     Callback
 	// assignees lists every slave this task was ever given to, so a
 	// completion or failure arriving from a *previous* assignee after
 	// the task was reassigned is recognized as stale, not a protocol
@@ -48,9 +61,9 @@ func (t *Task) wasAssignedTo(slaveID string) bool {
 	return false
 }
 
-// Group tracks the tasks of one operation.
+// Group tracks the tasks of one operation submitted via SubmitGroup.
 type Group struct {
-	sched     *Scheduler
+	mu        sync.Mutex
 	remaining int
 	results   []*core.TaskResult // indexed by TaskIndex
 	err       error
@@ -61,12 +74,30 @@ type Group struct {
 // failed; results are indexed by task index.
 func (g *Group) Wait() ([]*core.TaskResult, error) {
 	<-g.done
-	g.sched.mu.Lock()
-	defer g.sched.mu.Unlock()
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	if g.err != nil {
 		return nil, g.err
 	}
 	return g.results, nil
+}
+
+func (g *Group) record(idx int, res *core.TaskResult, err error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.err != nil {
+		return // already failed; drop late outcomes
+	}
+	if err != nil {
+		g.err = err
+		close(g.done)
+		return
+	}
+	g.results[idx] = res
+	g.remaining--
+	if g.remaining == 0 {
+		close(g.done)
+	}
 }
 
 // Scheduler coordinates pending and running tasks.
@@ -114,15 +145,25 @@ func NewWithClock(maxAttempts int, clk clock.Clock) *Scheduler {
 	return s
 }
 
-// SubmitGroup queues one task per spec and returns the group handle.
-func (s *Scheduler) SubmitGroup(specs []*core.TaskSpec) (*Group, error) {
+// Submit queues one task. done fires exactly once with the task's
+// final outcome: its result, the give-up error after attempts are
+// exhausted, or ErrClosed if the scheduler shuts down first. Submit
+// never invokes done synchronously.
+func (s *Scheduler) Submit(spec *core.TaskSpec, done Callback) (TaskID, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return nil, ErrClosed
+		return 0, ErrClosed
 	}
+	s.nextID++
+	s.pending = append(s.pending, &Task{ID: s.nextID, Spec: spec, done: done})
+	s.cond.Broadcast()
+	return s.nextID, nil
+}
+
+// SubmitGroup queues one task per spec and returns the group handle.
+func (s *Scheduler) SubmitGroup(specs []*core.TaskSpec) (*Group, error) {
 	g := &Group{
-		sched:     s,
 		remaining: len(specs),
 		results:   make([]*core.TaskResult, len(specs)),
 		done:      make(chan struct{}),
@@ -132,10 +173,13 @@ func (s *Scheduler) SubmitGroup(specs []*core.TaskSpec) (*Group, error) {
 		return g, nil
 	}
 	for _, spec := range specs {
-		s.nextID++
-		s.pending = append(s.pending, &Task{ID: s.nextID, Spec: spec, group: g})
+		idx := spec.TaskIndex
+		if _, err := s.Submit(spec, func(res *core.TaskResult, err error) {
+			g.record(idx, res, err)
+		}); err != nil {
+			return nil, err
+		}
 	}
-	s.cond.Broadcast()
 	return g, nil
 }
 
@@ -203,61 +247,65 @@ func (s *Scheduler) takeLocked(slaveID string) *Task {
 // control plane tolerates at-least-once delivery.
 func (s *Scheduler) Complete(id TaskID, slaveID string, result *core.TaskResult) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	entry, ok := s.running[id]
 	if !ok {
 		// Duplicate completion (e.g. a redelivered task_done, or the
 		// task was reassigned after a presumed-dead slave came back).
 		// Ignore.
+		s.mu.Unlock()
 		return nil
 	}
 	if entry.slave != slaveID {
 		if entry.task.wasAssignedTo(slaveID) {
 			// Stale completion from a previous assignee racing the
 			// current one; the live assignment proceeds untouched.
+			s.mu.Unlock()
 			return nil
 		}
+		s.mu.Unlock()
 		return fmt.Errorf("sched: task %d completed by %q but assigned to %q", id, slaveID, entry.slave)
 	}
 	delete(s.running, id)
 	s.affinity[entry.task.Spec.TaskIndex] = slaveID
-	g := entry.task.group
-	if g.err == nil {
-		if result != nil {
-			// Stamp identity so callers need not echo it over the wire.
-			result.TaskIndex = entry.task.Spec.TaskIndex
-			result.Dataset = entry.task.Spec.Op.Dataset
-		}
-		g.results[entry.task.Spec.TaskIndex] = result
-		g.remaining--
-		if g.remaining == 0 {
-			close(g.done)
-		}
+	if result != nil {
+		// Stamp identity so callers need not echo it over the wire.
+		result.TaskIndex = entry.task.Spec.TaskIndex
+		result.Dataset = entry.task.Spec.Op.Dataset
 	}
+	done := entry.task.done
+	s.mu.Unlock()
+	done(result, nil)
 	return nil
 }
 
 // Fail reports a task error from a slave; the task is retried on any
-// slave until attempts are exhausted, at which point its whole group
-// fails. Stale failures from a previous assignee do not disturb the
-// current assignment (the reassignment race: a slave presumed dead
-// reports failure for a task already requeued and running elsewhere).
+// slave until attempts are exhausted, at which point its callback fires
+// with the final error. Stale failures from a previous assignee do not
+// disturb the current assignment (the reassignment race: a slave
+// presumed dead reports failure for a task already requeued and running
+// elsewhere).
 func (s *Scheduler) Fail(id TaskID, slaveID string, taskErr string) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	entry, ok := s.running[id]
 	if !ok {
+		s.mu.Unlock()
 		return nil
 	}
 	if entry.slave != slaveID {
 		if entry.task.wasAssignedTo(slaveID) {
+			s.mu.Unlock()
 			return nil
 		}
+		s.mu.Unlock()
 		return fmt.Errorf("sched: task %d failed by %q but assigned to %q", id, slaveID, entry.slave)
 	}
 	delete(s.running, id)
 	s.failures[slaveID]++
-	s.requeueOrAbortLocked(entry.task, fmt.Errorf("sched: task %d failed on %s: %s", id, slaveID, taskErr))
+	abort := s.requeueOrAbortLocked(entry.task, fmt.Errorf("sched: task %d failed on %s: %s", id, slaveID, taskErr))
+	s.mu.Unlock()
+	if abort != nil {
+		abort()
+	}
 	return nil
 }
 
@@ -274,16 +322,22 @@ func (s *Scheduler) FailureCount(slaveID string) int {
 // response never reached the slave). Returns how many were requeued.
 func (s *Scheduler) RequeueStale(lease time.Duration) int {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	now := s.clk.Now()
 	n := 0
+	var aborts []func()
 	for id, entry := range s.running {
 		if now.Sub(entry.since) < lease {
 			continue
 		}
 		delete(s.running, id)
 		n++
-		s.requeueOrAbortLocked(entry.task, fmt.Errorf("sched: task %d leased to %s expired (assignment lost?)", id, entry.slave))
+		if abort := s.requeueOrAbortLocked(entry.task, fmt.Errorf("sched: task %d leased to %s expired (assignment lost?)", id, entry.slave)); abort != nil {
+			aborts = append(aborts, abort)
+		}
+	}
+	s.mu.Unlock()
+	for _, abort := range aborts {
+		abort()
 	}
 	return n
 }
@@ -292,13 +346,15 @@ func (s *Scheduler) RequeueStale(lease time.Duration) int {
 // affinities so future preferences don't point at a corpse.
 func (s *Scheduler) SlaveDead(slaveID string) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	var aborts []func()
 	for id, entry := range s.running {
 		if entry.slave != slaveID {
 			continue
 		}
 		delete(s.running, id)
-		s.requeueOrAbortLocked(entry.task, fmt.Errorf("sched: slave %s died running task %d", slaveID, id))
+		if abort := s.requeueOrAbortLocked(entry.task, fmt.Errorf("sched: slave %s died running task %d", slaveID, id)); abort != nil {
+			aborts = append(aborts, abort)
+		}
 	}
 	for idx, owner := range s.affinity {
 		if owner == slaveID {
@@ -306,22 +362,25 @@ func (s *Scheduler) SlaveDead(slaveID string) {
 		}
 	}
 	delete(s.failures, slaveID)
+	s.mu.Unlock()
+	for _, abort := range aborts {
+		abort()
+	}
 }
 
-// requeueOrAbortLocked retries a task or fails its group.
-func (s *Scheduler) requeueOrAbortLocked(t *Task, cause error) {
-	g := t.group
-	if g.err != nil {
-		return // group already failed
-	}
+// requeueOrAbortLocked retries a task, or — attempts exhausted —
+// returns the give-up call for the caller to fire once the lock is
+// released.
+func (s *Scheduler) requeueOrAbortLocked(t *Task, cause error) func() {
 	if t.Attempts >= s.maxAttempts {
-		g.err = fmt.Errorf("sched: giving up after %d attempts: %w", t.Attempts, cause)
-		close(g.done)
-		return
+		err := fmt.Errorf("sched: giving up after %d attempts: %w", t.Attempts, cause)
+		done := t.done
+		return func() { done(nil, err) }
 	}
 	// Retry: push to the front so recovery happens before new work.
 	s.pending = append([]*Task{t}, s.pending...)
 	s.cond.Broadcast()
+	return nil
 }
 
 // Pending returns the number of queued tasks (diagnostics).
@@ -353,27 +412,27 @@ func (s *Scheduler) ClearAffinity() {
 	s.affinity = map[int]string{}
 }
 
-// Close aborts all groups and wakes all blocked requests.
+// Close aborts all queued and running tasks (their callbacks fire with
+// ErrClosed) and wakes all blocked requests.
 func (s *Scheduler) Close() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return
 	}
 	s.closed = true
+	var dones []Callback
 	for _, t := range s.pending {
-		if t.group.err == nil {
-			t.group.err = ErrClosed
-			close(t.group.done)
-		}
+		dones = append(dones, t.done)
 	}
 	s.pending = nil
 	for _, e := range s.running {
-		if e.task.group.err == nil {
-			e.task.group.err = ErrClosed
-			close(e.task.group.done)
-		}
+		dones = append(dones, e.task.done)
 	}
 	s.running = map[TaskID]*runningEntry{}
 	s.cond.Broadcast()
+	s.mu.Unlock()
+	for _, done := range dones {
+		done(nil, ErrClosed)
+	}
 }

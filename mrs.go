@@ -101,6 +101,11 @@ type Options struct {
 	MinSlavesTimeout time.Duration
 	// Seed is the program's base random seed (see Random).
 	Seed uint64
+	// NoPipeline disables split-level pipelining, restoring the fully
+	// barriered driver (one operation materialized at a time, in queue
+	// order). Pipelining is on by default; this toggle exists as a
+	// performance ablation and a debugging aid.
+	NoPipeline bool
 }
 
 func (o *Options) fill() {
@@ -139,17 +144,17 @@ func Run(p Program, opts Options) error {
 		return b.Bypass()
 
 	case "serial":
-		return runWithExecutor(p, core.NewSerial(reg))
+		return runWithExecutor(p, core.NewSerial(reg), opts)
 
 	case "mock":
 		exec, err := core.NewMockParallel(reg, opts.MockDir)
 		if err != nil {
 			return err
 		}
-		return runWithExecutor(p, exec)
+		return runWithExecutor(p, exec, opts)
 
 	case "threads":
-		return runWithExecutor(p, core.NewThreads(reg, opts.Workers))
+		return runWithExecutor(p, core.NewThreads(reg, opts.Workers), opts)
 
 	case "local":
 		c, err := cluster.Start(reg, cluster.Options{
@@ -160,7 +165,7 @@ func Run(p Program, opts Options) error {
 			return err
 		}
 		defer c.Close()
-		return runJob(p, c.Executor())
+		return runJob(p, c.Executor(), opts)
 
 	case "master":
 		m, err := master.New(master.Options{
@@ -177,7 +182,7 @@ func Run(p Program, opts Options) error {
 		if err := m.WaitForSlaves(ctx, opts.MinSlaves); err != nil {
 			return err
 		}
-		return runJob(p, m)
+		return runJob(p, m, opts)
 
 	case "slave":
 		if opts.MasterAddr == "" {
@@ -196,13 +201,13 @@ func Run(p Program, opts Options) error {
 }
 
 // runWithExecutor owns the executor's lifetime.
-func runWithExecutor(p Program, exec core.Executor) error {
+func runWithExecutor(p Program, exec core.Executor, opts Options) error {
 	defer exec.Close()
-	return runJob(p, exec)
+	return runJob(p, exec, opts)
 }
 
-func runJob(p Program, exec core.Executor) error {
-	job := core.NewJob(exec)
+func runJob(p Program, exec core.Executor, opts Options) error {
+	job := core.NewJobWith(exec, core.JobOptions{Pipeline: !opts.NoPipeline})
 	runErr := p.Run(job)
 	closeErr := job.Close()
 	if runErr != nil {

@@ -31,6 +31,10 @@ fi
 if [ "$tier" = "2" ] || [ "$tier" = "all" ]; then
 	echo "== tier 2: go test -race -count=2 ./..."
 	go test -race -count=2 ./...
+	echo "== tier 2: pipelined-scheduler stress (race, repeated)"
+	go test -race -count=4 \
+		-run 'Pipeline|Narrow|Barriered|AllExecutorsAgree|Chaos' \
+		./internal/core ./internal/cluster
 fi
 
 echo "verify: OK (tier $tier)"
