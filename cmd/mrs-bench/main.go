@@ -27,6 +27,7 @@ import (
 	"repro/internal/hadoopsim"
 	"repro/internal/interp"
 	"repro/internal/kvio"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/pbs"
 	"repro/internal/piest"
@@ -492,11 +493,12 @@ const staggerSleep = 20 * time.Millisecond
 // measureChainOverhead times a queued chain of iters narrow reduces
 // with a rotating straggler on a live cluster — the whole chain
 // enqueued up front, one wait at the end — and returns the
-// per-operation time. Barriered, every iteration pays the straggler;
-// pipelined, each split's chain advances independently so a given
-// split pays only every (slaves)th iteration. With pipelined=false the
-// job runs the barriered ablation over the identical chain.
-func measureChainOverhead(iters int, pipelined bool) (time.Duration, error) {
+// per-operation time plus the job's observed cost breakdown.
+// Barriered, every iteration pays the straggler; pipelined, each
+// split's chain advances independently so a given split pays only
+// every (slaves)th iteration. With pipelined=false the job runs the
+// barriered ablation over the identical chain.
+func measureChainOverhead(iters int, pipelined bool) (time.Duration, core.JobStats, error) {
 	n := *slaves
 	reg := core.NewRegistry()
 	reg.RegisterReduce("stagger", func(k []byte, vs [][]byte, e kvio.Emitter) error {
@@ -509,12 +511,13 @@ func measureChainOverhead(iters int, pipelined bool) (time.Duration, error) {
 		}
 		return e.Emit(k, []byte(strconv.Itoa(i+1)))
 	})
-	c, err := cluster.Start(reg, cluster.Options{Slaves: n})
+	rt := obs.New(nil)
+	c, err := cluster.Start(reg, cluster.Options{Slaves: n, Obs: rt})
 	if err != nil {
-		return 0, err
+		return 0, core.JobStats{}, err
 	}
 	defer c.Close()
-	job := core.NewJobWith(c.Executor(), core.JobOptions{Pipeline: pipelined})
+	job := core.NewJobWith(c.Executor(), core.JobOptions{Pipeline: pipelined, Obs: rt})
 	defer job.Close()
 	pairs := splitKeyPairs(n)
 	for i := range pairs {
@@ -522,22 +525,22 @@ func measureChainOverhead(iters int, pipelined bool) (time.Duration, error) {
 	}
 	ds, err := job.LocalData(pairs, core.OpOpts{Splits: n})
 	if err != nil {
-		return 0, err
+		return 0, core.JobStats{}, err
 	}
 	if err := ds.Wait(); err != nil {
-		return 0, err
+		return 0, core.JobStats{}, err
 	}
 	start := time.Now()
 	for i := 0; i < iters; i++ {
 		ds, err = job.Reduce(ds, "stagger", core.OpOpts{Splits: n, KeyAligned: true})
 		if err != nil {
-			return 0, err
+			return 0, core.JobStats{}, err
 		}
 	}
 	if err := ds.Wait(); err != nil {
-		return 0, err
+		return 0, core.JobStats{}, err
 	}
-	return time.Since(start) / time.Duration(iters), nil
+	return time.Since(start) / time.Duration(iters), job.Stats(), nil
 }
 
 func expIter() error {
@@ -553,11 +556,11 @@ func expIter() error {
 	if err != nil {
 		return err
 	}
-	perPipelined, err := measureChainOverhead(*iterN, true)
+	perPipelined, pipeStats, err := measureChainOverhead(*iterN, true)
 	if err != nil {
 		return err
 	}
-	perBarriered, err := measureChainOverhead(*iterN, false)
+	perBarriered, _, err := measureChainOverhead(*iterN, false)
 	if err != nil {
 		return err
 	}
@@ -577,6 +580,43 @@ func expIter() error {
 	fmt.Printf("%-44s %14s\n", "mrs, 2471 PSO iterations (extrapolated)",
 		(time.Duration(paperIters) * perIter).Round(time.Second))
 
+	// Overhead decomposition of the pipelined chain, from Job.Stats():
+	// summed task wall time split into schedule (executor queueing, RPC,
+	// retries), compute, and shuffle (blocked reading input buckets).
+	var agg core.OpStats
+	var nOps int64
+	for _, op := range pipeStats.Ops {
+		if op.Func != "stagger" {
+			continue
+		}
+		nOps++
+		agg.Tasks += op.Tasks
+		agg.WallNS += op.WallNS
+		agg.ScheduleNS += op.ScheduleNS
+		agg.ComputeNS += op.ComputeNS
+		agg.ShuffleNS += op.ShuffleNS
+		agg.InBytes += op.InBytes
+		agg.OutBytes += op.OutBytes
+	}
+	perOpUS := func(ns int64) float64 {
+		if nOps == 0 {
+			return 0
+		}
+		return float64(ns) / float64(nOps) / float64(time.Microsecond)
+	}
+	share := func(ns int64) float64 {
+		if agg.WallNS == 0 {
+			return 0
+		}
+		return 100 * float64(ns) / float64(agg.WallNS)
+	}
+	fmt.Printf("\noverhead decomposition, pipelined straggler chain (%d ops, %d tasks):\n", nOps, agg.Tasks)
+	fmt.Printf("  %-10s %14s %8s\n", "component", "per op", "share")
+	fmt.Printf("  %-10s %13.0fus %7.1f%%\n", "schedule", perOpUS(agg.ScheduleNS), share(agg.ScheduleNS))
+	fmt.Printf("  %-10s %13.0fus %7.1f%%\n", "compute", perOpUS(agg.ComputeNS), share(agg.ComputeNS))
+	fmt.Printf("  %-10s %13.0fus %7.1f%%\n", "shuffle", perOpUS(agg.ShuffleNS), share(agg.ShuffleNS))
+	fmt.Printf("  %-10s %13.0fus %7.1f%%\n", "wall", perOpUS(agg.WallNS), 100.0)
+
 	if *iterJSON != "" {
 		blob, err := json.MarshalIndent(map[string]any{
 			"experiment":                    "iter",
@@ -590,6 +630,14 @@ func expIter() error {
 			"pipeline_speedup":              speedup,
 			"hadoop_per_op_ms_sim":          float64(hadoopOverhead) / float64(time.Millisecond),
 			"overhead_ratio":                ratio,
+			"tasks_traced":                  agg.Tasks,
+			"per_op_schedule_us":            perOpUS(agg.ScheduleNS),
+			"per_op_compute_us":             perOpUS(agg.ComputeNS),
+			"per_op_shuffle_us":             perOpUS(agg.ShuffleNS),
+			"per_op_wall_us":                perOpUS(agg.WallNS),
+			"schedule_share_pct":            share(agg.ScheduleNS),
+			"compute_share_pct":             share(agg.ComputeNS),
+			"shuffle_share_pct":             share(agg.ShuffleNS),
 		}, "", "  ")
 		if err != nil {
 			return err

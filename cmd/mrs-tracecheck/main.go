@@ -1,0 +1,67 @@
+// mrs-tracecheck validates a Chrome trace-event JSON file written by
+// the -mrs-trace flag (or obs.Tracer.WriteChromeTrace directly) and
+// prints a one-line summary of what it contains. It is the schema
+// checker used by scripts/verify.sh tier 2, and a quick sanity tool for
+// operators before loading a trace into chrome://tracing or Perfetto.
+//
+//	mrs-tracecheck out.trace
+//	mrs-tracecheck -min-spans 1 out.trace
+//	mrs-tracecheck -want-spans 24 out.trace
+//
+// Exit status is non-zero if the file is unreadable, is not a valid
+// trace per obs.ValidateChromeTrace, or violates -min-spans /
+// -want-spans.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+var (
+	minSpans  = flag.Int("min-spans", 0, "fail unless the trace has at least this many task spans")
+	wantSpans = flag.Int("want-spans", -1, "fail unless the trace has exactly this many task spans")
+	maxErrors = flag.Int("max-errors", -1, "fail if more than this many spans carry an error (-1 = no limit)")
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mrs-tracecheck [flags] trace.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	st, err := obs.ValidateChromeTrace(data)
+	if err != nil {
+		fail("%s: invalid trace: %v", path, err)
+	}
+	fmt.Printf("%s: ok: %d spans, %d workers, %d datasets, max attempt %d, %d errors\n",
+		path, st.Spans, st.Workers, st.Datasets, st.MaxAttempt, st.Errors)
+
+	if st.Spans < *minSpans {
+		fail("%s: %d spans, want at least %d", path, st.Spans, *minSpans)
+	}
+	if *wantSpans >= 0 && st.Spans != *wantSpans {
+		fail("%s: %d spans, want exactly %d", path, st.Spans, *wantSpans)
+	}
+	if *maxErrors >= 0 && st.Errors > *maxErrors {
+		fail("%s: %d spans carry errors, allowed %d", path, st.Errors, *maxErrors)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mrs-tracecheck: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -28,6 +28,10 @@ func BindFlags(fs *flag.FlagSet) *Options {
 	fs.Uint64Var(&o.Seed, "mrs-seed", 42, "base seed for mrs.Random streams")
 	fs.BoolVar(&o.NoPipeline, "mrs-no-pipeline", false,
 		"disable split-level pipelining (barriered ablation)")
+	fs.StringVar(&o.TracePath, "mrs-trace", "",
+		"write a Chrome trace-event JSON task timeline to this file")
+	fs.StringVar(&o.DebugAddr, "mrs-debug-addr", "",
+		"serve /debug/status, /debug/metrics, /debug/pprof on this address")
 	return o
 }
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/kvio"
+	"repro/internal/obs"
 )
 
 // chaosInput is a larger corpus than inputLines so jobs run long enough
@@ -26,10 +27,11 @@ func chaosInput() []kvio.Pair {
 // runIterativeJob models the paper's iterative workloads: several map
 // iterations over the same dataset (slowmap keeps tasks in flight long
 // enough for faults to hit them) followed by a mapreduce, collected in
-// sorted order so outputs are byte-comparable across runs.
-func runIterativeJob(t *testing.T, c *Cluster) []kvio.Pair {
+// sorted order so outputs are byte-comparable across runs. rt (may be
+// nil) receives the job's trace and metrics.
+func runIterativeJob(t *testing.T, c *Cluster, rt *obs.Runtime) []kvio.Pair {
 	t.Helper()
-	job := core.NewJob(c.Executor())
+	job := core.NewJobWith(c.Executor(), core.JobOptions{Pipeline: true, Obs: rt})
 	ds, err := job.LocalData(chaosInput(), core.OpOpts{Splits: 4, Partition: "roundrobin"})
 	if err != nil {
 		t.Fatal(err)
@@ -89,7 +91,7 @@ func TestChaosIterativeConvergesDespiteFaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := runIterativeJob(t, clean)
+	want := runIterativeJob(t, clean, nil)
 	clean.Close()
 	if len(want) == 0 {
 		t.Fatal("fault-free run produced no output")
@@ -108,6 +110,8 @@ func TestChaosIterativeConvergesDespiteFaults(t *testing.T) {
 		Window:     1200 * time.Millisecond,
 	}
 	inj := fault.New(cfg)
+	rt := obs.New(nil)
+	rt.StartTrace()
 	c, err := Start(testRegistry(), Options{
 		Slaves:            4,
 		SharedDir:         t.TempDir(),
@@ -116,15 +120,31 @@ func TestChaosIterativeConvergesDespiteFaults(t *testing.T) {
 		MaxAttempts:       10,
 		TaskLease:         1 * time.Second,
 		Chaos:             inj,
+		Obs:               rt,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
 
-	got := runIterativeJob(t, c)
+	got := runIterativeJob(t, c, rt)
 	if !samePairs(want, got) {
 		t.Errorf("chaos output diverged: %d records vs %d fault-free", len(got), len(want))
+	}
+
+	// Retries the scheduler performed must be visible in the trace:
+	// whenever a task failed or was requeued, some recorded attempt is
+	// numbered > 1.
+	retried := rt.M().Get("mrs_sched_task_failures_total") + rt.M().Get("mrs_sched_requeued_total")
+	maxAttempt := 0
+	for _, s := range rt.Trace.Spans() {
+		if s.Attempt > maxAttempt {
+			maxAttempt = s.Attempt
+		}
+	}
+	if retried > 0 && maxAttempt < 2 {
+		t.Errorf("%d failures/requeues recorded but trace max attempt = %d, want >= 2",
+			retried, maxAttempt)
 	}
 
 	// The planned crash must actually have lost a slave (the hang may

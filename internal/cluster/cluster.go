@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/master"
+	"repro/internal/obs"
 	"repro/internal/slave"
 )
 
@@ -40,6 +41,11 @@ type Options struct {
 	// data path and applies the injector's crash/hang plan to the
 	// cluster. Slave i gets the stream role "slave<i>".
 	Chaos *fault.Injector
+	// Obs is one observability runtime shared by the master and every
+	// slave (the whole cluster is in-process, so local task-engine
+	// metrics and master trace events naturally aggregate). Nil gives
+	// the master a private metrics-only runtime.
+	Obs *obs.Runtime
 }
 
 // Cluster is a running local deployment.
@@ -47,6 +53,7 @@ type Cluster struct {
 	M *master.Master
 
 	chaos *fault.Injector
+	obs   *obs.Runtime
 
 	mu      sync.Mutex
 	slaves  []*slaveHandle
@@ -74,11 +81,12 @@ func Start(reg *core.Registry, opts Options) (*Cluster, error) {
 		MaxAttempts:       opts.MaxAttempts,
 		DisableAffinity:   opts.DisableAffinity,
 		TaskLease:         opts.TaskLease,
+		Obs:               opts.Obs,
 	})
 	if err != nil {
 		return nil, err
 	}
-	c := &Cluster{M: m, chaos: opts.Chaos}
+	c := &Cluster{M: m, chaos: opts.Chaos, obs: opts.Obs}
 	for i := 0; i < opts.Slaves; i++ {
 		if _, err := c.AddSlave(reg, opts.SharedDir); err != nil {
 			c.Close()
@@ -135,6 +143,7 @@ func (c *Cluster) AddSlave(reg *core.Registry, sharedDir string) (int, error) {
 	sopts := slave.Options{
 		MasterAddr: c.M.Addr(),
 		SharedDir:  sharedDir,
+		Obs:        c.obs,
 	}
 	if c.chaos != nil {
 		role := slaveRole(idx)

@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kvio"
+	"repro/internal/obs"
+)
+
+var errFlaky = errors.New("flaky: first attempt fails")
+
+// TestClusterMetricsAndTrace runs a pipelined wordcount on a real
+// cluster with the observability runtime attached and cross-checks the
+// three accounting surfaces against each other: the trace span count,
+// the shared metric counters, and Job.Stats.
+func TestClusterMetricsAndTrace(t *testing.T) {
+	rt := obs.New(nil)
+	rt.StartTrace()
+	c, err := Start(testRegistry(), Options{Slaves: 2, Obs: rt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	job := core.NewJobWith(c.Executor(), core.JobOptions{Pipeline: true, Obs: rt})
+	src, err := job.LocalData(inputPairs(), core.OpOpts{Splits: 3, Partition: "roundrobin"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := job.MapReduce(src, "split", "sum",
+		core.OpOpts{Splits: 4, Combine: "sum"}, core.OpOpts{Splits: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := out.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int64{}
+	for _, p := range pairs {
+		got[string(p.Key)]++
+	}
+	stats := job.Stats()
+	if err := job.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(wantCounts) {
+		t.Errorf("got %d words, want %d", len(got), len(wantCounts))
+	}
+
+	// 3 map tasks (one per source split) + 4 reduce tasks (one per map
+	// output split).
+	if stats.Tasks != 7 {
+		t.Errorf("Job.Stats.Tasks = %d, want 7", stats.Tasks)
+	}
+	m := rt.M()
+	if n := m.Get("mrs_tasks_submitted_total"); n != stats.Tasks {
+		t.Errorf("mrs_tasks_submitted_total = %d, want %d", n, stats.Tasks)
+	}
+	// Every submitted task was assigned and completed exactly once (no
+	// faults in this run), and the slaves' task engines executed them.
+	if n := m.Get("mrs_sched_completed_total"); n != stats.Tasks {
+		t.Errorf("mrs_sched_completed_total = %d, want %d", n, stats.Tasks)
+	}
+	if n := m.Get("mrs_sched_assigned_total"); n < stats.Tasks {
+		t.Errorf("mrs_sched_assigned_total = %d, want >= %d", n, stats.Tasks)
+	}
+	if n := m.Get("mrs_tasks_executed_total"); n < stats.Tasks {
+		t.Errorf("mrs_tasks_executed_total = %d, want >= %d", n, stats.Tasks)
+	}
+	// The reduce stage pulled map output across slaves over HTTP, so
+	// direct shuffle bytes were classified and the driver saw input.
+	if n := m.Get("mrs_shuffle_bytes_direct_total"); n == 0 {
+		t.Error("mrs_shuffle_bytes_direct_total = 0, want > 0")
+	}
+	if stats.InBytes == 0 || stats.ShuffleNS == 0 {
+		t.Errorf("Job.Stats shuffle accounting empty: in=%d shuffleNS=%d",
+			stats.InBytes, stats.ShuffleNS)
+	}
+
+	// The trace agrees: one finished span per completed task, and the
+	// export is a valid Chrome trace.
+	var buf bytes.Buffer
+	if err := rt.Trace.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st, err := obs.ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("invalid trace: %v", err)
+	}
+	if int64(st.Spans) != stats.Tasks {
+		t.Errorf("trace has %d spans, want %d", st.Spans, stats.Tasks)
+	}
+	if st.Workers != 2 {
+		t.Errorf("trace names %d workers, want 2", st.Workers)
+	}
+}
+
+// TestTraceShowsRetriedAttempts forces a deterministic first-attempt
+// failure and checks the retry is visible in the trace: the failed
+// attempt carries an error and the task's successful attempt is
+// numbered > 1.
+func TestTraceShowsRetriedAttempts(t *testing.T) {
+	var calls atomic.Int64
+	reg := testRegistry()
+	reg.RegisterMap("flaky", func(key, value []byte, emit kvio.Emitter) error {
+		if calls.Add(1) == 1 {
+			return errFlaky
+		}
+		return emit.Emit(key, value)
+	})
+
+	rt := obs.New(nil)
+	rt.StartTrace()
+	c, err := Start(reg, Options{Slaves: 2, MaxAttempts: 4, Obs: rt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	job := core.NewJobWith(c.Executor(), core.JobOptions{Obs: rt})
+	src, err := job.LocalData(inputPairs(), core.OpOpts{Splits: 2, Partition: "roundrobin"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := job.Map(src, "flaky", core.OpOpts{Splits: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := out.Collect(); err != nil {
+		t.Fatalf("job did not survive the flaky first attempt: %v", err)
+	}
+	if err := job.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	spans := rt.Trace.Spans()
+	maxAttempt, errored := 0, 0
+	for _, s := range spans {
+		if s.Attempt > maxAttempt {
+			maxAttempt = s.Attempt
+		}
+		if s.Err != "" {
+			errored++
+		}
+	}
+	if maxAttempt < 2 {
+		t.Errorf("max attempt in trace = %d, want >= 2 after a forced failure", maxAttempt)
+	}
+	if errored == 0 {
+		t.Error("no errored span recorded for the failed attempt")
+	}
+	if n := rt.M().Get("mrs_sched_task_failures_total"); n < 1 {
+		t.Errorf("mrs_sched_task_failures_total = %d, want >= 1", n)
+	}
+	if n := rt.M().Get("mrs_sched_retries_total"); n < 1 {
+		t.Errorf("mrs_sched_retries_total = %d, want >= 1", n)
+	}
+}

@@ -5,9 +5,12 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/bucket"
+	"repro/internal/clock"
 	"repro/internal/kvio"
+	"repro/internal/obs"
 	"repro/internal/partition"
 )
 
@@ -45,6 +48,13 @@ type JobOptions struct {
 	// operation materialized fully before the next starts — kept as an
 	// ablation (BenchmarkPipelineAblation).
 	Pipeline bool
+	// Obs wires the driver into an observability runtime: task submit
+	// events go to its tracer (issuing the trace IDs that travel with
+	// tasks) and driver counters to its metrics. Nil disables both.
+	Obs *obs.Runtime
+	// Clock stamps driver-side timings (nil = Obs's clock, or the wall
+	// clock).
+	Clock clock.Clock
 }
 
 // Job is the handle a Program's Run method uses to queue operations.
@@ -59,6 +69,8 @@ type JobOptions struct {
 type Job struct {
 	exec     Executor
 	pipeline bool
+	obs      *obs.Runtime
+	clk      clock.Clock
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -94,6 +106,24 @@ type dsState struct {
 	freed          bool
 	nConsumers     int
 	nConsumersDone int
+
+	// Per-task submit times and completed-task cost aggregates feeding
+	// Job.Stats.
+	submitAt []time.Time
+	agg      opAgg
+}
+
+// opAgg accumulates the cost breakdown of one operation's finished
+// tasks (successful attempts only).
+type opAgg struct {
+	tasks      int64
+	wallNS     int64 // elapsed submit → done, includes queueing/retries
+	execNS     int64 // executing-attempt wall time (Timing.WallNS)
+	shuffleNS  int64
+	inBytes    int64
+	inRecords  int64
+	outBytes   int64
+	outRecords int64
 }
 
 // NewJob starts a pipelined job driver over the executor.
@@ -103,7 +133,11 @@ func NewJob(exec Executor) *Job {
 
 // NewJobWith starts a job driver with explicit options.
 func NewJobWith(exec Executor, opts JobOptions) *Job {
-	j := &Job{exec: exec, pipeline: opts.Pipeline}
+	clk := opts.Clock
+	if clk == nil {
+		clk = opts.Obs.Clk()
+	}
+	j := &Job{exec: exec, pipeline: opts.Pipeline, obs: opts.Obs, clk: clk}
 	j.cond = sync.NewCond(&j.mu)
 	return j
 }
@@ -137,6 +171,7 @@ func (j *Job) enqueue(op *Operation, splits int) (*Dataset, error) {
 		op.Narrow = st.narrow
 		st.submitted = make([]bool, st.nTasks)
 		st.taskDone = make([]bool, st.nTasks)
+		st.submitAt = make([]time.Time, st.nTasks)
 		st.out = NewMaterialized(op.Splits, FormatKV)
 	}
 	j.states = append(j.states, st)
@@ -211,12 +246,15 @@ func (j *Job) scheduleLocked() {
 			}
 			d.submitted[t] = true
 			d.started = true
+			d.submitAt[t] = j.clk.Now()
 			spec := &TaskSpec{
 				Op:          d.op,
 				TaskIndex:   t,
 				InputURLs:   in.out.URLs(t),
 				InputFormat: in.out.Format,
 			}
+			spec.TraceID = j.obs.T().TaskSubmitted(d.op.Dataset, t, d.op.Kind.String(), d.op.FuncName)
+			j.obs.M().Add("mrs_tasks_submitted_total", 1)
 			dd, tt := d, t
 			j.exec.Submit(spec, func(res *TaskResult, err error) {
 				j.taskFinished(dd, tt, res, err)
@@ -284,6 +322,18 @@ func (j *Job) taskFinished(d *dsState, t int, res *TaskResult, err error) {
 		}
 		d.taskDone[t] = true
 		d.ndone++
+		elapsed := j.clk.Now().Sub(d.submitAt[t]).Nanoseconds()
+		if elapsed < res.Timing.WallNS {
+			elapsed = res.Timing.WallNS
+		}
+		d.agg.tasks++
+		d.agg.wallNS += elapsed
+		d.agg.execNS += res.Timing.WallNS
+		d.agg.shuffleNS += res.Timing.ShuffleNS
+		d.agg.inBytes += res.Timing.InBytes
+		d.agg.inRecords += res.Timing.InRecords
+		d.agg.outBytes += res.Timing.OutBytes
+		d.agg.outRecords += res.Timing.OutRecords
 		if d.ndone == d.nTasks {
 			j.completeLocked(d)
 		}

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"fmt"
 	"os"
 	"sync"
 
 	"repro/internal/bucket"
+	"repro/internal/obs"
 )
 
 // LocalExecutor runs tasks in the current process. It provides three of
@@ -31,6 +33,7 @@ type LocalExecutor struct {
 	env     *TaskEnv
 	workers int
 	ownsDir string // temp dir to remove on Close ("" if none)
+	obs     *obs.Runtime
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -91,6 +94,23 @@ func (e *LocalExecutor) Store() *bucket.Store { return e.env.Store }
 // spill ablation bench).
 func (e *LocalExecutor) SetSpillBytes(n int64) { e.env.SpillBytes = n }
 
+// SetObserver wires the executor into an observability runtime: worker
+// start/finish events go to its tracer (lanes named worker-0..N-1), the
+// task engine reports into its metrics, and a queue-depth gauge is
+// registered. Must be called before the first Submit.
+func (e *LocalExecutor) SetObserver(rt *obs.Runtime) {
+	e.obs = rt
+	e.env.Obs = rt
+	if e.env.Clock == nil && rt != nil {
+		e.env.Clock = rt.Clk()
+	}
+	rt.M().SetGauge("mrs_local_queue_depth", func() int64 {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		return int64(len(e.queue))
+	})
+}
+
 // Submit implements Executor: the task joins the FIFO queue and is
 // executed by one of the worker goroutines (started lazily on first
 // use).
@@ -100,7 +120,7 @@ func (e *LocalExecutor) Submit(spec *TaskSpec, done func(*TaskResult, error)) {
 		e.started = true
 		for w := 0; w < e.workers; w++ {
 			e.wg.Add(1)
-			go e.worker()
+			go e.worker(w)
 		}
 	}
 	e.queue = append(e.queue, localTask{spec: spec, done: done})
@@ -111,8 +131,9 @@ func (e *LocalExecutor) Submit(spec *TaskSpec, done func(*TaskResult, error)) {
 // worker drains the queue until Close; the queue is fully drained even
 // when Close races with late submissions, so every Submit's callback
 // fires exactly once.
-func (e *LocalExecutor) worker() {
+func (e *LocalExecutor) worker(idx int) {
 	defer e.wg.Done()
+	name := fmt.Sprintf("worker-%d", idx)
 	for {
 		e.mu.Lock()
 		for len(e.queue) == 0 && !e.closed {
@@ -125,7 +146,15 @@ func (e *LocalExecutor) worker() {
 		t := e.queue[0]
 		e.queue = e.queue[1:]
 		e.mu.Unlock()
+		// Local executors run each task exactly once, so the span is
+		// always attempt 1.
+		e.obs.T().TaskStarted(t.spec.TraceID, 1, name)
 		res, err := ExecTask(e.env, t.spec)
+		if err != nil {
+			e.obs.T().TaskFinished(t.spec.TraceID, 1, obs.Timing{}, err.Error())
+		} else {
+			e.obs.T().TaskFinished(t.spec.TraceID, 1, res.Timing, "")
+		}
 		t.done(res, err)
 	}
 }

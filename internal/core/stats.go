@@ -1,0 +1,90 @@
+package core
+
+// OpStats is one operation's aggregated task-cost breakdown, summed
+// over its finished tasks. The decomposition is
+//
+//	WallNS = ScheduleNS + ExecNS
+//	ExecNS = ComputeNS + ShuffleNS
+//
+// where WallNS is driver-observed elapsed time from task submission to
+// completion (including executor queueing, RPC, and any retries),
+// ExecNS is the successful attempt's measured execution time, ShuffleNS
+// is the part of ExecNS spent blocked reading input buckets, and
+// ComputeNS is the remainder.
+type OpStats struct {
+	Dataset int
+	Kind    string // "map" / "reduce"
+	Func    string
+	Tasks   int64
+
+	WallNS     int64
+	ScheduleNS int64
+	ComputeNS  int64
+	ShuffleNS  int64
+
+	InBytes    int64
+	InRecords  int64
+	OutBytes   int64
+	OutRecords int64
+}
+
+// JobStats is the job-wide roll-up of every operation's OpStats,
+// snapshotted by Job.Stats. Totals are sums over all finished tasks.
+type JobStats struct {
+	Ops   []OpStats
+	Tasks int64
+
+	WallNS     int64
+	ScheduleNS int64
+	ComputeNS  int64
+	ShuffleNS  int64
+
+	InBytes  int64
+	OutBytes int64
+}
+
+// Stats snapshots the per-operation cost breakdown accumulated so far.
+// It can be called while the job is running (partial totals) or after
+// Close (final totals). Source operations (file/local materialization)
+// run no tasks and are omitted.
+func (j *Job) Stats() JobStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out JobStats
+	for _, d := range j.states {
+		if d.op.Input < 0 || d.agg.tasks == 0 {
+			continue
+		}
+		sched := d.agg.wallNS - d.agg.execNS
+		if sched < 0 {
+			sched = 0
+		}
+		compute := d.agg.execNS - d.agg.shuffleNS
+		if compute < 0 {
+			compute = 0
+		}
+		op := OpStats{
+			Dataset:    d.op.Dataset,
+			Kind:       d.op.Kind.String(),
+			Func:       d.op.FuncName,
+			Tasks:      d.agg.tasks,
+			WallNS:     d.agg.wallNS,
+			ScheduleNS: sched,
+			ComputeNS:  compute,
+			ShuffleNS:  d.agg.shuffleNS,
+			InBytes:    d.agg.inBytes,
+			InRecords:  d.agg.inRecords,
+			OutBytes:   d.agg.outBytes,
+			OutRecords: d.agg.outRecords,
+		}
+		out.Ops = append(out.Ops, op)
+		out.Tasks += op.Tasks
+		out.WallNS += op.WallNS
+		out.ScheduleNS += op.ScheduleNS
+		out.ComputeNS += op.ComputeNS
+		out.ShuffleNS += op.ShuffleNS
+		out.InBytes += op.InBytes
+		out.OutBytes += op.OutBytes
+	}
+	return out
+}

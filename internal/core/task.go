@@ -5,10 +5,13 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"strings"
 
 	"repro/internal/bucket"
+	"repro/internal/clock"
 	"repro/internal/codec"
 	"repro/internal/kvio"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/shuffle"
 )
@@ -27,6 +30,12 @@ type TaskEnv struct {
 	TempDir string
 	// SpillBytes overrides the external-sort threshold (0 = default).
 	SpillBytes int64
+	// Clock stamps task timings (nil = wall clock). Tests inject a fake
+	// clock so trace output is deterministic.
+	Clock clock.Clock
+	// Obs receives task-engine counters (tasks executed, shuffle bytes
+	// by data path). Nil disables metrics at zero cost.
+	Obs *obs.Runtime
 }
 
 func (env *TaskEnv) spillBytes() int64 {
@@ -36,11 +45,22 @@ func (env *TaskEnv) spillBytes() int64 {
 	return DefaultSpillBytes
 }
 
+func (env *TaskEnv) clk() clock.Clock {
+	if env.Clock != nil {
+		return env.Clock
+	}
+	return clock.Real{}
+}
+
 // TaskSpec fully describes one task; it is what travels from the master
 // to a slave.
 type TaskSpec struct {
 	// Op is the operation this task belongs to.
 	Op *Operation
+	// TraceID identifies this task in the observability layer; it is
+	// issued by the Job driver's tracer at submit time and travels with
+	// the task (over RPC in the distributed runtime). 0 = untraced.
+	TraceID int64
 	// TaskIndex is the task's index within the operation (== the input
 	// split it consumes).
 	TaskIndex int
@@ -57,17 +77,84 @@ type TaskResult struct {
 	Dataset   int
 	TaskIndex int
 	Outputs   []bucket.Descriptor
+	// Timing is the attempt's measured cost breakdown, filled by
+	// ExecTask on the process that ran the task.
+	Timing obs.Timing
 }
 
-// ExecTask dispatches on the operation kind.
+// ExecTask dispatches on the operation kind. On success the result
+// carries a Timing breakdown: total wall time, time blocked reading
+// input buckets (shuffle), and input/output byte and record counts.
 func ExecTask(env *TaskEnv, spec *TaskSpec) (*TaskResult, error) {
+	clk := env.clk()
+	start := clk.Now()
+	st := &inputStats{}
+	var res *TaskResult
+	var err error
 	switch spec.Op.Kind {
 	case OpMap:
-		return execMapTask(env, spec)
+		res, err = execMapTask(env, spec, st)
 	case OpReduce:
-		return execReduceTask(env, spec)
+		res, err = execReduceTask(env, spec, st)
 	default:
 		return nil, fmt.Errorf("core: cannot execute %s operation as a task", spec.Op.Kind)
+	}
+	env.Obs.M().Add("mrs_tasks_executed_total", 1)
+	if err != nil {
+		env.Obs.M().Add("mrs_task_errors_total", 1)
+		return nil, err
+	}
+	res.Timing = obs.Timing{
+		WallNS:    clk.Now().Sub(start).Nanoseconds(),
+		ShuffleNS: st.readNS,
+		InBytes:   st.bytes,
+		InRecords: st.records,
+	}
+	for _, d := range res.Outputs {
+		res.Timing.OutBytes += d.Bytes
+		res.Timing.OutRecords += d.Records
+	}
+	return res, nil
+}
+
+// inputStats accumulates what a task consumed: bytes and records read,
+// and the wall time spent blocked inside Read calls on input streams
+// (the task's shuffle cost).
+type inputStats struct {
+	bytes   int64
+	records int64
+	readNS  int64
+}
+
+// timedReader wraps an input stream, charging each Read's wall time and
+// byte count to st. Granularity is one Read call (typically a bufio
+// fill, ~64 KiB), which keeps clock overhead negligible relative to the
+// I/O being measured.
+type timedReader struct {
+	r   io.Reader
+	clk clock.Clock
+	st  *inputStats
+}
+
+func (t *timedReader) Read(p []byte) (int, error) {
+	begin := t.clk.Now()
+	n, err := t.r.Read(p)
+	t.st.readNS += t.clk.Now().Sub(begin).Nanoseconds()
+	t.st.bytes += int64(n)
+	return n, err
+}
+
+// shuffleMetric classifies an input URL by data path: direct
+// slave-to-slave HTTP, shared-directory files, or in-process memory
+// buckets.
+func shuffleMetric(u string) string {
+	switch {
+	case strings.HasPrefix(u, "http://"), strings.HasPrefix(u, "https://"):
+		return "mrs_shuffle_bytes_direct_total"
+	case strings.HasPrefix(u, "file://"):
+		return "mrs_shuffle_bytes_shared_total"
+	default:
+		return "mrs_shuffle_bytes_local_total"
 	}
 }
 
@@ -124,7 +211,7 @@ func closeWriters(writers []*bucket.Writer) ([]bucket.Descriptor, error) {
 	return descs, nil
 }
 
-func execMapTask(env *TaskEnv, spec *TaskSpec) (*TaskResult, error) {
+func execMapTask(env *TaskEnv, spec *TaskSpec, st *inputStats) (*TaskResult, error) {
 	op := spec.Op
 	mapFn, err := env.Reg.Map(op.FuncName, op.Params)
 	if err != nil {
@@ -142,7 +229,7 @@ func execMapTask(env *TaskEnv, spec *TaskSpec) (*TaskResult, error) {
 	if op.CombineName == "" {
 		// Direct path: emitted records go straight to their bucket.
 		emit := &partitionedEmitter{parter: parter, splits: op.Splits, writers: writers, ownSplit: -1}
-		err = forEachInputRecord(env, spec, func(key, value []byte) error {
+		err = forEachInputRecord(env, spec, st, func(key, value []byte) error {
 			return mapFn(key, value, emit)
 		})
 		if err != nil {
@@ -177,7 +264,7 @@ func execMapTask(env *TaskEnv, spec *TaskSpec) (*TaskResult, error) {
 				Value: append([]byte(nil), value...),
 			})
 		})
-		err = forEachInputRecord(env, spec, func(key, value []byte) error {
+		err = forEachInputRecord(env, spec, st, func(key, value []byte) error {
 			return mapFn(key, value, emit)
 		})
 		if err != nil {
@@ -206,7 +293,7 @@ func execMapTask(env *TaskEnv, spec *TaskSpec) (*TaskResult, error) {
 	return &TaskResult{Dataset: op.Dataset, TaskIndex: spec.TaskIndex, Outputs: outputs}, nil
 }
 
-func execReduceTask(env *TaskEnv, spec *TaskSpec) (*TaskResult, error) {
+func execReduceTask(env *TaskEnv, spec *TaskSpec, st *inputStats) (*TaskResult, error) {
 	op := spec.Op
 	reduceFn, err := env.Reg.Reduce(op.FuncName, op.Params)
 	if err != nil {
@@ -230,7 +317,7 @@ func execReduceTask(env *TaskEnv, spec *TaskSpec) (*TaskResult, error) {
 		Combine:    combine,
 	})
 	defer sorter.Close()
-	err = forEachInputRecord(env, spec, func(key, value []byte) error {
+	err = forEachInputRecord(env, spec, st, func(key, value []byte) error {
 		return sorter.Add(kvio.Pair{
 			Key:   append([]byte(nil), key...),
 			Value: append([]byte(nil), value...),
@@ -282,13 +369,20 @@ func CombineAdapter(fn ReduceFunc) shuffle.CombineFunc {
 	}
 }
 
-// forEachInputRecord streams every record of the task's input split.
-// The key/value slices passed to fn are not retained by the iterator.
-func forEachInputRecord(env *TaskEnv, spec *TaskSpec, fn func(key, value []byte) error) error {
+// forEachInputRecord streams every record of the task's input split,
+// accounting records, bytes, and read-blocked time into st. The
+// key/value slices passed to fn are not retained by the iterator.
+func forEachInputRecord(env *TaskEnv, spec *TaskSpec, st *inputStats, fn func(key, value []byte) error) error {
+	counted := func(key, value []byte) error {
+		st.records++
+		return fn(key, value)
+	}
+	clk := env.clk()
 	for _, u := range spec.InputURLs {
 		if spec.InputFormat == FormatLinesRange {
-			// Ranged text inputs open their own file handle to seek.
-			if err := forEachLineRange(u, fn); err != nil {
+			// Ranged text inputs open their own file handle to seek;
+			// their bytes are charged to compute, not shuffle.
+			if err := forEachLineRange(u, counted); err != nil {
 				return err
 			}
 			continue
@@ -297,16 +391,19 @@ func forEachInputRecord(env *TaskEnv, spec *TaskSpec, fn func(key, value []byte)
 		if err != nil {
 			return fmt.Errorf("opening input %s: %w", u, err)
 		}
+		before := st.bytes
+		tr := &timedReader{r: rc, clk: clk, st: st}
 		var ferr error
 		switch spec.InputFormat {
 		case "", FormatKV:
-			ferr = forEachKVRecord(rc, fn)
+			ferr = forEachKVRecord(tr, counted)
 		case FormatLines:
-			ferr = forEachLine(rc, fn)
+			ferr = forEachLine(tr, counted)
 		default:
 			ferr = fmt.Errorf("core: unknown input format %q", spec.InputFormat)
 		}
 		cerr := rc.Close()
+		env.Obs.M().Add(shuffleMetric(u), st.bytes-before)
 		if ferr != nil {
 			return ferr
 		}

@@ -10,6 +10,13 @@
 // configuration therefore reproduces the identical injection schedule,
 // which is what makes chaos runs debuggable: the paper's determinism
 // guarantee (§IV-A, prand streams) extended to the failures themselves.
+//
+// Chaos runs compose with the observability layer (internal/obs): every
+// retry the injector provokes is a distinct attempt in the task trace
+// (attempt > 1, failed attempts carrying the error string), and the
+// scheduler's failure/requeue counters quantify how much recovery work
+// a fault mix caused. The chaos suite asserts this linkage. See
+// docs/OBSERVABILITY.md.
 package fault
 
 import (

@@ -7,6 +7,14 @@
 // one master and any number of slaves; no daemons or config files. The
 // master writes its address to a port file so startup scripts (and the
 // pbs simulator) can hand it to slaves.
+//
+// The master is also the cluster's observability hub (internal/obs,
+// docs/OBSERVABILITY.md): its HTTP server mounts the /debug surface —
+// /debug/status, /debug/metrics (Prometheus text), /debug/pprof — next
+// to the RPC and data endpoints, trace IDs issued by the Job driver
+// travel to slaves inside assignments, and the per-attempt timing
+// breakdown slaves report with task_done flows back through the
+// scheduler into Job.Stats.
 package master
 
 import (
@@ -22,6 +30,7 @@ import (
 	"repro/internal/bucket"
 	"repro/internal/clock"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rpcproto"
 	"repro/internal/sched"
 	"repro/internal/xmlrpc"
@@ -70,6 +79,11 @@ type Options struct {
 	// Clock drives heartbeat reaping, leases, and long-poll deadlines
 	// (default: the wall clock; tests inject a fake).
 	Clock clock.Clock
+	// Obs is the observability runtime shared with the Job driver; the
+	// master feeds it scheduler trace events and control-plane metrics
+	// and serves it at /debug. Nil creates a private metrics-only
+	// runtime so /debug/metrics always works.
+	Obs *obs.Runtime
 }
 
 func (o *Options) fill() {
@@ -90,6 +104,9 @@ func (o *Options) fill() {
 	}
 	if o.Clock == nil {
 		o.Clock = clock.Real{}
+	}
+	if o.Obs == nil {
+		o.Obs = obs.New(o.Clock)
 	}
 }
 
@@ -141,6 +158,8 @@ func New(opts Options) (*Master, error) {
 		reaperStop:     make(chan struct{}),
 		reaperDone:     make(chan struct{}),
 	}
+	m.sched.SetObserver(opts.Obs)
+	m.registerGauges(opts.Obs)
 
 	dir := opts.Dir
 	if opts.SharedDir != "" {
@@ -182,6 +201,7 @@ func New(opts Options) (*Master, error) {
 	mux := http.NewServeMux()
 	mux.Handle(xmlrpc.RPCPath, rpc)
 	mux.HandleFunc("/data/", m.serveData)
+	obs.RegisterDebug(mux, opts.Obs, m.statusPage)
 	m.httpSrv = &http.Server{Handler: mux}
 	go m.httpSrv.Serve(ln)
 	go m.reaper()
@@ -210,6 +230,34 @@ func (m *Master) Stats() TaskStats {
 
 // Scheduler exposes the scheduler (ablation benches).
 func (m *Master) Scheduler() *sched.Scheduler { return m.sched }
+
+// registerGauges exposes control-plane state to the metrics surface.
+// TaskStats counters are exported as gauges because they are snapshots
+// of the same mutex-guarded struct benchmarks read.
+func (m *Master) registerGauges(rt *obs.Runtime) {
+	mm := rt.M()
+	mm.SetGauge("mrs_slaves_live", func() int64 { return int64(m.NumSlaves()) })
+	stat := func(pick func(TaskStats) int64) func() int64 {
+		return func() int64 { return pick(m.Stats()) }
+	}
+	mm.SetGauge("mrs_master_tasks_assigned", stat(func(s TaskStats) int64 { return s.TasksAssigned }))
+	mm.SetGauge("mrs_master_tasks_done", stat(func(s TaskStats) int64 { return s.TasksDone }))
+	mm.SetGauge("mrs_master_tasks_failed", stat(func(s TaskStats) int64 { return s.TasksFailed }))
+	mm.SetGauge("mrs_master_tasks_requeued", stat(func(s TaskStats) int64 { return s.TasksRequeued }))
+	mm.SetGauge("mrs_master_blacklisted", stat(func(s TaskStats) int64 { return s.Blacklisted }))
+	mm.SetGauge("mrs_slaves_seen", stat(func(s TaskStats) int64 { return s.SlavesSeen }))
+	mm.SetGauge("mrs_slaves_lost", stat(func(s TaskStats) int64 { return s.SlavesLost }))
+}
+
+// statusPage renders the master half of /debug/status.
+func (m *Master) statusPage() string {
+	st := m.Stats()
+	return fmt.Sprintf(
+		"mrs master %s\nslaves live: %d (seen %d, lost %d)\nsched: %d pending, %d running\ntasks: %d assigned, %d done, %d failed, %d requeued, %d blacklisted polls\n",
+		m.addr, m.NumSlaves(), st.SlavesSeen, st.SlavesLost,
+		m.sched.Pending(), m.sched.Running(),
+		st.TasksAssigned, st.TasksDone, st.TasksFailed, st.TasksRequeued, st.Blacklisted)
+}
 
 // serveData serves bucket files to slaves and to Collect.
 func (m *Master) serveData(w http.ResponseWriter, r *http.Request) {
@@ -360,7 +408,7 @@ func encodeAssignment(a rpcproto.Assignment) (any, error) {
 
 func (m *Master) handleTaskDone(args []any) (any, error) {
 	if len(args) < 3 {
-		return nil, fmt.Errorf("master: task_done wants (slave, task, outputs)")
+		return nil, fmt.Errorf("master: task_done wants (slave, task, outputs[, timing])")
 	}
 	id, err := slaveIDArg(args)
 	if err != nil {
@@ -374,11 +422,16 @@ func (m *Master) handleTaskDone(args []any) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	result := &core.TaskResult{Outputs: outputs}
+	if len(args) >= 4 {
+		// Optional measured cost breakdown from the executing slave.
+		result.Timing = rpcproto.DecodeTiming(args[3])
+	}
 	m.touch(id)
 	m.mu.Lock()
 	m.taskStats.TasksDone++
 	m.mu.Unlock()
-	err = m.sched.Complete(sched.TaskID(taskID), id, &core.TaskResult{Outputs: outputs})
+	err = m.sched.Complete(sched.TaskID(taskID), id, result)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+)
+
+// StatusFunc returns one human-readable page of component status; the
+// /debug/status handler prepends it to the metrics snapshot.
+type StatusFunc func() string
+
+// RegisterDebug mounts the /debug surface on mux:
+//
+//	/debug/ and /debug/status — plain-text status page
+//	/debug/metrics            — Prometheus text exposition
+//	/debug/pprof/...          — the standard Go profiling endpoints
+//
+// status may be nil; rt may be nil (the page then shows no metrics).
+func RegisterDebug(mux *http.ServeMux, rt *Runtime, status StatusFunc) {
+	statusPage := func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if status != nil {
+			fmt.Fprintln(w, status())
+		}
+		snap := rt.M().Snapshot()
+		names := make([]string, 0, len(snap))
+		for n := range snap {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintln(w, "metrics:")
+		for _, n := range names {
+			fmt.Fprintf(w, "  %-44s %d\n", n, snap[n])
+		}
+	}
+	mux.HandleFunc("/debug", statusPage)
+	mux.HandleFunc("/debug/status", statusPage)
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = rt.M().WriteProm(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// DebugServer is a standalone HTTP listener serving only the /debug
+// surface, for processes that have no control-plane HTTP server of
+// their own (local executors, slaves) — flag -mrs-debug-addr.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeDebug starts a debug server on addr (e.g. "localhost:6060").
+func ServeDebug(addr string, rt *Runtime, status StatusFunc) (*DebugServer, error) {
+	mux := http.NewServeMux()
+	RegisterDebug(mux, rt, status)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	d := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go func() { _ = d.srv.Serve(ln) }()
+	return d, nil
+}
+
+// Addr returns the bound listen address.
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close shuts the listener down.
+func (d *DebugServer) Close() error { return d.srv.Close() }

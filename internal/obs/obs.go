@@ -1,0 +1,225 @@
+// Package obs is the runtime's zero-dependency observability layer:
+// a structured per-task trace recorder that exports Chrome trace-event
+// JSON (render a pipelined run as a timeline in chrome://tracing or
+// Perfetto), a set of named counters and gauges with a Prometheus-style
+// text exposition, and an HTTP /debug surface (status page, metrics,
+// pprof). It is threaded through the Job driver, the local executors,
+// the scheduler, the master, and the slaves; see docs/OBSERVABILITY.md
+// for the operator view.
+//
+// Everything is nil-safe: a nil *Runtime, *Metrics, *Tracer, or
+// *Counter accepts every call as a no-op, so instrumented code needs no
+// "is observability on?" branches. Timestamps come from an injectable
+// clock (internal/clock), which is what makes trace output
+// deterministic under the fake clock in tests.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/clock"
+)
+
+// Runtime bundles the observability state one process (or one
+// in-process cluster) shares: metrics are always present, the tracer
+// only when tracing was requested (it retains every span in memory
+// until exported).
+type Runtime struct {
+	// Metrics holds this runtime's counters and gauges.
+	Metrics *Metrics
+	// Trace records per-task spans when non-nil (see StartTrace).
+	Trace *Tracer
+	// Clock stamps trace events and task timings. Defaults to the wall
+	// clock; tests inject a Fake for deterministic traces.
+	Clock clock.Clock
+}
+
+// New returns a Runtime with live metrics and no tracer. A nil clk
+// selects the wall clock.
+func New(clk clock.Clock) *Runtime {
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	return &Runtime{Metrics: NewMetrics(), Clock: clk}
+}
+
+// StartTrace attaches a fresh Tracer driven by the runtime's clock and
+// returns it. No-op (returning nil) on a nil runtime.
+func (r *Runtime) StartTrace() *Tracer {
+	if r == nil {
+		return nil
+	}
+	r.Trace = NewTracer(r.Clock)
+	return r.Trace
+}
+
+// M returns the runtime's metrics, nil-safely.
+func (r *Runtime) M() *Metrics {
+	if r == nil {
+		return nil
+	}
+	return r.Metrics
+}
+
+// T returns the runtime's tracer, nil-safely.
+func (r *Runtime) T() *Tracer {
+	if r == nil {
+		return nil
+	}
+	return r.Trace
+}
+
+// Clk returns the runtime's clock, or the wall clock for a nil runtime.
+func (r *Runtime) Clk() clock.Clock {
+	if r == nil || r.Clock == nil {
+		return clock.Real{}
+	}
+	return r.Clock
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+
+// Counter is a monotonically increasing metric. The zero value is
+// ready; a nil *Counter discards adds, so hot paths can cache a counter
+// pointer without caring whether metrics are wired.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Metrics is a registry of named counters and callback gauges. Names
+// follow Prometheus conventions (mrs_tasks_submitted_total and the
+// like); WriteProm renders the standard text exposition.
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]func() int64
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{counters: map[string]*Counter{}, gauges: map[string]func() int64{}}
+}
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil (a valid no-op counter) on a nil registry.
+func (m *Metrics) Counter(name string) *Counter {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.counters[name]
+	if !ok {
+		c = &Counter{}
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Add increments the named counter by n (creating it if needed).
+func (m *Metrics) Add(name string, n int64) {
+	m.Counter(name).Add(n)
+}
+
+// SetGauge registers (or replaces) a callback gauge; fn is evaluated at
+// snapshot time. No-op on a nil registry.
+func (m *Metrics) SetGauge(name string, fn func() int64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.gauges[name] = fn
+}
+
+// Get returns the current value of a counter or gauge (0 if absent).
+func (m *Metrics) Get(name string) int64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	c, cok := m.counters[name]
+	g, gok := m.gauges[name]
+	m.mu.Unlock()
+	if cok {
+		return c.Value()
+	}
+	if gok {
+		return g()
+	}
+	return 0
+}
+
+// Snapshot evaluates every counter and gauge into one map.
+func (m *Metrics) Snapshot() map[string]int64 {
+	out := map[string]int64{}
+	if m == nil {
+		return out
+	}
+	m.mu.Lock()
+	counters := make(map[string]*Counter, len(m.counters))
+	for n, c := range m.counters {
+		counters[n] = c
+	}
+	gauges := make(map[string]func() int64, len(m.gauges))
+	for n, g := range m.gauges {
+		gauges[n] = g
+	}
+	m.mu.Unlock()
+	for n, c := range counters {
+		out[n] = c.Value()
+	}
+	for n, g := range gauges {
+		out[n] = g()
+	}
+	return out
+}
+
+// WriteProm renders the Prometheus text exposition format, sorted by
+// metric name so output is stable.
+func (m *Metrics) WriteProm(w io.Writer) error {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	kind := map[string]string{}
+	for n := range m.counters {
+		kind[n] = "counter"
+	}
+	for n := range m.gauges {
+		kind[n] = "gauge"
+	}
+	m.mu.Unlock()
+	snap := m.Snapshot()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", n, kind[n], n, snap[n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

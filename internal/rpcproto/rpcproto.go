@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/bucket"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Method names served by the master.
@@ -105,6 +106,9 @@ func (a Assignment) Encode() (map[string]any, error) {
 	if op.Narrow {
 		out["narrow"] = true
 	}
+	if a.Spec.TraceID != 0 {
+		out["trace_id"] = a.Spec.TraceID
+	}
 	return out, nil
 }
 
@@ -175,6 +179,7 @@ func DecodeAssignment(v any) (Assignment, error) {
 		InputURLs:   urls,
 		InputFormat: format,
 	}
+	a.Spec.TraceID, _ = st["trace_id"].(int64)
 	if err := a.Spec.Op.Validate(); err != nil {
 		return Assignment{}, err
 	}
@@ -218,6 +223,37 @@ func DecodeDescriptors(v any) ([]bucket.Descriptor, error) {
 		out[i] = d
 	}
 	return out, nil
+}
+
+// EncodeTiming converts a task attempt's measured cost breakdown into
+// the optional timing argument of task_done.
+func EncodeTiming(t obs.Timing) map[string]any {
+	return map[string]any{
+		"wall_ns":     t.WallNS,
+		"shuffle_ns":  t.ShuffleNS,
+		"in_bytes":    t.InBytes,
+		"in_records":  t.InRecords,
+		"out_bytes":   t.OutBytes,
+		"out_records": t.OutRecords,
+	}
+}
+
+// DecodeTiming parses the optional timing argument of task_done; any
+// malformed or missing field decodes as zero (older slaves simply
+// report no breakdown).
+func DecodeTiming(v any) obs.Timing {
+	st, ok := v.(map[string]any)
+	if !ok {
+		return obs.Timing{}
+	}
+	var t obs.Timing
+	t.WallNS, _ = st["wall_ns"].(int64)
+	t.ShuffleNS, _ = st["shuffle_ns"].(int64)
+	t.InBytes, _ = st["in_bytes"].(int64)
+	t.InRecords, _ = st["in_records"].(int64)
+	t.OutBytes, _ = st["out_bytes"].(int64)
+	t.OutRecords, _ = st["out_records"].(int64)
+	return t
 }
 
 func toAnySlice(ss []string) []any {

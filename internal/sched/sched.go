@@ -13,6 +13,14 @@
 // in flight at once. SubmitGroup remains as a convenience barrier built
 // on top of Submit. Callbacks are always invoked without the scheduler
 // lock held.
+//
+// The scheduler is an instrumentation point of the observability layer
+// (internal/obs, docs/OBSERVABILITY.md): SetObserver attaches a runtime
+// whose tracer receives an assignment event for every attempt handed
+// out (carrying the attempt number, so retries are visible as attempt>1
+// spans in a -mrs-trace timeline) and a completion event for every
+// outcome, and whose metrics count assignments, retries, completions,
+// failures, and lease/death requeues alongside pending/running gauges.
 package sched
 
 import (
@@ -23,6 +31,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // DefaultMaxAttempts is how many times a task may be attempted before
@@ -111,6 +120,7 @@ type Scheduler struct {
 	nextID      TaskID
 	maxAttempts int
 	clk         clock.Clock
+	obs         *obs.Runtime
 	closed      bool
 }
 
@@ -143,6 +153,17 @@ func NewWithClock(maxAttempts int, clk clock.Clock) *Scheduler {
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
+}
+
+// SetObserver wires the scheduler into an observability runtime
+// (trace assignment/completion events, scheduling counters, and
+// pending/running gauges). Call before serving requests.
+func (s *Scheduler) SetObserver(rt *obs.Runtime) {
+	s.mu.Lock()
+	s.obs = rt
+	s.mu.Unlock()
+	rt.M().SetGauge("mrs_sched_pending", func() int64 { return int64(s.Pending()) })
+	rt.M().SetGauge("mrs_sched_running", func() int64 { return int64(s.Running()) })
 }
 
 // Submit queues one task. done fires exactly once with the task's
@@ -204,6 +225,11 @@ func (s *Scheduler) Request(slaveID string, timeout time.Duration) (*Task, error
 			s.running[t.ID] = &runningEntry{task: t, slave: slaveID, since: s.clk.Now()}
 			t.Attempts++
 			t.assignees = append(t.assignees, slaveID)
+			s.obs.T().TaskStarted(t.Spec.TraceID, t.Attempts, slaveID)
+			s.obs.M().Add("mrs_sched_assigned_total", 1)
+			if t.Attempts > 1 {
+				s.obs.M().Add("mrs_sched_retries_total", 1)
+			}
 			return t, nil
 		}
 		if !s.clk.Now().Before(deadline) {
@@ -272,6 +298,12 @@ func (s *Scheduler) Complete(id TaskID, slaveID string, result *core.TaskResult)
 		result.TaskIndex = entry.task.Spec.TaskIndex
 		result.Dataset = entry.task.Spec.Op.Dataset
 	}
+	var tm obs.Timing
+	if result != nil {
+		tm = result.Timing
+	}
+	s.obs.T().TaskFinished(entry.task.Spec.TraceID, entry.task.Attempts, tm, "")
+	s.obs.M().Add("mrs_sched_completed_total", 1)
 	done := entry.task.done
 	s.mu.Unlock()
 	done(result, nil)
@@ -301,6 +333,8 @@ func (s *Scheduler) Fail(id TaskID, slaveID string, taskErr string) error {
 	}
 	delete(s.running, id)
 	s.failures[slaveID]++
+	s.obs.T().TaskFinished(entry.task.Spec.TraceID, entry.task.Attempts, obs.Timing{}, taskErr)
+	s.obs.M().Add("mrs_sched_task_failures_total", 1)
 	abort := s.requeueOrAbortLocked(entry.task, fmt.Errorf("sched: task %d failed on %s: %s", id, slaveID, taskErr))
 	s.mu.Unlock()
 	if abort != nil {
@@ -331,6 +365,8 @@ func (s *Scheduler) RequeueStale(lease time.Duration) int {
 		}
 		delete(s.running, id)
 		n++
+		s.obs.T().TaskFinished(entry.task.Spec.TraceID, entry.task.Attempts, obs.Timing{}, "lease expired; requeued")
+		s.obs.M().Add("mrs_sched_requeued_total", 1)
 		if abort := s.requeueOrAbortLocked(entry.task, fmt.Errorf("sched: task %d leased to %s expired (assignment lost?)", id, entry.slave)); abort != nil {
 			aborts = append(aborts, abort)
 		}
@@ -352,6 +388,8 @@ func (s *Scheduler) SlaveDead(slaveID string) {
 			continue
 		}
 		delete(s.running, id)
+		s.obs.T().TaskFinished(entry.task.Spec.TraceID, entry.task.Attempts, obs.Timing{}, "slave died; requeued")
+		s.obs.M().Add("mrs_sched_requeued_total", 1)
 		if abort := s.requeueOrAbortLocked(entry.task, fmt.Errorf("sched: slave %s died running task %d", slaveID, id)); abort != nil {
 			aborts = append(aborts, abort)
 		}

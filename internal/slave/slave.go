@@ -3,6 +3,14 @@
 // engine from internal/core, and serves its output buckets to peers
 // over a built-in HTTP server (§IV-B's "direct communication" path) or
 // stages them on a shared filesystem (the fault-tolerant path).
+//
+// Each task attempt is measured by the task engine (wall time, time
+// blocked reading input, byte/record counts) and the breakdown rides
+// back to the master as the optional fourth task_done argument, where
+// it lands in the trace span for the attempt and in Job.Stats; an
+// Options.Obs runtime additionally collects the slave's local
+// task-engine metrics (tasks executed, shuffle bytes by data path) for
+// the -mrs-debug-addr surface. See docs/OBSERVABILITY.md.
 package slave
 
 import (
@@ -20,6 +28,7 @@ import (
 	"repro/internal/bucket"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/rpcproto"
 	"repro/internal/xmlrpc"
 )
@@ -48,6 +57,8 @@ type Options struct {
 	// BackoffSeed seeds the retry-jitter stream so a slave's backoff
 	// schedule is reproducible (0 selects a fixed default).
 	BackoffSeed uint64
+	// Obs receives the slave's task-engine metrics (nil disables).
+	Obs *obs.Runtime
 }
 
 // Slave is one worker.
@@ -133,7 +144,13 @@ func New(reg *core.Registry, opts Options) (*Slave, error) {
 	if opts.DataClient != nil {
 		store.SetHTTPClient(opts.DataClient)
 	}
-	s.env = &core.TaskEnv{Store: store, Reg: reg, TempDir: dir}
+	// The runtime may be shared by several slaves (the in-process
+	// cluster), so slaves contribute counters, which sum, rather than
+	// per-slave gauges, which would collide.
+	s.env = &core.TaskEnv{Store: store, Reg: reg, TempDir: dir, Obs: opts.Obs}
+	if opts.Obs != nil {
+		s.env.Clock = opts.Obs.Clk()
+	}
 
 	if s.ln != nil {
 		mux := http.NewServeMux()
@@ -221,6 +238,7 @@ func (s *Slave) Run(ctx context.Context) error {
 				}
 				s.setID(reply.SlaveID)
 				s.resignins.Add(1)
+				s.opts.Obs.M().Add("mrs_slave_resignins_total", 1)
 				consecutiveErrs = 0
 				continue
 			}
@@ -268,7 +286,7 @@ func (s *Slave) runTask(a rpcproto.Assignment) {
 		return
 	}
 	outputs := rpcproto.EncodeDescriptors(result.Outputs)
-	s.report(rpcproto.MethodTaskDone, id, a.TaskID, outputs)
+	s.report(rpcproto.MethodTaskDone, id, a.TaskID, outputs, rpcproto.EncodeTiming(result.Timing))
 }
 
 // report delivers a task outcome with retries and backoff. Transport

@@ -26,12 +26,14 @@ package mrs
 import (
 	"context"
 	"fmt"
+	"os"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/kvio"
 	"repro/internal/master"
+	"repro/internal/obs"
 	"repro/internal/prand"
 	"repro/internal/slave"
 )
@@ -106,6 +108,16 @@ type Options struct {
 	// order). Pipelining is on by default; this toggle exists as a
 	// performance ablation and a debugging aid.
 	NoPipeline bool
+	// TracePath, when set, records every task attempt and writes a
+	// Chrome trace-event JSON timeline there when the job finishes
+	// (open it in chrome://tracing or Perfetto). See
+	// docs/OBSERVABILITY.md.
+	TracePath string
+	// DebugAddr, when set, serves the observability surface —
+	// /debug/status, /debug/metrics (Prometheus text), /debug/pprof —
+	// on this address, in every mode including slave. The master
+	// additionally always mounts the same surface on its own port.
+	DebugAddr string
 }
 
 func (o *Options) fill() {
@@ -135,6 +147,21 @@ func Run(p Program, opts Options) error {
 		return fmt.Errorf("mrs: registering functions: %w", err)
 	}
 
+	rt := obs.New(nil)
+	if opts.TracePath != "" {
+		rt.StartTrace()
+	}
+	if opts.DebugAddr != "" {
+		dbg, err := obs.ServeDebug(opts.DebugAddr, rt, func() string {
+			return fmt.Sprintf("mrs -mrs=%s\n", opts.Implementation)
+		})
+		if err != nil {
+			return fmt.Errorf("mrs: debug server: %w", err)
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "mrs: debug surface at http://%s/debug/status\n", dbg.Addr())
+	}
+
 	switch opts.Implementation {
 	case "bypass":
 		b, ok := p.(Bypasser)
@@ -144,34 +171,41 @@ func Run(p Program, opts Options) error {
 		return b.Bypass()
 
 	case "serial":
-		return runWithExecutor(p, core.NewSerial(reg), opts)
+		exec := core.NewSerial(reg)
+		exec.SetObserver(rt)
+		return runWithExecutor(p, exec, opts, rt)
 
 	case "mock":
 		exec, err := core.NewMockParallel(reg, opts.MockDir)
 		if err != nil {
 			return err
 		}
-		return runWithExecutor(p, exec, opts)
+		exec.SetObserver(rt)
+		return runWithExecutor(p, exec, opts, rt)
 
 	case "threads":
-		return runWithExecutor(p, core.NewThreads(reg, opts.Workers), opts)
+		exec := core.NewThreads(reg, opts.Workers)
+		exec.SetObserver(rt)
+		return runWithExecutor(p, exec, opts, rt)
 
 	case "local":
 		c, err := cluster.Start(reg, cluster.Options{
 			Slaves:    opts.Slaves,
 			SharedDir: opts.SharedDir,
+			Obs:       rt,
 		})
 		if err != nil {
 			return err
 		}
 		defer c.Close()
-		return runJob(p, c.Executor(), opts)
+		return runJob(p, c.Executor(), opts, rt)
 
 	case "master":
 		m, err := master.New(master.Options{
 			Addr:      opts.Addr,
 			PortFile:  opts.PortFile,
 			SharedDir: opts.SharedDir,
+			Obs:       rt,
 		})
 		if err != nil {
 			return err
@@ -182,7 +216,7 @@ func Run(p Program, opts Options) error {
 		if err := m.WaitForSlaves(ctx, opts.MinSlaves); err != nil {
 			return err
 		}
-		return runJob(p, m, opts)
+		return runJob(p, m, opts, rt)
 
 	case "slave":
 		if opts.MasterAddr == "" {
@@ -191,6 +225,7 @@ func Run(p Program, opts Options) error {
 		s, err := slave.New(reg, slave.Options{
 			MasterAddr: opts.MasterAddr,
 			SharedDir:  opts.SharedDir,
+			Obs:        rt,
 		})
 		if err != nil {
 			return err
@@ -201,19 +236,42 @@ func Run(p Program, opts Options) error {
 }
 
 // runWithExecutor owns the executor's lifetime.
-func runWithExecutor(p Program, exec core.Executor, opts Options) error {
+func runWithExecutor(p Program, exec core.Executor, opts Options, rt *obs.Runtime) error {
 	defer exec.Close()
-	return runJob(p, exec, opts)
+	return runJob(p, exec, opts, rt)
 }
 
-func runJob(p Program, exec core.Executor, opts Options) error {
-	job := core.NewJobWith(exec, core.JobOptions{Pipeline: !opts.NoPipeline})
+func runJob(p Program, exec core.Executor, opts Options, rt *obs.Runtime) error {
+	job := core.NewJobWith(exec, core.JobOptions{Pipeline: !opts.NoPipeline, Obs: rt})
 	runErr := p.Run(job)
 	closeErr := job.Close()
+	// Every task is finished once Close returns, so the trace is complete.
+	if terr := writeTrace(opts.TracePath, rt); terr != nil && runErr == nil && closeErr == nil {
+		closeErr = terr
+	}
 	if runErr != nil {
 		return runErr
 	}
 	return closeErr
+}
+
+func writeTrace(path string, rt *obs.Runtime) error {
+	if path == "" || rt == nil || rt.Trace == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("mrs: trace: %w", err)
+	}
+	if err := rt.Trace.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("mrs: trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("mrs: trace: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "mrs: wrote %d task spans to %s\n", rt.Trace.NumSpans(), path)
+	return nil
 }
 
 // Random returns an independent pseudorandom stream for the argument

@@ -35,6 +35,13 @@ if [ "$tier" = "2" ] || [ "$tier" = "all" ]; then
 	go test -race -count=4 \
 		-run 'Pipeline|Narrow|Barriered|AllExecutorsAgree|Chaos' \
 		./internal/core ./internal/cluster
+	echo "== tier 2: traced pipelined job end-to-end"
+	trace="$(mktemp -t mrs-verify-XXXXXX.trace)"
+	go run ./examples/pso -mrs=local -mrs-slaves 2 \
+		-outer 5 -dims 20 -inner 10 -swarms 4 -tasks 4 \
+		-mrs-trace "$trace" >/dev/null
+	go run ./cmd/mrs-tracecheck -min-spans 1 -max-errors 0 "$trace"
+	rm -f "$trace"
 fi
 
 echo "verify: OK (tier $tier)"
