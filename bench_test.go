@@ -1,6 +1,6 @@
 // Benchmarks regenerating the paper's tables and figures (one bench
 // per experiment; EXPERIMENTS.md maps each to its paper artifact), plus
-// ablations of the design choices called out in DESIGN.md §6.
+// ablations of the design choices called out in DESIGN.md §7.
 //
 // Run everything:   go test -bench=. -benchmem .
 // One experiment:   go test -bench=BenchmarkPiFig3a .
@@ -389,7 +389,7 @@ func benchStaggerChain(b *testing.B, pipelined bool) {
 
 // BenchmarkPipelineAblation compares the pipelined DAG scheduler to the
 // barriered ablation (JobOptions.Pipeline=false) on an identical queued
-// chain of narrow reduces with a rotating straggler (DESIGN.md §6).
+// chain of narrow reduces with a rotating straggler (DESIGN.md §7).
 func BenchmarkPipelineAblation(b *testing.B) {
 	b.Run("pipelined", func(b *testing.B) { benchStaggerChain(b, true) })
 	b.Run("barriered", func(b *testing.B) { benchStaggerChain(b, false) })
@@ -413,7 +413,7 @@ func BenchmarkHadoopIterationOverhead(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
-// Ablations (DESIGN.md §6)
+// Ablations (DESIGN.md §7)
 
 func benchWordCountLocal(b *testing.B, disableCombiner bool) {
 	var lines []kvio.Pair

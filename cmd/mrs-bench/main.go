@@ -24,6 +24,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/fault"
 	"repro/internal/hadoopsim"
 	"repro/internal/interp"
 	"repro/internal/kvio"
@@ -36,7 +37,7 @@ import (
 )
 
 var (
-	exp      = flag.String("exp", "all", "experiment: prog|script|wordcount|pi-a|pi-b|crossover|pso|iter|all")
+	exp      = flag.String("exp", "all", "experiment: prog|script|wordcount|pi-a|pi-b|crossover|pso|iter|shuffle|all")
 	scale    = flag.Float64("scale", 0.003, "corpus scale for -exp wordcount (1.0 = the paper's 31,173 files)")
 	liveMax  = flag.Uint64("live-max", 4_000_000, "largest sample count to run live for pi experiments")
 	outer    = flag.Int("outer", 30, "outer iterations for -exp pso")
@@ -44,6 +45,8 @@ var (
 	slaves   = flag.Int("slaves", 4, "slaves for distributed measurements")
 	iterN    = flag.Int("iters", 50, "iterations for -exp iter overhead measurement")
 	iterJSON = flag.String("iter-json", "BENCH_iter.json", "file for -exp iter machine-readable results (empty disables)")
+	shufJSON = flag.String("shuffle-json", "BENCH_shuffle.json", "file for -exp shuffle machine-readable results (empty disables)")
+	shufRTT  = flag.Duration("shuffle-rtt", 4*time.Millisecond, "simulated mean per-fetch network delay for -exp shuffle")
 	trackers = flag.Int("trackers", 21, "simulated Hadoop TaskTrackers (paper: 21 nodes)")
 	csvDir   = flag.String("csv", "", "directory to also write figure series as CSV files")
 )
@@ -111,6 +114,9 @@ func main() {
 	}
 	if all || *exp == "iter" {
 		run("EXP-ITER: per-iteration overhead and the 2471-iteration extrapolation", expIter)
+	}
+	if all || *exp == "shuffle" {
+		run("EXP-SHUFFLE: parallel shuffle fetch and wire compression decomposition", expShuffle)
 	}
 }
 
@@ -648,6 +654,204 @@ func expIter() error {
 		fmt.Printf("\n(wrote %s)\n", *iterJSON)
 	}
 	return nil
+}
+
+// shuffleRegistry builds the fan-out workload for -exp shuffle: each
+// map input expands into many small keyed records (no combiner, so the
+// full volume crosses the wire), and the reduce counts values per key.
+func shuffleRegistry(recsPerMap int) *core.Registry {
+	reg := core.NewRegistry()
+	reg.RegisterMap("fan", func(key, value []byte, emit kvio.Emitter) error {
+		base, err := codec.DecodeVarint(key)
+		if err != nil {
+			return err
+		}
+		for j := 0; j < recsPerMap; j++ {
+			k := fmt.Sprintf("k%06d", (int(base)*recsPerMap+j)%997)
+			if err := emit.Emit([]byte(k), value); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	reg.RegisterReduce("count", func(key []byte, values [][]byte, emit kvio.Emitter) error {
+		return emit.Emit(key, codec.EncodeVarint(int64(len(values))))
+	})
+	return reg
+}
+
+// expShuffle measures the data-plane changes in isolation: a reduce
+// whose every task fetches mapSplits input buckets over HTTP, swept
+// across prefetch width {1, 8} x wire compression {off, on} x simulated
+// per-fetch delay {0, -shuffle-rtt}. Reduce shuffle time comes from the
+// job's per-op timing breakdown (time tasks spent blocked on input);
+// raw-vs-wire bytes come from the obs counters the store maintains.
+func expShuffle() error {
+	const (
+		mapSplits    = 16
+		reduceSplits = 4
+		recsPerMap   = 200
+	)
+	// A repetitive payload so wire compression has something to bite on.
+	payload := []byte(fmt.Sprintf("%064d", 0))
+
+	type cfgT struct {
+		width    int
+		compress bool
+		rtt      time.Duration
+	}
+	var grid []cfgT
+	for _, rtt := range []time.Duration{0, *shufRTT} {
+		for _, compress := range []bool{false, true} {
+			for _, width := range []int{1, 8} {
+				grid = append(grid, cfgT{width, compress, rtt})
+			}
+		}
+	}
+
+	var inputs []kvio.Pair
+	for i := 0; i < mapSplits; i++ {
+		inputs = append(inputs, kvio.Pair{Key: codec.EncodeVarint(int64(i)), Value: payload})
+	}
+
+	type rowT struct {
+		Prefetch         int     `json:"prefetch"`
+		Compress         bool    `json:"compress"`
+		RTTMeanMS        float64 `json:"rtt_mean_ms"`
+		WallMS           float64 `json:"wall_ms"`
+		ReduceShuffleMS  float64 `json:"reduce_shuffle_ms_total"`
+		ShufflePerTaskMS float64 `json:"reduce_shuffle_ms_per_task"`
+		RawDirectBytes   int64   `json:"raw_direct_bytes"`
+		WireDirectBytes  int64   `json:"wire_direct_bytes"`
+	}
+	var rows []rowT
+
+	fmt.Printf("M=%d map splits, R=%d reduce splits, %d records/map, %d slaves\n\n",
+		mapSplits, reduceSplits, recsPerMap, *slaves)
+	fmt.Printf("%-9s %-9s %-8s %12s %16s %14s %12s %12s\n",
+		"prefetch", "compress", "rtt", "wall", "shuffle(total)", "shuffle/task", "raw-bytes", "wire-bytes")
+	for _, cfg := range grid {
+		var inj *fault.Injector
+		if cfg.rtt > 0 {
+			// DelayRate 1 with MaxDelay = 2x the target mean: every data
+			// fetch (and RPC) pays a deterministic uniform (0, 2rtt] delay.
+			inj = fault.New(fault.Config{Seed: 7, DelayRate: 1, MaxDelay: 2 * cfg.rtt})
+		}
+		rt := obs.New(nil)
+		c, err := cluster.Start(shuffleRegistry(recsPerMap), cluster.Options{
+			Slaves:   *slaves,
+			Prefetch: cfg.width,
+			Compress: cfg.compress,
+			Chaos:    inj,
+			Obs:      rt,
+		})
+		if err != nil {
+			return err
+		}
+		job := core.NewJobWith(c.Executor(), core.JobOptions{Pipeline: true, Obs: rt})
+		src, err := job.LocalData(inputs, core.OpOpts{Splits: mapSplits, Partition: "roundrobin"})
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		out, err := job.MapReduce(src, "fan", "count",
+			core.OpOpts{Splits: mapSplits}, core.OpOpts{Splits: reduceSplits})
+		if err == nil {
+			_, err = out.Collect()
+		}
+		wall := time.Since(start)
+		stats := job.Stats()
+		job.Close()
+		c.Close()
+		if err != nil {
+			return err
+		}
+
+		var shuffleNS int64
+		var tasks int64
+		for _, op := range stats.Ops {
+			if op.Func == "count" {
+				shuffleNS += op.ShuffleNS
+				tasks += op.Tasks
+			}
+		}
+		snap := rt.M().Snapshot()
+		row := rowT{
+			Prefetch:        cfg.width,
+			Compress:        cfg.compress,
+			RTTMeanMS:       float64(cfg.rtt) / float64(time.Millisecond),
+			WallMS:          float64(wall) / float64(time.Millisecond),
+			ReduceShuffleMS: float64(shuffleNS) / float64(time.Millisecond),
+			RawDirectBytes:  snap[obs.MetricShuffleBytesDirect],
+			WireDirectBytes: snap[obs.MetricWireBytesDirect],
+		}
+		if tasks > 0 {
+			row.ShufflePerTaskMS = row.ReduceShuffleMS / float64(tasks)
+		}
+		rows = append(rows, row)
+		fmt.Printf("%-9d %-9v %-8s %12s %15.1fms %13.1fms %12d %12d\n",
+			cfg.width, cfg.compress, cfg.rtt,
+			wall.Round(time.Millisecond), row.ReduceShuffleMS, row.ShufflePerTaskMS,
+			row.RawDirectBytes, row.WireDirectBytes)
+	}
+
+	// Headline numbers: prefetch speedup under simulated RTT (compression
+	// off), and the wire saving from compression (no RTT needed).
+	pick := func(width int, compress bool, rtt bool) rowT {
+		for _, r := range rows {
+			if r.Prefetch == width && r.Compress == compress && (r.RTTMeanMS > 0) == rtt {
+				return r
+			}
+		}
+		return rowT{}
+	}
+	seq, par := pick(1, false, true), pick(8, false, true)
+	speedup := 0.0
+	if par.ReduceShuffleMS > 0 {
+		speedup = seq.ReduceShuffleMS / par.ReduceShuffleMS
+	}
+	comp := pick(1, true, false)
+	saving := 0.0
+	if comp.RawDirectBytes > 0 {
+		saving = 100 * (1 - float64(comp.WireDirectBytes)/float64(comp.RawDirectBytes))
+	}
+	fmt.Printf("\nprefetch speedup (shuffle time, width 8 vs 1, rtt %s): %.2fx\n", *shufRTT, speedup)
+	fmt.Printf("wire compression saving (direct path): %.1f%%\n", saving)
+
+	if *shufJSON != "" {
+		blob, err := json.MarshalIndent(map[string]any{
+			"experiment":       "shuffle",
+			"slaves":           *slaves,
+			"map_splits":       mapSplits,
+			"reduce_splits":    reduceSplits,
+			"records_per_map":  recsPerMap,
+			"rtt_mean_ms":      float64(*shufRTT) / float64(time.Millisecond),
+			"rows":             rows,
+			"prefetch_speedup": speedup,
+			"wire_saving_pct":  saving,
+		}, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*shufJSON, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\n(wrote %s)\n", *shufJSON)
+	}
+	var csvRows [][]string
+	for _, r := range rows {
+		csvRows = append(csvRows, []string{
+			strconv.Itoa(r.Prefetch), strconv.FormatBool(r.Compress),
+			strconv.FormatFloat(r.RTTMeanMS, 'g', 4, 64),
+			strconv.FormatFloat(r.WallMS, 'g', 6, 64),
+			strconv.FormatFloat(r.ReduceShuffleMS, 'g', 6, 64),
+			strconv.FormatInt(r.RawDirectBytes, 10),
+			strconv.FormatInt(r.WireDirectBytes, 10),
+		})
+	}
+	return writeCSV("shuffle", []string{
+		"prefetch", "compress", "rtt_ms", "wall_ms", "reduce_shuffle_ms", "raw_bytes", "wire_bytes",
+	}, csvRows)
 }
 
 func maxInt(a, b int) int {

@@ -32,6 +32,10 @@ func BindFlags(fs *flag.FlagSet) *Options {
 		"write a Chrome trace-event JSON task timeline to this file")
 	fs.StringVar(&o.DebugAddr, "mrs-debug-addr", "",
 		"serve /debug/status, /debug/metrics, /debug/pprof on this address")
+	fs.IntVar(&o.Prefetch, "mrs-prefetch", 0,
+		"input-fetch window per task (0 = default, 1 = sequential streaming)")
+	fs.BoolVar(&o.Compress, "mrs-compress", false,
+		"store and serve intermediate buckets flate-compressed")
 	return o
 }
 

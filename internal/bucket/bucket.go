@@ -16,6 +16,7 @@ package bucket
 
 import (
 	"bytes"
+	"compress/flate"
 	"fmt"
 	"io"
 	"net/http"
@@ -29,7 +30,14 @@ import (
 	"repro/internal/fault"
 	"repro/internal/hash"
 	"repro/internal/kvio"
+	"repro/internal/obs"
 )
+
+// CompressExt marks a bucket file stored flate-compressed. The suffix
+// makes compressed buckets self-describing: any reader that sees it
+// (local open, file:// URL, the data server) knows to decompress, so
+// producers and consumers need not agree on configuration.
+const CompressExt = ".fz"
 
 // Descriptor identifies a finished bucket.
 type Descriptor struct {
@@ -54,9 +62,11 @@ type Store struct {
 	dir     string // if non-empty, buckets are files under dir
 	baseURL string // if non-empty, file buckets advertise baseURL/<name>
 
-	mu     sync.Mutex
-	mem    map[string][]byte // record-stream payloads for mem buckets
-	client *http.Client      // overrides the shared fetch client (fault injection)
+	mu       sync.Mutex
+	mem      map[string][]byte // record-stream payloads for mem buckets
+	client   *http.Client      // overrides the shared fetch client (fault injection)
+	compress bool              // write new file buckets flate-compressed
+	metrics  *obs.Metrics      // wire-byte counters (nil-safe)
 }
 
 // NewMemStore returns a Store that keeps buckets in memory. Its
@@ -100,8 +110,84 @@ func (s *Store) fetchClient() *http.Client {
 	return httpClient
 }
 
+// CloseIdle closes the fetch client's idle keep-alive connections.
+// Call it when a node shuts down: a pooled (or dial-racing) connection
+// that never carries another request otherwise counts as active on the
+// peer's server until the net/http new-connection grace period expires,
+// stalling its graceful Shutdown.
+func (s *Store) CloseIdle() {
+	s.fetchClient().CloseIdleConnections()
+}
+
+// SetCompress controls whether new file buckets are written
+// flate-compressed (mem buckets never are — they never leave the
+// process). Already-written buckets are unaffected; readers handle
+// both forms regardless of this setting.
+func (s *Store) SetCompress(on bool) {
+	s.mu.Lock()
+	s.compress = on
+	s.mu.Unlock()
+}
+
+// SetMetrics wires the registry that receives the store's wire-byte
+// counters. A nil registry (the default) discards them.
+func (s *Store) SetMetrics(m *obs.Metrics) {
+	s.mu.Lock()
+	s.metrics = m
+	s.mu.Unlock()
+}
+
+func (s *Store) compressOn() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compress
+}
+
+// wireCounter returns the wire-byte counter for a URL scheme's data
+// path (nil, a no-op, when metrics are not wired or the path is local).
+func (s *Store) wireCounter(metric string) *obs.Counter {
+	s.mu.Lock()
+	m := s.metrics
+	s.mu.Unlock()
+	return m.Counter(metric)
+}
+
 // InMemory reports whether this store keeps buckets in memory.
 func (s *Store) InMemory() bool { return s.dir == "" }
+
+// flate writers and readers carry megabyte-scale dictionaries and
+// tables whose initialization dwarfs the compression work for typical
+// bucket sizes, so both are pooled and Reset between buckets.
+var (
+	flateWriterPool sync.Pool
+	flateReaderPool sync.Pool
+)
+
+func newFlateWriter(dst io.Writer) *flate.Writer {
+	if v := flateWriterPool.Get(); v != nil {
+		fw := v.(*flate.Writer)
+		fw.Reset(dst)
+		return fw
+	}
+	// BestSpeed: shuffle data is written once and read once; cheap
+	// compression that halves the wire beats a better ratio that stalls
+	// the producer. The error is impossible for a valid level.
+	fw, _ := flate.NewWriter(dst, flate.BestSpeed)
+	return fw
+}
+
+func putFlateWriter(fw *flate.Writer) { flateWriterPool.Put(fw) }
+
+func newFlateReader(src io.Reader) io.ReadCloser {
+	if v := flateReaderPool.Get(); v != nil {
+		fr := v.(io.ReadCloser)
+		fr.(flate.Resetter).Reset(src, nil)
+		return fr
+	}
+	return flate.NewReader(src)
+}
+
+func putFlateReader(fr io.ReadCloser) { flateReaderPool.Put(fr) }
 
 // Writer accumulates one bucket's records.
 type Writer struct {
@@ -117,13 +203,17 @@ type Writer struct {
 	f    *os.File
 	tmp  string
 	path string
+	fw   *flate.Writer // compression layer between records and f, if on
 
 	w      *kvio.Writer
 	closed bool
 }
 
 // Create starts a new bucket with the given store-relative name. Name
-// components are sanitized into a flat, safe file name.
+// components are sanitized into a flat, safe file name. When the store
+// compresses, the file is written through flate and published with the
+// CompressExt suffix; record counts and payload bytes in the descriptor
+// are always pre-compression.
 func (s *Store) Create(name string) (*Writer, error) {
 	if name == "" {
 		return nil, fmt.Errorf("bucket: empty bucket name")
@@ -137,7 +227,15 @@ func (s *Store) Create(name string) (*Writer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bucket: creating %s: %w", path, err)
 	}
-	return &Writer{store: s, name: name, f: f, tmp: f.Name(), path: path, w: kvio.NewWriter(f)}, nil
+	w := &Writer{store: s, name: name, f: f, tmp: f.Name(), path: path}
+	if s.compressOn() {
+		w.path += CompressExt
+		w.fw = newFlateWriter(f)
+		w.w = kvio.NewWriter(w.fw)
+	} else {
+		w.w = kvio.NewWriter(f)
+	}
+	return w, nil
 }
 
 // Write appends one record to the bucket.
@@ -159,14 +257,23 @@ func (w *Writer) Close() (Descriptor, error) {
 		return Descriptor{}, fmt.Errorf("bucket: double close")
 	}
 	w.closed = true
-	if err := w.w.Flush(); err != nil {
+	d := Descriptor{Name: w.name, Records: w.w.Count(), Bytes: w.w.Bytes()}
+	err := w.w.Flush()
+	w.w.Release()
+	if w.fw != nil {
+		if cerr := w.fw.Close(); err == nil {
+			err = cerr // flushes the final flate block
+		}
+		putFlateWriter(w.fw)
+		w.fw = nil
+	}
+	if err != nil {
 		if w.f != nil {
 			w.f.Close()
 			os.Remove(w.tmp)
 		}
 		return Descriptor{}, err
 	}
-	d := Descriptor{Name: w.name, Records: w.w.Count(), Bytes: w.w.Bytes()}
 	s := w.store
 	if w.buf != nil {
 		s.mu.Lock()
@@ -184,6 +291,8 @@ func (w *Writer) Close() (Descriptor, error) {
 		return Descriptor{}, fmt.Errorf("bucket: publishing %s: %w", w.path, err)
 	}
 	if s.baseURL != "" {
+		// http URLs never carry the compression suffix: the data server
+		// resolves the at-rest form and negotiates the wire encoding.
 		d.URL = s.baseURL + "/" + url.PathEscape(flatten(w.name))
 	} else {
 		d.URL = "file://" + w.path
@@ -214,14 +323,21 @@ func (s *Store) Remove(name string) error {
 		s.mu.Unlock()
 		return nil
 	}
-	err := os.Remove(filepath.Join(s.dir, flatten(name)))
+	// A bucket may exist in either at-rest form depending on the
+	// compression setting when it was written; remove both.
+	path := filepath.Join(s.dir, flatten(name))
+	err := os.Remove(path)
+	if ferr := os.Remove(path + CompressExt); err != nil && ferr == nil {
+		err = nil
+	}
 	if os.IsNotExist(err) {
 		return nil
 	}
 	return err
 }
 
-// OpenLocal returns a reader for a bucket created by this store.
+// OpenLocal returns a reader for a bucket created by this store,
+// decompressing the at-rest form if needed.
 func (s *Store) OpenLocal(name string) (io.ReadCloser, error) {
 	if s.dir == "" {
 		s.mu.Lock()
@@ -232,11 +348,16 @@ func (s *Store) OpenLocal(name string) (io.ReadCloser, error) {
 		}
 		return io.NopCloser(bytes.NewReader(data)), nil
 	}
-	f, err := os.Open(filepath.Join(s.dir, flatten(name)))
-	if err != nil {
-		return nil, err
+	path := filepath.Join(s.dir, flatten(name))
+	f, err := os.Open(path)
+	if err == nil {
+		return f, nil
 	}
-	return f, nil
+	fz, ferr := os.Open(path + CompressExt)
+	if ferr != nil {
+		return nil, err // report the plain-path error
+	}
+	return &flateReadCloser{r: newFlateReader(fz), under: fz}, nil
 }
 
 // ServeName maps an escaped bucket file name (as it appears in an http
@@ -267,13 +388,29 @@ func flatten(name string) string {
 // HTTPTimeout bounds a single bucket fetch.
 const HTTPTimeout = 30 * time.Second
 
+// DefaultTransport is the tuned transport behind the shared bucket
+// fetch client. net/http's default of 2 idle connections per host
+// serializes connection reuse as soon as fetches run in parallel: with
+// prefetch width k, k−2 of the concurrent fetches to one slave would
+// tear down and redial on every bucket. Fault-injection wrappers should
+// use this as their base RoundTripper so chaos runs keep the same
+// connection behavior.
+var DefaultTransport = &http.Transport{
+	MaxIdleConns:        64,
+	MaxIdleConnsPerHost: 16,
+	IdleConnTimeout:     90 * time.Second,
+}
+
 // httpClient is shared so connections are reused between fetches.
-var httpClient = &http.Client{Timeout: HTTPTimeout}
+var httpClient = &http.Client{Timeout: HTTPTimeout, Transport: DefaultTransport}
 
 // Open resolves a bucket URL. mem: URLs must belong to this store;
 // file:// URLs are opened directly; http:// URLs are fetched with
 // bounded retries (transient fetch failures are expected during slave
-// churn and must not kill a reduce task immediately).
+// churn and must not kill a reduce task immediately). Compressed
+// buckets (CompressExt suffix or a deflate Content-Encoding) are
+// transparently decompressed; wire-byte counters see the compressed
+// size, record consumers the decoded size.
 func (s *Store) Open(rawURL string) (io.ReadCloser, error) {
 	switch {
 	case strings.HasPrefix(rawURL, "mem:"):
@@ -287,7 +424,15 @@ func (s *Store) Open(rawURL string) (io.ReadCloser, error) {
 		}
 		return s.OpenLocal(rest[slash+1:])
 	case strings.HasPrefix(rawURL, "file://"):
-		return os.Open(strings.TrimPrefix(rawURL, "file://"))
+		f, err := os.Open(strings.TrimPrefix(rawURL, "file://"))
+		if err != nil {
+			return nil, err
+		}
+		var rc io.ReadCloser = &countingReadCloser{rc: f, c: s.wireCounter(obs.MetricWireBytesShared)}
+		if strings.HasSuffix(rawURL, CompressExt) {
+			rc = &flateReadCloser{r: newFlateReader(rc), under: rc}
+		}
+		return rc, nil
 	case strings.HasPrefix(rawURL, "http://"), strings.HasPrefix(rawURL, "https://"):
 		return s.openHTTP(rawURL)
 	}
@@ -308,7 +453,14 @@ func (s *Store) openHTTP(rawURL string) (io.ReadCloser, error) {
 		if attempt > 1 {
 			time.Sleep(retry.Delay(attempt - 1))
 		}
-		resp, err := client.Get(rawURL)
+		req, err := http.NewRequest(http.MethodGet, rawURL, nil)
+		if err != nil {
+			return nil, err
+		}
+		// Advertise deflate so a compressing server can send its at-rest
+		// bytes verbatim. Servers that don't compress ignore this.
+		req.Header.Set("Accept-Encoding", "deflate")
+		resp, err := client.Do(req)
 		if err != nil {
 			lastErr = err
 			continue
@@ -323,9 +475,122 @@ func (s *Store) openHTTP(rawURL string) (io.ReadCloser, error) {
 			}
 			continue
 		}
-		return resp.Body, nil
+		var rc io.ReadCloser = &countingReadCloser{rc: resp.Body, c: s.wireCounter(obs.MetricWireBytesDirect)}
+		if resp.Header.Get("Content-Encoding") == "deflate" {
+			rc = &flateReadCloser{r: newFlateReader(rc), under: rc}
+		}
+		return rc, nil
 	}
 	return nil, lastErr
+}
+
+// countingReadCloser adds every byte read to a wire counter.
+type countingReadCloser struct {
+	rc io.ReadCloser
+	c  *obs.Counter
+}
+
+func (c *countingReadCloser) Read(p []byte) (int, error) {
+	n, err := c.rc.Read(p)
+	if n > 0 {
+		c.c.Add(int64(n))
+	}
+	return n, err
+}
+
+func (c *countingReadCloser) Close() error { return c.rc.Close() }
+
+// flateReadCloser decompresses a stream and closes both layers.
+type flateReadCloser struct {
+	r     io.ReadCloser // the flate layer
+	under io.ReadCloser
+}
+
+func (f *flateReadCloser) Read(p []byte) (int, error) { return f.r.Read(p) }
+
+func (f *flateReadCloser) Close() error {
+	// flate knows the stream ended from the final-block bit without ever
+	// observing the underlying reader's EOF, so an HTTP response body
+	// would look partially read and the connection would be torn down
+	// instead of returned to the keep-alive pool. Drain the (normally
+	// zero) remainder so the transport sees EOF and reuses the socket.
+	io.CopyN(io.Discard, f.under, 512)
+	if f.r != nil {
+		f.r.Close()
+		putFlateReader(f.r)
+		f.r = nil
+	}
+	return f.under.Close()
+}
+
+// Fetch reads an entire bucket into memory. Unlike Open, a remote fetch
+// that dies mid-stream is retried whole — the caller gets either the
+// complete payload or an error, which is what the parallel prefetcher
+// needs (a half-delivered bucket cannot be resumed).
+func (s *Store) Fetch(rawURL string) ([]byte, error) {
+	remote := strings.HasPrefix(rawURL, "http://") || strings.HasPrefix(rawURL, "https://")
+	retry := fault.NewBackoff(hash.FNV1a64String(rawURL) + 2)
+	var lastErr error
+	for attempt := 1; attempt <= FetchRetries; attempt++ {
+		if attempt > 1 {
+			time.Sleep(retry.Delay(attempt - 1))
+		}
+		rc, err := s.Open(rawURL)
+		if err != nil {
+			return nil, err // Open already retried transport errors
+		}
+		data, err := io.ReadAll(rc)
+		rc.Close()
+		if err == nil {
+			return data, nil
+		}
+		lastErr = fmt.Errorf("bucket: fetching %s: %w", rawURL, err)
+		if !remote {
+			return nil, lastErr // local reads don't heal by retrying
+		}
+	}
+	return nil, lastErr
+}
+
+// acceptsDeflate reports whether the request allows a deflate response.
+func acceptsDeflate(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		enc, _, _ := strings.Cut(strings.TrimSpace(part), ";")
+		if enc == "deflate" {
+			return true
+		}
+	}
+	return false
+}
+
+// ServeBucket writes the bucket file at path (as resolved by ServeName)
+// to an HTTP response, handling the compressed at-rest variant: if the
+// client accepts deflate the compressed bytes are sent verbatim with
+// Content-Encoding set (wire compression at zero CPU cost), otherwise
+// the server decompresses into the response.
+func ServeBucket(w http.ResponseWriter, r *http.Request, path string) {
+	if _, err := os.Stat(path); err == nil {
+		http.ServeFile(w, r, path)
+		return
+	}
+	f, err := os.Open(path + CompressExt)
+	if err != nil {
+		http.NotFound(w, r)
+		return
+	}
+	defer f.Close()
+	if acceptsDeflate(r) {
+		w.Header().Set("Content-Encoding", "deflate")
+		if fi, err := f.Stat(); err == nil {
+			w.Header().Set("Content-Length", fmt.Sprint(fi.Size()))
+		}
+		io.Copy(w, f)
+		return
+	}
+	fr := newFlateReader(f)
+	io.Copy(w, fr)
+	fr.Close()
+	putFlateReader(fr)
 }
 
 // ReadAll opens a URL and decodes every record. Remote fetches that die
@@ -343,7 +608,9 @@ func (s *Store) ReadAll(rawURL string) ([]kvio.Pair, error) {
 		if err != nil {
 			return nil, err // Open already retried transport errors
 		}
-		pairs, err := kvio.NewReader(rc).ReadAll()
+		r := kvio.NewReader(rc)
+		pairs, err := r.ReadAll()
+		r.Release()
 		rc.Close()
 		if err == nil {
 			return pairs, nil

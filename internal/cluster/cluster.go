@@ -46,14 +46,22 @@ type Options struct {
 	// metrics and master trace events naturally aggregate). Nil gives
 	// the master a private metrics-only runtime.
 	Obs *obs.Runtime
+	// Prefetch is the per-slave input-fetch window (0 = default,
+	// 1 = sequential streaming).
+	Prefetch int
+	// Compress makes every node write (and therefore serve) its buckets
+	// flate-compressed.
+	Compress bool
 }
 
 // Cluster is a running local deployment.
 type Cluster struct {
 	M *master.Master
 
-	chaos *fault.Injector
-	obs   *obs.Runtime
+	chaos    *fault.Injector
+	obs      *obs.Runtime
+	prefetch int
+	compress bool
 
 	mu      sync.Mutex
 	slaves  []*slaveHandle
@@ -82,11 +90,12 @@ func Start(reg *core.Registry, opts Options) (*Cluster, error) {
 		DisableAffinity:   opts.DisableAffinity,
 		TaskLease:         opts.TaskLease,
 		Obs:               opts.Obs,
+		Compress:          opts.Compress,
 	})
 	if err != nil {
 		return nil, err
 	}
-	c := &Cluster{M: m, chaos: opts.Chaos, obs: opts.Obs}
+	c := &Cluster{M: m, chaos: opts.Chaos, obs: opts.Obs, prefetch: opts.Prefetch, compress: opts.Compress}
 	for i := 0; i < opts.Slaves; i++ {
 		if _, err := c.AddSlave(reg, opts.SharedDir); err != nil {
 			c.Close()
@@ -144,13 +153,17 @@ func (c *Cluster) AddSlave(reg *core.Registry, sharedDir string) (int, error) {
 		MasterAddr: c.M.Addr(),
 		SharedDir:  sharedDir,
 		Obs:        c.obs,
+		Prefetch:   c.prefetch,
+		Compress:   c.compress,
 	}
 	if c.chaos != nil {
 		role := slaveRole(idx)
 		sopts.RPCIntercept = c.chaos.Intercept(role)
+		// The injector wraps the tuned shared transport so chaos runs
+		// keep the same connection-reuse behavior as clean runs.
 		sopts.DataClient = &http.Client{
 			Timeout:   bucket.HTTPTimeout,
-			Transport: c.chaos.RoundTripper(role, nil),
+			Transport: c.chaos.RoundTripper(role, bucket.DefaultTransport),
 		}
 		sopts.BackoffSeed = uint64(idx) + 1
 	}

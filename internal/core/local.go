@@ -94,6 +94,15 @@ func (e *LocalExecutor) Store() *bucket.Store { return e.env.Store }
 // spill ablation bench).
 func (e *LocalExecutor) SetSpillBytes(n int64) { e.env.SpillBytes = n }
 
+// SetPrefetch sets the input-fetch window (0 = default, 1 = sequential).
+// Must be called before the first Submit.
+func (e *LocalExecutor) SetPrefetch(n int) { e.env.Prefetch = n }
+
+// SetCompress makes the executor's store write compressed buckets.
+// Only meaningful for file-backed stores (MockParallel); memory stores
+// ignore it. Must be called before the first Submit.
+func (e *LocalExecutor) SetCompress(on bool) { e.env.Store.SetCompress(on) }
+
 // SetObserver wires the executor into an observability runtime: worker
 // start/finish events go to its tracer (lanes named worker-0..N-1), the
 // task engine reports into its metrics, and a queue-depth gauge is
@@ -101,6 +110,7 @@ func (e *LocalExecutor) SetSpillBytes(n int64) { e.env.SpillBytes = n }
 func (e *LocalExecutor) SetObserver(rt *obs.Runtime) {
 	e.obs = rt
 	e.env.Obs = rt
+	e.env.Store.SetMetrics(rt.M())
 	if e.env.Clock == nil && rt != nil {
 		e.env.Clock = rt.Clk()
 	}

@@ -36,6 +36,23 @@ type TaskEnv struct {
 	// Obs receives task-engine counters (tasks executed, shuffle bytes
 	// by data path). Nil disables metrics at zero cost.
 	Obs *obs.Runtime
+	// Prefetch is the input-fetch window: while bucket i is being
+	// consumed, buckets i+1..i+Prefetch-1 are fetched concurrently.
+	// 0 selects DefaultPrefetch; 1 disables overlap (sequential
+	// streaming, the pre-prefetch behavior).
+	Prefetch int
+}
+
+// DefaultPrefetch is the input-fetch window when TaskEnv.Prefetch is 0.
+// Wide enough to hide one slow peer behind several fast ones, narrow
+// enough that a reduce task buffers only a few map buckets.
+const DefaultPrefetch = 4
+
+func (env *TaskEnv) prefetchWidth() int {
+	if env.Prefetch > 0 {
+		return env.Prefetch
+	}
+	return DefaultPrefetch
 }
 
 func (env *TaskEnv) spillBytes() int64 {
@@ -259,10 +276,8 @@ func execMapTask(env *TaskEnv, spec *TaskSpec, st *inputStats) (*TaskResult, err
 			if s < 0 || s >= op.Splits {
 				return fmt.Errorf("core: partitioner returned split %d of %d", s, op.Splits)
 			}
-			return sorters[s].Add(kvio.Pair{
-				Key:   append([]byte(nil), key...),
-				Value: append([]byte(nil), value...),
-			})
+			// Add copies into the sorter's arena; no caller-side clone.
+			return sorters[s].Add(kvio.Pair{Key: key, Value: value})
 		})
 		err = forEachInputRecord(env, spec, st, func(key, value []byte) error {
 			return mapFn(key, value, emit)
@@ -317,11 +332,10 @@ func execReduceTask(env *TaskEnv, spec *TaskSpec, st *inputStats) (*TaskResult, 
 		Combine:    combine,
 	})
 	defer sorter.Close()
+	// Add copies into the sorter's arena, so the iterator's shared
+	// buffers can be handed over directly.
 	err = forEachInputRecord(env, spec, st, func(key, value []byte) error {
-		return sorter.Add(kvio.Pair{
-			Key:   append([]byte(nil), key...),
-			Value: append([]byte(nil), value...),
-		})
+		return sorter.Add(kvio.Pair{Key: key, Value: value})
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: reduce task %d of ds%d (input): %w", spec.TaskIndex, op.Dataset, err)
@@ -371,13 +385,24 @@ func CombineAdapter(fn ReduceFunc) shuffle.CombineFunc {
 
 // forEachInputRecord streams every record of the task's input split,
 // accounting records, bytes, and read-blocked time into st. The
-// key/value slices passed to fn are not retained by the iterator.
+// key/value slices passed to fn are only valid during the call; fn must
+// not retain them.
+//
+// When the fetch window is wider than 1 and the split spans several
+// buckets, upcoming buckets are fetched concurrently while the current
+// one is consumed. Delivery stays strictly in URL order — parallelism
+// changes only *when* bytes move, never the record sequence fn sees —
+// so serial, threaded, and distributed runs remain byte-identical, and
+// the narrow-reduce alignment checks are untouched.
 func forEachInputRecord(env *TaskEnv, spec *TaskSpec, st *inputStats, fn func(key, value []byte) error) error {
 	counted := func(key, value []byte) error {
 		st.records++
 		return fn(key, value)
 	}
 	clk := env.clk()
+	if w := env.prefetchWidth(); w > 1 && len(spec.InputURLs) > 1 && spec.InputFormat != FormatLinesRange {
+		return forEachInputRecordPrefetched(env, spec, st, counted, w)
+	}
 	for _, u := range spec.InputURLs {
 		if spec.InputFormat == FormatLinesRange {
 			// Ranged text inputs open their own file handle to seek;
@@ -387,21 +412,18 @@ func forEachInputRecord(env *TaskEnv, spec *TaskSpec, st *inputStats, fn func(ke
 			}
 			continue
 		}
+		// The Open itself blocks on the remote request round trip, so it
+		// is shuffle wait just like the Reads that follow (and just like
+		// the prefetched path, which charges whole-fetch waits).
+		begin := clk.Now()
 		rc, err := env.Store.Open(u)
+		st.readNS += clk.Now().Sub(begin).Nanoseconds()
 		if err != nil {
 			return fmt.Errorf("opening input %s: %w", u, err)
 		}
 		before := st.bytes
 		tr := &timedReader{r: rc, clk: clk, st: st}
-		var ferr error
-		switch spec.InputFormat {
-		case "", FormatKV:
-			ferr = forEachKVRecord(tr, counted)
-		case FormatLines:
-			ferr = forEachLine(tr, counted)
-		default:
-			ferr = fmt.Errorf("core: unknown input format %q", spec.InputFormat)
-		}
+		ferr := forEachRecord(tr, spec.InputFormat, counted)
 		cerr := rc.Close()
 		env.Obs.M().Add(shuffleMetric(u), st.bytes-before)
 		if ferr != nil {
@@ -414,10 +436,84 @@ func forEachInputRecord(env *TaskEnv, spec *TaskSpec, st *inputStats, fn func(ke
 	return nil
 }
 
+// fetched is one prefetched bucket payload (decoded record-stream
+// bytes) or the error that fetching it produced.
+type fetched struct {
+	data []byte
+	err  error
+}
+
+// forEachInputRecordPrefetched is the parallel-fetch path: a window of
+// width whole-bucket fetches is kept in flight, each delivering into
+// its own single-slot channel so results arrive in URL order. The time
+// spent waiting for bucket i (its fetch not yet complete) is charged to
+// st.readNS — the same "blocked on input" semantics the streaming path
+// measures — while the raw byte and per-path metrics accounting is
+// unchanged. Each fetch runs through Store.Fetch, so per-fetch retries
+// and fault-injection hooks apply exactly as they do when streaming;
+// a fetch that dies mid-body is retried whole rather than surfacing a
+// truncated stream.
+func forEachInputRecordPrefetched(env *TaskEnv, spec *TaskSpec, st *inputStats, fn func(key, value []byte) error, width int) error {
+	clk := env.clk()
+	urls := spec.InputURLs
+	results := make([]chan fetched, len(urls))
+	launch := func(i int) {
+		// Buffered: if the consumer aborts early, in-flight fetches park
+		// their result and exit instead of leaking.
+		ch := make(chan fetched, 1)
+		results[i] = ch
+		u := urls[i]
+		go func() {
+			data, err := env.Store.Fetch(u)
+			ch <- fetched{data: data, err: err}
+		}()
+	}
+	for i := 0; i < width && i < len(urls); i++ {
+		launch(i)
+	}
+	for i, u := range urls {
+		begin := clk.Now()
+		res := <-results[i]
+		st.readNS += clk.Now().Sub(begin).Nanoseconds()
+		results[i] = nil // the payload is released as soon as it is consumed
+		if next := i + width; next < len(urls) {
+			launch(next)
+		}
+		if res.err != nil {
+			return fmt.Errorf("opening input %s: %w", u, res.err)
+		}
+		before := st.bytes
+		// The timedReader keeps raw-byte accounting identical to the
+		// streaming path; reads from memory add ~nothing to readNS.
+		tr := &timedReader{r: bytes.NewReader(res.data), clk: clk, st: st}
+		ferr := forEachRecord(tr, spec.InputFormat, fn)
+		env.Obs.M().Add(shuffleMetric(u), st.bytes-before)
+		if ferr != nil {
+			return ferr
+		}
+	}
+	return nil
+}
+
+// forEachRecord dispatches one bucket stream to the format's iterator.
+func forEachRecord(r io.Reader, format string, fn func(key, value []byte) error) error {
+	switch format {
+	case "", FormatKV:
+		return forEachKVRecord(r, fn)
+	case FormatLines:
+		return forEachLine(r, fn)
+	default:
+		return fmt.Errorf("core: unknown input format %q", format)
+	}
+}
+
 func forEachKVRecord(r io.Reader, fn func(key, value []byte) error) error {
 	kr := kvio.NewReader(r)
+	defer kr.Release()
 	for {
-		p, err := kr.Read()
+		// Records go through the reader's shared buffer: fn does not
+		// retain its arguments, and this halves per-record allocations.
+		p, err := kr.ReadShared()
 		if err == io.EOF {
 			return nil
 		}

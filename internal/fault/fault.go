@@ -282,6 +282,14 @@ type faultTripper struct {
 	base   http.RoundTripper
 }
 
+// CloseIdleConnections forwards pool shutdown to the wrapped transport
+// so http.Client.CloseIdleConnections works through the injector.
+func (t *faultTripper) CloseIdleConnections() {
+	if ci, ok := t.base.(interface{ CloseIdleConnections() }); ok {
+		ci.CloseIdleConnections()
+	}
+}
+
 func (t *faultTripper) RoundTrip(req *http.Request) (*http.Response, error) {
 	t.in.maybeHang(t.role)
 	d := t.in.next(t.stream)

@@ -1,0 +1,95 @@
+package kvio
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReader throws arbitrary bytes — truncated, corrupt, over-length
+// headers — at the Reader and checks the decode invariants: no panics,
+// io.EOF only at a clean record boundary, errors are sticky, and the
+// shared-buffer path decodes exactly the same record sequence as the
+// allocating path.
+func FuzzReader(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Marshal([]Pair{StrPair("hello", "world")}))
+	f.Add(Marshal([]Pair{{}, StrPair("", "x"), StrPair("x", "")}))
+	// Truncated mid-record.
+	f.Add(Marshal([]Pair{StrPair("abcdef", "ghijkl")})[:5])
+	// Header declaring a key larger than MaxRecordLen.
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F})
+	// Header declaring more bytes than follow.
+	f.Add([]byte{0x20, 'a', 'b'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		owned := NewReader(bytes.NewReader(data))
+		shared := NewReader(bytes.NewReader(data))
+		defer owned.Release()
+		defer shared.Release()
+		for {
+			po, eo := owned.Read()
+			ps, es := shared.ReadShared()
+			if eo != es {
+				t.Fatalf("Read err %v != ReadShared err %v", eo, es)
+			}
+			if eo != nil {
+				// Sticky: the same error again, no state advance.
+				if _, e2 := owned.Read(); e2 != eo {
+					t.Fatalf("error not sticky: %v then %v", eo, e2)
+				}
+				break
+			}
+			if !bytes.Equal(po.Key, ps.Key) || !bytes.Equal(po.Value, ps.Value) {
+				t.Fatalf("Read %v != ReadShared %v", po, ps)
+			}
+		}
+		if owned.Count() != shared.Count() {
+			t.Fatalf("record counts diverge: %d vs %d", owned.Count(), shared.Count())
+		}
+	})
+}
+
+// FuzzRoundTrip drives arbitrary pairs through Writer→Reader and checks
+// byte-exact recovery, for both the allocating and shared read paths.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte("key"), []byte("value"), []byte("k2"), []byte(""))
+	f.Add([]byte{}, []byte{}, []byte{0}, []byte{0xFF})
+	f.Fuzz(func(t *testing.T, k1, v1, k2, v2 []byte) {
+		in := []Pair{{Key: k1, Value: v1}, {Key: k2, Value: v2}}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, p := range in {
+			if err := w.Write(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		w.Release()
+		wire := buf.Bytes()
+
+		out, err := Unmarshal(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pairsEqual(in, out) {
+			t.Fatalf("round trip mismatch: in %v out %v", in, out)
+		}
+
+		r := NewReader(bytes.NewReader(wire))
+		defer r.Release()
+		for i, want := range in {
+			got, err := r.ReadShared()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got.Key, want.Key) || !bytes.Equal(got.Value, want.Value) {
+				t.Fatalf("shared record %d: got %v want %v", i, got, want)
+			}
+		}
+		if _, err := r.ReadShared(); err != io.EOF {
+			t.Fatalf("want clean EOF, got %v", err)
+		}
+	})
+}

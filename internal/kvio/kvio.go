@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // MaxRecordLen bounds a single key or value, protecting readers from
@@ -25,6 +26,22 @@ const MaxRecordLen = 1 << 30
 // ErrRecordTooLarge is returned when a stream declares a key or value
 // larger than MaxRecordLen.
 var ErrRecordTooLarge = errors.New("kvio: record exceeds MaxRecordLen")
+
+// ErrReleased is returned by operations on a released Reader or Writer.
+var ErrReleased = errors.New("kvio: use after Release")
+
+// bufSize is the bufio buffer size shared by readers and writers. 64 KiB
+// amortizes syscall and HTTP-body read costs over many small records.
+const bufSize = 64 << 10
+
+// Readers and writers churn through the runtime at one per bucket per
+// task, and each carries a 64 KiB bufio buffer; pooling the buffers
+// keeps the shuffle's steady-state allocation rate independent of
+// bucket count. Release returns a buffer to its pool.
+var (
+	readerPool = sync.Pool{New: func() any { return bufio.NewReaderSize(nil, bufSize) }}
+	writerPool = sync.Pool{New: func() any { return bufio.NewWriterSize(nil, bufSize) }}
+)
 
 // Pair is one key-value record. Key and Value are raw encoded bytes.
 type Pair struct {
@@ -61,9 +78,27 @@ type Writer struct {
 	err   error
 }
 
-// NewWriter returns a Writer on w.
+// NewWriter returns a Writer on w. Its buffer comes from a shared pool;
+// call Release (after Flush) when done with the Writer to recycle it.
 func NewWriter(w io.Writer) *Writer {
-	return &Writer{w: bufio.NewWriterSize(w, 64<<10)}
+	bw := writerPool.Get().(*bufio.Writer)
+	bw.Reset(w)
+	return &Writer{w: bw}
+}
+
+// Release returns the Writer's buffer to the pool. The Writer must not
+// be used afterwards; buffered but unflushed records are lost, so call
+// Flush first. Safe to call more than once.
+func (w *Writer) Release() {
+	if w.w == nil {
+		return
+	}
+	w.w.Reset(nil)
+	writerPool.Put(w.w)
+	w.w = nil
+	if w.err == nil {
+		w.err = ErrReleased
+	}
 }
 
 // Write appends one record.
@@ -116,14 +151,33 @@ func (w *Writer) Bytes() int64 { return w.bytes }
 // Reader parses a record stream. Read returns io.EOF at a clean end of
 // stream and io.ErrUnexpectedEOF if the stream ends mid-record.
 type Reader struct {
-	r   *bufio.Reader
-	n   int64
-	err error
+	r      *bufio.Reader
+	n      int64
+	err    error
+	shared []byte // ReadShared's reused record buffer
 }
 
-// NewReader returns a Reader on r.
+// NewReader returns a Reader on r. Its buffer comes from a shared pool;
+// call Release when done with the Reader to recycle it.
 func NewReader(r io.Reader) *Reader {
-	return &Reader{r: bufio.NewReaderSize(r, 64<<10)}
+	br := readerPool.Get().(*bufio.Reader)
+	br.Reset(r)
+	return &Reader{r: br}
+}
+
+// Release returns the Reader's buffer to the pool. The Reader must not
+// be used afterwards. Safe to call more than once.
+func (r *Reader) Release() {
+	if r.r == nil {
+		return
+	}
+	r.r.Reset(nil)
+	readerPool.Put(r.r)
+	r.r = nil
+	r.shared = nil
+	if r.err == nil {
+		r.err = ErrReleased
+	}
 }
 
 // Read returns the next record. The returned slices are freshly
@@ -146,27 +200,88 @@ func (r *Reader) Read() (Pair, error) {
 	return Pair{Key: key, Value: value}, nil
 }
 
-// readChunk reads one uvarint-prefixed chunk. atRecordStart selects
-// whether EOF is clean (between records) or unexpected (mid-record).
-func (r *Reader) readChunk(atRecordStart bool) ([]byte, error) {
-	size, err := binary.ReadUvarint(r.r)
+// ReadShared returns the next record using an internal buffer that is
+// reused across calls: the returned slices are valid only until the
+// next Read/ReadShared call. Steady-state it allocates nothing, which
+// makes it the right call for consumers that copy or immediately
+// serialize what they read (the sorter, bucket writers).
+func (r *Reader) ReadShared() (Pair, error) {
+	if r.err != nil {
+		return Pair{}, r.err
+	}
+	klen, err := r.readLen(true)
 	if err != nil {
-		if err == io.EOF && !atRecordStart {
-			return nil, io.ErrUnexpectedEOF
-		}
+		r.err = err
+		return Pair{}, err
+	}
+	if cap(r.shared) < klen {
+		r.shared = make([]byte, 0, max(klen, 1<<10))
+	}
+	key := r.shared[:klen]
+	if err := r.fill(key); err != nil {
+		r.err = err
+		return Pair{}, err
+	}
+	vlen, err := r.readLen(false)
+	if err != nil {
+		r.err = err
+		return Pair{}, err
+	}
+	if cap(r.shared) < klen+vlen {
+		grown := make([]byte, 0, max(klen+vlen, 2*cap(r.shared)))
+		grown = append(grown, key...)
+		r.shared = grown[:cap(grown)]
+		key = r.shared[:klen]
+	}
+	value := r.shared[klen : klen+vlen]
+	if err := r.fill(value); err != nil {
+		r.err = err
+		return Pair{}, err
+	}
+	r.n++
+	return Pair{Key: key, Value: value}, nil
+}
+
+// readChunk reads one uvarint-prefixed chunk into a fresh allocation.
+// atRecordStart selects whether EOF is clean (between records) or
+// unexpected (mid-record).
+func (r *Reader) readChunk(atRecordStart bool) ([]byte, error) {
+	size, err := r.readLen(atRecordStart)
+	if err != nil {
 		return nil, err
 	}
-	if size > MaxRecordLen {
-		return nil, ErrRecordTooLarge
-	}
 	buf := make([]byte, size)
-	if _, err := io.ReadFull(r.r, buf); err != nil {
-		if err == io.EOF {
-			return nil, io.ErrUnexpectedEOF
-		}
+	if err := r.fill(buf); err != nil {
 		return nil, err
 	}
 	return buf, nil
+}
+
+// readLen reads one uvarint length prefix and bounds-checks it.
+func (r *Reader) readLen(atRecordStart bool) (int, error) {
+	size, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		if err == io.EOF && !atRecordStart {
+			return 0, io.ErrUnexpectedEOF
+		}
+		return 0, err
+	}
+	if size > MaxRecordLen {
+		return 0, ErrRecordTooLarge
+	}
+	return int(size), nil
+}
+
+// fill reads exactly len(buf) bytes, mapping a short read to
+// io.ErrUnexpectedEOF (the stream ended mid-record).
+func (r *Reader) fill(buf []byte) error {
+	if _, err := io.ReadFull(r.r, buf); err != nil {
+		if err == io.EOF {
+			return io.ErrUnexpectedEOF
+		}
+		return err
+	}
+	return nil
 }
 
 // Count returns the number of records read so far.
@@ -203,12 +318,15 @@ func Marshal(pairs []Pair) []byte {
 	if err := w.Flush(); err != nil {
 		panic(err)
 	}
+	w.Release()
 	return buf.Bytes()
 }
 
 // Unmarshal decodes a record-stream buffer produced by Marshal.
 func Unmarshal(data []byte) ([]Pair, error) {
-	return NewReader(bytes.NewReader(data)).ReadAll()
+	r := NewReader(bytes.NewReader(data))
+	defer r.Release()
+	return r.ReadAll()
 }
 
 // ---------------------------------------------------------------------------

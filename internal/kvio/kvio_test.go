@@ -255,6 +255,62 @@ func TestStreamInterleavedReadWrite(t *testing.T) {
 	}
 }
 
+func TestReadSharedAliasesBuffer(t *testing.T) {
+	in := []Pair{StrPair("first", "1111"), StrPair("second-key", "2222")}
+	r := NewReader(bytes.NewReader(Marshal(in)))
+	defer r.Release()
+	p1, err := r.ReadShared()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(p1.Key) != "first" || string(p1.Value) != "1111" {
+		t.Fatalf("record 0: %v", p1)
+	}
+	k1 := string(p1.Key) // copy before the buffer is reused
+	p2, err := r.ReadShared()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(p2.Key) != "second-key" || string(p2.Value) != "2222" {
+		t.Fatalf("record 1: %v", p2)
+	}
+	if k1 != "first" {
+		t.Fatal("copied key mutated")
+	}
+	if _, err := r.ReadShared(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestReleaseMakesUseFail(t *testing.T) {
+	r := NewReader(bytes.NewReader(Marshal([]Pair{StrPair("a", "b")})))
+	r.Release()
+	r.Release() // idempotent
+	if _, err := r.Read(); err != ErrReleased {
+		t.Errorf("Read after Release: got %v, want ErrReleased", err)
+	}
+	if _, err := r.ReadShared(); err != ErrReleased {
+		t.Errorf("ReadShared after Release: got %v, want ErrReleased", err)
+	}
+
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(StrPair("a", "b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	w.Release()
+	w.Release() // idempotent
+	if err := w.Write(StrPair("c", "d")); err != ErrReleased {
+		t.Errorf("Write after Release: got %v, want ErrReleased", err)
+	}
+	if err := w.Flush(); err != ErrReleased {
+		t.Errorf("Flush after Release: got %v, want ErrReleased", err)
+	}
+}
+
 func BenchmarkWriteRead(b *testing.B) {
 	pair := StrPair("some-moderate-key", "some-moderate-value-payload")
 	b.SetBytes(int64(len(pair.Key) + len(pair.Value)))

@@ -84,6 +84,9 @@ type Options struct {
 	// and serves it at /debug. Nil creates a private metrics-only
 	// runtime so /debug/metrics always works.
 	Obs *obs.Runtime
+	// Compress makes the master's own buckets (job input staging)
+	// flate-compressed at rest and on the wire to accepting slaves.
+	Compress bool
 }
 
 func (o *Options) fill() {
@@ -189,6 +192,8 @@ func New(opts Options) (*Master, error) {
 		ln.Close()
 		return nil, err
 	}
+	store.SetCompress(opts.Compress)
+	store.SetMetrics(opts.Obs.M())
 	m.store = store
 
 	rpc := xmlrpc.NewServer()
@@ -267,7 +272,7 @@ func (m *Master) serveData(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	http.ServeFile(w, r, path)
+	bucket.ServeBucket(w, r, path)
 }
 
 // ---------------------------------------------------------------------------
@@ -588,6 +593,9 @@ func (m *Master) Close() error {
 	// that were between polls get one more request in before the HTTP
 	// server stops accepting connections.
 	time.Sleep(100 * time.Millisecond)
+	// Drop our own pooled fetch connections (Collect reads from slave
+	// data servers) so their shutdowns quiesce too.
+	m.store.CloseIdle()
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
 	err := m.httpSrv.Shutdown(ctx)

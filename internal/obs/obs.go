@@ -84,6 +84,19 @@ func (r *Runtime) Clk() clock.Clock {
 // ---------------------------------------------------------------------------
 // Metrics
 
+// Data-plane metric names. The raw counters measure decoded record
+// payload per path (what the task engine consumes); the wire counters
+// measure bytes actually moved over the network or shared filesystem,
+// which is smaller when compression is on. raw − wire is the
+// compression saving, visible in /debug/metrics.
+const (
+	MetricShuffleBytesDirect = "mrs_shuffle_bytes_direct_total"
+	MetricShuffleBytesShared = "mrs_shuffle_bytes_shared_total"
+	MetricShuffleBytesLocal  = "mrs_shuffle_bytes_local_total"
+	MetricWireBytesDirect    = "mrs_shuffle_wire_bytes_direct_total"
+	MetricWireBytesShared    = "mrs_shuffle_wire_bytes_shared_total"
+)
+
 // Counter is a monotonically increasing metric. The zero value is
 // ready; a nil *Counter discards adds, so hot paths can cache a counter
 // pointer without caring whether metrics are wired.

@@ -6,6 +6,14 @@
 // threshold are sorted and written to temporary run files, which are
 // k-way merged on read — the classic external sort, so a reduce split
 // can exceed memory.
+//
+// Record bytes are stored in a chunked arena: buffering n records costs
+// O(n · recordSize / chunkSize) allocations instead of 2n, and a spill
+// releases the whole slab at once. When a combiner is configured the
+// sorter additionally groups records by key in a hash table as they
+// arrive, deferring the comparison sort to the (much smaller) set of
+// distinct keys; values within a key keep insertion order, so the
+// delivered groups are byte-identical to the sort-everything path.
 package shuffle
 
 import (
@@ -37,11 +45,52 @@ type Options struct {
 	Combine CombineFunc
 }
 
+// arenaChunk is the slab size for record storage. Large enough that
+// chunk allocations are rare against typical record sizes, small enough
+// that a mostly-empty final chunk wastes little.
+const arenaChunk = 256 << 10
+
+// arena is a chunked bump allocator for record bytes. Old chunks stay
+// alive only while slices returned by copy reference them; reset reuses
+// the current chunk for the next fill.
+type arena struct {
+	buf []byte // current chunk: len = bytes used, cap = chunk size
+}
+
+// copy appends b to the arena and returns the arena-owned copy.
+func (a *arena) copy(b []byte) []byte {
+	if len(b) > cap(a.buf)-len(a.buf) {
+		size := arenaChunk
+		if len(b) > size {
+			size = len(b) // oversized records get a dedicated chunk
+		}
+		a.buf = make([]byte, 0, size)
+	}
+	n := len(a.buf)
+	a.buf = append(a.buf, b...)
+	return a.buf[n:len(a.buf):len(a.buf)]
+}
+
+// reset forgets everything allocated, reusing the current chunk. The
+// caller must have dropped every slice copy returned since the last
+// reset.
+func (a *arena) reset() { a.buf = a.buf[:0] }
+
+// hashGroup is one distinct key and its values in insertion order; the
+// combiner path accumulates these instead of flat pairs.
+type hashGroup struct {
+	key    []byte
+	values [][]byte
+}
+
 // Sorter accumulates pairs and then yields key groups in sorted order.
 // Usage: Add*, then Groups (exactly once), then Close.
 type Sorter struct {
 	opts    Options
-	buf     []kvio.Pair
+	ar      arena
+	buf     []kvio.Pair    // sort path (no combiner)
+	groups  []hashGroup    // combiner path: one entry per distinct key
+	idx     map[string]int // combiner path: key -> index into groups
 	bufSize int64
 	runs    []string // spilled run file paths
 	closed  bool
@@ -58,12 +107,18 @@ func NewSorter(opts Options) *Sorter {
 }
 
 // Add buffers one record, spilling if the memory threshold is crossed.
+// The pair's bytes are copied into the sorter's arena, so the caller
+// may reuse the slices immediately (e.g. from kvio.Reader.ReadShared).
 func (s *Sorter) Add(p kvio.Pair) error {
 	if s.closed {
 		return fmt.Errorf("shuffle: Add after Close")
 	}
-	s.buf = append(s.buf, p)
-	s.bufSize += int64(len(p.Key) + len(p.Value))
+	if s.opts.Combine != nil {
+		s.addHash(p)
+	} else {
+		s.buf = append(s.buf, kvio.Pair{Key: s.ar.copy(p.Key), Value: s.ar.copy(p.Value)})
+		s.bufSize += int64(len(p.Key) + len(p.Value))
+	}
 	s.added++
 	if s.opts.SpillBytes > 0 && s.bufSize >= s.opts.SpillBytes {
 		return s.spill()
@@ -71,10 +126,34 @@ func (s *Sorter) Add(p kvio.Pair) error {
 	return nil
 }
 
-// AddStream drains a record stream into the sorter.
+// addHash accumulates p into the hash-grouped form used when a combiner
+// is set. The map lookup with a string(key) conversion is allocation
+// free for existing keys; only the first record of a distinct key pays
+// for the map entry.
+func (s *Sorter) addHash(p kvio.Pair) {
+	if s.idx == nil {
+		s.idx = make(map[string]int, 1+len(s.groups))
+		for i := range s.groups {
+			s.idx[string(s.groups[i].key)] = i
+		}
+	}
+	if i, ok := s.idx[string(p.Key)]; ok {
+		g := &s.groups[i]
+		g.values = append(g.values, s.ar.copy(p.Value))
+		s.bufSize += int64(len(p.Value))
+		return
+	}
+	key := s.ar.copy(p.Key)
+	s.groups = append(s.groups, hashGroup{key: key, values: [][]byte{s.ar.copy(p.Value)}})
+	s.idx[string(key)] = len(s.groups) - 1
+	s.bufSize += int64(len(p.Key) + len(p.Value))
+}
+
+// AddStream drains a record stream into the sorter. Records are read
+// through the reader's shared buffer — Add copies them anyway.
 func (s *Sorter) AddStream(r *kvio.Reader) error {
 	for {
-		p, err := r.Read()
+		p, err := r.ReadShared()
 		if err == io.EOF {
 			return nil
 		}
@@ -102,22 +181,53 @@ func (s *Sorter) sortBuf() {
 	})
 }
 
-// spill sorts, combines, and writes the current buffer as a run file.
-func (s *Sorter) spill() error {
-	if len(s.buf) == 0 {
+// forEachMemGroup yields the in-memory content as combined key groups
+// in ascending key order. It does not disturb the hash index: the
+// combiner path sorts an index permutation, not the groups themselves.
+func (s *Sorter) forEachMemGroup(fn func(key []byte, values [][]byte) error) error {
+	if s.opts.Combine != nil {
+		order := make([]int, len(s.groups))
+		for i := range order {
+			order[i] = i
+		}
+		// Keys are distinct by construction, so the unstable sort is
+		// deterministic.
+		sort.Slice(order, func(a, b int) bool {
+			return bytes.Compare(s.groups[order[a]].key, s.groups[order[b]].key) < 0
+		})
+		for _, i := range order {
+			g := &s.groups[i]
+			vals, err := s.combine(g.key, g.values)
+			if err != nil {
+				return err
+			}
+			if err := fn(g.key, vals); err != nil {
+				return err
+			}
+		}
 		return nil
 	}
 	s.sortBuf()
+	return forEachGroup(s.buf, func(key []byte, values [][]byte) error {
+		values, err := s.combine(key, values)
+		if err != nil {
+			return err
+		}
+		return fn(key, values)
+	})
+}
+
+// spill sorts, combines, and writes the current buffer as a run file.
+func (s *Sorter) spill() error {
+	if len(s.buf) == 0 && len(s.groups) == 0 {
+		return nil
+	}
 	f, err := os.CreateTemp(s.opts.TempDir, "mrs-spill-*.run")
 	if err != nil {
 		return fmt.Errorf("shuffle: creating spill file: %w", err)
 	}
 	w := kvio.NewWriter(f)
-	err = forEachGroup(s.buf, func(key []byte, values [][]byte) error {
-		values, cerr := s.combine(key, values)
-		if cerr != nil {
-			return cerr
-		}
+	err = s.forEachMemGroup(func(key []byte, values [][]byte) error {
 		for _, v := range values {
 			if werr := w.Write(kvio.Pair{Key: key, Value: v}); werr != nil {
 				return werr
@@ -128,6 +238,7 @@ func (s *Sorter) spill() error {
 	if err == nil {
 		err = w.Flush()
 	}
+	w.Release()
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
@@ -138,7 +249,15 @@ func (s *Sorter) spill() error {
 	s.runs = append(s.runs, f.Name())
 	s.spills++
 	s.spilled += s.bufSize
+	// Drop every reference into the arena before reusing it.
+	clear(s.buf)
 	s.buf = s.buf[:0]
+	clear(s.groups)
+	s.groups = s.groups[:0]
+	if s.idx != nil {
+		clear(s.idx)
+	}
+	s.ar.reset()
 	s.bufSize = 0
 	return nil
 }
@@ -158,14 +277,7 @@ func (s *Sorter) Groups(fn func(key []byte, values [][]byte) error) error {
 		return fmt.Errorf("shuffle: Groups after Close")
 	}
 	if len(s.runs) == 0 {
-		s.sortBuf()
-		return forEachGroup(s.buf, func(key []byte, values [][]byte) error {
-			values, err := s.combine(key, values)
-			if err != nil {
-				return err
-			}
-			return fn(key, values)
-		})
+		return s.forEachMemGroup(fn)
 	}
 	// Spill the remainder so everything is in sorted runs, then merge.
 	if err := s.spill(); err != nil {
@@ -174,7 +286,8 @@ func (s *Sorter) Groups(fn func(key []byte, values [][]byte) error) error {
 	return s.mergeRuns(fn)
 }
 
-// Close removes any spill files. It is safe to call multiple times.
+// Close removes any spill files and releases buffers. It is safe to
+// call multiple times.
 func (s *Sorter) Close() error {
 	s.closed = true
 	var first error
@@ -185,6 +298,9 @@ func (s *Sorter) Close() error {
 	}
 	s.runs = nil
 	s.buf = nil
+	s.groups = nil
+	s.idx = nil
+	s.ar = arena{}
 	return first
 }
 
@@ -220,6 +336,11 @@ type runHead struct {
 	seq  int // tie-break: earlier runs first, preserving stability
 }
 
+func (rh *runHead) close() {
+	rh.r.Release()
+	rh.f.Close()
+}
+
 type runHeap []*runHead
 
 func (h runHeap) Len() int { return len(h) }
@@ -236,7 +357,7 @@ func (h *runHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = 
 func (h runHeap) top() *runHead { return h[0] }
 func (h *runHeap) closeAll() {
 	for _, rh := range *h {
-		rh.f.Close()
+		rh.close()
 	}
 }
 
@@ -251,11 +372,11 @@ func (s *Sorter) mergeRuns(fn func(key []byte, values [][]byte) error) error {
 		rh := &runHead{r: kvio.NewReader(f), f: f, seq: seq}
 		p, err := rh.r.Read()
 		if err == io.EOF {
-			f.Close()
+			rh.close()
 			continue
 		}
 		if err != nil {
-			f.Close()
+			rh.close()
 			return err
 		}
 		rh.pair = p
@@ -297,7 +418,7 @@ func (s *Sorter) mergeRuns(fn func(key []byte, values [][]byte) error) error {
 		values = append(values, rh.pair.Value)
 		p, err := rh.r.Read()
 		if err == io.EOF {
-			rh.f.Close()
+			rh.close()
 			heap.Pop(&h) // exhausted runs leave the heap, so closeAll skips them
 			continue
 		} else if err != nil {

@@ -296,6 +296,102 @@ func equalStrings(a, b []string) bool {
 	return true
 }
 
+func TestAddCopiesCallerSlices(t *testing.T) {
+	// Add must not retain the caller's slices: reusing one buffer for
+	// every record (the ReadShared pattern) must still group correctly.
+	for _, combine := range []CombineFunc{nil, sumCombine} {
+		s := NewSorter(Options{Combine: combine})
+		buf := make([]byte, 8)
+		for i := 0; i < 10; i++ {
+			k := append(buf[:0], []byte(fmt.Sprintf("k%d", i%3))...)
+			if err := s.Add(kvio.Pair{Key: k, Value: codec.EncodeVarint(1)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var keys []string
+		var total int64
+		err := s.Groups(func(key []byte, values [][]byte) error {
+			keys = append(keys, string(key))
+			for _, v := range values {
+				n, err := codec.DecodeVarint(v)
+				if err != nil {
+					return err
+				}
+				total += n
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := []string{"k0", "k1", "k2"}; !equalStrings(keys, want) {
+			t.Errorf("combine=%v: keys = %v, want %v", combine != nil, keys, want)
+		}
+		if total != 10 {
+			t.Errorf("combine=%v: total = %d, want 10", combine != nil, total)
+		}
+		s.Close()
+	}
+}
+
+func TestHashPathMatchesSortPathByteForByte(t *testing.T) {
+	// The combiner fast path must deliver byte-identical groups to the
+	// plain sort path. Use an identity "combiner" that keeps all values
+	// so the two paths produce comparable output.
+	identity := func(key []byte, values [][]byte) ([][]byte, error) { return values, nil }
+	var pairs []kvio.Pair
+	for i := 0; i < 3000; i++ {
+		pairs = append(pairs, kvio.StrPair(fmt.Sprintf("key-%03d", (i*37)%113), fmt.Sprintf("v%d", i)))
+	}
+	for _, spill := range []int64{0, 2 << 10} {
+		sortG, sortOrder := collect(t, Options{SpillBytes: spill, TempDir: t.TempDir()}, pairs)
+		hashG, hashOrder := collect(t, Options{SpillBytes: spill, TempDir: t.TempDir(), Combine: identity}, pairs)
+		if !equalStrings(sortOrder, hashOrder) {
+			t.Fatalf("spill=%d: key orders differ", spill)
+		}
+		for k, vs := range sortG {
+			if !equalStrings(vs, hashG[k]) {
+				t.Errorf("spill=%d key %q: sort %v, hash %v", spill, k, vs, hashG[k])
+			}
+		}
+	}
+}
+
+func BenchmarkSorterAdd(b *testing.B) {
+	// The headline allocation benchmark: steady-state cost of buffering
+	// one record without a combiner. Arena storage should amortize to
+	// well under one allocation per record.
+	p := kvio.StrPair("some-moderate-key", "v")
+	b.ReportAllocs()
+	s := NewSorter(Options{})
+	defer s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Add(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSorterAddCombine(b *testing.B) {
+	// Hash-group path: repeated keys hit the map fast path and append
+	// only the value to the arena.
+	keys := make([][]byte, 512)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%04d", i))
+	}
+	val := []byte("v")
+	b.ReportAllocs()
+	s := NewSorter(Options{Combine: sumCombine})
+	defer s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Add(kvio.Pair{Key: keys[i%len(keys)], Value: val}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkSortGroupInMemory(b *testing.B) {
 	pairs := make([]kvio.Pair, 10000)
 	for i := range pairs {

@@ -59,6 +59,13 @@ type Options struct {
 	BackoffSeed uint64
 	// Obs receives the slave's task-engine metrics (nil disables).
 	Obs *obs.Runtime
+	// Prefetch is the input-fetch window for this slave's tasks
+	// (0 = default, 1 = sequential).
+	Prefetch int
+	// Compress makes the slave write its buckets flate-compressed; the
+	// data server then serves compressed bytes to peers that accept
+	// deflate. Purely local — peers with any setting interoperate.
+	Compress bool
 }
 
 // Slave is one worker.
@@ -144,10 +151,12 @@ func New(reg *core.Registry, opts Options) (*Slave, error) {
 	if opts.DataClient != nil {
 		store.SetHTTPClient(opts.DataClient)
 	}
+	store.SetCompress(opts.Compress)
+	store.SetMetrics(opts.Obs.M())
 	// The runtime may be shared by several slaves (the in-process
 	// cluster), so slaves contribute counters, which sum, rather than
 	// per-slave gauges, which would collide.
-	s.env = &core.TaskEnv{Store: store, Reg: reg, TempDir: dir, Obs: opts.Obs}
+	s.env = &core.TaskEnv{Store: store, Reg: reg, TempDir: dir, Obs: opts.Obs, Prefetch: opts.Prefetch}
 	if opts.Obs != nil {
 		s.env.Clock = opts.Obs.Clk()
 	}
@@ -200,7 +209,7 @@ func (s *Slave) serveData(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	http.ServeFile(w, r, path)
+	bucket.ServeBucket(w, r, path)
 }
 
 // Run signs in and processes tasks until the master shuts down, the
@@ -352,6 +361,10 @@ func (s *Slave) cleanup() {
 	if s.httpSrv != nil {
 		s.httpSrv.Close()
 	}
+	// Release pooled data-plane and control-plane connections so peers
+	// and the master can shut their servers down gracefully.
+	s.store.CloseIdle()
+	s.client.CloseIdle()
 	if s.ownsDir != "" {
 		os.RemoveAll(s.ownsDir)
 	}

@@ -110,6 +110,17 @@ func NewClient(url string) *Client {
 	return &Client{URL: url, HTTPClient: &http.Client{Timeout: DefaultTimeout}}
 }
 
+// CloseIdle closes the client's pooled keep-alive connections. A caller
+// that is done with the endpoint should call this: a pooled connection
+// that never carries another request (including one parked by a dial
+// race between concurrent calls) otherwise counts against the server's
+// graceful Shutdown until net/http's new-connection grace period.
+func (c *Client) CloseIdle() {
+	if c.HTTPClient != nil {
+		c.HTTPClient.CloseIdleConnections()
+	}
+}
+
 // Call invokes a remote method. Server faults come back as *Fault.
 func (c *Client) Call(method string, args ...any) (any, error) {
 	if c.Intercept != nil {

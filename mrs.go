@@ -118,6 +118,15 @@ type Options struct {
 	// on this address, in every mode including slave. The master
 	// additionally always mounts the same surface on its own port.
 	DebugAddr string
+	// Prefetch is the input-fetch window: while one input bucket is
+	// consumed, the next Prefetch-1 are fetched concurrently. 0 selects
+	// the default width; 1 restores sequential streaming (ablation).
+	// Output is byte-identical at any width.
+	Prefetch int
+	// Compress writes intermediate buckets flate-compressed, and the
+	// data servers send the compressed bytes to peers that accept them
+	// (wire compression). Output is byte-identical either way.
+	Compress bool
 }
 
 func (o *Options) fill() {
@@ -173,6 +182,8 @@ func Run(p Program, opts Options) error {
 	case "serial":
 		exec := core.NewSerial(reg)
 		exec.SetObserver(rt)
+		exec.SetPrefetch(opts.Prefetch)
+		exec.SetCompress(opts.Compress)
 		return runWithExecutor(p, exec, opts, rt)
 
 	case "mock":
@@ -181,11 +192,15 @@ func Run(p Program, opts Options) error {
 			return err
 		}
 		exec.SetObserver(rt)
+		exec.SetPrefetch(opts.Prefetch)
+		exec.SetCompress(opts.Compress)
 		return runWithExecutor(p, exec, opts, rt)
 
 	case "threads":
 		exec := core.NewThreads(reg, opts.Workers)
 		exec.SetObserver(rt)
+		exec.SetPrefetch(opts.Prefetch)
+		exec.SetCompress(opts.Compress)
 		return runWithExecutor(p, exec, opts, rt)
 
 	case "local":
@@ -193,6 +208,8 @@ func Run(p Program, opts Options) error {
 			Slaves:    opts.Slaves,
 			SharedDir: opts.SharedDir,
 			Obs:       rt,
+			Prefetch:  opts.Prefetch,
+			Compress:  opts.Compress,
 		})
 		if err != nil {
 			return err
@@ -206,6 +223,7 @@ func Run(p Program, opts Options) error {
 			PortFile:  opts.PortFile,
 			SharedDir: opts.SharedDir,
 			Obs:       rt,
+			Compress:  opts.Compress,
 		})
 		if err != nil {
 			return err
@@ -226,6 +244,8 @@ func Run(p Program, opts Options) error {
 			MasterAddr: opts.MasterAddr,
 			SharedDir:  opts.SharedDir,
 			Obs:        rt,
+			Prefetch:   opts.Prefetch,
+			Compress:   opts.Compress,
 		})
 		if err != nil {
 			return err

@@ -35,6 +35,36 @@ if [ "$tier" = "2" ] || [ "$tier" = "all" ]; then
 	go test -race -count=4 \
 		-run 'Pipeline|Narrow|Barriered|AllExecutorsAgree|Chaos' \
 		./internal/core ./internal/cluster
+	echo "== tier 2: parallel-shuffle stress (race, fault injection, prefetch+compression)"
+	go test -race -count=2 \
+		-run 'ParallelFetchByteIdentical|ChaosWithPrefetchAndCompression' \
+		./internal/cluster
+	echo "== tier 2: allocation regression guard (scripts/alloc_thresholds.txt)"
+	bench="$(go test -run '^$' -bench 'BenchmarkSorterAdd|BenchmarkSortGroupInMemory' \
+		-benchmem -benchtime 100x ./internal/shuffle/
+	go test -run '^$' -bench 'BenchmarkWriterWrite|BenchmarkReaderRead' \
+		-benchmem -benchtime 1000x ./internal/kvio/)"
+	echo "$bench"
+	echo "$bench" | awk '
+		NR == FNR { if ($0 !~ /^#/ && NF == 2) limit[$1] = $2; next }
+		/allocs\/op/ {
+			name = $1; sub(/-[0-9]+$/, "", name)
+			for (i = 1; i <= NF; i++) if ($i == "allocs/op") allocs = $(i-1)
+			if (name in limit) {
+				checked[name] = 1
+				if (allocs + 0 > limit[name] + 0) {
+					printf "FAIL %s: %s allocs/op > limit %s\n", name, allocs, limit[name]
+					bad = 1
+				}
+			}
+		}
+		END {
+			for (n in limit) if (!(n in checked)) {
+				printf "FAIL %s: benchmark missing from output\n", n
+				bad = 1
+			}
+			exit bad
+		}' scripts/alloc_thresholds.txt -
 	echo "== tier 2: traced pipelined job end-to-end"
 	trace="$(mktemp -t mrs-verify-XXXXXX.trace)"
 	go run ./examples/pso -mrs=local -mrs-slaves 2 \
