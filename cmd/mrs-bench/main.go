@@ -37,7 +37,7 @@ import (
 )
 
 var (
-	exp      = flag.String("exp", "all", "experiment: prog|script|wordcount|pi-a|pi-b|crossover|pso|iter|shuffle|all")
+	exp      = flag.String("exp", "all", "experiment: prog|script|wordcount|pi-a|pi-b|crossover|pso|iter|shuffle|tenancy|all")
 	scale    = flag.Float64("scale", 0.003, "corpus scale for -exp wordcount (1.0 = the paper's 31,173 files)")
 	liveMax  = flag.Uint64("live-max", 4_000_000, "largest sample count to run live for pi experiments")
 	outer    = flag.Int("outer", 30, "outer iterations for -exp pso")
@@ -47,6 +47,7 @@ var (
 	iterJSON = flag.String("iter-json", "BENCH_iter.json", "file for -exp iter machine-readable results (empty disables)")
 	shufJSON = flag.String("shuffle-json", "BENCH_shuffle.json", "file for -exp shuffle machine-readable results (empty disables)")
 	shufRTT  = flag.Duration("shuffle-rtt", 4*time.Millisecond, "simulated mean per-fetch network delay for -exp shuffle")
+	tenJSON  = flag.String("tenancy-json", "BENCH_tenancy.json", "file for -exp tenancy machine-readable results (empty disables)")
 	trackers = flag.Int("trackers", 21, "simulated Hadoop TaskTrackers (paper: 21 nodes)")
 	csvDir   = flag.String("csv", "", "directory to also write figure series as CSV files")
 )
@@ -117,6 +118,9 @@ func main() {
 	}
 	if all || *exp == "shuffle" {
 		run("EXP-SHUFFLE: parallel shuffle fetch and wire compression decomposition", expShuffle)
+	}
+	if all || *exp == "tenancy" {
+		run("EXP-TENANCY: one fleet, many jobs — throughput and small-job latency", expTenancy)
 	}
 }
 
@@ -851,6 +855,164 @@ func expShuffle() error {
 	}
 	return writeCSV("shuffle", []string{
 		"prefetch", "compress", "rtt_ms", "wall_ms", "reduce_shuffle_ms", "raw_bytes", "wire_bytes",
+	}, csvRows)
+}
+
+// tenancyBenchRegistry: a map whose cost is a fixed sleep (so task
+// duration is deterministic and the experiment measures scheduling,
+// not CPU contention) and a counting reduce.
+func tenancyBenchRegistry(taskCost time.Duration) *core.Registry {
+	reg := core.NewRegistry()
+	reg.RegisterMap("ten_spin", func(key, value []byte, emit kvio.Emitter) error {
+		time.Sleep(taskCost)
+		return emit.Emit(key, value)
+	})
+	reg.RegisterReduce("ten_count", func(key []byte, values [][]byte, emit kvio.Emitter) error {
+		return emit.Emit(key, codec.EncodeVarint(int64(len(values))))
+	})
+	return reg
+}
+
+// expTenancy measures what multi-tenancy buys: the same fixed workload
+// — a batch of heavy jobs plus one 1-task job submitted behind them —
+// run against one fleet at MaxConcurrentJobs 1 (jobs serialized, the
+// pre-tenancy behavior) and 4 (fair-share sharing). Reported per
+// config: fleet makespan, aggregate task throughput, and the small
+// job's submit-to-done latency — the headline being how fair share
+// collapses small-job latency while leaving throughput intact.
+func expTenancy() error {
+	const (
+		heavyJobs  = 3 // + the small job = 4 concurrent tenants at width 4
+		heavyTasks = 24
+		taskCost   = 10 * time.Millisecond
+	)
+	reg := tenancyBenchRegistry(taskCost)
+
+	heavyInputs := make([]kvio.Pair, heavyTasks)
+	for i := range heavyInputs {
+		heavyInputs[i] = kvio.Pair{Key: codec.EncodeVarint(int64(i)), Value: []byte("x")}
+	}
+	smallInputs := []kvio.Pair{{Key: codec.EncodeVarint(0), Value: []byte("x")}}
+
+	runProgram := func(job *core.Job, inputs []kvio.Pair, splits int) error {
+		src, err := job.LocalData(inputs, core.OpOpts{Splits: splits, Partition: "roundrobin"})
+		if err != nil {
+			return err
+		}
+		out, err := job.Map(src, "ten_spin", core.OpOpts{Splits: splits})
+		if err != nil {
+			return err
+		}
+		pairs, err := out.Collect()
+		if err != nil {
+			return err
+		}
+		if len(pairs) != len(inputs) {
+			return fmt.Errorf("tenancy job: %d records out, want %d", len(pairs), len(inputs))
+		}
+		return nil
+	}
+
+	type rowT struct {
+		MaxConcurrent  int     `json:"max_concurrent_jobs"`
+		HeavyJobs      int     `json:"heavy_jobs"`
+		TasksTotal     int     `json:"tasks_total"`
+		FleetWallMS    float64 `json:"fleet_wall_ms"`
+		ThroughputTPS  float64 `json:"fleet_tasks_per_sec"`
+		SmallLatencyMS float64 `json:"small_job_latency_ms"`
+	}
+	var rows []rowT
+
+	fmt.Printf("%d heavy jobs x %d tasks (%s each) + one 1-task job, %d slaves x 2 slots\n\n",
+		heavyJobs, heavyTasks, taskCost, *slaves)
+	fmt.Printf("%-20s %12s %14s %18s\n", "max-concurrent-jobs", "fleet-wall", "tasks/sec", "small-job-latency")
+	for _, maxJobs := range []int{1, 4} {
+		c, err := cluster.Start(reg, cluster.Options{
+			Slaves:            *slaves,
+			MaxConcurrentJobs: maxJobs,
+			SlaveConcurrency:  2,
+		})
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		for i := 0; i < heavyJobs; i++ {
+			if _, err := c.Submit(fmt.Sprintf("heavy%d", i), core.JobOptions{Pipeline: true}, func(job *core.Job) error {
+				return runProgram(job, heavyInputs, heavyTasks)
+			}); err != nil {
+				c.Close()
+				return err
+			}
+		}
+		smallStart := time.Now()
+		small, err := c.Submit("small", core.JobOptions{Pipeline: true}, func(job *core.Job) error {
+			return runProgram(job, smallInputs, 1)
+		})
+		if err != nil {
+			c.Close()
+			return err
+		}
+		if err := small.Wait(); err != nil {
+			c.Close()
+			return err
+		}
+		smallLatency := time.Since(smallStart)
+		c.Jobs().WaitAll()
+		wall := time.Since(start)
+		c.Close()
+
+		tasks := heavyJobs*heavyTasks + 1
+		row := rowT{
+			MaxConcurrent:  maxJobs,
+			HeavyJobs:      heavyJobs,
+			TasksTotal:     tasks,
+			FleetWallMS:    float64(wall) / float64(time.Millisecond),
+			SmallLatencyMS: float64(smallLatency) / float64(time.Millisecond),
+		}
+		if wall > 0 {
+			row.ThroughputTPS = float64(tasks) / wall.Seconds()
+		}
+		rows = append(rows, row)
+		fmt.Printf("%-20d %12s %14.1f %18s\n",
+			maxJobs, wall.Round(time.Millisecond), row.ThroughputTPS, smallLatency.Round(time.Millisecond))
+	}
+
+	serialized, shared := rows[0], rows[1]
+	latencyDrop := 0.0
+	if shared.SmallLatencyMS > 0 {
+		latencyDrop = serialized.SmallLatencyMS / shared.SmallLatencyMS
+	}
+	fmt.Printf("\nsmall-job latency, serialized vs shared fleet: %.1fx lower with 4 concurrent jobs\n", latencyDrop)
+
+	if *tenJSON != "" {
+		blob, err := json.MarshalIndent(map[string]any{
+			"experiment":              "tenancy",
+			"slaves":                  *slaves,
+			"heavy_jobs":              heavyJobs,
+			"heavy_tasks_per_job":     heavyTasks,
+			"task_cost_ms":            float64(taskCost) / float64(time.Millisecond),
+			"rows":                    rows,
+			"small_job_latency_ratio": latencyDrop,
+		}, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*tenJSON, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\n(wrote %s)\n", *tenJSON)
+	}
+	var csvRows [][]string
+	for _, r := range rows {
+		csvRows = append(csvRows, []string{
+			strconv.Itoa(r.MaxConcurrent),
+			strconv.FormatFloat(r.FleetWallMS, 'g', 6, 64),
+			strconv.FormatFloat(r.ThroughputTPS, 'g', 6, 64),
+			strconv.FormatFloat(r.SmallLatencyMS, 'g', 6, 64),
+		})
+	}
+	return writeCSV("tenancy", []string{
+		"max_concurrent_jobs", "fleet_wall_ms", "tasks_per_sec", "small_job_latency_ms",
 	}, csvRows)
 }
 

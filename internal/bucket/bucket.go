@@ -336,6 +336,48 @@ func (s *Store) Remove(name string) error {
 	return err
 }
 
+// RemoveJob deletes every local bucket in one job's namespace (names
+// prefixed "j<job>/", stored flattened as "j<job>_"), in either
+// at-rest form. This is the slave- and master-side reclaim that runs
+// when a job completes; the flattened prefix keeps "j1_" from matching
+// "j10_..." because the separator is part of the prefix. Returns how
+// many buckets were removed.
+func (s *Store) RemoveJob(job int64) (int, error) {
+	prefix := fmt.Sprintf("j%d/", job)
+	if s.dir == "" {
+		s.mu.Lock()
+		n := 0
+		for name := range s.mem {
+			if strings.HasPrefix(name, prefix) {
+				delete(s.mem, name)
+				n++
+			}
+		}
+		s.mu.Unlock()
+		return n, nil
+	}
+	flat := flatten(prefix)
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	var firstErr error
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasPrefix(e.Name(), flat) {
+			continue
+		}
+		if rerr := os.Remove(filepath.Join(s.dir, e.Name())); rerr != nil && !os.IsNotExist(rerr) {
+			if firstErr == nil {
+				firstErr = rerr
+			}
+			continue
+		}
+		n++
+	}
+	return n, firstErr
+}
+
 // OpenLocal returns a reader for a bucket created by this store,
 // decompressing the at-rest form if needed.
 func (s *Store) OpenLocal(name string) (io.ReadCloser, error) {

@@ -52,6 +52,14 @@ type Options struct {
 	// Compress makes every node write (and therefore serve) its buckets
 	// flate-compressed.
 	Compress bool
+	// MaxConcurrentJobs bounds how many managed jobs the master runs at
+	// once (0 = master default). Jobs past the bound queue in
+	// submission order.
+	MaxConcurrentJobs int
+	// SlaveConcurrency is how many tasks each slave runs at once
+	// (default 1). Raise it so one fleet can serve several jobs' tasks
+	// simultaneously.
+	SlaveConcurrency int
 }
 
 // Cluster is a running local deployment.
@@ -62,6 +70,7 @@ type Cluster struct {
 	obs      *obs.Runtime
 	prefetch int
 	compress bool
+	slaveCon int
 
 	mu      sync.Mutex
 	slaves  []*slaveHandle
@@ -91,11 +100,12 @@ func Start(reg *core.Registry, opts Options) (*Cluster, error) {
 		TaskLease:         opts.TaskLease,
 		Obs:               opts.Obs,
 		Compress:          opts.Compress,
+		MaxConcurrentJobs: opts.MaxConcurrentJobs,
 	})
 	if err != nil {
 		return nil, err
 	}
-	c := &Cluster{M: m, chaos: opts.Chaos, obs: opts.Obs, prefetch: opts.Prefetch, compress: opts.Compress}
+	c := &Cluster{M: m, chaos: opts.Chaos, obs: opts.Obs, prefetch: opts.Prefetch, compress: opts.Compress, slaveCon: opts.SlaveConcurrency}
 	for i := 0; i < opts.Slaves; i++ {
 		if _, err := c.AddSlave(reg, opts.SharedDir); err != nil {
 			c.Close()
@@ -150,11 +160,12 @@ func (c *Cluster) AddSlave(reg *core.Registry, sharedDir string) (int, error) {
 	c.nextIdx++
 	c.mu.Unlock()
 	sopts := slave.Options{
-		MasterAddr: c.M.Addr(),
-		SharedDir:  sharedDir,
-		Obs:        c.obs,
-		Prefetch:   c.prefetch,
-		Compress:   c.compress,
+		MasterAddr:  c.M.Addr(),
+		SharedDir:   sharedDir,
+		Obs:         c.obs,
+		Prefetch:    c.prefetch,
+		Compress:    c.compress,
+		Concurrency: c.slaveCon,
 	}
 	if c.chaos != nil {
 		role := slaveRole(idx)
@@ -188,6 +199,16 @@ func (c *Cluster) AddSlave(reg *core.Registry, sharedDir string) (int, error) {
 
 // Executor returns the cluster's core.Executor (the master).
 func (c *Cluster) Executor() core.Executor { return c.M }
+
+// Jobs returns the master's job manager, for submitting several
+// programs against this one fleet.
+func (c *Cluster) Jobs() *master.JobManager { return c.M.Jobs() }
+
+// Submit admits a named program to the shared fleet; see
+// master.JobManager.Submit.
+func (c *Cluster) Submit(name string, opts core.JobOptions, run func(*core.Job) error) (*master.ManagedJob, error) {
+	return c.M.Jobs().Submit(name, opts, run)
+}
 
 // NumSlaves returns the number of slaves the harness ever started.
 func (c *Cluster) NumSlaves() int {

@@ -37,6 +37,13 @@ type Executor interface {
 	Close() error
 }
 
+// JobID identifies a job within a shared runtime. ID 0 is the default
+// job of a directly-constructed driver (serial, mock, threads, or a
+// bare master executor) and keeps all legacy naming; managed jobs
+// submitted through a JobManager get positive IDs, which namespace
+// their buckets, scheduler state, metrics, and trace timelines.
+type JobID int64
+
 // JobOptions tunes the Job driver.
 type JobOptions struct {
 	// Pipeline enables the split-level pipelined DAG runner: every
@@ -55,6 +62,11 @@ type JobOptions struct {
 	// Clock stamps driver-side timings (nil = Obs's clock, or the wall
 	// clock).
 	Clock clock.Clock
+	// ID is the job's identity in a multi-tenant runtime. The zero value
+	// is the default single-job namespace; a JobManager assigns positive
+	// IDs so concurrent jobs keep their buckets, scheduling state, and
+	// observability apart.
+	ID JobID
 }
 
 // Job is the handle a Program's Run method uses to queue operations.
@@ -71,6 +83,7 @@ type Job struct {
 	pipeline bool
 	obs      *obs.Runtime
 	clk      clock.Clock
+	id       JobID
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -137,10 +150,13 @@ func NewJobWith(exec Executor, opts JobOptions) *Job {
 	if clk == nil {
 		clk = opts.Obs.Clk()
 	}
-	j := &Job{exec: exec, pipeline: opts.Pipeline, obs: opts.Obs, clk: clk}
+	j := &Job{exec: exec, pipeline: opts.Pipeline, obs: opts.Obs, clk: clk, id: opts.ID}
 	j.cond = sync.NewCond(&j.mu)
 	return j
 }
+
+// ID returns the job's identity (0 for the default single-job driver).
+func (j *Job) ID() JobID { return j.id }
 
 // Pipelined reports whether split-level pipelining is enabled.
 func (j *Job) Pipelined() bool { return j.pipeline }
@@ -249,11 +265,12 @@ func (j *Job) scheduleLocked() {
 			d.submitAt[t] = j.clk.Now()
 			spec := &TaskSpec{
 				Op:          d.op,
+				Job:         j.id,
 				TaskIndex:   t,
 				InputURLs:   in.out.URLs(t),
 				InputFormat: in.out.Format,
 			}
-			spec.TraceID = j.obs.T().TaskSubmitted(d.op.Dataset, t, d.op.Kind.String(), d.op.FuncName)
+			spec.TraceID = j.obs.T().TaskSubmittedJob(int64(j.id), d.op.Dataset, t, d.op.Kind.String(), d.op.FuncName)
 			j.obs.M().Add("mrs_tasks_submitted_total", 1)
 			dd, tt := d, t
 			j.exec.Submit(spec, func(res *TaskResult, err error) {
@@ -283,7 +300,7 @@ func (j *Job) runSourceLocked(d *dsState) {
 	var err error
 	switch {
 	case d.op.Kind == OpLocal:
-		m, err = MaterializeLocal(j.exec.Store(), d.op)
+		m, err = MaterializeLocal(j.exec.Store(), d.op, j.id)
 	case d.op.rangeFormat:
 		m, err = materializeRangedFiles(d.op)
 	default:
@@ -671,8 +688,8 @@ func (d *Dataset) Free() error {
 // Source materialization (shared by all executors)
 
 // MaterializeLocal partitions literal pairs into splits and stores them
-// as buckets in the given store.
-func MaterializeLocal(store *bucket.Store, op *Operation) (*Materialized, error) {
+// as buckets in the given store, under job's bucket namespace.
+func MaterializeLocal(store *bucket.Store, op *Operation, job JobID) (*Materialized, error) {
 	parter, err := partition.ByName(op.Partition)
 	if err != nil {
 		return nil, err
@@ -687,7 +704,7 @@ func MaterializeLocal(store *bucket.Store, op *Operation) (*Materialized, error)
 	}
 	m := NewMaterialized(op.Splits, FormatKV)
 	for s, pairs := range perSplit {
-		d, err := store.Put(BucketName(op.Dataset, 0, s), pairs)
+		d, err := store.Put(BucketNameJob(job, op.Dataset, 0, s), pairs)
 		if err != nil {
 			return nil, err
 		}

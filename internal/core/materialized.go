@@ -109,7 +109,21 @@ func (m *Materialized) SetTaskBucket(task, s int, d bucket.Descriptor) error {
 	return nil
 }
 
-// BucketName builds the canonical bucket name for (dataset, task, split).
+// BucketName builds the canonical bucket name for (dataset, task, split)
+// in the default job namespace.
 func BucketName(dataset, task, split int) string {
 	return fmt.Sprintf("ds%d/t%d/s%d", dataset, task, split)
+}
+
+// BucketNameJob is BucketName inside a job's namespace. Job 0 — the
+// default job of a directly-constructed executor — keeps the legacy
+// unprefixed names, so single-job runs (and their on-disk layout) are
+// unchanged; every managed job gets a j<id>/ prefix, which is what lets
+// one fleet hold several jobs' intermediate data apart and reclaim one
+// job's buckets without touching another's.
+func BucketNameJob(job JobID, dataset, task, split int) string {
+	if job == 0 {
+		return BucketName(dataset, task, split)
+	}
+	return fmt.Sprintf("j%d/ds%d/t%d/s%d", job, dataset, task, split)
 }

@@ -74,6 +74,11 @@ func (env *TaskEnv) clk() clock.Clock {
 type TaskSpec struct {
 	// Op is the operation this task belongs to.
 	Op *Operation
+	// Job is the namespace the task runs in: its output buckets are
+	// created under this job's prefix, and the distributed runtime uses
+	// it for per-job scheduling, working dirs, and GC. 0 is the default
+	// single-job namespace.
+	Job JobID
 	// TraceID identifies this task in the observability layer; it is
 	// issued by the Job driver's tracer at submit time and travels with
 	// the task (over RPC in the distributed runtime). 0 = untraced.
@@ -202,11 +207,13 @@ func (e *partitionedEmitter) Emit(key, value []byte) error {
 	return e.writers[s].Emit(key, value)
 }
 
-// makeWriters creates the output bucket writers for a task.
-func makeWriters(env *TaskEnv, op *Operation, taskIndex int) ([]*bucket.Writer, error) {
+// makeWriters creates the output bucket writers for a task, in the
+// task's job namespace.
+func makeWriters(env *TaskEnv, spec *TaskSpec) ([]*bucket.Writer, error) {
+	op := spec.Op
 	writers := make([]*bucket.Writer, op.Splits)
 	for s := range writers {
-		w, err := env.Store.Create(BucketName(op.Dataset, taskIndex, s))
+		w, err := env.Store.Create(BucketNameJob(spec.Job, op.Dataset, spec.TaskIndex, s))
 		if err != nil {
 			return nil, err
 		}
@@ -238,7 +245,7 @@ func execMapTask(env *TaskEnv, spec *TaskSpec, st *inputStats) (*TaskResult, err
 	if err != nil {
 		return nil, err
 	}
-	writers, err := makeWriters(env, op, spec.TaskIndex)
+	writers, err := makeWriters(env, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -341,7 +348,7 @@ func execReduceTask(env *TaskEnv, spec *TaskSpec, st *inputStats) (*TaskResult, 
 		return nil, fmt.Errorf("core: reduce task %d of ds%d (input): %w", spec.TaskIndex, op.Dataset, err)
 	}
 
-	writers, err := makeWriters(env, op, spec.TaskIndex)
+	writers, err := makeWriters(env, spec)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,217 @@
+package master
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// DefaultMaxConcurrentJobs bounds how many managed jobs execute at
+// once when Options.MaxConcurrentJobs is unset.
+const DefaultMaxConcurrentJobs = 4
+
+// JobState is a managed job's lifecycle phase.
+type JobState string
+
+const (
+	JobQueued  JobState = "queued" // admitted, waiting for a run slot
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// ManagedJob is the handle Submit returns: the job's identity plus a
+// Wait that resolves when the job's driver has fully drained.
+type ManagedJob struct {
+	id   core.JobID
+	name string
+
+	mu    sync.Mutex
+	state JobState
+	err   error
+	done  chan struct{}
+}
+
+// ID returns the job's cluster-wide id (positive; 0 is reserved for
+// unmanaged single-job executors).
+func (mj *ManagedJob) ID() core.JobID { return mj.id }
+
+// Name returns the label the submitter gave the job.
+func (mj *ManagedJob) Name() string { return mj.name }
+
+// State returns the job's current lifecycle phase.
+func (mj *ManagedJob) State() JobState {
+	mj.mu.Lock()
+	defer mj.mu.Unlock()
+	return mj.state
+}
+
+// Wait blocks until the job has completed (its driver closed, all
+// tasks drained) and returns its first error, if any.
+func (mj *ManagedJob) Wait() error {
+	<-mj.done
+	mj.mu.Lock()
+	defer mj.mu.Unlock()
+	return mj.err
+}
+
+func (mj *ManagedJob) setState(st JobState, err error) {
+	mj.mu.Lock()
+	mj.state = st
+	if err != nil && mj.err == nil {
+		mj.err = err
+	}
+	mj.mu.Unlock()
+}
+
+// JobInfo is one row of the manager's job listing (rendered on
+// /debug/status).
+type JobInfo struct {
+	ID    core.JobID
+	Name  string
+	State JobState
+	Err   error
+}
+
+// JobManager hosts concurrent core.Job executors on one master. Each
+// submitted job gets a fresh positive JobID (threading through bucket
+// names, scheduler queues, RPC assignments, metrics labels, and trace
+// process lanes), runs the caller's driver function behind a bounded
+// admission queue, and on completion triggers cluster-wide reclamation
+// of the job's intermediate data.
+type JobManager struct {
+	m *Master
+
+	mu            sync.Mutex
+	cond          *sync.Cond
+	maxConcurrent int
+	running       int
+	queue         []core.JobID // admission order; head runs next
+	nextID        core.JobID
+	jobs          map[core.JobID]*ManagedJob
+	order         []core.JobID
+	wg            sync.WaitGroup
+}
+
+func newJobManager(m *Master, maxConcurrent int) *JobManager {
+	if maxConcurrent < 1 {
+		maxConcurrent = 1
+	}
+	jm := &JobManager{
+		m:             m,
+		maxConcurrent: maxConcurrent,
+		jobs:          map[core.JobID]*ManagedJob{},
+	}
+	jm.cond = sync.NewCond(&jm.mu)
+	mm := m.opts.Obs.M()
+	mm.SetGauge("mrs_jobs_queued", func() int64 { return jm.countState(JobQueued) })
+	mm.SetGauge("mrs_jobs_running", func() int64 { return jm.countState(JobRunning) })
+	return jm
+}
+
+// admit blocks until mj reaches the head of the admission queue and a
+// run slot is free — strict submission order, not a goroutine race.
+func (jm *JobManager) admit(mj *ManagedJob) {
+	jm.mu.Lock()
+	for jm.running >= jm.maxConcurrent || jm.queue[0] != mj.id {
+		jm.cond.Wait()
+	}
+	jm.queue = jm.queue[1:]
+	jm.running++
+	jm.cond.Broadcast() // the new queue head may admit into a free slot
+	jm.mu.Unlock()
+}
+
+func (jm *JobManager) release() {
+	jm.mu.Lock()
+	jm.running--
+	jm.cond.Broadcast()
+	jm.mu.Unlock()
+}
+
+// Submit admits a job named name and returns immediately with its
+// handle. run receives a job driver wired to the master (opts.ID is
+// overridden with the assigned JobID); it queues operations and
+// collects whatever results it needs — once it returns, the driver is
+// closed (draining every queued operation), the job's intermediate
+// data is reclaimed fleet-wide, and Wait resolves. At most the
+// manager's admission width of jobs run concurrently; the rest start
+// in submission order as slots free up.
+func (jm *JobManager) Submit(name string, opts core.JobOptions, run func(*core.Job) error) (*ManagedJob, error) {
+	jm.m.mu.Lock()
+	closed := jm.m.closed
+	jm.m.mu.Unlock()
+	if closed {
+		return nil, fmt.Errorf("master: closed")
+	}
+	jm.mu.Lock()
+	jm.nextID++
+	mj := &ManagedJob{id: jm.nextID, name: name, state: JobQueued, done: make(chan struct{})}
+	jm.jobs[mj.id] = mj
+	jm.order = append(jm.order, mj.id)
+	jm.queue = append(jm.queue, mj.id)
+	jm.wg.Add(1)
+	jm.mu.Unlock()
+
+	if opts.Obs == nil {
+		opts.Obs = jm.m.opts.Obs
+	}
+	opts.ID = mj.id
+	go func() {
+		defer jm.wg.Done()
+		jm.admit(mj)
+		defer jm.release()
+		mj.setState(JobRunning, nil)
+		job := core.NewJobWith(jm.m, opts)
+		runErr := run(job)
+		closeErr := job.Close()
+		if runErr == nil {
+			runErr = closeErr
+		}
+		jm.m.jobComplete(mj.id)
+		if runErr != nil {
+			mj.setState(JobFailed, runErr)
+			jm.m.opts.Obs.M().Add(obs.JobSeries("mrs_jobs_failed_total", int64(mj.id)), 1)
+		} else {
+			mj.setState(JobDone, nil)
+		}
+		close(mj.done)
+	}()
+	return mj, nil
+}
+
+// List snapshots every job the manager has hosted, in submission
+// order.
+func (jm *JobManager) List() []JobInfo {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	out := make([]JobInfo, 0, len(jm.order))
+	for _, id := range jm.order {
+		mj := jm.jobs[id]
+		mj.mu.Lock()
+		out = append(out, JobInfo{ID: id, Name: mj.name, State: mj.state, Err: mj.err})
+		mj.mu.Unlock()
+	}
+	return out
+}
+
+// WaitAll blocks until every submitted job has completed.
+func (jm *JobManager) WaitAll() {
+	jm.wg.Wait()
+}
+
+func (jm *JobManager) countState(st JobState) int64 {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	var n int64
+	for _, mj := range jm.jobs {
+		mj.mu.Lock()
+		if mj.state == st {
+			n++
+		}
+		mj.mu.Unlock()
+	}
+	return n
+}

@@ -87,6 +87,10 @@ type Options struct {
 	// Compress makes the master's own buckets (job input staging)
 	// flate-compressed at rest and on the wire to accepting slaves.
 	Compress bool
+	// MaxConcurrentJobs bounds the JobManager's admission: at most this
+	// many managed jobs run at once, the rest queue in submission order
+	// (default DefaultMaxConcurrentJobs).
+	MaxConcurrentJobs int
 }
 
 func (o *Options) fill() {
@@ -111,6 +115,9 @@ func (o *Options) fill() {
 	if o.Obs == nil {
 		o.Obs = obs.New(o.Clock)
 	}
+	if o.MaxConcurrentJobs <= 0 {
+		o.MaxConcurrentJobs = DefaultMaxConcurrentJobs
+	}
 }
 
 type slaveInfo struct {
@@ -127,16 +134,27 @@ type Master struct {
 	httpSrv *http.Server
 	addr    string
 	ownsDir string
+	manager *JobManager
 
 	mu             sync.Mutex
 	slaves         map[string]*slaveInfo
 	nextSlave      int
 	pendingDeletes map[string][]string // slaveID -> bucket names
+	pendingGC      map[string][]int64  // slaveID -> completed job ids to reclaim
+	jobStats       map[core.JobID]*JobTaskStats
 	taskStats      TaskStats
 	closed         bool
 
 	reaperStop chan struct{}
 	reaperDone chan struct{}
+}
+
+// JobTaskStats counts one job's completed work as reported over the
+// control plane (rendered on /debug/status and by benchmarks).
+type JobTaskStats struct {
+	TasksDone    int64
+	TasksFailed  int64
+	ShuffleBytes int64 // input bytes the job's finished tasks consumed
 }
 
 // TaskStats counts control-plane events (benchmarks read these).
@@ -158,11 +176,15 @@ func New(opts Options) (*Master, error) {
 		sched:          sched.NewWithClock(opts.MaxAttempts, opts.Clock),
 		slaves:         map[string]*slaveInfo{},
 		pendingDeletes: map[string][]string{},
+		pendingGC:      map[string][]int64{},
+		jobStats:       map[core.JobID]*JobTaskStats{},
 		reaperStop:     make(chan struct{}),
 		reaperDone:     make(chan struct{}),
 	}
 	m.sched.SetObserver(opts.Obs)
+	m.sched.SetBlacklist(opts.BlacklistAfter, m.NumSlaves)
 	m.registerGauges(opts.Obs)
+	m.manager = newJobManager(m, opts.MaxConcurrentJobs)
 
 	dir := opts.Dir
 	if opts.SharedDir != "" {
@@ -236,6 +258,29 @@ func (m *Master) Stats() TaskStats {
 // Scheduler exposes the scheduler (ablation benches).
 func (m *Master) Scheduler() *sched.Scheduler { return m.sched }
 
+// Jobs returns the master's job manager, which hosts concurrent
+// core.Job executors behind a bounded admission queue.
+func (m *Master) Jobs() *JobManager { return m.manager }
+
+// JobStats returns a snapshot of one job's control-plane counters.
+func (m *Master) JobStats(id core.JobID) JobTaskStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if js, ok := m.jobStats[id]; ok {
+		return *js
+	}
+	return JobTaskStats{}
+}
+
+func (m *Master) jobStatsLocked(id core.JobID) *JobTaskStats {
+	js, ok := m.jobStats[id]
+	if !ok {
+		js = &JobTaskStats{}
+		m.jobStats[id] = js
+	}
+	return js
+}
+
 // registerGauges exposes control-plane state to the metrics surface.
 // TaskStats counters are exported as gauges because they are snapshots
 // of the same mutex-guarded struct benchmarks read.
@@ -254,14 +299,29 @@ func (m *Master) registerGauges(rt *obs.Runtime) {
 	mm.SetGauge("mrs_slaves_lost", stat(func(s TaskStats) int64 { return s.SlavesLost }))
 }
 
-// statusPage renders the master half of /debug/status.
+// statusPage renders the master half of /debug/status: the aggregate
+// fields single-job runs have always had, plus — when the JobManager
+// has hosted any jobs — a per-job table of state, task counts, and
+// shuffled bytes.
 func (m *Master) statusPage() string {
 	st := m.Stats()
-	return fmt.Sprintf(
+	out := fmt.Sprintf(
 		"mrs master %s\nslaves live: %d (seen %d, lost %d)\nsched: %d pending, %d running\ntasks: %d assigned, %d done, %d failed, %d requeued, %d blacklisted polls\n",
 		m.addr, m.NumSlaves(), st.SlavesSeen, st.SlavesLost,
 		m.sched.Pending(), m.sched.Running(),
 		st.TasksAssigned, st.TasksDone, st.TasksFailed, st.TasksRequeued, st.Blacklisted)
+	jobs := m.manager.List()
+	if len(jobs) == 0 {
+		return out
+	}
+	out += "jobs:\n"
+	for _, ji := range jobs {
+		pending, running := m.sched.JobCounts(ji.ID)
+		js := m.JobStats(ji.ID)
+		out += fmt.Sprintf("  job %d %q: %s — %d pending, %d running, %d done, %d failed, %d bytes shuffled\n",
+			ji.ID, ji.Name, ji.State, pending, running, js.TasksDone, js.TasksFailed, js.ShuffleBytes)
+	}
+	return out
 }
 
 // serveData serves bucket files to slaves and to Collect.
@@ -345,14 +405,16 @@ func (m *Master) handleGetTask(args []any) (any, error) {
 	if !m.touch(id) {
 		return nil, unknownSlaveFault(id)
 	}
-	// Collect piggybacked deletes.
+	// Collect piggybacked deletes and job-GC broadcasts.
 	m.mu.Lock()
 	deletes := m.pendingDeletes[id]
 	delete(m.pendingDeletes, id)
+	gcJobs := m.pendingGC[id]
+	delete(m.pendingGC, id)
 	closed := m.closed
 	m.mu.Unlock()
 	if closed {
-		a := rpcproto.Assignment{Status: rpcproto.StatusShutdown, Deletes: deletes}
+		a := rpcproto.Assignment{Status: rpcproto.StatusShutdown, Deletes: deletes, GCJobs: gcJobs}
 		return encodeAssignment(a)
 	}
 	if m.blacklisted(id) {
@@ -363,18 +425,18 @@ func (m *Master) handleGetTask(args []any) (any, error) {
 		m.mu.Lock()
 		m.taskStats.Blacklisted++
 		m.mu.Unlock()
-		return encodeAssignment(rpcproto.Assignment{Status: rpcproto.StatusIdle, Deletes: deletes})
+		return encodeAssignment(rpcproto.Assignment{Status: rpcproto.StatusIdle, Deletes: deletes, GCJobs: gcJobs})
 	}
 	task, err := m.sched.Request(id, m.opts.LongPoll)
 	if err == sched.ErrClosed {
-		return encodeAssignment(rpcproto.Assignment{Status: rpcproto.StatusShutdown, Deletes: deletes})
+		return encodeAssignment(rpcproto.Assignment{Status: rpcproto.StatusShutdown, Deletes: deletes, GCJobs: gcJobs})
 	}
 	if err != nil {
 		return nil, err
 	}
 	m.touch(id) // the long poll may have taken a while
 	if task == nil {
-		return encodeAssignment(rpcproto.Assignment{Status: rpcproto.StatusIdle, Deletes: deletes})
+		return encodeAssignment(rpcproto.Assignment{Status: rpcproto.StatusIdle, Deletes: deletes, GCJobs: gcJobs})
 	}
 	m.mu.Lock()
 	m.taskStats.TasksAssigned++
@@ -385,22 +447,18 @@ func (m *Master) handleGetTask(args []any) (any, error) {
 		Attempt: int64(task.Attempts),
 		Spec:    task.Spec,
 		Deletes: deletes,
+		GCJobs:  gcJobs,
 	})
 }
 
 // blacklisted reports whether the slave has failed enough tasks to be
-// quarantined. The last live slave is never blacklisted — a degraded
-// worker beats a deadlocked job.
+// parked rather than long-polled. Quarantine is per job inside the
+// scheduler (a slave blacklisted for one job still serves others);
+// only a slave blacklisted for *every* current job is parked here. The
+// last live slave is never blacklisted — a degraded worker beats a
+// deadlocked job.
 func (m *Master) blacklisted(id string) bool {
-	if m.opts.BlacklistAfter <= 0 {
-		return false
-	}
-	if m.sched.FailureCount(id) < m.opts.BlacklistAfter {
-		return false
-	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.slaves) > 1
+	return m.sched.BlacklistedEverywhere(id)
 }
 
 func encodeAssignment(a rpcproto.Assignment) (any, error) {
@@ -412,30 +470,40 @@ func encodeAssignment(a rpcproto.Assignment) (any, error) {
 }
 
 func (m *Master) handleTaskDone(args []any) (any, error) {
-	if len(args) < 3 {
-		return nil, fmt.Errorf("master: task_done wants (slave, task, outputs[, timing])")
+	if len(args) < 4 {
+		return nil, fmt.Errorf("master: task_done wants (slave, job, task, outputs[, timing])")
 	}
 	id, err := slaveIDArg(args)
 	if err != nil {
 		return nil, err
 	}
-	taskID, ok := args[1].(int64)
+	jobID, ok := args[1].(int64)
 	if !ok {
-		return nil, fmt.Errorf("master: bad task id %v", args[1])
+		return nil, fmt.Errorf("master: bad job id %v", args[1])
 	}
-	outputs, err := rpcproto.DecodeDescriptors(args[2])
+	taskID, ok := args[2].(int64)
+	if !ok {
+		return nil, fmt.Errorf("master: bad task id %v", args[2])
+	}
+	outputs, err := rpcproto.DecodeDescriptors(args[3])
 	if err != nil {
 		return nil, err
 	}
 	result := &core.TaskResult{Outputs: outputs}
-	if len(args) >= 4 {
+	if len(args) >= 5 {
 		// Optional measured cost breakdown from the executing slave.
-		result.Timing = rpcproto.DecodeTiming(args[3])
+		result.Timing = rpcproto.DecodeTiming(args[4])
 	}
 	m.touch(id)
 	m.mu.Lock()
 	m.taskStats.TasksDone++
+	js := m.jobStatsLocked(core.JobID(jobID))
+	js.TasksDone++
+	js.ShuffleBytes += result.Timing.InBytes
 	m.mu.Unlock()
+	mm := m.opts.Obs.M()
+	mm.Add(obs.JobSeries("mrs_job_tasks_done_total", jobID), 1)
+	mm.Add(obs.JobSeries("mrs_job_shuffle_bytes_total", jobID), result.Timing.InBytes)
 	err = m.sched.Complete(sched.TaskID(taskID), id, result)
 	if err != nil {
 		return nil, err
@@ -447,22 +515,28 @@ func (m *Master) handleTaskDone(args []any) (any, error) {
 }
 
 func (m *Master) handleTaskFailed(args []any) (any, error) {
-	if len(args) < 3 {
-		return nil, fmt.Errorf("master: task_failed wants (slave, task, message)")
+	if len(args) < 4 {
+		return nil, fmt.Errorf("master: task_failed wants (slave, job, task, message)")
 	}
 	id, err := slaveIDArg(args)
 	if err != nil {
 		return nil, err
 	}
-	taskID, ok := args[1].(int64)
+	jobID, ok := args[1].(int64)
 	if !ok {
-		return nil, fmt.Errorf("master: bad task id %v", args[1])
+		return nil, fmt.Errorf("master: bad job id %v", args[1])
 	}
-	msg, _ := args[2].(string)
+	taskID, ok := args[2].(int64)
+	if !ok {
+		return nil, fmt.Errorf("master: bad task id %v", args[2])
+	}
+	msg, _ := args[3].(string)
 	m.touch(id)
 	m.mu.Lock()
 	m.taskStats.TasksFailed++
+	m.jobStatsLocked(core.JobID(jobID)).TasksFailed++
 	m.mu.Unlock()
+	m.opts.Obs.M().Add(obs.JobSeries("mrs_job_tasks_failed_total", jobID), 1)
 	if err := m.sched.Fail(sched.TaskID(taskID), id, msg); err != nil {
 		return nil, err
 	}
@@ -571,6 +645,23 @@ func (m *Master) Free(mat *core.Materialized) {
 			}
 		}
 	}
+}
+
+// jobComplete reclaims a finished managed job's runtime state: the
+// master's own copy of the job's buckets is removed immediately, every
+// live slave gets the job id queued as a GC broadcast (piggybacked on
+// its next get_task, like Free's per-bucket deletes), and the
+// scheduler drops the job's queues/affinities/blacklist. Slaves that
+// sign in later never held the job's data, so queueing only to the
+// current fleet is complete.
+func (m *Master) jobComplete(id core.JobID) {
+	_, _ = m.store.RemoveJob(int64(id))
+	m.mu.Lock()
+	for sid := range m.slaves {
+		m.pendingGC[sid] = append(m.pendingGC[sid], int64(id))
+	}
+	m.mu.Unlock()
+	m.sched.JobDone(id)
 }
 
 // Close implements core.Executor: it tells slaves to shut down (via

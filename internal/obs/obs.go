@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -208,8 +209,21 @@ func (m *Metrics) Snapshot() map[string]int64 {
 	return out
 }
 
+// JobSeries returns the per-job labeled series name for a metric:
+// `name{job="N"}` for a managed job, or the bare name for job 0 so
+// single-job runs keep their legacy series. Labeled series sort after
+// their base name in WriteProm's output, keeping each family together.
+func JobSeries(name string, job int64) string {
+	if job == 0 {
+		return name
+	}
+	return fmt.Sprintf("%s{job=\"%d\"}", name, job)
+}
+
 // WriteProm renders the Prometheus text exposition format, sorted by
-// metric name so output is stable.
+// metric name so output is stable. A `# TYPE` header is emitted once
+// per metric family (the name up to any label braces), so job-labeled
+// series share their family's header.
 func (m *Metrics) WriteProm(w io.Writer) error {
 	if m == nil {
 		return nil
@@ -229,8 +243,19 @@ func (m *Metrics) WriteProm(w io.Writer) error {
 		names = append(names, n)
 	}
 	sort.Strings(names)
+	typed := map[string]bool{}
 	for _, n := range names {
-		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", n, kind[n], n, snap[n]); err != nil {
+		fam := n
+		if i := strings.IndexByte(n, '{'); i >= 0 {
+			fam = n[:i]
+		}
+		if !typed[fam] {
+			typed[fam] = true
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, kind[n]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", n, snap[n]); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+func TestJobSeries(t *testing.T) {
+	if got := JobSeries("mrs_job_tasks_done_total", 0); got != "mrs_job_tasks_done_total" {
+		t.Errorf("job 0 series = %q, want bare name", got)
+	}
+	if got := JobSeries("mrs_job_tasks_done_total", 3); got != `mrs_job_tasks_done_total{job="3"}` {
+		t.Errorf("job 3 series = %q", got)
+	}
+}
+
+// Labeled series share one metric family: a single TYPE line, every
+// labeled sample under it.
+func TestWritePromLabeledFamilies(t *testing.T) {
+	m := NewMetrics()
+	m.Add(JobSeries("mrs_job_tasks_done_total", 1), 4)
+	m.Add(JobSeries("mrs_job_tasks_done_total", 2), 6)
+	var buf bytes.Buffer
+	if err := m.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if n := strings.Count(out, "# TYPE mrs_job_tasks_done_total counter"); n != 1 {
+		t.Errorf("family TYPE line appears %d times, want 1:\n%s", n, out)
+	}
+	if !strings.Contains(out, `mrs_job_tasks_done_total{job="1"} 4`) ||
+		!strings.Contains(out, `mrs_job_tasks_done_total{job="2"} 6`) {
+		t.Errorf("labeled samples missing:\n%s", out)
+	}
+}
+
+// Spans from different jobs land in different trace processes: pid is
+// the job id, with a named process per job and worker lanes within it.
+func TestChromeTracePerJobProcesses(t *testing.T) {
+	clk := clock.NewFake(time.Unix(1000, 0))
+	tr := NewTracer(clk)
+
+	id0 := tr.TaskSubmitted(1, 0, "map", "m")
+	tr.TaskStarted(id0, 1, "w1")
+	clk.Advance(time.Millisecond)
+	tr.TaskFinished(id0, 1, Timing{}, "")
+
+	id1 := tr.TaskSubmittedJob(2, 1, 0, "map", "m")
+	tr.TaskStarted(id1, 1, "w1")
+	clk.Advance(time.Millisecond)
+	tr.TaskFinished(id1, 1, Timing{}, "")
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`"pid":0`, `"pid":2`, // one process lane per job
+		`"mrs job"`,   // default job's process name
+		`"mrs job 2"`, // managed job's process name
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %s:\n%s", want, out)
+		}
+	}
+	if _, err := ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Errorf("trace invalid: %v", err)
+	}
+}

@@ -34,6 +34,10 @@ type Timing struct {
 // reported). Retried tasks produce one span per attempt.
 type Span struct {
 	TraceID int64
+	// Job is the namespace the task ran in (0 = the default single
+	// job). Concurrent jobs traced by one tracer export as separate
+	// Chrome-trace processes so their timelines do not interleave.
+	Job     int64
 	Dataset int
 	Task    int
 	Kind    string // "map" / "reduce"
@@ -81,8 +85,16 @@ func NewTracer(clk clock.Clock) *Tracer {
 
 // TaskSubmitted records that the driver queued a task and returns its
 // trace ID (which travels with the TaskSpec, over RPC if need be).
-// Returns 0 on a nil tracer.
+// Returns 0 on a nil tracer. The span lands in the default job-0
+// namespace; multi-tenant drivers use TaskSubmittedJob.
 func (t *Tracer) TaskSubmitted(dataset, task int, kind, fn string) int64 {
+	return t.TaskSubmittedJob(0, dataset, task, kind, fn)
+}
+
+// TaskSubmittedJob is TaskSubmitted within a job's trace namespace:
+// the span remembers the job, and the Chrome-trace export gives each
+// job its own process lane.
+func (t *Tracer) TaskSubmittedJob(job int64, dataset, task int, kind, fn string) int64 {
 	if t == nil {
 		return 0
 	}
@@ -92,6 +104,7 @@ func (t *Tracer) TaskSubmitted(dataset, task int, kind, fn string) int64 {
 	id := t.nextID
 	t.subs[id] = &Span{
 		TraceID: id,
+		Job:     job,
 		Dataset: dataset,
 		Task:    task,
 		Kind:    kind,
@@ -141,7 +154,7 @@ func (t *Tracer) TaskFinished(id int64, attempt int, tm Timing, errMsg string) {
 }
 
 // Spans returns a copy of every finished span, in the deterministic
-// export order (dataset, task, attempt, worker).
+// export order (job, dataset, task, attempt, worker).
 func (t *Tracer) Spans() []Span {
 	if t == nil {
 		return nil
@@ -175,6 +188,9 @@ func (t *Tracer) NumSpans() int {
 func sortSpans(spans []Span) {
 	sort.Slice(spans, func(i, k int) bool {
 		a, b := spans[i], spans[k]
+		if a.Job != b.Job {
+			return a.Job < b.Job
+		}
 		if a.Dataset != b.Dataset {
 			return a.Dataset < b.Dataset
 		}
@@ -240,8 +256,10 @@ type metaEvent struct {
 // JSON ({"traceEvents": [...]}), loadable in chrome://tracing and
 // Perfetto. One ph "X" (complete) event is emitted per task attempt —
 // so the X-event count equals the number of task executions — plus ph
-// "M" thread_name metadata naming each worker lane. Timestamps are
-// microseconds relative to the tracer's creation.
+// "M" metadata naming each job's process lane and each worker thread
+// lane. Each job exports as its own process (pid = job id, the default
+// job as pid 0), so concurrent jobs' timelines never interleave.
+// Timestamps are microseconds relative to the tracer's creation.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	if t == nil {
 		return fmt.Errorf("obs: nil tracer")
@@ -251,10 +269,17 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	base := t.base
 	t.mu.Unlock()
 
-	// Stable worker → tid assignment from the sorted worker-name set.
+	// Stable worker → tid assignment from the sorted worker-name set
+	// (shared across jobs so a slave keeps one lane number everywhere),
+	// and the sorted set of job ids for the process metadata.
 	workerSet := map[string]bool{}
+	jobSet := map[int64]map[string]bool{}
 	for _, sp := range spans {
 		workerSet[sp.Worker] = true
+		if jobSet[sp.Job] == nil {
+			jobSet[sp.Job] = map[string]bool{}
+		}
+		jobSet[sp.Job][sp.Worker] = true
 	}
 	workers := make([]string, 0, len(workerSet))
 	for wname := range workerSet {
@@ -264,6 +289,14 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	tid := map[string]int{}
 	for i, wname := range workers {
 		tid[wname] = i + 1
+	}
+	jobs := make([]int64, 0, len(jobSet))
+	for job := range jobSet {
+		jobs = append(jobs, job)
+	}
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i] < jobs[k] })
+	if len(jobs) == 0 {
+		jobs = []int64{0}
 	}
 
 	var buf []byte
@@ -282,12 +315,21 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		return nil
 	}
 
-	if err := emit(metaEvent{Name: "process_name", Ph: "M", Pid: 0, Args: chromeWhoIs{Name: "mrs job"}}); err != nil {
-		return err
-	}
-	for _, wname := range workers {
-		if err := emit(metaEvent{Name: "thread_name", Ph: "M", Pid: 0, Tid: tid[wname], Args: chromeWhoIs{Name: wname}}); err != nil {
+	for _, job := range jobs {
+		name := "mrs job"
+		if job != 0 {
+			name = fmt.Sprintf("mrs job %d", job)
+		}
+		if err := emit(metaEvent{Name: "process_name", Ph: "M", Pid: int(job), Args: chromeWhoIs{Name: name}}); err != nil {
 			return err
+		}
+		for _, wname := range workers {
+			if !jobSet[job][wname] {
+				continue
+			}
+			if err := emit(metaEvent{Name: "thread_name", Ph: "M", Pid: int(job), Tid: tid[wname], Args: chromeWhoIs{Name: wname}}); err != nil {
+				return err
+			}
 		}
 	}
 	for _, sp := range spans {
@@ -306,7 +348,7 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			Ph:   "X",
 			Ts:   ts,
 			Dur:  &dur,
-			Pid:  0,
+			Pid:  int(sp.Job),
 			Tid:  tid[sp.Worker],
 			Args: &chromeArgs{
 				Dataset:    sp.Dataset,

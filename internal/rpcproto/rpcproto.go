@@ -72,6 +72,10 @@ type Assignment struct {
 	Attempt int64 // which attempt of the task this assignment is (1-based)
 	Spec    *core.TaskSpec
 	Deletes []string // bucket names the slave should remove (piggybacked)
+	// GCJobs lists job ids whose intermediate data the slave should
+	// reclaim: the master piggybacks a job-complete broadcast on the
+	// next get_task of every slave, like Deletes but job-granular.
+	GCJobs []int64
 }
 
 // Encode converts the assignment to an XML-RPC struct.
@@ -79,6 +83,13 @@ func (a Assignment) Encode() (map[string]any, error) {
 	out := map[string]any{"status": a.Status}
 	if len(a.Deletes) > 0 {
 		out["deletes"] = toAnySlice(a.Deletes)
+	}
+	if len(a.GCJobs) > 0 {
+		gc := make([]any, len(a.GCJobs))
+		for i, j := range a.GCJobs {
+			gc[i] = j
+		}
+		out["gc_jobs"] = gc
 	}
 	if a.Status != StatusTask {
 		return out, nil
@@ -88,6 +99,9 @@ func (a Assignment) Encode() (map[string]any, error) {
 	}
 	op := a.Spec.Op
 	out["task_id"] = a.TaskID
+	if a.Spec.Job != 0 {
+		out["job_id"] = int64(a.Spec.Job)
+	}
 	if a.Attempt > 0 {
 		out["attempt"] = a.Attempt
 	}
@@ -124,6 +138,13 @@ func DecodeAssignment(v any) (Assignment, error) {
 		for _, d := range dels {
 			if s, ok := d.(string); ok {
 				a.Deletes = append(a.Deletes, s)
+			}
+		}
+	}
+	if gcs, ok := st["gc_jobs"].([]any); ok {
+		for _, g := range gcs {
+			if j, ok := g.(int64); ok {
+				a.GCJobs = append(a.GCJobs, j)
 			}
 		}
 	}
@@ -180,6 +201,9 @@ func DecodeAssignment(v any) (Assignment, error) {
 		InputFormat: format,
 	}
 	a.Spec.TraceID, _ = st["trace_id"].(int64)
+	if job, ok := st["job_id"].(int64); ok {
+		a.Spec.Job = core.JobID(job)
+	}
 	if err := a.Spec.Op.Validate(); err != nil {
 		return Assignment{}, err
 	}

@@ -5,6 +5,15 @@
 // iteration to the next, cutting inter-iteration communication), and
 // it reassigns tasks when slaves fail or report errors.
 //
+// The scheduler is multi-job: tasks are queued per job (TaskSpec.Job),
+// each job keeps its own affinities, failure counts/blacklist, and
+// lease override, and dispatch across jobs is weighted fair share —
+// the eligible job with the lowest inflight/weight ratio is served
+// first, so concurrent tenants share the fleet without a heavy job
+// starving a light one. Single-job callers need not care: everything
+// they submit lands in the default job 0 and behaves exactly as the
+// single-job scheduler did.
+//
 // The submission model is per-task and asynchronous: Submit queues one
 // task and fires its completion callback exactly once when the task
 // succeeds, exhausts its attempts, or the scheduler closes. Tasks from
@@ -109,19 +118,47 @@ func (g *Group) record(idx int, res *core.TaskResult, err error) {
 	}
 }
 
-// Scheduler coordinates pending and running tasks.
+// Scheduler coordinates pending and running tasks across any number of
+// concurrent jobs. Every task belongs to a job (its TaskSpec.Job; 0 is
+// the default job of single-job runtimes), and each job keeps its own
+// pending queue, task-index affinities, per-slave failure counts,
+// optional lease override, and fair-share weight. Dispatch is weighted
+// fair share: a request is served from the eligible job with the
+// lowest inflight/weight ratio (ties to the least recently dispatched
+// job), so a 500-task job cannot starve a 1-task job submitted behind
+// it.
 type Scheduler struct {
 	mu          sync.Mutex
 	cond        *sync.Cond
-	pending     []*Task
+	jobs        map[core.JobID]*jobState
+	order       []core.JobID // job registration order (tie-break determinism)
 	running     map[TaskID]*runningEntry
-	affinity    map[int]string // task index -> last slave to complete it
-	failures    map[string]int // slave -> task failures reported (blacklist input)
 	nextID      TaskID
+	dispatchSeq int64
 	maxAttempts int
-	clk         clock.Clock
-	obs         *obs.Runtime
-	closed      bool
+	// blacklistAfter is the per-job failure threshold after which a
+	// slave stops receiving that job's tasks (<= 0 disables).
+	blacklistAfter int
+	// liveSlaves reports the current fleet size; the blacklist never
+	// fires when only one slave is left (nil = always apply).
+	liveSlaves func() int
+	clk        clock.Clock
+	obs        *obs.Runtime
+	closed     bool
+}
+
+// jobState is one job's private scheduling state.
+type jobState struct {
+	id       core.JobID
+	weight   int // fair-share weight (>= 1)
+	pending  []*Task
+	inflight int            // tasks of this job currently assigned
+	affinity map[int]string // task index -> last slave to complete it
+	failures map[string]int // slave -> task failures reported (blacklist input)
+	lease    time.Duration  // per-job lease override (0 = scheduler default)
+	// lastDispatch is the global dispatch sequence number of this job's
+	// most recent assignment; fair-share ties go to the smaller value.
+	lastDispatch int64
 }
 
 type runningEntry struct {
@@ -145,14 +182,62 @@ func NewWithClock(maxAttempts int, clk clock.Clock) *Scheduler {
 		clk = clock.Real{}
 	}
 	s := &Scheduler{
+		jobs:        map[core.JobID]*jobState{},
 		running:     map[TaskID]*runningEntry{},
-		affinity:    map[int]string{},
-		failures:    map[string]int{},
 		maxAttempts: maxAttempts,
 		clk:         clk,
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
+}
+
+// jobLocked returns the job's scheduling state, creating it on first
+// use. Must be called with s.mu held.
+func (s *Scheduler) jobLocked(id core.JobID) *jobState {
+	j, ok := s.jobs[id]
+	if !ok {
+		j = &jobState{
+			id:       id,
+			weight:   1,
+			affinity: map[int]string{},
+			failures: map[string]int{},
+		}
+		s.jobs[id] = j
+		s.order = append(s.order, id)
+	}
+	return j
+}
+
+// SetBlacklist configures the per-job repeat-offender blacklist: a
+// slave that reported >= after failures for one job stops receiving
+// that job's tasks (it still serves other jobs). liveSlaves reports
+// the fleet size so the last live slave is never blacklisted; nil
+// applies the threshold unconditionally. after <= 0 disables.
+func (s *Scheduler) SetBlacklist(after int, liveSlaves func() int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.blacklistAfter = after
+	s.liveSlaves = liveSlaves
+}
+
+// SetJobWeight sets a job's fair-share weight (values < 1 are clamped
+// to 1). A job with weight w receives w shares of the fleet relative
+// to other jobs' weights.
+func (s *Scheduler) SetJobWeight(id core.JobID, weight int) {
+	if weight < 1 {
+		weight = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobLocked(id).weight = weight
+}
+
+// SetJobLease overrides the stale-assignment lease for one job's tasks
+// (0 restores the RequeueStale caller's default).
+func (s *Scheduler) SetJobLease(id core.JobID, lease time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobLocked(id).lease = lease
 }
 
 // SetObserver wires the scheduler into an observability runtime
@@ -177,7 +262,8 @@ func (s *Scheduler) Submit(spec *core.TaskSpec, done Callback) (TaskID, error) {
 		return 0, ErrClosed
 	}
 	s.nextID++
-	s.pending = append(s.pending, &Task{ID: s.nextID, Spec: spec, done: done})
+	j := s.jobLocked(spec.Job)
+	j.pending = append(j.pending, &Task{ID: s.nextID, Spec: spec, done: done})
 	s.cond.Broadcast()
 	return s.nextID, nil
 }
@@ -239,16 +325,32 @@ func (s *Scheduler) Request(slaveID string, timeout time.Duration) (*Task, error
 	}
 }
 
-// takeLocked picks the best pending task for a slave: first preference
-// is a task whose index this slave completed before (affinity), then
-// a task with no affinity at all, then FIFO.
+// takeLocked picks the best pending task for a slave. Job choice is
+// weighted fair share: among jobs with pending work the slave may
+// serve (per-job blacklist respected), take the one with the lowest
+// inflight/weight ratio, ties to the job dispatched least recently —
+// so a newly submitted small job preempts the dispatch rotation of a
+// large one immediately. Within the chosen job the preference order is
+// unchanged from the single-job scheduler: a task whose index this
+// slave completed before (affinity), then a task with no affinity at
+// all, then FIFO.
 func (s *Scheduler) takeLocked(slaveID string) *Task {
-	if len(s.pending) == 0 {
+	var pick *jobState
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j == nil || len(j.pending) == 0 || s.jobBlacklistedLocked(j, slaveID) {
+			continue
+		}
+		if pick == nil || fairerLocked(j, pick) {
+			pick = j
+		}
+	}
+	if pick == nil {
 		return nil
 	}
 	best := -1
-	for i, t := range s.pending {
-		owner, has := s.affinity[t.Spec.TaskIndex]
+	for i, t := range pick.pending {
+		owner, has := pick.affinity[t.Spec.TaskIndex]
 		switch {
 		case has && owner == slaveID:
 			best = i
@@ -262,9 +364,53 @@ func (s *Scheduler) takeLocked(slaveID string) *Task {
 	if best == -1 {
 		best = 0 // all pending tasks have affinity to other slaves; steal the oldest
 	}
-	t := s.pending[best]
-	s.pending = append(s.pending[:best], s.pending[best+1:]...)
+	t := pick.pending[best]
+	pick.pending = append(pick.pending[:best], pick.pending[best+1:]...)
+	pick.inflight++
+	s.dispatchSeq++
+	pick.lastDispatch = s.dispatchSeq
 	return t
+}
+
+// fairerLocked reports whether job a has a stronger fair-share claim
+// than job b: a lower inflight/weight ratio (compared cross-multiplied
+// to stay in integers), ties to the job that was dispatched longer ago.
+func fairerLocked(a, b *jobState) bool {
+	la := int64(a.inflight) * int64(b.weight)
+	lb := int64(b.inflight) * int64(a.weight)
+	if la != lb {
+		return la < lb
+	}
+	return a.lastDispatch < b.lastDispatch
+}
+
+// jobBlacklistedLocked reports whether the slave is blacklisted for
+// this job's tasks: it reported at least blacklistAfter failures for
+// the job, and more than one slave is live (a blacklist must never
+// idle the whole fleet).
+func (s *Scheduler) jobBlacklistedLocked(j *jobState, slaveID string) bool {
+	if s.blacklistAfter <= 0 || j.failures[slaveID] < s.blacklistAfter {
+		return false
+	}
+	return s.liveSlaves == nil || s.liveSlaves() > 1
+}
+
+// BlacklistedEverywhere reports whether the slave is blacklisted for
+// every job the scheduler currently tracks (and there is at least
+// one). The master uses it to park a slave's get_task polls instead of
+// spinning through requests the scheduler would never serve.
+func (s *Scheduler) BlacklistedEverywhere(slaveID string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.jobs) == 0 {
+		return false
+	}
+	for _, j := range s.jobs {
+		if !s.jobBlacklistedLocked(j, slaveID) {
+			return false
+		}
+	}
+	return true
 }
 
 // Complete records a successful task. Duplicate or stale completions —
@@ -292,7 +438,10 @@ func (s *Scheduler) Complete(id TaskID, slaveID string, result *core.TaskResult)
 		return fmt.Errorf("sched: task %d completed by %q but assigned to %q", id, slaveID, entry.slave)
 	}
 	delete(s.running, id)
-	s.affinity[entry.task.Spec.TaskIndex] = slaveID
+	if j := s.jobs[entry.task.Spec.Job]; j != nil {
+		j.inflight--
+		j.affinity[entry.task.Spec.TaskIndex] = slaveID
+	}
 	if result != nil {
 		// Stamp identity so callers need not echo it over the wire.
 		result.TaskIndex = entry.task.Spec.TaskIndex
@@ -332,7 +481,10 @@ func (s *Scheduler) Fail(id TaskID, slaveID string, taskErr string) error {
 		return fmt.Errorf("sched: task %d failed by %q but assigned to %q", id, slaveID, entry.slave)
 	}
 	delete(s.running, id)
-	s.failures[slaveID]++
+	if j := s.jobs[entry.task.Spec.Job]; j != nil {
+		j.inflight--
+		j.failures[slaveID]++
+	}
 	s.obs.T().TaskFinished(entry.task.Spec.TraceID, entry.task.Attempts, obs.Timing{}, taskErr)
 	s.obs.M().Add("mrs_sched_task_failures_total", 1)
 	abort := s.requeueOrAbortLocked(entry.task, fmt.Errorf("sched: task %d failed on %s: %s", id, slaveID, taskErr))
@@ -343,16 +495,22 @@ func (s *Scheduler) Fail(id TaskID, slaveID string, taskErr string) error {
 	return nil
 }
 
-// FailureCount returns how many task failures the slave has reported —
-// the input to the master's repeat-offender blacklist.
+// FailureCount returns how many task failures the slave has reported,
+// summed across jobs — the input to the master's repeat-offender
+// blacklist (and, per job, to the scheduler's own per-job blacklist).
 func (s *Scheduler) FailureCount(slaveID string) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.failures[slaveID]
+	n := 0
+	for _, j := range s.jobs {
+		n += j.failures[slaveID]
+	}
+	return n
 }
 
 // RequeueStale requeues every task that has been running longer than
-// lease, reclaiming assignments whose delivery was lost (the get_task
+// its lease — the given default, or the task's job's override —
+// reclaiming assignments whose delivery was lost (the get_task
 // response never reached the slave). Returns how many were requeued.
 func (s *Scheduler) RequeueStale(lease time.Duration) int {
 	s.mu.Lock()
@@ -360,10 +518,17 @@ func (s *Scheduler) RequeueStale(lease time.Duration) int {
 	n := 0
 	var aborts []func()
 	for id, entry := range s.running {
-		if now.Sub(entry.since) < lease {
+		effective := lease
+		if j := s.jobs[entry.task.Spec.Job]; j != nil && j.lease > 0 {
+			effective = j.lease
+		}
+		if now.Sub(entry.since) < effective {
 			continue
 		}
 		delete(s.running, id)
+		if j := s.jobs[entry.task.Spec.Job]; j != nil {
+			j.inflight--
+		}
 		n++
 		s.obs.T().TaskFinished(entry.task.Spec.TraceID, entry.task.Attempts, obs.Timing{}, "lease expired; requeued")
 		s.obs.M().Add("mrs_sched_requeued_total", 1)
@@ -388,18 +553,23 @@ func (s *Scheduler) SlaveDead(slaveID string) {
 			continue
 		}
 		delete(s.running, id)
+		if j := s.jobs[entry.task.Spec.Job]; j != nil {
+			j.inflight--
+		}
 		s.obs.T().TaskFinished(entry.task.Spec.TraceID, entry.task.Attempts, obs.Timing{}, "slave died; requeued")
 		s.obs.M().Add("mrs_sched_requeued_total", 1)
 		if abort := s.requeueOrAbortLocked(entry.task, fmt.Errorf("sched: slave %s died running task %d", slaveID, id)); abort != nil {
 			aborts = append(aborts, abort)
 		}
 	}
-	for idx, owner := range s.affinity {
-		if owner == slaveID {
-			delete(s.affinity, idx)
+	for _, j := range s.jobs {
+		for idx, owner := range j.affinity {
+			if owner == slaveID {
+				delete(j.affinity, idx)
+			}
 		}
+		delete(j.failures, slaveID)
 	}
-	delete(s.failures, slaveID)
 	s.mu.Unlock()
 	for _, abort := range aborts {
 		abort()
@@ -415,39 +585,100 @@ func (s *Scheduler) requeueOrAbortLocked(t *Task, cause error) func() {
 		done := t.done
 		return func() { done(nil, err) }
 	}
-	// Retry: push to the front so recovery happens before new work.
-	s.pending = append([]*Task{t}, s.pending...)
+	// Retry: push to the front of its job's queue so recovery happens
+	// before that job's new work.
+	j := s.jobLocked(t.Spec.Job)
+	j.pending = append([]*Task{t}, j.pending...)
 	s.cond.Broadcast()
 	return nil
 }
 
-// Pending returns the number of queued tasks (diagnostics).
+// Pending returns the number of queued tasks across all jobs
+// (diagnostics).
 func (s *Scheduler) Pending() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.pending)
+	n := 0
+	for _, j := range s.jobs {
+		n += len(j.pending)
+	}
+	return n
 }
 
-// Running returns the number of in-flight tasks (diagnostics).
+// Running returns the number of in-flight tasks across all jobs
+// (diagnostics).
 func (s *Scheduler) Running() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.running)
 }
 
-// Affinity returns the slave last known to have completed task index
-// idx ("" if none); exposed for the affinity ablation bench.
-func (s *Scheduler) Affinity(idx int) string {
+// Jobs returns the ids of every job the scheduler tracks, in
+// registration order.
+func (s *Scheduler) Jobs() []core.JobID {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.affinity[idx]
+	out := make([]core.JobID, 0, len(s.order))
+	for _, id := range s.order {
+		if _, ok := s.jobs[id]; ok {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
-// ClearAffinity erases affinity state (ablation support).
+// JobCounts returns one job's queued and in-flight task counts.
+func (s *Scheduler) JobCounts(id core.JobID) (pending, running int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return 0, 0
+	}
+	return len(j.pending), j.inflight
+}
+
+// JobDone drops a completed job's scheduling state (queues, affinity,
+// failure counts, weight). The job's driver has already drained its
+// tasks by the time this is called; any straggler completions for a
+// dropped job are still accepted, they just skip per-job bookkeeping.
+func (s *Scheduler) JobDone(id core.JobID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.jobs, id)
+	for i, o := range s.order {
+		if o == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Affinity returns the slave last known to have completed task index
+// idx of the default job ("" if none); exposed for the affinity
+// ablation bench.
+func (s *Scheduler) Affinity(idx int) string {
+	return s.AffinityJob(0, idx)
+}
+
+// AffinityJob is Affinity for a specific job's task index.
+func (s *Scheduler) AffinityJob(job core.JobID, idx int) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[job]
+	if !ok {
+		return ""
+	}
+	return j.affinity[idx]
+}
+
+// ClearAffinity erases affinity state for every job (ablation support).
 func (s *Scheduler) ClearAffinity() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.affinity = map[int]string{}
+	for _, j := range s.jobs {
+		j.affinity = map[int]string{}
+	}
 }
 
 // Close aborts all queued and running tasks (their callbacks fire with
@@ -460,10 +691,13 @@ func (s *Scheduler) Close() {
 	}
 	s.closed = true
 	var dones []Callback
-	for _, t := range s.pending {
-		dones = append(dones, t.done)
+	for _, j := range s.jobs {
+		for _, t := range j.pending {
+			dones = append(dones, t.done)
+		}
+		j.pending = nil
+		j.inflight = 0
 	}
-	s.pending = nil
 	for _, e := range s.running {
 		dones = append(dones, e.task.done)
 	}

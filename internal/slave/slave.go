@@ -6,7 +6,7 @@
 //
 // Each task attempt is measured by the task engine (wall time, time
 // blocked reading input, byte/record counts) and the breakdown rides
-// back to the master as the optional fourth task_done argument, where
+// back to the master as the optional final task_done argument, where
 // it lands in the trace span for the attempt and in Job.Stats; an
 // Options.Obs runtime additionally collects the slave's local
 // task-engine metrics (tasks executed, shuffle bytes by data path) for
@@ -66,6 +66,10 @@ type Options struct {
 	// data server then serves compressed bytes to peers that accept
 	// deflate. Purely local — peers with any setting interoperate.
 	Compress bool
+	// Concurrency is how many tasks the slave runs at once (default 1,
+	// the classic sequential worker). With a multi-job master, slots
+	// above 1 let one slave serve several jobs' tasks concurrently.
+	Concurrency int
 }
 
 // Slave is one worker.
@@ -84,8 +88,21 @@ type Slave struct {
 	idMu sync.Mutex
 	id   string // master-assigned; rewritten on re-signin
 
+	// Task slots: a slot is acquired before polling get_task, so the
+	// slave never asks for work it cannot start immediately.
+	sem chan struct{}
+	wg  sync.WaitGroup
+
+	// Per-job execution state: jobs other than 0 get their own TaskEnv
+	// clone with a private temp dir, created lazily and reclaimed when
+	// the master broadcasts the job's completion.
+	envMu   sync.Mutex
+	envs    map[core.JobID]*core.TaskEnv
+	jobDirs map[core.JobID]string
+
 	tasksRun  atomic.Int64
 	resignins atomic.Int64
+	jobGCs    atomic.Int64
 	stopHB    chan struct{}
 }
 
@@ -100,6 +117,9 @@ func New(reg *core.Registry, opts Options) (*Slave, error) {
 	if opts.MaxConsecutiveRPCErrors <= 0 {
 		opts.MaxConsecutiveRPCErrors = 10
 	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 1
+	}
 	logger := opts.Logger
 	if logger == nil {
 		logger = log.New(os.Stderr, "", 0)
@@ -110,12 +130,15 @@ func New(reg *core.Registry, opts Options) (*Slave, error) {
 		seed = 1
 	}
 	s := &Slave{
-		opts:   opts,
-		reg:    reg,
-		client: xmlrpc.NewClient("http://" + opts.MasterAddr + xmlrpc.RPCPath),
-		logger: logger,
-		retry:  fault.NewBackoff(seed),
-		stopHB: make(chan struct{}),
+		opts:    opts,
+		reg:     reg,
+		client:  xmlrpc.NewClient("http://" + opts.MasterAddr + xmlrpc.RPCPath),
+		logger:  logger,
+		retry:   fault.NewBackoff(seed),
+		stopHB:  make(chan struct{}),
+		sem:     make(chan struct{}, opts.Concurrency),
+		envs:    map[core.JobID]*core.TaskEnv{},
+		jobDirs: map[core.JobID]string{},
 	}
 	s.client.Intercept = opts.RPCIntercept
 
@@ -198,6 +221,13 @@ func (s *Slave) setID(id string) {
 // TasksRun returns how many tasks this slave has executed.
 func (s *Slave) TasksRun() int64 { return s.tasksRun.Load() }
 
+// JobGCs returns how many job-complete reclamations this slave has
+// performed.
+func (s *Slave) JobGCs() int64 { return s.jobGCs.Load() }
+
+// StoreDir returns the directory backing this slave's bucket store.
+func (s *Slave) StoreDir() string { return s.store.Dir() }
+
 // Resignins returns how many times the slave re-signed in after the
 // master declared it dead (e.g. it hung past the heartbeat timeout).
 func (s *Slave) Resignins() int64 { return s.resignins.Load() }
@@ -216,6 +246,7 @@ func (s *Slave) serveData(w http.ResponseWriter, r *http.Request) {
 // context is cancelled, or the master becomes unreachable.
 func (s *Slave) Run(ctx context.Context) error {
 	defer s.cleanup()
+	defer s.wg.Wait() // drain in-flight tasks before tearing down
 
 	reply, err := s.signin(ctx)
 	if err != nil {
@@ -228,14 +259,19 @@ func (s *Slave) Run(ctx context.Context) error {
 
 	consecutiveErrs := 0
 	for {
+		// Take a task slot before polling: the slave only asks the
+		// master for work it can start right away. With Concurrency 1
+		// this degenerates to the classic sequential poll-run loop.
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		default:
+		case s.sem <- struct{}{}:
 		}
+		release := func() { <-s.sem }
 		id := s.ID()
 		raw, err := s.client.Call(rpcproto.MethodGetTask, id)
 		if err != nil {
+			release()
 			if f, ok := err.(*xmlrpc.Fault); ok && f.Code == rpcproto.FaultUnknownSlave {
 				// The master reaped us (we hung or our heartbeats were
 				// lost past the timeout). Our old tasks were requeued;
@@ -264,18 +300,29 @@ func (s *Slave) Run(ctx context.Context) error {
 		consecutiveErrs = 0
 		a, err := rpcproto.DecodeAssignment(raw)
 		if err != nil {
+			release()
 			return fmt.Errorf("slave: bad assignment: %w", err)
 		}
 		for _, name := range a.Deletes {
 			_ = s.store.Remove(name)
 		}
+		for _, job := range a.GCJobs {
+			s.gcJob(core.JobID(job))
+		}
 		switch a.Status {
 		case rpcproto.StatusShutdown:
+			release()
 			return nil
 		case rpcproto.StatusIdle:
+			release()
 			continue
 		case rpcproto.StatusTask:
-			s.runTask(a)
+			s.wg.Add(1)
+			go func(a rpcproto.Assignment) {
+				defer s.wg.Done()
+				defer release()
+				s.runTask(a)
+			}(a)
 		}
 	}
 }
@@ -287,15 +334,71 @@ const reportRetries = 6
 
 func (s *Slave) runTask(a rpcproto.Assignment) {
 	id := s.ID()
-	result, err := core.ExecTask(s.env, a.Spec)
+	job := int64(a.Spec.Job)
+	env, err := s.envFor(a.Spec.Job)
+	if err != nil {
+		s.logger.Printf("slave %s: job %d env: %v", id, job, err)
+		s.report(rpcproto.MethodTaskFailed, id, job, a.TaskID, err.Error())
+		return
+	}
+	result, err := core.ExecTask(env, a.Spec)
 	s.tasksRun.Add(1)
 	if err != nil {
 		s.logger.Printf("slave %s: task %d (attempt %d) failed: %v", id, a.TaskID, a.Attempt, err)
-		s.report(rpcproto.MethodTaskFailed, id, a.TaskID, err.Error())
+		s.report(rpcproto.MethodTaskFailed, id, job, a.TaskID, err.Error())
 		return
 	}
 	outputs := rpcproto.EncodeDescriptors(result.Outputs)
-	s.report(rpcproto.MethodTaskDone, id, a.TaskID, outputs, rpcproto.EncodeTiming(result.Timing))
+	s.report(rpcproto.MethodTaskDone, id, job, a.TaskID, outputs, rpcproto.EncodeTiming(result.Timing))
+}
+
+// envFor returns the task environment for a job. Job 0 (the unmanaged
+// single-job path) runs in the slave's base environment, preserving
+// classic layout; other jobs get a lazily created clone whose TempDir
+// is a private per-job directory, so concurrent jobs never interleave
+// scratch files and a job's scratch can be reclaimed wholesale.
+func (s *Slave) envFor(job core.JobID) (*core.TaskEnv, error) {
+	if job == 0 {
+		return s.env, nil
+	}
+	s.envMu.Lock()
+	defer s.envMu.Unlock()
+	if env, ok := s.envs[job]; ok {
+		return env, nil
+	}
+	dir, err := os.MkdirTemp(s.env.TempDir, fmt.Sprintf("job%d-*", job))
+	if err != nil {
+		return nil, fmt.Errorf("slave: job %d temp dir: %w", job, err)
+	}
+	env := *s.env
+	env.TempDir = dir
+	s.envs[job] = &env
+	s.jobDirs[job] = dir
+	return &env, nil
+}
+
+// gcJob reclaims everything a completed job left on this slave: its
+// buckets in the store and its private scratch directory. The master
+// broadcasts the job id on the next get_task of every slave once the
+// job's driver has drained.
+func (s *Slave) gcJob(job core.JobID) {
+	n, err := s.store.RemoveJob(int64(job))
+	if err != nil {
+		s.logger.Printf("slave %s: gc job %d: %v", s.ID(), job, err)
+	}
+	s.envMu.Lock()
+	dir, ok := s.jobDirs[job]
+	delete(s.jobDirs, job)
+	delete(s.envs, job)
+	s.envMu.Unlock()
+	if ok {
+		os.RemoveAll(dir)
+	}
+	s.jobGCs.Add(1)
+	s.opts.Obs.M().Add("mrs_slave_job_gcs_total", 1)
+	if n > 0 {
+		s.logger.Printf("slave %s: gc job %d: removed %d buckets", s.ID(), job, n)
+	}
 }
 
 // report delivers a task outcome with retries and backoff. Transport
@@ -365,6 +468,14 @@ func (s *Slave) cleanup() {
 	// and the master can shut their servers down gracefully.
 	s.store.CloseIdle()
 	s.client.CloseIdle()
+	s.envMu.Lock()
+	dirs := s.jobDirs
+	s.jobDirs = map[core.JobID]string{}
+	s.envs = map[core.JobID]*core.TaskEnv{}
+	s.envMu.Unlock()
+	for _, d := range dirs {
+		os.RemoveAll(d)
+	}
 	if s.ownsDir != "" {
 		os.RemoveAll(s.ownsDir)
 	}

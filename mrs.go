@@ -215,7 +215,7 @@ func Run(p Program, opts Options) error {
 			return err
 		}
 		defer c.Close()
-		return runJob(p, c.Executor(), opts, rt)
+		return runManaged(p, c.M, opts, rt)
 
 	case "master":
 		m, err := master.New(master.Options{
@@ -234,7 +234,7 @@ func Run(p Program, opts Options) error {
 		if err := m.WaitForSlaves(ctx, opts.MinSlaves); err != nil {
 			return err
 		}
-		return runJob(p, m, opts, rt)
+		return runManaged(p, m, opts, rt)
 
 	case "slave":
 		if opts.MasterAddr == "" {
@@ -273,6 +273,23 @@ func runJob(p Program, exec core.Executor, opts Options, rt *obs.Runtime) error 
 		return runErr
 	}
 	return closeErr
+}
+
+// runManaged drives the program as one managed job on the master's
+// multi-tenant manager — the same submission path a shared fleet uses
+// for many concurrent programs, degenerated to a single tenant. Wait
+// resolves only after the job's driver has fully drained, so the trace
+// is complete when it returns.
+func runManaged(p Program, m *master.Master, opts Options, rt *obs.Runtime) error {
+	mj, err := m.Jobs().Submit("mrs", core.JobOptions{Pipeline: !opts.NoPipeline, Obs: rt}, p.Run)
+	if err != nil {
+		return err
+	}
+	runErr := mj.Wait()
+	if terr := writeTrace(opts.TracePath, rt); terr != nil && runErr == nil {
+		runErr = terr
+	}
+	return runErr
 }
 
 func writeTrace(path string, rt *obs.Runtime) error {

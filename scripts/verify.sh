@@ -65,6 +65,10 @@ if [ "$tier" = "2" ] || [ "$tier" = "all" ]; then
 			}
 			exit bad
 		}' scripts/alloc_thresholds.txt -
+	echo "== tier 2: multi-tenant stress (race, two concurrent pipelined jobs + GC + fair share)"
+	go test -race -count=2 \
+		-run 'ConcurrentJobs|FairShare|JobGC|AdmissionQueue|PerJob' \
+		./internal/cluster ./internal/sched
 	echo "== tier 2: traced pipelined job end-to-end"
 	trace="$(mktemp -t mrs-verify-XXXXXX.trace)"
 	go run ./examples/pso -mrs=local -mrs-slaves 2 \
