@@ -27,6 +27,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/hadoopsim"
 	"repro/internal/interp"
+	"repro/internal/journal"
 	"repro/internal/kvio"
 	"repro/internal/obs"
 	"repro/internal/partition"
@@ -37,7 +38,7 @@ import (
 )
 
 var (
-	exp      = flag.String("exp", "all", "experiment: prog|script|wordcount|pi-a|pi-b|crossover|pso|iter|shuffle|tenancy|all")
+	exp      = flag.String("exp", "all", "experiment: prog|script|wordcount|pi-a|pi-b|crossover|pso|iter|shuffle|tenancy|recovery|all")
 	scale    = flag.Float64("scale", 0.003, "corpus scale for -exp wordcount (1.0 = the paper's 31,173 files)")
 	liveMax  = flag.Uint64("live-max", 4_000_000, "largest sample count to run live for pi experiments")
 	outer    = flag.Int("outer", 30, "outer iterations for -exp pso")
@@ -48,6 +49,8 @@ var (
 	shufJSON = flag.String("shuffle-json", "BENCH_shuffle.json", "file for -exp shuffle machine-readable results (empty disables)")
 	shufRTT  = flag.Duration("shuffle-rtt", 4*time.Millisecond, "simulated mean per-fetch network delay for -exp shuffle")
 	tenJSON  = flag.String("tenancy-json", "BENCH_tenancy.json", "file for -exp tenancy machine-readable results (empty disables)")
+	recJSON  = flag.String("recovery-json", "BENCH_recovery.json", "file for -exp recovery machine-readable results (empty disables)")
+	recReps  = flag.Int("recovery-reps", 5, "repetitions per config for the -exp recovery overhead measurement")
 	trackers = flag.Int("trackers", 21, "simulated Hadoop TaskTrackers (paper: 21 nodes)")
 	csvDir   = flag.String("csv", "", "directory to also write figure series as CSV files")
 )
@@ -121,6 +124,9 @@ func main() {
 	}
 	if all || *exp == "tenancy" {
 		run("EXP-TENANCY: one fleet, many jobs — throughput and small-job latency", expTenancy)
+	}
+	if all || *exp == "recovery" {
+		run("EXP-RECOVERY: journal overhead and crash-replay latency", expRecovery)
 	}
 }
 
@@ -1014,6 +1020,224 @@ func expTenancy() error {
 	return writeCSV("tenancy", []string{
 		"max_concurrent_jobs", "fleet_wall_ms", "tasks_per_sec", "small_job_latency_ms",
 	}, csvRows)
+}
+
+// recoveryWorkload runs the EXP-TENANCY heavy batch (3 jobs x 24 tasks
+// of fixed 10ms cost on a shared fleet) against a cluster with or
+// without a journal and returns the fleet makespan.
+func recoveryWorkload(journalDir string) (time.Duration, error) {
+	const (
+		heavyJobs  = 3
+		heavyTasks = 24
+		taskCost   = 10 * time.Millisecond
+	)
+	reg := tenancyBenchRegistry(taskCost)
+	inputs := make([]kvio.Pair, heavyTasks)
+	for i := range inputs {
+		inputs[i] = kvio.Pair{Key: codec.EncodeVarint(int64(i)), Value: []byte("x")}
+	}
+	c, err := cluster.Start(reg, cluster.Options{
+		Slaves:            *slaves,
+		MaxConcurrentJobs: 4,
+		SlaveConcurrency:  2,
+		JournalDir:        journalDir,
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	start := time.Now()
+	for i := 0; i < heavyJobs; i++ {
+		if _, err := c.Submit(fmt.Sprintf("heavy%d", i), core.JobOptions{Pipeline: true}, func(job *core.Job) error {
+			src, err := job.LocalData(inputs, core.OpOpts{Splits: heavyTasks, Partition: "roundrobin"})
+			if err != nil {
+				return err
+			}
+			out, err := job.Map(src, "ten_spin", core.OpOpts{Splits: heavyTasks})
+			if err != nil {
+				return err
+			}
+			pairs, err := out.Collect()
+			if err != nil {
+				return err
+			}
+			if len(pairs) != heavyTasks {
+				return fmt.Errorf("recovery workload: %d records out, want %d", len(pairs), heavyTasks)
+			}
+			return nil
+		}); err != nil {
+			return 0, err
+		}
+	}
+	c.Jobs().WaitAll()
+	return time.Since(start), nil
+}
+
+// syntheticJournal writes the journal of a long-lived master: a
+// sequence of jobs of 64 tasks each, every job run to completion, for
+// n task completions in total. It abandons the journal (no final
+// checkpoint) so a subsequent Open replays what a recovering master
+// would. checkpointRecords follows journal.Options semantics (negative
+// disables compaction; Open then replays every event ever written).
+func syntheticJournal(dir string, n, checkpointRecords int) error {
+	const tasksPerJob = 64
+	j, _, err := journal.Open(dir, journal.Options{CheckpointRecords: checkpointRecords})
+	if err != nil {
+		return err
+	}
+	job := int64(0)
+	for i := 0; i < n; i++ {
+		if i%tasksPerJob == 0 {
+			job++
+			ev := journal.Event{Kind: journal.EvJobSubmitted, Job: job, Name: "bench", SpecHash: journal.SpecHash("bench", true)}
+			if err := j.Append(ev); err != nil {
+				return err
+			}
+		}
+		ev := journal.Event{
+			Kind:    journal.EvTaskDone,
+			Job:     job,
+			Dataset: 1,
+			Task:    i % tasksPerJob,
+			Outputs: []journal.Manifest{{Name: fmt.Sprintf("b%d", i), URL: fmt.Sprintf("file:///tmp/b%d", i), Records: 100, Bytes: 4096}},
+			InBytes: 4096,
+		}
+		if err := j.Append(ev); err != nil {
+			return err
+		}
+		if i%tasksPerJob == tasksPerJob-1 {
+			if err := j.Append(journal.Event{Kind: journal.EvJobDone, Job: job}); err != nil {
+				return err
+			}
+		}
+	}
+	j.Abandon()
+	return nil
+}
+
+// expRecovery quantifies what durability costs and what recovery
+// saves: the journal's overhead on the EXP-TENANCY fleet throughput
+// (<3% is the acceptance target), and how replay latency scales with
+// journal size — with compaction disabled (worst case) and with the
+// default record-count checkpointing that bounds the tail a restart
+// must replay.
+func expRecovery() error {
+	reps := *recReps
+	if reps < 1 {
+		reps = 1
+	}
+	fmt.Printf("journal overhead on the EXP-TENANCY workload (%d interleaved reps, best-of):\n\n", reps)
+	// One throwaway run warms the scheduler and page cache; then the
+	// configs alternate so drift hits both equally, and best-of-reps
+	// discards scheduling noise.
+	if _, err := recoveryWorkload(""); err != nil {
+		return err
+	}
+	var wallOff, wallOn time.Duration
+	for r := 0; r < reps; r++ {
+		off, err := recoveryWorkload("")
+		if err != nil {
+			return err
+		}
+		if wallOff == 0 || off < wallOff {
+			wallOff = off
+		}
+		dir, err := os.MkdirTemp("", "mrs-bench-journal-*")
+		if err != nil {
+			return err
+		}
+		on, err := recoveryWorkload(dir)
+		os.RemoveAll(dir)
+		if err != nil {
+			return err
+		}
+		if wallOn == 0 || on < wallOn {
+			wallOn = on
+		}
+	}
+	overheadPct := 100 * (float64(wallOn) - float64(wallOff)) / float64(wallOff)
+	fmt.Printf("%-28s %12s\n", "config", "fleet-wall")
+	fmt.Printf("%-28s %12s\n", "journal off", wallOff.Round(time.Millisecond))
+	fmt.Printf("%-28s %12s\n", "journal on", wallOn.Round(time.Millisecond))
+	fmt.Printf("%-28s %11.2f%%   (target: < 3%%)\n", "overhead", overheadPct)
+
+	type replayRow struct {
+		Events      int     `json:"events"`
+		Compacted   bool    `json:"compacted"`
+		OpenMS      float64 `json:"open_ms"`
+		EventsPerMS float64 `json:"events_per_ms"`
+	}
+	var replay []replayRow
+	fmt.Printf("\nreplay latency vs journal size (master restart cost):\n\n")
+	fmt.Printf("%-10s %-11s %12s %14s\n", "events", "compacted", "open-time", "events/ms")
+	for _, cfg := range []struct {
+		n          int
+		checkpoint int
+	}{
+		{1000, -1}, {10000, -1}, {50000, -1}, // compaction off: full replay
+		{50000, 0}, // default checkpointing: bounded tail
+	} {
+		dir, err := os.MkdirTemp("", "mrs-bench-replay-*")
+		if err != nil {
+			return err
+		}
+		if err := syntheticJournal(dir, cfg.n, cfg.checkpoint); err != nil {
+			os.RemoveAll(dir)
+			return err
+		}
+		start := time.Now()
+		j, st, err := journal.Open(dir, journal.Options{})
+		if err != nil {
+			os.RemoveAll(dir)
+			return err
+		}
+		open := time.Since(start)
+		var got int64
+		for _, jr := range st.Jobs {
+			got += jr.TasksDone
+		}
+		if got != int64(cfg.n) {
+			j.Abandon()
+			os.RemoveAll(dir)
+			return fmt.Errorf("replay recovered %d completions, want %d", got, cfg.n)
+		}
+		j.Abandon()
+		os.RemoveAll(dir)
+		row := replayRow{
+			Events:    cfg.n,
+			Compacted: cfg.checkpoint >= 0,
+			OpenMS:    float64(open) / float64(time.Millisecond),
+		}
+		if row.OpenMS > 0 {
+			row.EventsPerMS = float64(cfg.n) / row.OpenMS
+		}
+		replay = append(replay, row)
+		fmt.Printf("%-10d %-11v %12s %14.0f\n", cfg.n, row.Compacted, open.Round(time.Microsecond), row.EventsPerMS)
+	}
+	fmt.Println("\nshape check: uncompacted replay is linear in journal size; with the")
+	fmt.Println("default checkpointing the restart replays checkpoint + a bounded tail,")
+	fmt.Println("so recovery latency stays flat no matter how long the master ran.")
+
+	if *recJSON != "" {
+		blob, err := json.MarshalIndent(map[string]any{
+			"experiment":           "recovery",
+			"slaves":               *slaves,
+			"reps":                 reps,
+			"wall_off_ms":          float64(wallOff) / float64(time.Millisecond),
+			"wall_on_ms":           float64(wallOn) / float64(time.Millisecond),
+			"journal_overhead_pct": overheadPct,
+			"overhead_target_pct":  3.0,
+			"replay":               replay,
+		}, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*recJSON, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\n(wrote %s)\n", *recJSON)
+	}
+	return nil
 }
 
 func maxInt(a, b int) int {

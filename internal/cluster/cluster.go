@@ -28,6 +28,10 @@ type Options struct {
 	// given directory (the fault-tolerant mode). Empty selects direct
 	// HTTP serving between slaves.
 	SharedDir string
+	// JournalDir, when set, gives the master a durable job journal so it
+	// can be crashed (CrashMaster) and restarted (RestartMaster) without
+	// losing completed work. Required for master-crash chaos plans.
+	JournalDir string
 	// Master options forwarded (heartbeats, retries, affinity).
 	HeartbeatInterval time.Duration
 	HeartbeatTimeout  time.Duration
@@ -72,6 +76,9 @@ type Cluster struct {
 	compress bool
 	slaveCon int
 
+	mopts      master.Options // as built by Start, for RestartMaster
+	masterAddr string         // concrete listen address of the first master
+
 	mu      sync.Mutex
 	slaves  []*slaveHandle
 	timers  []*time.Timer // pending chaos events, stopped on Close
@@ -91,8 +98,9 @@ func Start(reg *core.Registry, opts Options) (*Cluster, error) {
 	if opts.Slaves <= 0 {
 		opts.Slaves = 2
 	}
-	m, err := master.New(master.Options{
+	mopts := master.Options{
 		SharedDir:         opts.SharedDir,
+		JournalDir:        opts.JournalDir,
 		HeartbeatInterval: opts.HeartbeatInterval,
 		HeartbeatTimeout:  opts.HeartbeatTimeout,
 		MaxAttempts:       opts.MaxAttempts,
@@ -101,11 +109,12 @@ func Start(reg *core.Registry, opts Options) (*Cluster, error) {
 		Obs:               opts.Obs,
 		Compress:          opts.Compress,
 		MaxConcurrentJobs: opts.MaxConcurrentJobs,
-	})
+	}
+	m, err := master.New(mopts)
 	if err != nil {
 		return nil, err
 	}
-	c := &Cluster{M: m, chaos: opts.Chaos, obs: opts.Obs, prefetch: opts.Prefetch, compress: opts.Compress, slaveCon: opts.SlaveConcurrency}
+	c := &Cluster{M: m, chaos: opts.Chaos, obs: opts.Obs, prefetch: opts.Prefetch, compress: opts.Compress, slaveCon: opts.SlaveConcurrency, mopts: mopts, masterAddr: m.Addr()}
 	for i := 0; i < opts.Slaves; i++ {
 		if _, err := c.AddSlave(reg, opts.SharedDir); err != nil {
 			c.Close()
@@ -143,6 +152,14 @@ func (c *Cluster) scheduleChaos(nSlaves int) {
 			fire = func() { _ = c.KillSlave(ev.Slave) }
 		case fault.PlanHang:
 			fire = func() { c.chaos.HangFor(slaveRole(ev.Slave), ev.Dur) }
+		case fault.PlanMasterCrash:
+			restartAfter := ev.Dur
+			fire = func() {
+				c.CrashMaster()
+				c.mu.Lock()
+				c.timers = append(c.timers, time.AfterFunc(restartAfter, func() { _ = c.RestartMaster() }))
+				c.mu.Unlock()
+			}
 		default:
 			continue
 		}
@@ -160,7 +177,7 @@ func (c *Cluster) AddSlave(reg *core.Registry, sharedDir string) (int, error) {
 	c.nextIdx++
 	c.mu.Unlock()
 	sopts := slave.Options{
-		MasterAddr:  c.M.Addr(),
+		MasterAddr:  c.masterAddr,
 		SharedDir:   sharedDir,
 		Obs:         c.obs,
 		Prefetch:    c.prefetch,
@@ -197,17 +214,62 @@ func (c *Cluster) AddSlave(reg *core.Registry, sharedDir string) (int, error) {
 	return idx, nil
 }
 
+// Master returns the current master under the cluster lock — after a
+// RestartMaster the public M field points at the replacement, and this
+// accessor is the race-safe way to observe the swap.
+func (c *Cluster) Master() *master.Master {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.M
+}
+
+// CrashMaster kills the master abruptly: no journal flush, no shutdown
+// broadcast, in-flight RPCs severed — the process-kill simulation.
+// In-flight jobs fail with sched.ErrClosed; resume them by job id on
+// the restarted master.
+func (c *Cluster) CrashMaster() {
+	c.Master().Crash()
+}
+
+// RestartMaster boots a fresh master from the journal on the crashed
+// master's address, so slaves (which retry and then re-sign-in via the
+// unknown-slave fault) reconnect without reconfiguration. It replaces
+// the cluster's M.
+func (c *Cluster) RestartMaster() error {
+	c.mu.Lock()
+	mopts := c.mopts
+	mopts.Addr = c.masterAddr
+	c.mu.Unlock()
+	var m *master.Master
+	var err error
+	// The crashed listener's port can linger briefly; retry the bind.
+	for i := 0; i < 100; i++ {
+		m, err = master.New(mopts)
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		return fmt.Errorf("cluster: restart master: %w", err)
+	}
+	c.mu.Lock()
+	c.M = m
+	c.mu.Unlock()
+	return nil
+}
+
 // Executor returns the cluster's core.Executor (the master).
-func (c *Cluster) Executor() core.Executor { return c.M }
+func (c *Cluster) Executor() core.Executor { return c.Master() }
 
 // Jobs returns the master's job manager, for submitting several
 // programs against this one fleet.
-func (c *Cluster) Jobs() *master.JobManager { return c.M.Jobs() }
+func (c *Cluster) Jobs() *master.JobManager { return c.Master().Jobs() }
 
 // Submit admits a named program to the shared fleet; see
 // master.JobManager.Submit.
 func (c *Cluster) Submit(name string, opts core.JobOptions, run func(*core.Job) error) (*master.ManagedJob, error) {
-	return c.M.Jobs().Submit(name, opts, run)
+	return c.Master().Jobs().Submit(name, opts, run)
 }
 
 // NumSlaves returns the number of slaves the harness ever started.
@@ -253,7 +315,7 @@ func (c *Cluster) Close() error {
 	for _, t := range timers {
 		t.Stop()
 	}
-	err := c.M.Close()
+	err := c.Master().Close()
 	c.mu.Lock()
 	handles := append([]*slaveHandle(nil), c.slaves...)
 	c.mu.Unlock()

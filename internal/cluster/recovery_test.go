@@ -1,0 +1,259 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/kvio"
+	"repro/internal/obs"
+	"repro/internal/piest"
+)
+
+// resumeTenants re-drives both tenant programs by their original job
+// ids on a restarted master. A job whose first attempt already finished
+// (its Wait returned nil) is not resumed.
+func resumeTenants(t *testing.T, c *Cluster, wcID, piID core.JobID, wcPairs *[]kvio.Pair, piRes **piest.Result, resumeWC, resumePi bool) {
+	t.Helper()
+	if resumeWC {
+		wc, err := c.Jobs().Resume(wcID, "wordcount", core.JobOptions{Pipeline: true}, func(job *core.Job) error {
+			var err error
+			*wcPairs, err = wordCountRun(job)
+			return err
+		})
+		if err != nil {
+			t.Fatalf("resume wordcount: %v", err)
+		}
+		if err := wc.Wait(); err != nil {
+			t.Fatalf("resumed wordcount: %v", err)
+		}
+	}
+	if resumePi {
+		pi, err := c.Jobs().Resume(piID, "pi", core.JobOptions{Pipeline: true}, func(job *core.Job) error {
+			var err error
+			*piRes, err = piest.Run(job, piCfg)
+			return err
+		})
+		if err != nil {
+			t.Fatalf("resume pi: %v", err)
+		}
+		if err := pi.Wait(); err != nil {
+			t.Fatalf("resumed pi: %v", err)
+		}
+	}
+}
+
+// crashResumeRun boots a journaled cluster, submits the two tenants,
+// kills the master after at least k task completions, restarts it from
+// the journal, resumes whatever did not finish, and returns both
+// outputs plus the shared metrics runtime.
+func crashResumeRun(t *testing.T, k int, inj *fault.Injector) ([]kvio.Pair, *piest.Result, *obs.Runtime) {
+	t.Helper()
+	rt := obs.New(nil)
+	opts := Options{
+		Slaves:           3,
+		SlaveConcurrency: 2,
+		SharedDir:        t.TempDir(),
+		JournalDir:       t.TempDir(),
+		Obs:              rt,
+	}
+	if inj != nil {
+		opts.Chaos = inj
+		opts.HeartbeatInterval = 50 * time.Millisecond
+		opts.HeartbeatTimeout = 250 * time.Millisecond
+		opts.MaxAttempts = 10
+		opts.TaskLease = 1 * time.Second
+	}
+	c, err := Start(tenancyRegistry(piCfg), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var (
+		wcPairs []kvio.Pair
+		piRes   *piest.Result
+	)
+	wc, err := c.Submit("wordcount", core.JobOptions{Pipeline: true}, func(job *core.Job) error {
+		var err error
+		wcPairs, err = wordCountRun(job)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := c.Submit("pi", core.JobOptions{Pipeline: true}, func(job *core.Job) error {
+		var err error
+		piRes, err = piest.Run(job, piCfg)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the master once at least k tasks have completed (and been
+	// journaled). Both tenants keep the fleet busy, so completions
+	// accumulate quickly.
+	deadline := time.Now().Add(30 * time.Second)
+	for c.Master().Stats().TasksDone < int64(k) {
+		if time.Now().After(deadline) {
+			t.Fatalf("TasksDone = %d, want >= %d", c.Master().Stats().TasksDone, k)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.CrashMaster()
+
+	// The in-flight drivers fail; a tenant that happened to finish
+	// before the crash keeps its output and is not resumed.
+	wcErr := wc.Wait()
+	piErr := pi.Wait()
+
+	if err := c.RestartMaster(); err != nil {
+		t.Fatal(err)
+	}
+	resumeTenants(t, c, wc.ID(), pi.ID(), &wcPairs, &piRes, wcErr != nil, piErr != nil)
+
+	if got := rt.M().Get(obs.MetricMasterRecoveries); got < 1 {
+		t.Errorf("%s = %d, want >= 1", obs.MetricMasterRecoveries, got)
+	}
+	if wcErr != nil && piErr != nil && k >= 2 {
+		if got := rt.M().Get(obs.MetricRecoveredTasks); got < 1 {
+			t.Errorf("%s = %d after crash at >= %d completions, want >= 1", obs.MetricRecoveredTasks, got, k)
+		}
+	}
+	return wcPairs, piRes, rt
+}
+
+// TestMasterCrashMidJobByteIdentical is the headline recovery run
+// (satellite a): kill the master after K journaled completions — K
+// swept across mid-map and mid-reduce — restart it from the journal,
+// resume both tenants by job id, and require output byte-identical to
+// an uninterrupted serial run.
+func TestMasterCrashMidJobByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recovery suite skipped in -short mode")
+	}
+	wantWC, wantPi := serialBaselines(t)
+	for _, k := range []int{2, 6} {
+		gotWC, gotPi, _ := crashResumeRun(t, k, nil)
+		if !samePairs(wantWC, gotWC) {
+			t.Errorf("k=%d: wordcount output diverged after crash-resume: %d records vs %d serial",
+				k, len(gotWC), len(wantWC))
+		}
+		if gotPi == nil || gotPi.Inside != wantPi.Inside || gotPi.Total != wantPi.Total || gotPi.Pi != wantPi.Pi {
+			t.Errorf("k=%d: pi diverged after crash-resume: got %+v, want %+v", k, gotPi, wantPi)
+		}
+	}
+}
+
+// The same crash-resume run, but with RPC and data-path fault injection
+// active on every slave throughout — the journal must stay coherent
+// even when the reports it records arrive through a faulty control
+// plane (drops force duplicate task_done deliveries; only accepted
+// completions may be journaled).
+func TestMasterCrashByteIdenticalUnderChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recovery suite skipped in -short mode")
+	}
+	wantWC, wantPi := serialBaselines(t)
+	inj := fault.New(fault.Config{
+		Seed:       42,
+		RefuseRate: 0.05,
+		DropRate:   0.04,
+		DupRate:    0.04,
+		DelayRate:  0.05,
+		MaxDelay:   20 * time.Millisecond,
+	})
+	gotWC, gotPi, _ := crashResumeRun(t, 4, inj)
+	if !samePairs(wantWC, gotWC) {
+		t.Errorf("wordcount output diverged after chaotic crash-resume: %d records vs %d serial",
+			len(gotWC), len(wantWC))
+	}
+	if gotPi == nil || gotPi.Inside != wantPi.Inside || gotPi.Total != wantPi.Total || gotPi.Pi != wantPi.Pi {
+		t.Errorf("pi diverged after chaotic crash-resume: got %+v, want %+v", gotPi, wantPi)
+	}
+}
+
+// A master crash scheduled through the fault plan restarts on its own
+// (the cluster arms the restart timer), the fleet re-signs in, and the
+// restarted master serves new work.
+func TestPlannedMasterCrashAutoRestarts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recovery suite skipped in -short mode")
+	}
+	cfg := fault.Config{
+		Seed:               11,
+		MasterCrashes:      1,
+		Window:             200 * time.Millisecond,
+		MasterRestartAfter: 150 * time.Millisecond,
+	}
+	// The plan is deterministic and must target the master exactly once.
+	plan := cfg.Plan(2)
+	if len(plan) != 1 || plan[0].Kind != fault.PlanMasterCrash || plan[0].Slave != -1 {
+		t.Fatalf("plan = %+v, want one master crash", plan)
+	}
+	if !reflect.DeepEqual(plan, cfg.Plan(2)) {
+		t.Fatal("master-crash plan not deterministic")
+	}
+
+	c, err := Start(tenancyRegistry(piCfg), Options{
+		Slaves:     2,
+		SharedDir:  t.TempDir(),
+		JournalDir: t.TempDir(),
+		Chaos:      fault.New(cfg),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	first := c.Master()
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Master() == first {
+		if time.Now().After(deadline) {
+			t.Fatal("planned master crash never produced a restarted master")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The restarted master serves a full job through the re-signed-in
+	// fleet.
+	var pairs []kvio.Pair
+	mj, err := c.Submit("after-restart", core.JobOptions{Pipeline: true}, func(job *core.Job) error {
+		var err error
+		pairs, err = wordCountRun(job)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mj.Wait(); err != nil {
+		t.Fatalf("job on restarted master: %v", err)
+	}
+	if len(pairs) == 0 {
+		t.Fatal("restarted master produced no output")
+	}
+}
+
+// Enabling master crashes must not perturb the slave crash/hang
+// schedule an existing seed produces: the slave events are a strict
+// prefix of the extended plan.
+func TestMasterCrashPlanPreservesSlaveSchedule(t *testing.T) {
+	base := fault.Config{Seed: 42, Crashes: 1, Hangs: 1, Window: time.Second}
+	withMaster := base
+	withMaster.MasterCrashes = 2
+	a, b := base.Plan(4), withMaster.Plan(4)
+	if len(b) != len(a)+2 {
+		t.Fatalf("extended plan has %d events, want %d", len(b), len(a)+2)
+	}
+	if !reflect.DeepEqual(a, b[:len(a)]) {
+		t.Errorf("slave schedule changed when master crashes were enabled:\nbase: %+v\nwith: %+v", a, b[:len(a)])
+	}
+	for _, ev := range b[len(a):] {
+		if ev.Kind != fault.PlanMasterCrash || ev.Slave != -1 || ev.Dur <= 0 {
+			t.Errorf("bad master-crash event %+v", ev)
+		}
+	}
+}

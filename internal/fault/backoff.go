@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/prand"
@@ -17,8 +18,10 @@ const (
 // Backoff computes exponential retry delays with seeded jitter. The
 // jitter stream comes from a prand generator, so a fixed seed yields a
 // reproducible delay schedule — retry storms in chaos tests are as
-// deterministic as the faults that cause them. Not safe for concurrent
-// use; give each retry loop its own instance.
+// deterministic as the faults that cause them. Delay is safe for
+// concurrent use (a slave's poll loop and its in-flight task reports
+// share one instance); under concurrency the draws stay race-free but
+// their assignment to callers follows goroutine interleaving.
 type Backoff struct {
 	// Base is the un-jittered delay of attempt 1.
 	Base time.Duration
@@ -29,6 +32,7 @@ type Backoff struct {
 	// Jitter spreads each delay uniformly over [d*(1-J), d*(1+J)].
 	Jitter float64
 
+	mu  sync.Mutex
 	rng *prand.MT
 }
 
@@ -75,7 +79,10 @@ func (b *Backoff) Delay(attempt int) time.Duration {
 		j = 1
 	}
 	if j > 0 && b.rng != nil {
-		d *= 1 - j + 2*j*b.rng.Float64()
+		b.mu.Lock()
+		u := b.rng.Float64()
+		b.mu.Unlock()
+		d *= 1 - j + 2*j*u
 	}
 	if d < float64(time.Millisecond) {
 		d = float64(time.Millisecond)

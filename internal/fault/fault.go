@@ -60,6 +60,14 @@ type Config struct {
 	// Window is the period over which crashes and hangs are scheduled
 	// after cluster start (default 1s).
 	Window time.Duration
+	// MasterCrashes is how many times the plan kills the master (the
+	// cluster restarts it from its journal after MasterRestartAfter).
+	// Requires the cluster to run with a journal directory; a crashed
+	// master without one cannot come back.
+	MasterCrashes int
+	// MasterRestartAfter is the outage length between a planned master
+	// crash and its restart (default 250ms).
+	MasterRestartAfter time.Duration
 }
 
 func (c Config) fill() Config {
@@ -71,6 +79,9 @@ func (c Config) fill() Config {
 	}
 	if c.Window <= 0 {
 		c.Window = time.Second
+	}
+	if c.MasterRestartAfter <= 0 {
+		c.MasterRestartAfter = 250 * time.Millisecond
 	}
 	return c
 }
@@ -120,14 +131,17 @@ type PlanKind int
 const (
 	PlanCrash PlanKind = iota
 	PlanHang
+	// PlanMasterCrash kills the master itself; the cluster restarts it
+	// from its journal after the event's Dur.
+	PlanMasterCrash
 )
 
-// PlanEvent is one scheduled slave crash or hang.
+// PlanEvent is one scheduled crash or hang.
 type PlanEvent struct {
 	Kind  PlanKind
-	Slave int           // slave index within the cluster
+	Slave int           // slave index within the cluster (-1 for the master)
 	At    time.Duration // offset from cluster start
-	Dur   time.Duration // hang duration (zero for crashes)
+	Dur   time.Duration // hang duration or master outage (zero for slave crashes)
 }
 
 // Plan derives the crash/hang schedule for a cluster of nSlaves. Targets
@@ -157,6 +171,16 @@ func (c Config) Plan(nSlaves int) []PlanEvent {
 			Slave: targets[crashes+i],
 			At:    time.Duration(rng.Float64() * float64(c.Window)),
 			Dur:   c.HangDur,
+		})
+	}
+	// Master crashes draw their randomness last, so enabling them never
+	// perturbs the slave schedule an existing seed produces.
+	for i := 0; i < c.MasterCrashes; i++ {
+		events = append(events, PlanEvent{
+			Kind:  PlanMasterCrash,
+			Slave: -1,
+			At:    time.Duration(rng.Float64() * float64(c.Window)),
+			Dur:   c.MasterRestartAfter,
 		})
 	}
 	return events

@@ -1,11 +1,14 @@
 package master
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/journal"
 	"repro/internal/obs"
+	"repro/internal/sched"
 )
 
 // DefaultMaxConcurrentJobs bounds how many managed jobs execute at
@@ -155,6 +158,75 @@ func (jm *JobManager) Submit(name string, opts core.JobOptions, run func(*core.J
 	jm.wg.Add(1)
 	jm.mu.Unlock()
 
+	jm.m.journalAppend(journal.Event{
+		Kind:     journal.EvJobSubmitted,
+		Job:      int64(mj.id),
+		Name:     name,
+		SpecHash: journal.SpecHash(name, opts.Pipeline),
+	})
+	jm.launch(mj, opts, run)
+	return mj, nil
+}
+
+// Resume reattaches a driver to a job journaled by a previous master
+// run. The caller presents the same name and an equivalent driver (the
+// journal's spec hash must match — a resumed job re-drives the same
+// deterministic program, and tasks the journal already holds outputs
+// for are answered without re-execution). The job runs under its
+// original id; finished or failed jobs cannot be resumed (their
+// intermediate data was reclaimed), nor can a job be resumed twice.
+func (jm *JobManager) Resume(id core.JobID, name string, opts core.JobOptions, run func(*core.Job) error) (*ManagedJob, error) {
+	jm.m.mu.Lock()
+	closed := jm.m.closed
+	jm.m.mu.Unlock()
+	if closed {
+		return nil, fmt.Errorf("master: closed")
+	}
+	jr := jm.m.recovered.Job(int64(id))
+	if jr == nil {
+		return nil, fmt.Errorf("master: no journaled job %d to resume", id)
+	}
+	switch jr.State {
+	case journal.JobDone:
+		return nil, fmt.Errorf("master: job %d already completed; its outputs were reclaimed", id)
+	case journal.JobFailed:
+		return nil, fmt.Errorf("master: job %d failed before the crash: %s", id, jr.Error)
+	}
+	if want := journal.SpecHash(name, opts.Pipeline); jr.SpecHash != "" && jr.SpecHash != want {
+		return nil, fmt.Errorf("master: job %d was submitted as %q (spec %s), refusing to resume a different program (spec %s)",
+			id, jr.Name, jr.SpecHash, want)
+	}
+
+	jm.mu.Lock()
+	if _, exists := jm.jobs[id]; exists {
+		jm.mu.Unlock()
+		return nil, fmt.Errorf("master: job %d already resumed", id)
+	}
+	if jm.nextID < id {
+		jm.nextID = id
+	}
+	mj := &ManagedJob{id: id, name: name, state: JobQueued, done: make(chan struct{})}
+	jm.jobs[id] = mj
+	jm.order = append(jm.order, id)
+	jm.queue = append(jm.queue, id)
+	jm.wg.Add(1)
+	jm.mu.Unlock()
+
+	// Re-journal the submission: idempotent under replay, and it makes a
+	// journal whose checkpoint predates this master's run self-contained.
+	jm.m.journalAppend(journal.Event{
+		Kind:     journal.EvJobSubmitted,
+		Job:      int64(id),
+		Name:     name,
+		SpecHash: journal.SpecHash(name, opts.Pipeline),
+	})
+	jm.launch(mj, opts, run)
+	return mj, nil
+}
+
+// launch runs the admitted job's driver and settles its lifecycle —
+// shared by Submit and Resume.
+func (jm *JobManager) launch(mj *ManagedJob, opts core.JobOptions, run func(*core.Job) error) {
 	if opts.Obs == nil {
 		opts.Obs = jm.m.opts.Obs
 	}
@@ -174,12 +246,18 @@ func (jm *JobManager) Submit(name string, opts core.JobOptions, run func(*core.J
 		if runErr != nil {
 			mj.setState(JobFailed, runErr)
 			jm.m.opts.Obs.M().Add(obs.JobSeries("mrs_jobs_failed_total", int64(mj.id)), 1)
+			// A job interrupted by master shutdown is not failed — it
+			// stays "running" in the journal, which is exactly what
+			// makes it resumable after a restart.
+			if !errors.Is(runErr, sched.ErrClosed) {
+				jm.m.journalAppend(journal.Event{Kind: journal.EvJobFailed, Job: int64(mj.id), Error: runErr.Error()})
+			}
 		} else {
 			mj.setState(JobDone, nil)
+			jm.m.journalAppend(journal.Event{Kind: journal.EvJobDone, Job: int64(mj.id)})
 		}
 		close(mj.done)
 	}()
-	return mj, nil
 }
 
 // List snapshots every job the manager has hosted, in submission

@@ -30,6 +30,7 @@ import (
 	"repro/internal/bucket"
 	"repro/internal/clock"
 	"repro/internal/core"
+	"repro/internal/journal"
 	"repro/internal/obs"
 	"repro/internal/rpcproto"
 	"repro/internal/sched"
@@ -91,6 +92,20 @@ type Options struct {
 	// many managed jobs run at once, the rest queue in submission order
 	// (default DefaultMaxConcurrentJobs).
 	MaxConcurrentJobs int
+	// JournalDir, when non-empty, makes the master durable: job
+	// lifecycle events are logged there (internal/journal), and a master
+	// started on a directory holding a previous master's journal recovers
+	// its state — clients then reattach via Jobs().Resume and completed
+	// tasks are answered from their journaled output manifests instead of
+	// re-executing. Pair with SharedDir so the data those manifests name
+	// survives the crash too.
+	JournalDir string
+	// JournalCheckpointEvery compacts the journal on this period (0
+	// disables timer-driven compaction).
+	JournalCheckpointEvery time.Duration
+	// JournalCheckpointRecords compacts the journal after this many
+	// records (0 = journal default, negative disables).
+	JournalCheckpointRecords int
 }
 
 func (o *Options) fill() {
@@ -136,6 +151,10 @@ type Master struct {
 	ownsDir string
 	manager *JobManager
 
+	// recovered is the journal state replayed at startup (empty when no
+	// journal or a fresh one); immutable after New.
+	recovered *journal.State
+
 	mu             sync.Mutex
 	slaves         map[string]*slaveInfo
 	nextSlave      int
@@ -143,7 +162,9 @@ type Master struct {
 	pendingGC      map[string][]int64  // slaveID -> completed job ids to reclaim
 	jobStats       map[core.JobID]*JobTaskStats
 	taskStats      TaskStats
+	journal        *journal.Journal // nil once detached by Close/Crash
 	closed         bool
+	crashed        bool // Crash() was used; skip clean-shutdown signals
 
 	reaperStop chan struct{}
 	reaperDone chan struct{}
@@ -185,6 +206,43 @@ func New(opts Options) (*Master, error) {
 	m.sched.SetBlacklist(opts.BlacklistAfter, m.NumSlaves)
 	m.registerGauges(opts.Obs)
 	m.manager = newJobManager(m, opts.MaxConcurrentJobs)
+	m.recovered = journal.NewState()
+
+	if opts.JournalDir != "" {
+		jl, st, err := journal.Open(opts.JournalDir, journal.Options{
+			Clock:             opts.Clock,
+			Metrics:           opts.Obs.M(),
+			CheckpointEvery:   opts.JournalCheckpointEvery,
+			CheckpointRecords: opts.JournalCheckpointRecords,
+		})
+		if err != nil {
+			return nil, err
+		}
+		m.journal = jl
+		m.recovered = st
+		if len(st.Jobs) > 0 {
+			opts.Obs.M().Add(obs.MetricMasterRecoveries, 1)
+		}
+		// Seed the manager's id counter past every journaled job so
+		// resumed and fresh submissions never collide, restore journaled
+		// fair-share weights, and rebuild the control-plane stats the
+		// journaled completions would have accumulated — a recovered
+		// master reports the same JobStats a never-crashed one does.
+		m.manager.nextID = core.JobID(st.MaxJobID)
+		for id, jr := range st.Jobs {
+			if jr.State != journal.JobRunning {
+				continue
+			}
+			if jr.Weight > 0 {
+				m.sched.SetJobWeight(core.JobID(id), jr.Weight)
+			}
+			m.jobStats[core.JobID(id)] = &JobTaskStats{
+				TasksDone:    jr.TasksDone,
+				ShuffleBytes: jr.ShuffleBytes,
+			}
+			m.taskStats.TasksDone += jr.TasksDone
+		}
+	}
 
 	dir := opts.Dir
 	if opts.SharedDir != "" {
@@ -192,6 +250,9 @@ func New(opts Options) (*Master, error) {
 	} else if dir == "" {
 		d, err := os.MkdirTemp("", "mrs-master-*")
 		if err != nil {
+			if m.journal != nil {
+				m.journal.Close()
+			}
 			return nil, err
 		}
 		dir = d
@@ -200,6 +261,9 @@ func New(opts Options) (*Master, error) {
 
 	ln, err := net.Listen("tcp", opts.Addr)
 	if err != nil {
+		if m.journal != nil {
+			m.journal.Close()
+		}
 		return nil, fmt.Errorf("master: listen %s: %w", opts.Addr, err)
 	}
 	m.ln = ln
@@ -212,6 +276,9 @@ func New(opts Options) (*Master, error) {
 	store, err := bucket.NewFileStore(dir, baseURL)
 	if err != nil {
 		ln.Close()
+		if m.journal != nil {
+			m.journal.Close()
+		}
 		return nil, err
 	}
 	store.SetCompress(opts.Compress)
@@ -244,6 +311,60 @@ func New(opts Options) (*Master, error) {
 
 // Addr returns the master's host:port.
 func (m *Master) Addr() string { return m.addr }
+
+// journalAppend logs an event if the master is durable; a detached
+// journal (Close/Crash in progress) drops it.
+func (m *Master) journalAppend(ev journal.Event) {
+	m.mu.Lock()
+	jl := m.journal
+	m.mu.Unlock()
+	if jl != nil {
+		_ = jl.Append(ev)
+	}
+}
+
+// Recovered returns a snapshot of the journal state the master
+// replayed at startup (empty when not durable or nothing was
+// journaled). Clients use it to find jobs to Resume.
+func (m *Master) Recovered() *journal.State {
+	return m.recovered.Clone()
+}
+
+// recoveredOutputs returns the journaled output manifests for a task,
+// or nil when the task never completed (or the data they name no
+// longer exists — then the task simply re-executes).
+func (m *Master) recoveredOutputs(jobID core.JobID, dataset, taskIndex int) []journal.Manifest {
+	jr := m.recovered.Job(int64(jobID))
+	if jr == nil || jr.State != journal.JobRunning {
+		return nil
+	}
+	outs := jr.TaskOutputs(dataset, taskIndex)
+	if len(outs) == 0 {
+		return nil
+	}
+	for _, o := range outs {
+		if !m.manifestAlive(o) {
+			return nil
+		}
+	}
+	return outs
+}
+
+// manifestAlive reports whether a journaled bucket manifest still
+// names reachable data. Files (shared-dir staging) and this master's
+// own buckets are statted; slave-served HTTP buckets cannot be checked
+// cheaply and are assumed dead — the previous fleet's data servers died
+// with the previous master's run, so counting on them would trade a
+// cheap re-execution for a task-long fetch stall.
+func (m *Master) manifestAlive(o journal.Manifest) bool {
+	switch {
+	case strings.HasPrefix(o.URL, "file://"):
+		_, err := os.Stat(strings.TrimPrefix(o.URL, "file://"))
+		return err == nil
+	default:
+		return false
+	}
+}
 
 // URL returns the master's RPC endpoint URL.
 func (m *Master) URL() string { return "http://" + m.addr + xmlrpc.RPCPath }
@@ -411,9 +532,15 @@ func (m *Master) handleGetTask(args []any) (any, error) {
 	delete(m.pendingDeletes, id)
 	gcJobs := m.pendingGC[id]
 	delete(m.pendingGC, id)
-	closed := m.closed
+	closed, crashed := m.closed, m.crashed
 	m.mu.Unlock()
 	if closed {
+		if crashed {
+			// A crashing master must not tell the fleet to shut down —
+			// a plain error makes slaves back off and retry until the
+			// restarted master answers.
+			return nil, fmt.Errorf("master: unavailable (crashing)")
+		}
 		a := rpcproto.Assignment{Status: rpcproto.StatusShutdown, Deletes: deletes, GCJobs: gcJobs}
 		return encodeAssignment(a)
 	}
@@ -429,6 +556,12 @@ func (m *Master) handleGetTask(args []any) (any, error) {
 	}
 	task, err := m.sched.Request(id, m.opts.LongPoll)
 	if err == sched.ErrClosed {
+		m.mu.Lock()
+		crashed = m.crashed
+		m.mu.Unlock()
+		if crashed {
+			return nil, fmt.Errorf("master: unavailable (crashing)")
+		}
 		return encodeAssignment(rpcproto.Assignment{Status: rpcproto.StatusShutdown, Deletes: deletes, GCJobs: gcJobs})
 	}
 	if err != nil {
@@ -494,22 +627,42 @@ func (m *Master) handleTaskDone(args []any) (any, error) {
 		// Optional measured cost breakdown from the executing slave.
 		result.Timing = rpcproto.DecodeTiming(args[4])
 	}
-	m.touch(id)
-	m.mu.Lock()
-	m.taskStats.TasksDone++
-	js := m.jobStatsLocked(core.JobID(jobID))
-	js.TasksDone++
-	js.ShuffleBytes += result.Timing.InBytes
-	m.mu.Unlock()
-	mm := m.opts.Obs.M()
-	mm.Add(obs.JobSeries("mrs_job_tasks_done_total", jobID), 1)
-	mm.Add(obs.JobSeries("mrs_job_shuffle_bytes_total", jobID), result.Timing.InBytes)
-	err = m.sched.Complete(sched.TaskID(taskID), id, result)
+	known := m.touch(id)
+	// Accept the result even from a slave this master doesn't know (it
+	// may have outlived a master restart); the scheduler sorts accepted
+	// completions from duplicate or stale ones.
+	spec, err := m.sched.CompleteTask(sched.TaskID(taskID), id, result)
 	if err != nil {
 		return nil, err
 	}
+	if spec != nil {
+		m.mu.Lock()
+		m.taskStats.TasksDone++
+		js := m.jobStatsLocked(core.JobID(jobID))
+		js.TasksDone++
+		js.ShuffleBytes += result.Timing.InBytes
+		m.mu.Unlock()
+		mm := m.opts.Obs.M()
+		mm.Add(obs.JobSeries("mrs_job_tasks_done_total", jobID), 1)
+		mm.Add(obs.JobSeries("mrs_job_shuffle_bytes_total", jobID), result.Timing.InBytes)
+		if spec.Job != 0 {
+			m.journalAppend(journal.Event{
+				Kind:    journal.EvTaskDone,
+				Job:     int64(spec.Job),
+				Dataset: spec.Op.Dataset,
+				Task:    spec.TaskIndex,
+				Outputs: journal.FromDescriptors(result.Outputs),
+				InBytes: result.Timing.InBytes,
+			})
+		}
+	}
 	if m.opts.DisableAffinity {
 		m.sched.ClearAffinity()
+	}
+	if !known {
+		// Processed anyway (above), but tell the slave to re-sign-in so
+		// its leases reconcile against this master's state.
+		return nil, unknownSlaveFault(id)
 	}
 	return true, nil
 }
@@ -531,7 +684,7 @@ func (m *Master) handleTaskFailed(args []any) (any, error) {
 		return nil, fmt.Errorf("master: bad task id %v", args[2])
 	}
 	msg, _ := args[3].(string)
-	m.touch(id)
+	known := m.touch(id)
 	m.mu.Lock()
 	m.taskStats.TasksFailed++
 	m.jobStatsLocked(core.JobID(jobID)).TasksFailed++
@@ -539,6 +692,9 @@ func (m *Master) handleTaskFailed(args []any) (any, error) {
 	m.opts.Obs.M().Add(obs.JobSeries("mrs_job_tasks_failed_total", jobID), 1)
 	if err := m.sched.Fail(sched.TaskID(taskID), id, msg); err != nil {
 		return nil, err
+	}
+	if !known {
+		return nil, unknownSlaveFault(id)
 	}
 	return true, nil
 }
@@ -615,10 +771,35 @@ func (m *Master) Store() *bucket.Store { return m.store }
 // down; the scheduler guarantees it never fires synchronously from
 // inside Submit and never while internal locks are held.
 func (m *Master) Submit(spec *core.TaskSpec, done func(*core.TaskResult, error)) {
+	// Recovery short-circuit: a resumed job re-drives its whole program,
+	// but tasks whose completions the journal replayed are answered from
+	// their journaled output manifests — no slave ever sees them again.
+	// Dataset ids are queue positions and task indexes are stable, so a
+	// deterministic driver resubmits each task under the same key.
+	if spec.Job != 0 {
+		if outs := m.recoveredOutputs(spec.Job, spec.Op.Dataset, spec.TaskIndex); outs != nil {
+			m.opts.Obs.M().Add(obs.MetricRecoveredTasks, 1)
+			res := &core.TaskResult{Dataset: spec.Op.Dataset, TaskIndex: spec.TaskIndex}
+			for _, o := range outs {
+				res.Outputs = append(res.Outputs, o.Descriptor())
+			}
+			go done(res, nil)
+			return
+		}
+	}
 	if _, err := m.sched.Submit(spec, sched.Callback(done)); err != nil {
 		// Scheduler already closed; deliver the refusal asynchronously
 		// to honor the Executor contract.
 		go done(nil, err)
+	}
+}
+
+// SetJobWeight adjusts a managed job's fair-share weight, journaling
+// the change so a recovered master restores it.
+func (m *Master) SetJobWeight(id core.JobID, weight int) {
+	m.sched.SetJobWeight(id, weight)
+	if id != 0 {
+		m.journalAppend(journal.Event{Kind: journal.EvJobWeight, Job: int64(id), Weight: weight})
 	}
 }
 
@@ -655,12 +836,18 @@ func (m *Master) Free(mat *core.Materialized) {
 // sign in later never held the job's data, so queueing only to the
 // current fleet is complete.
 func (m *Master) jobComplete(id core.JobID) {
-	_, _ = m.store.RemoveJob(int64(id))
 	m.mu.Lock()
+	if m.crashed {
+		// A crashing master must not reclaim anything: the journaled
+		// manifests name exactly these buckets, and recovery needs them.
+		m.mu.Unlock()
+		return
+	}
 	for sid := range m.slaves {
 		m.pendingGC[sid] = append(m.pendingGC[sid], int64(id))
 	}
 	m.mu.Unlock()
+	_, _ = m.store.RemoveJob(int64(id))
 	m.sched.JobDone(id)
 }
 
@@ -673,7 +860,18 @@ func (m *Master) Close() error {
 		return nil
 	}
 	m.closed = true
+	jl := m.journal
+	m.journal = nil
 	m.mu.Unlock()
+
+	// The journal must be checkpointed, fsynced, and unlocked BEFORE the
+	// scheduler closes: closing the scheduler fails the running jobs and
+	// releases the admission queue, and anything that happens after that
+	// must not race a half-flushed journal (interrupted jobs stay
+	// "running" in the journal — that is what makes them resumable).
+	if jl != nil {
+		_ = jl.Close()
+	}
 
 	m.sched.Close()
 	close(m.reaperStop)
@@ -696,5 +894,35 @@ func (m *Master) Close() error {
 	if m.ownsDir != "" {
 		os.RemoveAll(m.ownsDir)
 	}
+	return nil
+}
+
+// Crash stops the master the way SIGKILL would, for crash-recovery
+// tests: the journal is abandoned without a final checkpoint or fsync,
+// the HTTP server is torn down abruptly, and — unlike Close — no
+// shutdown signal ever reaches the fleet (slaves see RPC errors, back
+// off, and retry until a restarted master answers), no bucket data is
+// reclaimed, and the master's own directory is left on disk.
+func (m *Master) Crash() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.crashed = true
+	jl := m.journal
+	m.journal = nil
+	m.mu.Unlock()
+
+	if jl != nil {
+		jl.Abandon()
+	}
+	// Abrupt: in-flight RPCs die mid-connection, exactly as on a kill.
+	m.httpSrv.Close()
+	m.sched.Close()
+	close(m.reaperStop)
+	<-m.reaperDone
+	m.store.CloseIdle()
 	return nil
 }

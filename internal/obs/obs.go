@@ -98,6 +98,17 @@ const (
 	MetricWireBytesShared    = "mrs_shuffle_wire_bytes_shared_total"
 )
 
+// Durability metric names. Journal counters track write-ahead-log
+// activity on the master; the recovery counters count master restarts
+// that replayed journaled state and the tasks whose journaled outputs
+// let the scheduler skip re-execution.
+const (
+	MetricJournalRecords     = "mrs_journal_records_total"
+	MetricJournalTruncations = "mrs_journal_truncations_total"
+	MetricMasterRecoveries   = "mrs_master_recoveries_total"
+	MetricRecoveredTasks     = "mrs_master_recovered_tasks_total"
+)
+
 // Counter is a monotonically increasing metric. The zero value is
 // ready; a nil *Counter discards adds, so hot paths can cache a counter
 // pointer without caring whether metrics are wired.

@@ -4,11 +4,13 @@
 package rpcproto
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/bucket"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/xmlrpc"
 )
 
 // Method names served by the master.
@@ -33,6 +35,16 @@ const (
 // retrying blindly, which is how a worker recovers from a hang that
 // outlived the heartbeat timeout.
 const FaultUnknownSlave = 100
+
+// IsUnknownSlave reports whether an RPC error is the master's
+// unknown-slave fault — the signal to re-sign-in. It appears on
+// get_task after a reaping, and on task reports delivered to a master
+// that restarted from its journal (the restarted master still processes
+// the report; the fault just tells the slave to reconcile).
+func IsUnknownSlave(err error) bool {
+	var f *xmlrpc.Fault
+	return errors.As(err, &f) && f.Code == FaultUnknownSlave
+}
 
 // SigninReply is the master's answer to a slave's signin.
 type SigninReply struct {

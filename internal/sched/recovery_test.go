@@ -1,0 +1,150 @@
+package sched
+
+// Recovery-shaped scheduler tests: the contracts master recovery leans
+// on. A restarted master re-drives the job's program; tasks whose
+// completions were journaled are answered from the journal and never
+// reach the scheduler, while the rest are submitted normally. That only
+// works if (a) CompleteTask tells the caller exactly which completions
+// were accepted (so only those get journaled), and (b) the per-job
+// queues it rebuilds behave identically to a never-crashed scheduler's.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+)
+
+// CompleteTask reports the accepted task's spec; duplicate and stale
+// deliveries report nil. This is the filter that keeps at-least-once
+// task_done reports from double-counting in the journal.
+func TestCompleteTaskReportsAcceptance(t *testing.T) {
+	s := New(0)
+	defer s.Close()
+	if _, err := s.SubmitGroup(specs(1)); err != nil {
+		t.Fatal(err)
+	}
+	task, err := s.Request("w1", time.Second)
+	if err != nil || task == nil {
+		t.Fatalf("request: %v, %v", task, err)
+	}
+	spec, err := s.CompleteTask(task.ID, "w1", result(task))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec == nil || spec.TaskIndex != task.Spec.TaskIndex || spec.Op.Dataset != 1 {
+		t.Fatalf("accepted completion reported spec %+v", spec)
+	}
+	// Redelivery of the same task_done: ignored, and reported as such.
+	spec, err = s.CompleteTask(task.ID, "w1", result(task))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec != nil {
+		t.Fatalf("duplicate completion reported spec %+v", spec)
+	}
+}
+
+// A stale completion from a previous assignee (requeued after its slave
+// was presumed dead) is not accepted — the live assignment's completion
+// is the one journaled.
+func TestCompleteTaskStaleAssigneeNotAccepted(t *testing.T) {
+	fc := clock.NewFake(time.Unix(0, 0))
+	s := NewWithClock(0, fc)
+	defer s.Close()
+	if _, err := s.SubmitGroup(specs(1)); err != nil {
+		t.Fatal(err)
+	}
+	task1, err := s.Request("w1", 0)
+	if err != nil || task1 == nil {
+		t.Fatalf("request: %v, %v", task1, err)
+	}
+	// Lease expires; the task is requeued and lands on w2.
+	fc.Advance(2 * time.Second)
+	s.RequeueStale(time.Second)
+	task2, err := s.Request("w2", 0)
+	if err != nil || task2 == nil {
+		t.Fatalf("request after requeue: %v, %v", task2, err)
+	}
+	// w1 comes back from the dead and reports: stale, not accepted.
+	spec, err := s.CompleteTask(task2.ID, "w1", result(task1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec != nil {
+		t.Fatalf("stale completion accepted: %+v", spec)
+	}
+	// The live assignee's completion is the accepted one.
+	spec, err = s.CompleteTask(task2.ID, "w2", result(task2))
+	if err != nil || spec == nil {
+		t.Fatalf("live completion: %+v, %v", spec, err)
+	}
+}
+
+// A "recovered" scheduler — fresh instance given only the tasks the
+// journal says are incomplete — exposes identical queue contents to a
+// never-crashed scheduler that completed the same prefix, and never
+// re-dispatches a journaled-complete task.
+func TestRecoveredQueueMatchesUncrashed(t *testing.T) {
+	const total, journaled = 8, 3
+
+	// Never-crashed: submit all 8, complete the first 3.
+	fc := clock.NewFake(time.Unix(0, 0))
+	live := NewWithClock(0, fc)
+	defer live.Close()
+	if _, err := live.SubmitGroup(specs(total)); err != nil {
+		t.Fatal(err)
+	}
+	doneIdx := map[int]bool{}
+	for i := 0; i < journaled; i++ {
+		task, err := live.Request("w1", 0)
+		if err != nil || task == nil {
+			t.Fatalf("request %d: %v, %v", i, task, err)
+		}
+		doneIdx[task.Spec.TaskIndex] = true
+		if _, err := live.CompleteTask(task.ID, "w1", result(task)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Recovered: a fresh scheduler sees only the 5 incomplete specs,
+	// submitted one by one exactly as a re-driven program would (the
+	// master answers the journaled 3 from their manifests).
+	rec := NewWithClock(0, clock.NewFake(time.Unix(0, 0)))
+	defer rec.Close()
+	for _, sp := range specs(total) {
+		if doneIdx[sp.TaskIndex] {
+			continue
+		}
+		if _, err := rec.Submit(sp, func(*core.TaskResult, error) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	lp, lr := live.JobCounts(1)
+	rp, rr := rec.JobCounts(1)
+	if lp != rp || lr != rr {
+		t.Fatalf("queues differ: live %d/%d, recovered %d/%d", lp, lr, rp, rr)
+	}
+
+	// Drain the recovered queue: journaled-complete indexes never appear.
+	for {
+		task, err := rec.Request("w1", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if task == nil {
+			break
+		}
+		if doneIdx[task.Spec.TaskIndex] {
+			t.Fatalf("journaled-complete task %d re-dispatched", task.Spec.TaskIndex)
+		}
+		if _, err := rec.CompleteTask(task.ID, "w1", result(task)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p, r := rec.JobCounts(1); p != 0 || r != 0 {
+		t.Fatalf("recovered queue not drained: %d pending, %d running", p, r)
+	}
+}

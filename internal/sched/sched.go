@@ -418,6 +418,16 @@ func (s *Scheduler) BlacklistedEverywhere(slaveID string) bool {
 // after the task was requeued to another slave — are ignored, so the
 // control plane tolerates at-least-once delivery.
 func (s *Scheduler) Complete(id TaskID, slaveID string, result *core.TaskResult) error {
+	_, err := s.CompleteTask(id, slaveID, result)
+	return err
+}
+
+// CompleteTask is Complete returning the spec of the task the
+// completion was accepted for, or nil when it was ignored as a
+// duplicate or stale delivery. The master journals only accepted
+// completions, so at-least-once reports never double-count in the
+// durable state.
+func (s *Scheduler) CompleteTask(id TaskID, slaveID string, result *core.TaskResult) (*core.TaskSpec, error) {
 	s.mu.Lock()
 	entry, ok := s.running[id]
 	if !ok {
@@ -425,17 +435,17 @@ func (s *Scheduler) Complete(id TaskID, slaveID string, result *core.TaskResult)
 		// task was reassigned after a presumed-dead slave came back).
 		// Ignore.
 		s.mu.Unlock()
-		return nil
+		return nil, nil
 	}
 	if entry.slave != slaveID {
 		if entry.task.wasAssignedTo(slaveID) {
 			// Stale completion from a previous assignee racing the
 			// current one; the live assignment proceeds untouched.
 			s.mu.Unlock()
-			return nil
+			return nil, nil
 		}
 		s.mu.Unlock()
-		return fmt.Errorf("sched: task %d completed by %q but assigned to %q", id, slaveID, entry.slave)
+		return nil, fmt.Errorf("sched: task %d completed by %q but assigned to %q", id, slaveID, entry.slave)
 	}
 	delete(s.running, id)
 	if j := s.jobs[entry.task.Spec.Job]; j != nil {
@@ -454,9 +464,10 @@ func (s *Scheduler) Complete(id TaskID, slaveID string, result *core.TaskResult)
 	s.obs.T().TaskFinished(entry.task.Spec.TraceID, entry.task.Attempts, tm, "")
 	s.obs.M().Add("mrs_sched_completed_total", 1)
 	done := entry.task.done
+	spec := entry.task.Spec
 	s.mu.Unlock()
 	done(result, nil)
-	return nil
+	return spec, nil
 }
 
 // Fail reports a task error from a slave; the task is retried on any

@@ -272,10 +272,12 @@ func (s *Slave) Run(ctx context.Context) error {
 		raw, err := s.client.Call(rpcproto.MethodGetTask, id)
 		if err != nil {
 			release()
-			if f, ok := err.(*xmlrpc.Fault); ok && f.Code == rpcproto.FaultUnknownSlave {
+			if rpcproto.IsUnknownSlave(err) {
 				// The master reaped us (we hung or our heartbeats were
-				// lost past the timeout). Our old tasks were requeued;
-				// rejoin under a fresh identity rather than dying.
+				// lost past the timeout), or it restarted from its
+				// journal and has never met us. Either way our old
+				// tasks were requeued or replayed; rejoin under a fresh
+				// identity rather than dying.
 				s.logger.Printf("slave %s: declared dead by master; re-signing in", id)
 				reply, err := s.signin(ctx)
 				if err != nil {
@@ -417,6 +419,14 @@ func (s *Slave) report(method string, args ...any) {
 			return
 		}
 		lastErr = err
+		if rpcproto.IsUnknownSlave(err) {
+			// A master that restarted from its journal (or reaped us)
+			// processed the report before faulting — task state is
+			// reconciled idempotently there, and the main loop's next
+			// get_task re-signs us in. Nothing to retry, nothing lost.
+			s.logger.Printf("slave %s: %s acknowledged by a master that no longer knows us; will re-sign-in", s.ID(), method)
+			return
+		}
 		if _, isFault := err.(*xmlrpc.Fault); isFault {
 			break
 		}

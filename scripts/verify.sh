@@ -69,6 +69,12 @@ if [ "$tier" = "2" ] || [ "$tier" = "all" ]; then
 	go test -race -count=2 \
 		-run 'ConcurrentJobs|FairShare|JobGC|AdmissionQueue|PerJob' \
 		./internal/cluster ./internal/sched
+	echo "== tier 2: crash-recovery stress (race, repeated master crash/restart cycles)"
+	go test -race -count=3 \
+		-run 'MasterCrash|PlannedMaster|Recover|Resume|Journal' \
+		./internal/cluster ./internal/master ./internal/journal ./internal/sched
+	echo "== tier 2: journal replay fuzz (corpus + 10s of new inputs)"
+	go test -run '^$' -fuzz 'FuzzJournalReplay' -fuzztime 10s ./internal/journal
 	echo "== tier 2: traced pipelined job end-to-end"
 	trace="$(mktemp -t mrs-verify-XXXXXX.trace)"
 	go run ./examples/pso -mrs=local -mrs-slaves 2 \
