@@ -1,0 +1,8 @@
+//go:build !unix
+
+package main
+
+import "time"
+
+// processCPU is unavailable off unix; codec CPU columns read 0 there.
+func processCPU() time.Duration { return 0 }

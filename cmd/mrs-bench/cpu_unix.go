@@ -1,0 +1,23 @@
+//go:build unix
+
+package main
+
+import (
+	"syscall"
+	"time"
+)
+
+// processCPU returns the process's cumulative user+system CPU time.
+// The shuffle codec sweep reports deltas of this around each run: the
+// whole cluster is in-process, so the delta captures the codec's
+// compress/decompress cost alongside the (constant) job work.
+func processCPU() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	toDur := func(tv syscall.Timeval) time.Duration {
+		return time.Duration(tv.Sec)*time.Second + time.Duration(tv.Usec)*time.Microsecond
+	}
+	return toDur(ru.Utime) + toDur(ru.Stime)
+}

@@ -34,6 +34,7 @@ import (
 	"repro/internal/pbs"
 	"repro/internal/piest"
 	"repro/internal/pso"
+	"repro/internal/wirecodec"
 	"repro/internal/wordcount"
 )
 
@@ -702,20 +703,38 @@ func expShuffle() error {
 		reduceSplits = 4
 		recsPerMap   = 200
 	)
-	// A repetitive payload so wire compression has something to bite on.
-	payload := []byte(fmt.Sprintf("%064d", 0))
+	// A compressible but non-degenerate payload: repeated words, like
+	// the text workloads the paper benchmarks, so compressors pay a
+	// realistic match-finding cost instead of the all-zeros fast path.
+	words := []string{"science", "compute", "cluster", "shuffle", "record",
+		"block", "codec", "paper", "reduce", "emit", "varint", "bucket"}
+	var payload []byte
+	for i := 0; len(payload) < 256; i++ {
+		payload = append(payload, words[(i*7+3)%len(words)]...)
+		payload = append(payload, ' ')
+	}
 
 	type cfgT struct {
 		width    int
 		compress bool
 		rtt      time.Duration
+		codec    string
+		recs     int // records per map split
 	}
 	var grid []cfgT
 	for _, rtt := range []time.Duration{0, *shufRTT} {
 		for _, compress := range []bool{false, true} {
 			for _, width := range []int{1, 8} {
-				grid = append(grid, cfgT{width, compress, rtt})
+				grid = append(grid, cfgT{width, compress, rtt, "", recsPerMap})
 			}
+		}
+	}
+	// Codec sweep: the block data plane under each registered codec, at
+	// sequential and parallel fetch widths, no simulated RTT, and a 20x
+	// record volume so codec CPU rises above scheduling noise.
+	for _, name := range []string{wirecodec.IdentityName, wirecodec.DeflateName, wirecodec.LZName} {
+		for _, width := range []int{1, 8} {
+			grid = append(grid, cfgT{width, false, 0, name, 20 * recsPerMap})
 		}
 	}
 
@@ -727,19 +746,23 @@ func expShuffle() error {
 	type rowT struct {
 		Prefetch         int     `json:"prefetch"`
 		Compress         bool    `json:"compress"`
+		Codec            string  `json:"codec"`
+		RecsPerMap       int     `json:"records_per_map"`
 		RTTMeanMS        float64 `json:"rtt_mean_ms"`
 		WallMS           float64 `json:"wall_ms"`
+		CPUMS            float64 `json:"cpu_ms"`
 		ReduceShuffleMS  float64 `json:"reduce_shuffle_ms_total"`
 		ShufflePerTaskMS float64 `json:"reduce_shuffle_ms_per_task"`
 		RawDirectBytes   int64   `json:"raw_direct_bytes"`
 		WireDirectBytes  int64   `json:"wire_direct_bytes"`
+		CodecWireBytes   int64   `json:"codec_wire_bytes"`
 	}
 	var rows []rowT
 
 	fmt.Printf("M=%d map splits, R=%d reduce splits, %d records/map, %d slaves\n\n",
 		mapSplits, reduceSplits, recsPerMap, *slaves)
-	fmt.Printf("%-9s %-9s %-8s %12s %16s %14s %12s %12s\n",
-		"prefetch", "compress", "rtt", "wall", "shuffle(total)", "shuffle/task", "raw-bytes", "wire-bytes")
+	fmt.Printf("%-9s %-9s %-9s %-8s %12s %10s %16s %12s %12s\n",
+		"prefetch", "compress", "codec", "rtt", "wall", "cpu", "shuffle(total)", "raw-bytes", "wire-bytes")
 	for _, cfg := range grid {
 		var inj *fault.Injector
 		if cfg.rtt > 0 {
@@ -748,10 +771,11 @@ func expShuffle() error {
 			inj = fault.New(fault.Config{Seed: 7, DelayRate: 1, MaxDelay: 2 * cfg.rtt})
 		}
 		rt := obs.New(nil)
-		c, err := cluster.Start(shuffleRegistry(recsPerMap), cluster.Options{
+		c, err := cluster.Start(shuffleRegistry(cfg.recs), cluster.Options{
 			Slaves:   *slaves,
 			Prefetch: cfg.width,
 			Compress: cfg.compress,
+			Codec:    cfg.codec,
 			Chaos:    inj,
 			Obs:      rt,
 		})
@@ -764,11 +788,13 @@ func expShuffle() error {
 			return err
 		}
 		start := time.Now()
+		cpuBefore := processCPU()
 		out, err := job.MapReduce(src, "fan", "count",
 			core.OpOpts{Splits: mapSplits}, core.OpOpts{Splits: reduceSplits})
 		if err == nil {
 			_, err = out.Collect()
 		}
+		cpuUsed := processCPU() - cpuBefore
 		wall := time.Since(start)
 		stats := job.Stats()
 		job.Close()
@@ -789,19 +815,29 @@ func expShuffle() error {
 		row := rowT{
 			Prefetch:        cfg.width,
 			Compress:        cfg.compress,
+			Codec:           cfg.codec,
+			RecsPerMap:      cfg.recs,
 			RTTMeanMS:       float64(cfg.rtt) / float64(time.Millisecond),
 			WallMS:          float64(wall) / float64(time.Millisecond),
+			CPUMS:           float64(cpuUsed) / float64(time.Millisecond),
 			ReduceShuffleMS: float64(shuffleNS) / float64(time.Millisecond),
 			RawDirectBytes:  snap[obs.MetricShuffleBytesDirect],
 			WireDirectBytes: snap[obs.MetricWireBytesDirect],
+		}
+		if cfg.codec != "" {
+			row.CodecWireBytes = snap[obs.MetricWireBytesCodec(cfg.codec)]
 		}
 		if tasks > 0 {
 			row.ShufflePerTaskMS = row.ReduceShuffleMS / float64(tasks)
 		}
 		rows = append(rows, row)
-		fmt.Printf("%-9d %-9v %-8s %12s %15.1fms %13.1fms %12d %12d\n",
-			cfg.width, cfg.compress, cfg.rtt,
-			wall.Round(time.Millisecond), row.ReduceShuffleMS, row.ShufflePerTaskMS,
+		codecLabel := cfg.codec
+		if codecLabel == "" {
+			codecLabel = "-"
+		}
+		fmt.Printf("%-9d %-9v %-9s %-8s %12s %8.1fms %15.1fms %12d %12d\n",
+			cfg.width, cfg.compress, codecLabel, cfg.rtt,
+			wall.Round(time.Millisecond), row.CPUMS, row.ReduceShuffleMS,
 			row.RawDirectBytes, row.WireDirectBytes)
 	}
 
@@ -828,17 +864,41 @@ func expShuffle() error {
 	fmt.Printf("\nprefetch speedup (shuffle time, width 8 vs 1, rtt %s): %.2fx\n", *shufRTT, speedup)
 	fmt.Printf("wire compression saving (direct path): %.1f%%\n", saving)
 
+	// Codec headline: lz vs deflate, summed over both widths. The point
+	// of the in-repo LZ codec is cheaper CPU at comparable wire savings.
+	codecSum := func(name string) (cpu, wall float64, wire int64) {
+		for _, r := range rows {
+			if r.Codec == name {
+				cpu += r.CPUMS
+				wall += r.WallMS
+				wire += r.WireDirectBytes
+			}
+		}
+		return
+	}
+	lzCPU, lzWall, lzWire := codecSum(wirecodec.LZName)
+	dfCPU, dfWall, dfWire := codecSum(wirecodec.DeflateName)
+	cpuRatio := 0.0
+	if lzCPU > 0 {
+		cpuRatio = dfCPU / lzCPU
+	}
+	fmt.Printf("codec sweep: lz cpu %.1fms wall %.1fms wire %d | deflate cpu %.1fms wall %.1fms wire %d | deflate/lz cpu %.2fx\n",
+		lzCPU, lzWall, lzWire, dfCPU, dfWall, dfWire, cpuRatio)
+
 	if *shufJSON != "" {
 		blob, err := json.MarshalIndent(map[string]any{
-			"experiment":       "shuffle",
-			"slaves":           *slaves,
-			"map_splits":       mapSplits,
-			"reduce_splits":    reduceSplits,
-			"records_per_map":  recsPerMap,
-			"rtt_mean_ms":      float64(*shufRTT) / float64(time.Millisecond),
-			"rows":             rows,
-			"prefetch_speedup": speedup,
-			"wire_saving_pct":  saving,
+			"experiment":        "shuffle",
+			"slaves":            *slaves,
+			"map_splits":        mapSplits,
+			"reduce_splits":     reduceSplits,
+			"records_per_map":   recsPerMap,
+			"rtt_mean_ms":       float64(*shufRTT) / float64(time.Millisecond),
+			"rows":              rows,
+			"prefetch_speedup":  speedup,
+			"wire_saving_pct":   saving,
+			"codec_cpu_ms":      map[string]float64{"lz": lzCPU, "deflate": dfCPU},
+			"codec_wall_ms":     map[string]float64{"lz": lzWall, "deflate": dfWall},
+			"lz_vs_deflate_cpu": cpuRatio,
 		}, "", "  ")
 		if err != nil {
 			return err
@@ -851,16 +911,17 @@ func expShuffle() error {
 	var csvRows [][]string
 	for _, r := range rows {
 		csvRows = append(csvRows, []string{
-			strconv.Itoa(r.Prefetch), strconv.FormatBool(r.Compress),
+			strconv.Itoa(r.Prefetch), strconv.FormatBool(r.Compress), r.Codec,
 			strconv.FormatFloat(r.RTTMeanMS, 'g', 4, 64),
 			strconv.FormatFloat(r.WallMS, 'g', 6, 64),
+			strconv.FormatFloat(r.CPUMS, 'g', 6, 64),
 			strconv.FormatFloat(r.ReduceShuffleMS, 'g', 6, 64),
 			strconv.FormatInt(r.RawDirectBytes, 10),
 			strconv.FormatInt(r.WireDirectBytes, 10),
 		})
 	}
 	return writeCSV("shuffle", []string{
-		"prefetch", "compress", "rtt_ms", "wall_ms", "reduce_shuffle_ms", "raw_bytes", "wire_bytes",
+		"prefetch", "compress", "codec", "rtt_ms", "wall_ms", "cpu_ms", "reduce_shuffle_ms", "raw_bytes", "wire_bytes",
 	}, csvRows)
 }
 

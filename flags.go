@@ -36,6 +36,10 @@ func BindFlags(fs *flag.FlagSet) *Options {
 		"input-fetch window per task (0 = default, 1 = sequential streaming)")
 	fs.BoolVar(&o.Compress, "mrs-compress", false,
 		"store and serve intermediate buckets flate-compressed")
+	fs.StringVar(&o.Codec, "mrs-codec", "",
+		"block data-plane codec: identity|deflate|lz (empty = legacy per-record framing)")
+	fs.IntVar(&o.BlockSize, "mrs-block-size", 0,
+		"record-block flush threshold in bytes (0 = default 64 KiB)")
 	return o
 }
 

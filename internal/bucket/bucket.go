@@ -16,7 +16,6 @@ package bucket
 
 import (
 	"bytes"
-	"compress/flate"
 	"fmt"
 	"io"
 	"net/http"
@@ -31,13 +30,22 @@ import (
 	"repro/internal/hash"
 	"repro/internal/kvio"
 	"repro/internal/obs"
+	"repro/internal/wirecodec"
 )
 
-// CompressExt marks a bucket file stored flate-compressed. The suffix
-// makes compressed buckets self-describing: any reader that sees it
-// (local open, file:// URL, the data server) knows to decompress, so
-// producers and consumers need not agree on configuration.
+// CompressExt marks a bucket file stored whole-stream flate-compressed
+// in the legacy (pre-block) at-rest form. The suffix makes compressed
+// buckets self-describing: any reader that sees it (local open, file://
+// URL, the data server) knows to decompress, so producers and consumers
+// need not agree on configuration.
 const CompressExt = ".fz"
+
+// BlockExt marks a bucket file stored in kvio block framing. The full
+// at-rest suffix is BlockExt plus the block codec's extension —
+// ".mrb" (identity blocks), ".mrb.fz" (deflate blocks), ".mrb.lz" —
+// so the data server knows the at-rest codec without opening the file
+// and can serve it verbatim to a client that accepts that codec.
+const BlockExt = ".mrb"
 
 // Descriptor identifies a finished bucket.
 type Descriptor struct {
@@ -62,11 +70,13 @@ type Store struct {
 	dir     string // if non-empty, buckets are files under dir
 	baseURL string // if non-empty, file buckets advertise baseURL/<name>
 
-	mu       sync.Mutex
-	mem      map[string][]byte // record-stream payloads for mem buckets
-	client   *http.Client      // overrides the shared fetch client (fault injection)
-	compress bool              // write new file buckets flate-compressed
-	metrics  *obs.Metrics      // wire-byte counters (nil-safe)
+	mu        sync.Mutex
+	mem       map[string][]byte // record-stream payloads for mem buckets
+	client    *http.Client      // overrides the shared fetch client (fault injection)
+	compress  bool              // write new file buckets legacy flate-compressed
+	codec     wirecodec.Codec   // if set, write new file buckets block-framed with this codec
+	blockSize int               // target uncompressed bytes per block (0 = kvio default)
+	metrics   *obs.Metrics      // wire-byte counters (nil-safe)
 }
 
 // NewMemStore returns a Store that keeps buckets in memory. Its
@@ -119,14 +129,50 @@ func (s *Store) CloseIdle() {
 	s.fetchClient().CloseIdleConnections()
 }
 
-// SetCompress controls whether new file buckets are written
-// flate-compressed (mem buckets never are — they never leave the
-// process). Already-written buckets are unaffected; readers handle
-// both forms regardless of this setting.
+// SetCompress controls whether new file buckets are written in the
+// legacy whole-stream flate form (mem buckets never are — they never
+// leave the process). Already-written buckets are unaffected; readers
+// handle every at-rest form regardless of this setting. SetCodec
+// supersedes this: when a block codec is set it wins.
 func (s *Store) SetCompress(on bool) {
 	s.mu.Lock()
 	s.compress = on
 	s.mu.Unlock()
+}
+
+// SetCodec switches new file buckets to kvio block framing with the
+// named registered codec ("identity", "deflate", "lz"). An empty name
+// reverts to the legacy per-record forms. Mem buckets are unaffected:
+// they never leave the process, so framing buys them nothing.
+func (s *Store) SetCodec(name string) error {
+	if name == "" {
+		s.mu.Lock()
+		s.codec = nil
+		s.mu.Unlock()
+		return nil
+	}
+	c, ok := wirecodec.Lookup(name)
+	if !ok {
+		return fmt.Errorf("bucket: unknown codec %q (have %s)", name, strings.Join(wirecodec.Names(), ", "))
+	}
+	s.mu.Lock()
+	s.codec = c
+	s.mu.Unlock()
+	return nil
+}
+
+// SetBlockSize sets the target uncompressed payload per block for new
+// block-framed buckets; 0 restores the kvio default.
+func (s *Store) SetBlockSize(n int) {
+	s.mu.Lock()
+	s.blockSize = n
+	s.mu.Unlock()
+}
+
+func (s *Store) codecOn() (wirecodec.Codec, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.codec, s.blockSize
 }
 
 // SetMetrics wires the registry that receives the store's wire-byte
@@ -152,42 +198,46 @@ func (s *Store) wireCounter(metric string) *obs.Counter {
 	return m.Counter(metric)
 }
 
+// counting wraps rc so every wire byte lands in the per-path counter
+// and in the per-codec counter for codecName.
+func (s *Store) counting(rc io.ReadCloser, pathMetric, codecName string) io.ReadCloser {
+	return &countingReadCloser{
+		rc: rc,
+		c:  s.wireCounter(pathMetric),
+		c2: s.wireCounter(obs.MetricWireBytesCodec(codecName)),
+	}
+}
+
+// fileCodecName classifies an at-rest file path by the codec its wire
+// bytes are compressed with, for the per-codec counters.
+func fileCodecName(path string) string {
+	if i := strings.Index(path, BlockExt); i >= 0 {
+		ext := path[i+len(BlockExt):]
+		for _, name := range wirecodec.Names() {
+			if c, _ := wirecodec.Lookup(name); c.Ext() == ext {
+				return name
+			}
+		}
+		return wirecodec.IdentityName
+	}
+	if strings.HasSuffix(path, CompressExt) {
+		return wirecodec.DeflateName
+	}
+	return wirecodec.IdentityName
+}
+
 // InMemory reports whether this store keeps buckets in memory.
 func (s *Store) InMemory() bool { return s.dir == "" }
 
-// flate writers and readers carry megabyte-scale dictionaries and
-// tables whose initialization dwarfs the compression work for typical
-// bucket sizes, so both are pooled and Reset between buckets.
-var (
-	flateWriterPool sync.Pool
-	flateReaderPool sync.Pool
-)
-
-func newFlateWriter(dst io.Writer) *flate.Writer {
-	if v := flateWriterPool.Get(); v != nil {
-		fw := v.(*flate.Writer)
-		fw.Reset(dst)
-		return fw
+// deflateCodec returns the registry's deflate codec, which owns the
+// pooled flate state the legacy ".fz" at-rest form is built on.
+func deflateCodec() wirecodec.Codec {
+	c, ok := wirecodec.Lookup(wirecodec.DeflateName)
+	if !ok {
+		panic("wirecodec: deflate not registered")
 	}
-	// BestSpeed: shuffle data is written once and read once; cheap
-	// compression that halves the wire beats a better ratio that stalls
-	// the producer. The error is impossible for a valid level.
-	fw, _ := flate.NewWriter(dst, flate.BestSpeed)
-	return fw
+	return c
 }
-
-func putFlateWriter(fw *flate.Writer) { flateWriterPool.Put(fw) }
-
-func newFlateReader(src io.Reader) io.ReadCloser {
-	if v := flateReaderPool.Get(); v != nil {
-		fr := v.(io.ReadCloser)
-		fr.(flate.Resetter).Reset(src, nil)
-		return fr
-	}
-	return flate.NewReader(src)
-}
-
-func putFlateReader(fr io.ReadCloser) { flateReaderPool.Put(fr) }
 
 // Writer accumulates one bucket's records.
 type Writer struct {
@@ -203,17 +253,19 @@ type Writer struct {
 	f    *os.File
 	tmp  string
 	path string
-	fw   *flate.Writer // compression layer between records and f, if on
+	cw   io.WriteCloser // legacy compression layer between records and f, if on
 
-	w      *kvio.Writer
+	w      *kvio.Writer      // legacy per-record framing
+	bw     *kvio.BlockWriter // block framing (when the store has a codec)
 	closed bool
 }
 
 // Create starts a new bucket with the given store-relative name. Name
-// components are sanitized into a flat, safe file name. When the store
-// compresses, the file is written through flate and published with the
-// CompressExt suffix; record counts and payload bytes in the descriptor
-// are always pre-compression.
+// components are sanitized into a flat, safe file name. With a block
+// codec set the file is written block-framed and published with the
+// BlockExt+codec suffix; with legacy compression on it is written
+// through whole-stream flate under CompressExt. Record counts and
+// payload bytes in the descriptor are always pre-compression.
 func (s *Store) Create(name string) (*Writer, error) {
 	if name == "" {
 		return nil, fmt.Errorf("bucket: empty bucket name")
@@ -228,10 +280,13 @@ func (s *Store) Create(name string) (*Writer, error) {
 		return nil, fmt.Errorf("bucket: creating %s: %w", path, err)
 	}
 	w := &Writer{store: s, name: name, f: f, tmp: f.Name(), path: path}
-	if s.compressOn() {
+	if c, blockSize := s.codecOn(); c != nil {
+		w.path += BlockExt + c.Ext()
+		w.bw = kvio.NewBlockWriter(f, c, blockSize)
+	} else if s.compressOn() {
 		w.path += CompressExt
-		w.fw = newFlateWriter(f)
-		w.w = kvio.NewWriter(w.fw)
+		w.cw = deflateCodec().NewWriter(f)
+		w.w = kvio.NewWriter(w.cw)
 	} else {
 		w.w = kvio.NewWriter(f)
 	}
@@ -242,6 +297,9 @@ func (s *Store) Create(name string) (*Writer, error) {
 func (w *Writer) Write(p kvio.Pair) error {
 	if w.closed {
 		return fmt.Errorf("bucket: write after close")
+	}
+	if w.bw != nil {
+		return w.bw.Write(p)
 	}
 	return w.w.Write(p)
 }
@@ -257,15 +315,23 @@ func (w *Writer) Close() (Descriptor, error) {
 		return Descriptor{}, fmt.Errorf("bucket: double close")
 	}
 	w.closed = true
-	d := Descriptor{Name: w.name, Records: w.w.Count(), Bytes: w.w.Bytes()}
-	err := w.w.Flush()
-	w.w.Release()
-	if w.fw != nil {
-		if cerr := w.fw.Close(); err == nil {
-			err = cerr // flushes the final flate block
+	var (
+		d   Descriptor
+		err error
+	)
+	if w.bw != nil {
+		d = Descriptor{Name: w.name, Records: w.bw.Count(), Bytes: w.bw.Bytes()}
+		err = w.bw.Close()
+	} else {
+		d = Descriptor{Name: w.name, Records: w.w.Count(), Bytes: w.w.Bytes()}
+		err = w.w.Flush()
+		w.w.Release()
+		if w.cw != nil {
+			if cerr := w.cw.Close(); err == nil {
+				err = cerr // flushes the final flate block, recycles pooled state
+			}
+			w.cw = nil
 		}
-		putFlateWriter(w.fw)
-		w.fw = nil
 	}
 	if err != nil {
 		if w.f != nil {
@@ -323,17 +389,32 @@ func (s *Store) Remove(name string) error {
 		s.mu.Unlock()
 		return nil
 	}
-	// A bucket may exist in either at-rest form depending on the
-	// compression setting when it was written; remove both.
+	// A bucket may exist in any at-rest form depending on the codec and
+	// compression settings when it was written; remove every variant.
 	path := filepath.Join(s.dir, flatten(name))
 	err := os.Remove(path)
-	if ferr := os.Remove(path + CompressExt); err != nil && ferr == nil {
-		err = nil
+	for _, suffix := range atRestSuffixes() {
+		if ferr := os.Remove(path + suffix); err != nil && ferr == nil {
+			err = nil
+		}
 	}
 	if os.IsNotExist(err) {
 		return nil
 	}
 	return err
+}
+
+// atRestSuffixes lists every non-plain at-rest suffix a bucket file can
+// carry: one block form per registered codec, plus the legacy flate
+// form.
+func atRestSuffixes() []string {
+	names := wirecodec.Names()
+	out := make([]string, 0, len(names)+1)
+	for _, name := range names {
+		c, _ := wirecodec.Lookup(name)
+		out = append(out, BlockExt+c.Ext())
+	}
+	return append(out, CompressExt)
 }
 
 // RemoveJob deletes every local bucket in one job's namespace (names
@@ -378,8 +459,37 @@ func (s *Store) RemoveJob(job int64) (int, error) {
 	return n, firstErr
 }
 
+// atRest describes one resolved at-rest bucket file.
+type atRest struct {
+	path        string
+	blockCodec  wirecodec.Codec // non-nil: block-framed file, blocks under this codec
+	legacyFlate bool            // legacy whole-stream flate file
+}
+
+// resolveAtRest finds which at-rest form exists for the plain path:
+// the plain legacy file, a block file (any registered codec's suffix),
+// or the legacy flate file.
+func resolveAtRest(path string) (atRest, error) {
+	if _, err := os.Stat(path); err == nil {
+		return atRest{path: path}, nil
+	}
+	for _, name := range wirecodec.Names() {
+		c, _ := wirecodec.Lookup(name)
+		p := path + BlockExt + c.Ext()
+		if _, err := os.Stat(p); err == nil {
+			return atRest{path: p, blockCodec: c}, nil
+		}
+	}
+	if _, err := os.Stat(path + CompressExt); err == nil {
+		return atRest{path: path + CompressExt, legacyFlate: true}, nil
+	}
+	return atRest{}, fmt.Errorf("bucket: %s: %w", path, os.ErrNotExist)
+}
+
 // OpenLocal returns a reader for a bucket created by this store,
-// decompressing the at-rest form if needed.
+// undoing any whole-stream compression. Block-framed files come back
+// verbatim — block compression lives inside the framing and the stream
+// is self-describing, so record consumers go through kvio.NewAnyReader.
 func (s *Store) OpenLocal(name string) (io.ReadCloser, error) {
 	if s.dir == "" {
 		s.mu.Lock()
@@ -390,16 +500,18 @@ func (s *Store) OpenLocal(name string) (io.ReadCloser, error) {
 		}
 		return io.NopCloser(bytes.NewReader(data)), nil
 	}
-	path := filepath.Join(s.dir, flatten(name))
-	f, err := os.Open(path)
-	if err == nil {
-		return f, nil
+	ar, err := resolveAtRest(filepath.Join(s.dir, flatten(name)))
+	if err != nil {
+		return nil, err
 	}
-	fz, ferr := os.Open(path + CompressExt)
-	if ferr != nil {
-		return nil, err // report the plain-path error
+	f, err := os.Open(ar.path)
+	if err != nil {
+		return nil, err
 	}
-	return &flateReadCloser{r: newFlateReader(fz), under: fz}, nil
+	if ar.legacyFlate {
+		return &drainReadCloser{r: deflateCodec().NewReader(f), under: f}, nil
+	}
+	return f, nil
 }
 
 // ServeName maps an escaped bucket file name (as it appears in an http
@@ -449,10 +561,12 @@ var httpClient = &http.Client{Timeout: HTTPTimeout, Transport: DefaultTransport}
 // Open resolves a bucket URL. mem: URLs must belong to this store;
 // file:// URLs are opened directly; http:// URLs are fetched with
 // bounded retries (transient fetch failures are expected during slave
-// churn and must not kill a reduce task immediately). Compressed
-// buckets (CompressExt suffix or a deflate Content-Encoding) are
-// transparently decompressed; wire-byte counters see the compressed
-// size, record consumers the decoded size.
+// churn and must not kill a reduce task immediately). Whole-stream
+// compression (a legacy CompressExt suffix or a deflate
+// Content-Encoding) is transparently undone; block-framed streams come
+// back verbatim — their compression lives inside the framing, which
+// kvio.NewAnyReader decodes — so wire-byte counters see the compressed
+// size either way and record consumers the decoded size.
 func (s *Store) Open(rawURL string) (io.ReadCloser, error) {
 	switch {
 	case strings.HasPrefix(rawURL, "mem:"):
@@ -466,13 +580,16 @@ func (s *Store) Open(rawURL string) (io.ReadCloser, error) {
 		}
 		return s.OpenLocal(rest[slash+1:])
 	case strings.HasPrefix(rawURL, "file://"):
-		f, err := os.Open(strings.TrimPrefix(rawURL, "file://"))
+		path := strings.TrimPrefix(rawURL, "file://")
+		f, err := os.Open(path)
 		if err != nil {
 			return nil, err
 		}
-		var rc io.ReadCloser = &countingReadCloser{rc: f, c: s.wireCounter(obs.MetricWireBytesShared)}
-		if strings.HasSuffix(rawURL, CompressExt) {
-			rc = &flateReadCloser{r: newFlateReader(rc), under: rc}
+		rc := s.counting(f, obs.MetricWireBytesShared, fileCodecName(path))
+		// ".mrb.fz" ends in ".fz" too, but block files carry no outer
+		// compression layer — only a bare CompressExt means legacy flate.
+		if !strings.Contains(path, BlockExt) && strings.HasSuffix(path, CompressExt) {
+			return &drainReadCloser{r: deflateCodec().NewReader(rc), under: rc}, nil
 		}
 		return rc, nil
 	case strings.HasPrefix(rawURL, "http://"), strings.HasPrefix(rawURL, "https://"):
@@ -499,8 +616,12 @@ func (s *Store) openHTTP(rawURL string) (io.ReadCloser, error) {
 		if err != nil {
 			return nil, err
 		}
-		// Advertise deflate so a compressing server can send its at-rest
-		// bytes verbatim. Servers that don't compress ignore this.
+		// Advertise every registered block codec so a block-serving peer
+		// can send (or cheaply transcode to) the best mutual one, and
+		// deflate so a legacy compressing server can send its at-rest
+		// bytes verbatim. Servers that know neither header ignore both
+		// and serve identity — the mixed-version fallback.
+		req.Header.Set(wirecodec.RequestHeader, wirecodec.AcceptHeader())
 		req.Header.Set("Accept-Encoding", "deflate")
 		resp, err := client.Do(req)
 		if err != nil {
@@ -517,40 +638,55 @@ func (s *Store) openHTTP(rawURL string) (io.ReadCloser, error) {
 			}
 			continue
 		}
-		var rc io.ReadCloser = &countingReadCloser{rc: resp.Body, c: s.wireCounter(obs.MetricWireBytesDirect)}
-		if resp.Header.Get("Content-Encoding") == "deflate" {
-			rc = &flateReadCloser{r: newFlateReader(rc), under: rc}
+		// Per-codec accounting: a block response names its codec in
+		// CodecHeader; a legacy response is deflate or identity per
+		// Content-Encoding.
+		codecName := resp.Header.Get(wirecodec.CodecHeader)
+		deflated := resp.Header.Get("Content-Encoding") == "deflate"
+		if codecName == "" {
+			codecName = wirecodec.IdentityName
+			if deflated {
+				codecName = wirecodec.DeflateName
+			}
+		}
+		rc := s.counting(resp.Body, obs.MetricWireBytesDirect, codecName)
+		if deflated {
+			return &drainReadCloser{r: deflateCodec().NewReader(rc), under: rc}, nil
 		}
 		return rc, nil
 	}
 	return nil, lastErr
 }
 
-// countingReadCloser adds every byte read to a wire counter.
+// countingReadCloser adds every byte read to up to two wire counters
+// (the per-path total and the per-codec split).
 type countingReadCloser struct {
 	rc io.ReadCloser
 	c  *obs.Counter
+	c2 *obs.Counter
 }
 
 func (c *countingReadCloser) Read(p []byte) (int, error) {
 	n, err := c.rc.Read(p)
 	if n > 0 {
 		c.c.Add(int64(n))
+		c.c2.Add(int64(n))
 	}
 	return n, err
 }
 
 func (c *countingReadCloser) Close() error { return c.rc.Close() }
 
-// flateReadCloser decompresses a stream and closes both layers.
-type flateReadCloser struct {
-	r     io.ReadCloser // the flate layer
+// drainReadCloser decompresses a whole-stream codec layer and closes
+// both layers.
+type drainReadCloser struct {
+	r     io.ReadCloser // the codec layer
 	under io.ReadCloser
 }
 
-func (f *flateReadCloser) Read(p []byte) (int, error) { return f.r.Read(p) }
+func (f *drainReadCloser) Read(p []byte) (int, error) { return f.r.Read(p) }
 
-func (f *flateReadCloser) Close() error {
+func (f *drainReadCloser) Close() error {
 	// flate knows the stream ended from the final-block bit without ever
 	// observing the underlying reader's EOF, so an HTTP response body
 	// would look partially read and the connection would be torn down
@@ -558,8 +694,7 @@ func (f *flateReadCloser) Close() error {
 	// zero) remainder so the transport sees EOF and reuses the socket.
 	io.CopyN(io.Discard, f.under, 512)
 	if f.r != nil {
-		f.r.Close()
-		putFlateReader(f.r)
+		f.r.Close() // recycles the codec's pooled state
 		f.r = nil
 	}
 	return f.under.Close()
@@ -606,16 +741,35 @@ func acceptsDeflate(r *http.Request) bool {
 }
 
 // ServeBucket writes the bucket file at path (as resolved by ServeName)
-// to an HTTP response, handling the compressed at-rest variant: if the
-// client accepts deflate the compressed bytes are sent verbatim with
-// Content-Encoding set (wire compression at zero CPU cost), otherwise
-// the server decompresses into the response.
+// to an HTTP response, negotiating the wire form per at-rest variant:
+//
+//   - plain legacy file: served verbatim (every client reads it).
+//   - legacy flate file: verbatim with Content-Encoding: deflate when
+//     the client accepts deflate (zero-CPU wire compression), otherwise
+//     decompressed into the response.
+//   - block file: verbatim with CodecHeader set when the client's
+//     advertised codec list (RequestHeader) includes the at-rest codec;
+//     transcoded block-to-block to the best mutual codec otherwise
+//     (identity fallback — a client advertising only unknown codecs
+//     still gets blocks it can decode); flattened to a legacy record
+//     stream for clients that sent no codec advertisement at all,
+//     deflate-wrapped when they accept it. Mixed-version fleets always
+//     land on a form both sides speak.
 func ServeBucket(w http.ResponseWriter, r *http.Request, path string) {
-	if _, err := os.Stat(path); err == nil {
-		http.ServeFile(w, r, path)
+	ar, err := resolveAtRest(path)
+	if err != nil {
+		http.NotFound(w, r)
 		return
 	}
-	f, err := os.Open(path + CompressExt)
+	if ar.blockCodec != nil {
+		serveBlockBucket(w, r, ar)
+		return
+	}
+	if !ar.legacyFlate {
+		http.ServeFile(w, r, ar.path)
+		return
+	}
+	f, err := os.Open(ar.path)
 	if err != nil {
 		http.NotFound(w, r)
 		return
@@ -629,10 +783,49 @@ func ServeBucket(w http.ResponseWriter, r *http.Request, path string) {
 		io.Copy(w, f)
 		return
 	}
-	fr := newFlateReader(f)
+	fr := deflateCodec().NewReader(f)
 	io.Copy(w, fr)
 	fr.Close()
-	putFlateReader(fr)
+}
+
+// serveBlockBucket serves one block-framed at-rest file, picking the
+// wire form the client can decode.
+func serveBlockBucket(w http.ResponseWriter, r *http.Request, ar atRest) {
+	f, err := os.Open(ar.path)
+	if err != nil {
+		http.NotFound(w, r)
+		return
+	}
+	defer f.Close()
+	accepted := wirecodec.ParseAccept(r.Header.Get(wirecodec.RequestHeader))
+	switch {
+	case wirecodec.Accepts(accepted, ar.blockCodec.Name()):
+		// Best case: the at-rest bytes are already in a codec the client
+		// decodes — send them verbatim, zero compression CPU.
+		w.Header().Set(wirecodec.CodecHeader, ar.blockCodec.Name())
+		if fi, err := f.Stat(); err == nil {
+			w.Header().Set("Content-Length", fmt.Sprint(fi.Size()))
+		}
+		io.Copy(w, f)
+	case len(accepted) > 0:
+		// A block-capable client that can't decode the at-rest codec:
+		// transcode block-to-block into the best mutual codec. Unknown
+		// advertised names fall through to identity inside Negotiate, so
+		// this arm is also the forward-compatibility path.
+		to := wirecodec.Negotiate(accepted)
+		w.Header().Set(wirecodec.CodecHeader, to.Name())
+		kvio.TranscodeBlocks(w, f, to)
+	case acceptsDeflate(r):
+		// Pre-block client that speaks the legacy deflate negotiation:
+		// flatten blocks to a record stream under Content-Encoding.
+		w.Header().Set("Content-Encoding", "deflate")
+		cw := deflateCodec().NewWriter(w)
+		kvio.TranscodeToRecords(cw, f)
+		cw.Close()
+	default:
+		// Identity legacy client.
+		kvio.TranscodeToRecords(w, f)
+	}
 }
 
 // ReadAll opens a URL and decodes every record. Remote fetches that die
@@ -650,7 +843,9 @@ func (s *Store) ReadAll(rawURL string) ([]kvio.Pair, error) {
 		if err != nil {
 			return nil, err // Open already retried transport errors
 		}
-		r := kvio.NewReader(rc)
+		// Sniffing reader: the stream may be either framing depending on
+		// the producer's codec setting and the server's negotiation.
+		r := kvio.NewAnyReader(rc)
 		pairs, err := r.ReadAll()
 		r.Release()
 		rc.Close()

@@ -56,6 +56,14 @@ type Options struct {
 	// Compress makes every node write (and therefore serve) its buckets
 	// flate-compressed.
 	Compress bool
+	// Codec selects the compression codec every node writes its
+	// block-framed buckets with ("identity", "deflate", "lz"; "" keeps
+	// the legacy per-record framing). When both Codec and Compress are
+	// set, Codec wins. Unknown names fail Start.
+	Codec string
+	// BlockSize overrides the record-block flush threshold in bytes
+	// (0 = default).
+	BlockSize int
 	// MaxConcurrentJobs bounds how many managed jobs the master runs at
 	// once (0 = master default). Jobs past the bound queue in
 	// submission order.
@@ -70,11 +78,13 @@ type Options struct {
 type Cluster struct {
 	M *master.Master
 
-	chaos    *fault.Injector
-	obs      *obs.Runtime
-	prefetch int
-	compress bool
-	slaveCon int
+	chaos     *fault.Injector
+	obs       *obs.Runtime
+	prefetch  int
+	compress  bool
+	codec     string
+	blockSize int
+	slaveCon  int
 
 	mopts      master.Options // as built by Start, for RestartMaster
 	masterAddr string         // concrete listen address of the first master
@@ -108,13 +118,15 @@ func Start(reg *core.Registry, opts Options) (*Cluster, error) {
 		TaskLease:         opts.TaskLease,
 		Obs:               opts.Obs,
 		Compress:          opts.Compress,
+		Codec:             opts.Codec,
+		BlockSize:         opts.BlockSize,
 		MaxConcurrentJobs: opts.MaxConcurrentJobs,
 	}
 	m, err := master.New(mopts)
 	if err != nil {
 		return nil, err
 	}
-	c := &Cluster{M: m, chaos: opts.Chaos, obs: opts.Obs, prefetch: opts.Prefetch, compress: opts.Compress, slaveCon: opts.SlaveConcurrency, mopts: mopts, masterAddr: m.Addr()}
+	c := &Cluster{M: m, chaos: opts.Chaos, obs: opts.Obs, prefetch: opts.Prefetch, compress: opts.Compress, codec: opts.Codec, blockSize: opts.BlockSize, slaveCon: opts.SlaveConcurrency, mopts: mopts, masterAddr: m.Addr()}
 	for i := 0; i < opts.Slaves; i++ {
 		if _, err := c.AddSlave(reg, opts.SharedDir); err != nil {
 			c.Close()
@@ -182,6 +194,8 @@ func (c *Cluster) AddSlave(reg *core.Registry, sharedDir string) (int, error) {
 		Obs:         c.obs,
 		Prefetch:    c.prefetch,
 		Compress:    c.compress,
+		Codec:       c.codec,
+		BlockSize:   c.blockSize,
 		Concurrency: c.slaveCon,
 	}
 	if c.chaos != nil {

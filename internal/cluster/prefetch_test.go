@@ -32,7 +32,14 @@ func prefetchInput() []kvio.Pair {
 // outputs are byte-comparable across configurations.
 func runShuffleJob(t *testing.T, c *Cluster, rt *obs.Runtime) []kvio.Pair {
 	t.Helper()
-	job := core.NewJobWith(c.Executor(), core.JobOptions{Pipeline: true, Obs: rt})
+	return runShuffleJobOn(t, c.Executor(), rt)
+}
+
+// runShuffleJobOn is the executor-generic form, so the same job can be
+// compared across serial, mock, and cluster modes.
+func runShuffleJobOn(t *testing.T, exec core.Executor, rt *obs.Runtime) []kvio.Pair {
+	t.Helper()
+	job := core.NewJobWith(exec, core.JobOptions{Pipeline: true, Obs: rt})
 	src, err := job.LocalData(prefetchInput(), core.OpOpts{Splits: 6, Partition: "roundrobin"})
 	if err != nil {
 		t.Fatal(err)

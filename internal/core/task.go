@@ -148,21 +148,27 @@ type inputStats struct {
 	readNS  int64
 }
 
-// timedReader wraps an input stream, charging each Read's wall time and
-// byte count to st. Granularity is one Read call (typically a bufio
-// fill, ~64 KiB), which keeps clock overhead negligible relative to the
-// I/O being measured.
+// timedReader wraps an input stream, charging each Read's wall time to
+// st. Granularity is one Read call (typically a bufio fill, ~64 KiB),
+// which keeps clock overhead negligible relative to the I/O being
+// measured. count adds stream bytes to st.bytes as well; it is set for
+// line-oriented formats, where the stream is the payload. KV formats
+// count decoded key+value payload at the record layer instead, so the
+// raw-byte stats stay framing- and codec-independent.
 type timedReader struct {
-	r   io.Reader
-	clk clock.Clock
-	st  *inputStats
+	r     io.Reader
+	clk   clock.Clock
+	st    *inputStats
+	count bool
 }
 
 func (t *timedReader) Read(p []byte) (int, error) {
 	begin := t.clk.Now()
 	n, err := t.r.Read(p)
 	t.st.readNS += t.clk.Now().Sub(begin).Nanoseconds()
-	t.st.bytes += int64(n)
+	if t.count {
+		t.st.bytes += int64(n)
+	}
 	return n, err
 }
 
@@ -339,10 +345,15 @@ func execReduceTask(env *TaskEnv, spec *TaskSpec, st *inputStats) (*TaskResult, 
 		Combine:    combine,
 	})
 	defer sorter.Close()
-	// Add copies into the sorter's arena, so the iterator's shared
-	// buffers can be handed over directly.
-	err = forEachInputRecord(env, spec, st, func(key, value []byte) error {
-		return sorter.Add(kvio.Pair{Key: key, Value: value})
+	// Legacy-framed inputs: Add copies into the sorter's arena, so the
+	// iterator's shared buffers can be handed over directly.
+	// Block-framed inputs: the whole decoded block is adopted by the
+	// sorter and records alias into it — one decode, zero copies.
+	err = forEachInput(env, spec, st, recordSink{
+		fn: func(key, value []byte) error {
+			return sorter.Add(kvio.Pair{Key: key, Value: value})
+		},
+		block: sorter.AddBlock,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: reduce task %d of ds%d (input): %w", spec.TaskIndex, op.Dataset, err)
@@ -402,19 +413,56 @@ func CombineAdapter(fn ReduceFunc) shuffle.CombineFunc {
 // so serial, threaded, and distributed runs remain byte-identical, and
 // the narrow-reduce alignment checks are untouched.
 func forEachInputRecord(env *TaskEnv, spec *TaskSpec, st *inputStats, fn func(key, value []byte) error) error {
-	counted := func(key, value []byte) error {
+	return forEachInput(env, spec, st, recordSink{fn: fn})
+}
+
+// recordSink is how a task consumes one input stream. fn receives every
+// record, with the usual shared-buffer lifetime. block, when non-nil
+// and the stream arrives block-framed, receives whole decoded record
+// blocks instead — ownership of the buffer transfers to the sink
+// (kvio.BlockReader.NextBlock's contract) and it returns the summed
+// key+value payload bytes it consumed. That is the zero-copy handoff
+// into the shuffle sorter; streams in any other framing fall back to
+// fn, so a sink always sees every record exactly once either way.
+type recordSink struct {
+	fn    func(key, value []byte) error
+	block func(block []byte, recs int) (int64, error)
+}
+
+// forEachInput streams every input split of the task into sink,
+// accounting records, payload bytes, and read-blocked time into st.
+func forEachInput(env *TaskEnv, spec *TaskSpec, st *inputStats, sink recordSink) error {
+	// KV streams count decoded key+value payload here at the record
+	// layer — identical across legacy framing, block framing, and every
+	// codec — while line formats count stream bytes in the timedReader.
+	countPayload := spec.InputFormat == "" || spec.InputFormat == FormatKV
+	inner := sink
+	sink.fn = func(key, value []byte) error {
 		st.records++
-		return fn(key, value)
+		if countPayload {
+			st.bytes += int64(len(key) + len(value))
+		}
+		return inner.fn(key, value)
+	}
+	if inner.block != nil {
+		sink.block = func(block []byte, recs int) (int64, error) {
+			n, err := inner.block(block, recs)
+			st.records += int64(recs)
+			if countPayload {
+				st.bytes += n
+			}
+			return n, err
+		}
 	}
 	clk := env.clk()
 	if w := env.prefetchWidth(); w > 1 && len(spec.InputURLs) > 1 && spec.InputFormat != FormatLinesRange {
-		return forEachInputRecordPrefetched(env, spec, st, counted, w)
+		return forEachInputPrefetched(env, spec, st, sink, w, countPayload)
 	}
 	for _, u := range spec.InputURLs {
 		if spec.InputFormat == FormatLinesRange {
 			// Ranged text inputs open their own file handle to seek;
 			// their bytes are charged to compute, not shuffle.
-			if err := forEachLineRange(u, counted); err != nil {
+			if err := forEachLineRange(u, sink.fn); err != nil {
 				return err
 			}
 			continue
@@ -429,8 +477,8 @@ func forEachInputRecord(env *TaskEnv, spec *TaskSpec, st *inputStats, fn func(ke
 			return fmt.Errorf("opening input %s: %w", u, err)
 		}
 		before := st.bytes
-		tr := &timedReader{r: rc, clk: clk, st: st}
-		ferr := forEachRecord(tr, spec.InputFormat, counted)
+		tr := &timedReader{r: rc, clk: clk, st: st, count: !countPayload}
+		ferr := consumeStream(tr, spec.InputFormat, sink)
 		cerr := rc.Close()
 		env.Obs.M().Add(shuffleMetric(u), st.bytes-before)
 		if ferr != nil {
@@ -450,7 +498,7 @@ type fetched struct {
 	err  error
 }
 
-// forEachInputRecordPrefetched is the parallel-fetch path: a window of
+// forEachInputPrefetched is the parallel-fetch path: a window of
 // width whole-bucket fetches is kept in flight, each delivering into
 // its own single-slot channel so results arrive in URL order. The time
 // spent waiting for bucket i (its fetch not yet complete) is charged to
@@ -460,7 +508,7 @@ type fetched struct {
 // and fault-injection hooks apply exactly as they do when streaming;
 // a fetch that dies mid-body is retried whole rather than surfacing a
 // truncated stream.
-func forEachInputRecordPrefetched(env *TaskEnv, spec *TaskSpec, st *inputStats, fn func(key, value []byte) error, width int) error {
+func forEachInputPrefetched(env *TaskEnv, spec *TaskSpec, st *inputStats, sink recordSink, width int, countPayload bool) error {
 	clk := env.clk()
 	urls := spec.InputURLs
 	results := make([]chan fetched, len(urls))
@@ -490,10 +538,10 @@ func forEachInputRecordPrefetched(env *TaskEnv, spec *TaskSpec, st *inputStats, 
 			return fmt.Errorf("opening input %s: %w", u, res.err)
 		}
 		before := st.bytes
-		// The timedReader keeps raw-byte accounting identical to the
-		// streaming path; reads from memory add ~nothing to readNS.
-		tr := &timedReader{r: bytes.NewReader(res.data), clk: clk, st: st}
-		ferr := forEachRecord(tr, spec.InputFormat, fn)
+		// The timedReader keeps accounting identical to the streaming
+		// path; reads from memory add ~nothing to readNS.
+		tr := &timedReader{r: bytes.NewReader(res.data), clk: clk, st: st, count: !countPayload}
+		ferr := consumeStream(tr, spec.InputFormat, sink)
 		env.Obs.M().Add(shuffleMetric(u), st.bytes-before)
 		if ferr != nil {
 			return ferr
@@ -502,24 +550,44 @@ func forEachInputRecordPrefetched(env *TaskEnv, spec *TaskSpec, st *inputStats, 
 	return nil
 }
 
-// forEachRecord dispatches one bucket stream to the format's iterator.
-func forEachRecord(r io.Reader, format string, fn func(key, value []byte) error) error {
+// consumeStream dispatches one bucket stream to the format's iterator.
+func consumeStream(r io.Reader, format string, sink recordSink) error {
 	switch format {
 	case "", FormatKV:
-		return forEachKVRecord(r, fn)
+		return consumeKVStream(r, sink)
 	case FormatLines:
-		return forEachLine(r, fn)
+		return forEachLine(r, sink.fn)
 	default:
 		return fmt.Errorf("core: unknown input format %q", format)
 	}
 }
 
-func forEachKVRecord(r io.Reader, fn func(key, value []byte) error) error {
-	kr := kvio.NewReader(r)
+// consumeKVStream reads a KV bucket stream in either framing — the
+// sniffing reader accepts legacy per-record streams and block streams
+// alike, so mixed-version inputs within one task are fine. When the
+// stream is block-framed and the sink takes blocks, whole decoded
+// blocks are handed over without touching individual records.
+func consumeKVStream(r io.Reader, sink recordSink) error {
+	kr := kvio.NewAnyReader(r)
 	defer kr.Release()
+	if br, ok := kr.(*kvio.BlockReader); ok && sink.block != nil {
+		for {
+			blk, recs, err := br.NextBlock()
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			if _, err := sink.block(blk, recs); err != nil {
+				return err
+			}
+		}
+	}
 	for {
-		// Records go through the reader's shared buffer: fn does not
-		// retain its arguments, and this halves per-record allocations.
+		// Records go through the reader's shared buffer: the sink does
+		// not retain its arguments, and this halves per-record
+		// allocations.
 		p, err := kr.ReadShared()
 		if err == io.EOF {
 			return nil
@@ -527,7 +595,7 @@ func forEachKVRecord(r io.Reader, fn func(key, value []byte) error) error {
 		if err != nil {
 			return err
 		}
-		if err := fn(p.Key, p.Value); err != nil {
+		if err := sink.fn(p.Key, p.Value); err != nil {
 			return err
 		}
 	}

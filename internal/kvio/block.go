@@ -1,0 +1,610 @@
+package kvio
+
+// Block framing: the batched record format that replaced per-record
+// wire framing. A block stream is
+//
+//	magic | block*
+//
+// where each block is
+//
+//	uvarint records      record count (0 allowed)
+//	uvarint rawLen       uncompressed payload bytes
+//	uvarint nameLen|name compression codec wire name (internal/wirecodec)
+//	uvarint payloadLen   stored payload bytes
+//	crc32   (4 bytes LE) IEEE CRC of the stored payload
+//	payload              codec-compressed record run
+//
+// and the payload decompresses to `records` records in the classic
+// per-record framing (uvarint keyLen|key|uvarint valueLen|value).
+// Compression and integrity checking run once per ~BlockSize bytes
+// instead of once per record, the header makes every block
+// self-describing (a reader needs no out-of-band codec agreement), and
+// a decoded block can be handed to the shuffle sorter as one arena slab
+// (Sorter.AddBlock) without copying record bytes again.
+//
+// The magic is chosen so no valid legacy stream can begin with it: its
+// first five bytes decode as a uvarint key length far above
+// MaxRecordLen, which legacy writers never produce and legacy readers
+// reject. NewAnyReader uses this to take byte streams of either framing
+// and pick the right reader, which is what keeps mixed-version fleets
+// and pre-block at-rest files readable.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/wirecodec"
+)
+
+// BlockMagic prefixes every block-framed stream.
+var BlockMagic = [6]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x1F, 0x01}
+
+// DefaultBlockSize is the target uncompressed payload per block.
+// 64 KiB amortizes codec and CRC setup over many records while keeping
+// the decode working set inside L2.
+const DefaultBlockSize = 64 << 10
+
+// MaxBlockLen bounds a single block's raw and stored payload,
+// protecting readers from corrupted or adversarial headers.
+const MaxBlockLen = 1 << 27
+
+// Block-framing errors. ErrBlockChecksum means the stored payload did
+// not match its header CRC; ErrBlockCorrupt covers every other
+// malformed-header or malformed-payload case.
+var (
+	ErrBlockChecksum = errors.New("kvio: block checksum mismatch")
+	ErrBlockCorrupt  = errors.New("kvio: corrupt block")
+)
+
+// ---------------------------------------------------------------------------
+// BlockWriter
+
+// BlockWriter serializes pairs into a block-framed stream. Records
+// accumulate uncompressed until the target block size is reached, then
+// the whole run is compressed, checksummed, and emitted as one block.
+// Close (or Flush) emits the final partial block.
+type BlockWriter struct {
+	w         io.Writer
+	codec     wirecodec.Codec
+	blockSize int
+
+	raw   []byte // pending records in per-record framing
+	recs  int    // records pending in raw
+	comp  bytes.Buffer
+	wrote bool // magic emitted
+
+	n     int64 // records written (total)
+	bytes int64 // payload bytes written (keys+values, no framing)
+	err   error
+}
+
+// NewBlockWriter returns a BlockWriter on w compressing each block with
+// codec (nil = identity). blockSize <= 0 selects DefaultBlockSize.
+func NewBlockWriter(w io.Writer, codec wirecodec.Codec, blockSize int) *BlockWriter {
+	if codec == nil {
+		codec = wirecodec.Identity()
+	}
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	return &BlockWriter{w: w, codec: codec, blockSize: blockSize, raw: make([]byte, 0, blockSize+1024)}
+}
+
+// Write appends one record to the pending block, emitting a block when
+// the target size is reached.
+func (w *BlockWriter) Write(p Pair) error {
+	if w.err != nil {
+		return w.err
+	}
+	w.raw = binary.AppendUvarint(w.raw, uint64(len(p.Key)))
+	w.raw = append(w.raw, p.Key...)
+	w.raw = binary.AppendUvarint(w.raw, uint64(len(p.Value)))
+	w.raw = append(w.raw, p.Value...)
+	w.recs++
+	w.n++
+	w.bytes += int64(len(p.Key) + len(p.Value))
+	if len(w.raw) >= w.blockSize {
+		w.err = w.emitBlock()
+	}
+	return w.err
+}
+
+// writeMagic emits the stream prefix once.
+func (w *BlockWriter) writeMagic() error {
+	if w.wrote {
+		return nil
+	}
+	w.wrote = true
+	_, err := w.w.Write(BlockMagic[:])
+	return err
+}
+
+// emit compresses, checksums, and writes one block of raw record bytes.
+func (w *BlockWriter) emit(raw []byte, recs int) error {
+	if err := w.writeMagic(); err != nil {
+		return err
+	}
+	if recs == 0 {
+		return nil
+	}
+	name := w.codec.Name()
+	payload := raw
+	if name != wirecodec.IdentityName {
+		w.comp.Reset()
+		cw := w.codec.NewWriter(&w.comp)
+		if _, err := cw.Write(raw); err != nil {
+			cw.Close()
+			return err
+		}
+		if err := cw.Close(); err != nil {
+			return err
+		}
+		payload = w.comp.Bytes()
+	}
+	var hdr [4*binary.MaxVarintLen64 + 64]byte
+	n := binary.PutUvarint(hdr[:], uint64(recs))
+	n += binary.PutUvarint(hdr[n:], uint64(len(raw)))
+	n += binary.PutUvarint(hdr[n:], uint64(len(name)))
+	n += copy(hdr[n:], name)
+	n += binary.PutUvarint(hdr[n:], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[n:], crc32.ChecksumIEEE(payload))
+	n += 4
+	if _, err := w.w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	_, err := w.w.Write(payload)
+	return err
+}
+
+// emitBlock writes the pending records as one block.
+func (w *BlockWriter) emitBlock() error {
+	err := w.emit(w.raw, w.recs)
+	w.raw = w.raw[:0]
+	w.recs = 0
+	return err
+}
+
+// WriteBlock emits a pre-framed record run (records in legacy framing,
+// e.g. a payload handed over by BlockReader.NextBlock) as one block,
+// flushing any pending per-record writes first so order is preserved.
+// This is the transcoding path: a server re-encoding an at-rest block
+// file under a different codec never parses individual records.
+func (w *BlockWriter) WriteBlock(payload []byte, recs int) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.err = w.emitBlock(); w.err != nil {
+		return w.err
+	}
+	if w.err = w.emit(payload, recs); w.err != nil {
+		return w.err
+	}
+	w.n += int64(recs)
+	w.bytes += int64(len(payload)) // includes record framing; close enough for accounting
+	return nil
+}
+
+// Flush emits the pending partial block (and the stream magic, so even
+// an empty stream is well-formed block framing).
+func (w *BlockWriter) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	w.err = w.emitBlock()
+	return w.err
+}
+
+// Close flushes; the writer must not be used afterwards.
+func (w *BlockWriter) Close() error {
+	return w.Flush()
+}
+
+// Count returns the number of records written so far.
+func (w *BlockWriter) Count() int64 { return w.n }
+
+// Bytes returns the payload bytes written so far (pre-compression).
+func (w *BlockWriter) Bytes() int64 { return w.bytes }
+
+// ---------------------------------------------------------------------------
+// BlockReader
+
+// BlockReader parses a block-framed stream. It verifies each block's
+// CRC before decompressing, resolves the block's codec from the
+// wirecodec registry, and serves records either one at a time (Read /
+// ReadShared) or a whole decoded block at once (NextBlock, the
+// zero-copy path into the shuffle sorter).
+type BlockReader struct {
+	br       *bufio.Reader
+	ownsBuf  bool // br came from the shared pool
+	block    []byte
+	off      int
+	recsLeft int
+	payload  []byte // compressed-payload scratch
+	n        int64
+	rawBytes int64
+	err      error
+}
+
+// NewBlockReader returns a BlockReader on r, consuming and verifying
+// the stream magic.
+func NewBlockReader(r io.Reader) (*BlockReader, error) {
+	br := readerPool.Get().(*bufio.Reader)
+	br.Reset(r)
+	got, err := br.Peek(len(BlockMagic))
+	if err != nil || !bytes.Equal(got, BlockMagic[:]) {
+		br.Reset(nil)
+		readerPool.Put(br)
+		if err != nil && err != io.EOF {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: missing block magic", ErrBlockCorrupt)
+	}
+	br.Discard(len(BlockMagic))
+	return &BlockReader{br: br, ownsBuf: true}, nil
+}
+
+// newBlockReaderAt wraps an existing bufio whose magic has already been
+// consumed; used by NewAnyReader after sniffing.
+func newBlockReaderAt(br *bufio.Reader, ownsBuf bool) *BlockReader {
+	return &BlockReader{br: br, ownsBuf: ownsBuf}
+}
+
+// Release returns pooled state. Safe to call more than once.
+func (r *BlockReader) Release() {
+	if r.br != nil && r.ownsBuf {
+		r.br.Reset(nil)
+		readerPool.Put(r.br)
+	}
+	r.br = nil
+	r.block = nil
+	r.payload = nil
+	if r.err == nil {
+		r.err = ErrReleased
+	}
+}
+
+// Count returns the number of records read so far.
+func (r *BlockReader) Count() int64 { return r.n }
+
+// RawBytes returns the decoded (pre-compression) payload bytes
+// consumed so far, including blocks handed off via NextBlock.
+func (r *BlockReader) RawBytes() int64 { return r.rawBytes }
+
+// readHeader parses one block header. An io.EOF before the first
+// header byte is the clean end of stream.
+func (r *BlockReader) readHeader() (recs, rawLen int, codec wirecodec.Codec, payloadLen int, crc uint32, err error) {
+	u := func(atStart bool) (int, error) {
+		v, uerr := binary.ReadUvarint(r.br)
+		if uerr != nil {
+			if uerr == io.EOF && !atStart {
+				return 0, io.ErrUnexpectedEOF
+			}
+			return 0, uerr
+		}
+		if v > MaxBlockLen {
+			return 0, fmt.Errorf("%w: length %d exceeds MaxBlockLen", ErrBlockCorrupt, v)
+		}
+		return int(v), nil
+	}
+	if recs, err = u(true); err != nil {
+		return
+	}
+	if rawLen, err = u(false); err != nil {
+		return
+	}
+	nameLen, err := u(false)
+	if err != nil {
+		return
+	}
+	if nameLen > 64 {
+		err = fmt.Errorf("%w: codec name length %d", ErrBlockCorrupt, nameLen)
+		return
+	}
+	var nameBuf [64]byte
+	if _, err = io.ReadFull(r.br, nameBuf[:nameLen]); err != nil {
+		err = noEOF(err)
+		return
+	}
+	name := string(nameBuf[:nameLen])
+	var ok bool
+	if codec, ok = wirecodec.Lookup(name); !ok {
+		err = fmt.Errorf("%w: unknown codec %q", ErrBlockCorrupt, name)
+		return
+	}
+	if payloadLen, err = u(false); err != nil {
+		return
+	}
+	var crcBuf [4]byte
+	if _, err = io.ReadFull(r.br, crcBuf[:]); err != nil {
+		err = noEOF(err)
+		return
+	}
+	crc = binary.LittleEndian.Uint32(crcBuf[:])
+	return
+}
+
+// loadBlock reads, verifies, and decodes the next block into dst
+// (grown as needed) and returns the decoded payload and record count.
+// io.EOF means a clean end of stream.
+func (r *BlockReader) loadBlock(dst []byte) ([]byte, int, error) {
+	for {
+		recs, rawLen, codec, payloadLen, crc, err := r.readHeader()
+		if err != nil {
+			return nil, 0, err
+		}
+		if recs == 0 && rawLen == 0 && payloadLen == 0 {
+			continue // empty block: legal, carries nothing
+		}
+		if cap(r.payload) < payloadLen {
+			r.payload = make([]byte, payloadLen)
+		}
+		payload := r.payload[:payloadLen]
+		if _, err := io.ReadFull(r.br, payload); err != nil {
+			return nil, 0, noEOF(err)
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			return nil, 0, ErrBlockChecksum
+		}
+		if cap(dst) < rawLen {
+			dst = make([]byte, rawLen)
+		}
+		dst = dst[:rawLen]
+		if codec.Name() == wirecodec.IdentityName {
+			if payloadLen != rawLen {
+				return nil, 0, fmt.Errorf("%w: identity block %d != raw %d", ErrBlockCorrupt, payloadLen, rawLen)
+			}
+			copy(dst, payload)
+		} else {
+			cr := codec.NewReader(bytes.NewReader(payload))
+			_, err := io.ReadFull(cr, dst)
+			if err == nil {
+				// The payload must decode to exactly rawLen bytes.
+				var one [1]byte
+				if n, _ := cr.Read(one[:]); n != 0 {
+					err = fmt.Errorf("%w: payload longer than header rawLen", ErrBlockCorrupt)
+				}
+			}
+			cr.Close()
+			if err != nil {
+				if err == io.EOF || err == io.ErrUnexpectedEOF {
+					err = fmt.Errorf("%w: payload shorter than header rawLen", ErrBlockCorrupt)
+				}
+				return nil, 0, err
+			}
+		}
+		r.rawBytes += int64(rawLen)
+		return dst, recs, nil
+	}
+}
+
+// NextBlock returns the next decoded block payload and its record
+// count, transferring ownership of the returned slice to the caller
+// (it is never reused by the reader) — the zero-copy handoff consumed
+// by shuffle.Sorter.AddBlock. It must not be mixed with Read/ReadShared
+// on a partially consumed block. io.EOF signals a clean end of stream.
+func (r *BlockReader) NextBlock() ([]byte, int, error) {
+	if r.err != nil {
+		return nil, 0, r.err
+	}
+	if r.off != len(r.block) {
+		return nil, 0, fmt.Errorf("kvio: NextBlock mid-block")
+	}
+	data, recs, err := r.loadBlock(nil)
+	if err != nil {
+		r.err = err
+		return nil, 0, err
+	}
+	r.n += int64(recs)
+	return data, recs, nil
+}
+
+// advance ensures the current block has at least one unread record.
+func (r *BlockReader) advance() error {
+	for r.recsLeft == 0 {
+		if r.off != len(r.block) {
+			return fmt.Errorf("%w: %d payload bytes beyond last record", ErrBlockCorrupt, len(r.block)-r.off)
+		}
+		block, recs, err := r.loadBlock(r.block)
+		if err != nil {
+			return err
+		}
+		r.block, r.recsLeft, r.off = block, recs, 0
+	}
+	return nil
+}
+
+// next parses one record out of the current block, returning slices
+// into the block buffer (valid until the next read call).
+func (r *BlockReader) next() (Pair, error) {
+	if r.err != nil {
+		return Pair{}, r.err
+	}
+	if err := r.advance(); err != nil {
+		r.err = err
+		return Pair{}, err
+	}
+	rest := r.block[r.off:]
+	key, value, used, err := scanOne(rest)
+	if err != nil {
+		r.err = err
+		return Pair{}, err
+	}
+	r.off += used
+	r.recsLeft--
+	r.n++
+	return Pair{Key: key, Value: value}, nil
+}
+
+// ReadShared returns the next record; the slices alias the reader's
+// block buffer and are valid only until the next read call.
+func (r *BlockReader) ReadShared() (Pair, error) { return r.next() }
+
+// Read returns the next record as freshly allocated slices.
+func (r *BlockReader) Read() (Pair, error) {
+	p, err := r.next()
+	if err != nil {
+		return Pair{}, err
+	}
+	return p.Clone(), nil
+}
+
+// ReadAll drains the stream into a slice.
+func (r *BlockReader) ReadAll() ([]Pair, error) {
+	var out []Pair
+	for {
+		p, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, p)
+	}
+}
+
+// noEOF maps io.EOF to io.ErrUnexpectedEOF (the stream tore mid-block).
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Record scanning within a decoded block
+
+// scanOne parses one framed record at the head of data, returning
+// subslices (no copies) and the bytes consumed.
+func scanOne(data []byte) (key, value []byte, used int, err error) {
+	klen, n := binary.Uvarint(data)
+	if n <= 0 || klen > MaxRecordLen {
+		return nil, nil, 0, fmt.Errorf("%w: bad key length", ErrBlockCorrupt)
+	}
+	used = n
+	if uint64(len(data)-used) < klen {
+		return nil, nil, 0, fmt.Errorf("%w: truncated key", ErrBlockCorrupt)
+	}
+	key = data[used : used+int(klen)]
+	used += int(klen)
+	vlen, n := binary.Uvarint(data[used:])
+	if n <= 0 || vlen > MaxRecordLen {
+		return nil, nil, 0, fmt.Errorf("%w: bad value length", ErrBlockCorrupt)
+	}
+	used += n
+	if uint64(len(data)-used) < vlen {
+		return nil, nil, 0, fmt.Errorf("%w: truncated value", ErrBlockCorrupt)
+	}
+	value = data[used : used+int(vlen)]
+	used += int(vlen)
+	return key, value, used, nil
+}
+
+// ScanRecords walks every record in a decoded block payload, passing
+// subslices of data to fn (no copies). It is the parse half of the
+// zero-copy handoff: shuffle.Sorter.AddBlock adopts the block buffer
+// and scans pairs out of it in place.
+func ScanRecords(data []byte, fn func(key, value []byte) error) (int, error) {
+	recs := 0
+	for len(data) > 0 {
+		key, value, used, err := scanOne(data)
+		if err != nil {
+			return recs, err
+		}
+		data = data[used:]
+		recs++
+		if err := fn(key, value); err != nil {
+			return recs, err
+		}
+	}
+	return recs, nil
+}
+
+// ---------------------------------------------------------------------------
+// Framing-agnostic reading
+
+// RecordReader is the read interface shared by the legacy per-record
+// Reader and the BlockReader, so consumers can take streams of either
+// framing.
+type RecordReader interface {
+	// Read returns the next record as retainable fresh allocations.
+	Read() (Pair, error)
+	// ReadShared returns the next record in internal buffers valid only
+	// until the next read call.
+	ReadShared() (Pair, error)
+	// ReadAll drains the stream.
+	ReadAll() ([]Pair, error)
+	// Count returns records read so far.
+	Count() int64
+	// Release recycles pooled state; the reader is unusable afterwards.
+	Release()
+}
+
+// TranscodeBlocks rewrites a block stream from src onto dst with every
+// block re-compressed under codec c, block boundaries and record counts
+// preserved. Payloads move block-at-a-time without record parsing.
+func TranscodeBlocks(dst io.Writer, src io.Reader, c wirecodec.Codec) error {
+	br, err := NewBlockReader(src)
+	if err != nil {
+		return err
+	}
+	defer br.Release()
+	bw := NewBlockWriter(dst, c, 0)
+	for {
+		payload, recs, err := br.NextBlock()
+		if err == io.EOF {
+			return bw.Close()
+		}
+		if err != nil {
+			return err
+		}
+		if err := bw.WriteBlock(payload, recs); err != nil {
+			return err
+		}
+	}
+}
+
+// TranscodeToRecords flattens a block stream from src into a legacy
+// per-record stream on dst — block payloads already are legacy-framed
+// record runs, so this is decode-and-concatenate, no record parsing.
+// It is how a block-file server talks to a pre-block client.
+func TranscodeToRecords(dst io.Writer, src io.Reader) error {
+	br, err := NewBlockReader(src)
+	if err != nil {
+		return err
+	}
+	defer br.Release()
+	for {
+		payload, _, err := br.NextBlock()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if _, err := dst.Write(payload); err != nil {
+			return err
+		}
+	}
+}
+
+// NewAnyReader sniffs the stream's framing and returns the matching
+// reader: block framing if the stream opens with BlockMagic (which no
+// valid legacy stream can), the legacy per-record reader otherwise.
+// This is how every consumer stays compatible with both at-rest forms
+// and with peers from before the block data plane.
+func NewAnyReader(r io.Reader) RecordReader {
+	br := readerPool.Get().(*bufio.Reader)
+	br.Reset(r)
+	got, err := br.Peek(len(BlockMagic))
+	if err == nil && bytes.Equal(got, BlockMagic[:]) {
+		br.Discard(len(BlockMagic))
+		return newBlockReaderAt(br, true)
+	}
+	return &Reader{r: br}
+}

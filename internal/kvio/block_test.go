@@ -1,0 +1,310 @@
+package kvio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"strconv"
+	"testing"
+
+	"repro/internal/wirecodec"
+)
+
+// blockStream builds a block-framed stream of pairs with the named
+// codec and block size.
+func blockStream(t testing.TB, pairs []Pair, codecName string, blockSize int) []byte {
+	t.Helper()
+	c, ok := wirecodec.Lookup(codecName)
+	if !ok {
+		t.Fatalf("codec %q not registered", codecName)
+	}
+	var buf bytes.Buffer
+	w := NewBlockWriter(&buf, c, blockSize)
+	for _, p := range pairs {
+		if err := w.Write(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func testPairs(n int) []Pair {
+	out := make([]Pair, n)
+	for i := range out {
+		out[i] = StrPair("key-"+strconv.Itoa(i), "value-payload-"+strconv.Itoa(i*7))
+	}
+	return out
+}
+
+func TestBlockRoundTripAllCodecs(t *testing.T) {
+	pairs := testPairs(5000)
+	for _, name := range wirecodec.Names() {
+		for _, blockSize := range []int{1, 512, DefaultBlockSize} {
+			t.Run(name+"/bs="+strconv.Itoa(blockSize), func(t *testing.T) {
+				wire := blockStream(t, pairs, name, blockSize)
+				r, err := NewBlockReader(bytes.NewReader(wire))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer r.Release()
+				got, err := r.ReadAll()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !pairsEqual(pairs, got) {
+					t.Fatalf("round trip mismatch: %d in, %d out", len(pairs), len(got))
+				}
+				if r.Count() != int64(len(pairs)) {
+					t.Fatalf("Count = %d, want %d", r.Count(), len(pairs))
+				}
+			})
+		}
+	}
+}
+
+func TestBlockEmptyStream(t *testing.T) {
+	wire := blockStream(t, nil, wirecodec.IdentityName, 0)
+	if !bytes.Equal(wire, BlockMagic[:]) {
+		t.Fatalf("empty stream = %x, want just the magic", wire)
+	}
+	r, err := NewBlockReader(bytes.NewReader(wire))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Release()
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("want clean EOF on empty stream, got %v", err)
+	}
+}
+
+// TestBlockZeroRecordBlock checks that an explicit zero-record block in
+// the stream is legal and skipped.
+func TestBlockZeroRecordBlock(t *testing.T) {
+	pairs := testPairs(10)
+	wire := blockStream(t, pairs, wirecodec.IdentityName, 0)
+	// Splice an empty block (records=0, rawLen=0, name="identity",
+	// payloadLen=0, crc of empty) right after the magic.
+	var empty []byte
+	empty = binary.AppendUvarint(empty, 0)
+	empty = binary.AppendUvarint(empty, 0)
+	empty = binary.AppendUvarint(empty, uint64(len(wirecodec.IdentityName)))
+	empty = append(empty, wirecodec.IdentityName...)
+	empty = binary.AppendUvarint(empty, 0)
+	empty = binary.LittleEndian.AppendUint32(empty, crc32.ChecksumIEEE(nil))
+	spliced := append(append(append([]byte(nil), wire[:len(BlockMagic)]...), empty...), wire[len(BlockMagic):]...)
+
+	r, err := NewBlockReader(bytes.NewReader(spliced))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Release()
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pairsEqual(pairs, got) {
+		t.Fatal("zero-record block changed the decoded records")
+	}
+}
+
+func TestBlockChecksumDetectsCorruption(t *testing.T) {
+	pairs := testPairs(100)
+	for _, name := range []string{wirecodec.IdentityName, wirecodec.LZName, wirecodec.DeflateName} {
+		t.Run(name, func(t *testing.T) {
+			wire := blockStream(t, pairs, name, 0)
+			// Flip one payload byte near the end (past magic + header).
+			bad := append([]byte(nil), wire...)
+			bad[len(bad)-3] ^= 0x40
+			r, err := NewBlockReader(bytes.NewReader(bad))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Release()
+			_, err = r.ReadAll()
+			if !errors.Is(err, ErrBlockChecksum) {
+				t.Fatalf("flipped payload byte: got %v, want ErrBlockChecksum", err)
+			}
+		})
+	}
+}
+
+func TestBlockTornStream(t *testing.T) {
+	pairs := testPairs(2000)
+	wire := blockStream(t, pairs, wirecodec.LZName, 4096)
+	for _, cut := range []int{len(BlockMagic) + 1, len(wire) / 2, len(wire) - 1} {
+		r, err := NewBlockReader(bytes.NewReader(wire[:cut]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = r.ReadAll()
+		r.Release()
+		if err == nil || err == io.EOF {
+			t.Fatalf("torn stream at %d decoded cleanly", cut)
+		}
+	}
+}
+
+func TestBlockUnknownCodecErrors(t *testing.T) {
+	wire := blockStream(t, testPairs(5), wirecodec.IdentityName, 0)
+	// The codec name "identity" starts right after magic + 3 uvarints;
+	// corrupt its first letter so lookup fails.
+	bad := append([]byte(nil), wire...)
+	i := bytes.Index(bad, []byte(wirecodec.IdentityName))
+	if i < 0 {
+		t.Fatal("codec name not found in wire form")
+	}
+	bad[i] = 'X'
+	r, err := NewBlockReader(bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Release()
+	if _, err := r.ReadAll(); !errors.Is(err, ErrBlockCorrupt) {
+		t.Fatalf("unknown codec: got %v, want ErrBlockCorrupt", err)
+	}
+}
+
+func TestBlockMagicIsLegacyPoison(t *testing.T) {
+	// The design guarantee behind NewAnyReader: a legacy reader must
+	// reject a block stream deterministically, because the magic's
+	// leading bytes decode as an over-limit record length.
+	r := NewReader(bytes.NewReader(BlockMagic[:]))
+	defer r.Release()
+	if _, err := r.Read(); !errors.Is(err, ErrRecordTooLarge) {
+		t.Fatalf("legacy read of block magic: got %v, want ErrRecordTooLarge", err)
+	}
+}
+
+func TestNewAnyReaderSniffsFraming(t *testing.T) {
+	pairs := testPairs(300)
+	legacy := Marshal(pairs)
+	block := blockStream(t, pairs, wirecodec.LZName, 1024)
+	for label, wire := range map[string][]byte{"legacy": legacy, "block": block} {
+		t.Run(label, func(t *testing.T) {
+			r := NewAnyReader(bytes.NewReader(wire))
+			defer r.Release()
+			got, err := r.ReadAll()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !pairsEqual(pairs, got) {
+				t.Fatalf("%s framing mis-decoded via NewAnyReader", label)
+			}
+		})
+	}
+	// Streams shorter than the magic must fall back to legacy framing.
+	t.Run("short", func(t *testing.T) {
+		r := NewAnyReader(bytes.NewReader(Marshal([]Pair{{}})))
+		defer r.Release()
+		got, err := r.ReadAll()
+		if err != nil || len(got) != 1 {
+			t.Fatalf("short legacy stream: %v, %d records", err, len(got))
+		}
+	})
+}
+
+func TestBlockNextBlockOwnership(t *testing.T) {
+	pairs := testPairs(1000)
+	wire := blockStream(t, pairs, wirecodec.DeflateName, 2048)
+	r, err := NewBlockReader(bytes.NewReader(wire))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Release()
+	var (
+		blocks  [][]byte
+		decoded []Pair
+		total   int
+	)
+	for {
+		data, recs, err := r.NextBlock()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocks = append(blocks, data)
+		total += recs
+		n, err := ScanRecords(data, func(k, v []byte) error {
+			decoded = append(decoded, Pair{Key: k, Value: v}) // aliases data — ownership is ours
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != recs {
+			t.Fatalf("ScanRecords found %d records, header said %d", n, recs)
+		}
+	}
+	if total != len(pairs) {
+		t.Fatalf("NextBlock total %d records, want %d", total, len(pairs))
+	}
+	if !pairsEqual(pairs, decoded) {
+		t.Fatal("aliased pairs from adopted blocks diverge from input")
+	}
+	// Distinct blocks must be distinct allocations (ownership transfer,
+	// no internal reuse).
+	for i := 1; i < len(blocks); i++ {
+		if len(blocks[i]) > 0 && len(blocks[i-1]) > 0 && &blocks[i][0] == &blocks[i-1][0] {
+			t.Fatal("NextBlock reused a handed-off buffer")
+		}
+	}
+}
+
+func TestBlockNextBlockMidBlockErrors(t *testing.T) {
+	wire := blockStream(t, testPairs(50), wirecodec.IdentityName, 0)
+	r, err := NewBlockReader(bytes.NewReader(wire))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Release()
+	if _, err := r.ReadShared(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.NextBlock(); err == nil {
+		t.Fatal("NextBlock mid-block succeeded; want error")
+	}
+}
+
+func TestBlockWriterCounters(t *testing.T) {
+	pairs := testPairs(100)
+	var want int64
+	for _, p := range pairs {
+		want += int64(len(p.Key) + len(p.Value))
+	}
+	var buf bytes.Buffer
+	w := NewBlockWriter(&buf, nil, 0)
+	for _, p := range pairs {
+		if err := w.Write(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != int64(len(pairs)) || w.Bytes() != want {
+		t.Fatalf("counters: %d records / %d bytes, want %d / %d", w.Count(), w.Bytes(), len(pairs), want)
+	}
+}
+
+func TestScanRecordsRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"bad-keylen":      {0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F},
+		"truncated-key":   {0x10, 'a'},
+		"truncated-value": append([]byte{0x01, 'k', 0x10}, 'v'),
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, err := ScanRecords(data, func(k, v []byte) error { return nil })
+			if !errors.Is(err, ErrBlockCorrupt) {
+				t.Fatalf("got %v, want ErrBlockCorrupt", err)
+			}
+		})
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"io"
 	"testing"
+
+	"repro/internal/wirecodec"
 )
 
 // FuzzReader throws arbitrary bytes — truncated, corrupt, over-length
@@ -50,10 +52,15 @@ func FuzzReader(f *testing.F) {
 }
 
 // FuzzRoundTrip drives arbitrary pairs through Writer→Reader and checks
-// byte-exact recovery, for both the allocating and shared read paths.
+// byte-exact recovery — for the legacy per-record framing (allocating
+// and shared read paths) and for block framing under every registered
+// codec at a small block size that forces multi-block streams.
 func FuzzRoundTrip(f *testing.F) {
 	f.Add([]byte("key"), []byte("value"), []byte("k2"), []byte(""))
 	f.Add([]byte{}, []byte{}, []byte{0}, []byte{0xFF})
+	// Seed the magic bytes as record content: block framing must not be
+	// confused by payloads that contain its own stream prefix.
+	f.Add(BlockMagic[:], BlockMagic[:], []byte{0xFF}, BlockMagic[:3])
 	f.Fuzz(func(t *testing.T, k1, v1, k2, v2 []byte) {
 		in := []Pair{{Key: k1, Value: v1}, {Key: k2, Value: v2}}
 		var buf bytes.Buffer
@@ -90,6 +97,146 @@ func FuzzRoundTrip(f *testing.F) {
 		}
 		if _, err := r.ReadShared(); err != io.EOF {
 			t.Fatalf("want clean EOF, got %v", err)
+		}
+
+		// Block framing under every codec, decoded via the sniffing
+		// reader — the path every mixed-framing consumer takes.
+		for _, name := range wirecodec.Names() {
+			c, _ := wirecodec.Lookup(name)
+			var bbuf bytes.Buffer
+			bw := NewBlockWriter(&bbuf, c, 16)
+			for _, p := range in {
+				if err := bw.Write(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := bw.Close(); err != nil {
+				t.Fatal(err)
+			}
+			br := NewAnyReader(bytes.NewReader(bbuf.Bytes()))
+			bout, err := br.ReadAll()
+			br.Release()
+			if err != nil {
+				t.Fatalf("%s block decode: %v", name, err)
+			}
+			if !pairsEqual(in, bout) {
+				t.Fatalf("%s block round trip mismatch: in %v out %v", name, in, bout)
+			}
+		}
+	})
+}
+
+// blockSeed builds a block-framed stream for fuzz corpora.
+func blockSeed(pairs []Pair, codecName string, blockSize int) []byte {
+	c, ok := wirecodec.Lookup(codecName)
+	if !ok {
+		panic("unknown codec " + codecName)
+	}
+	var buf bytes.Buffer
+	w := NewBlockWriter(&buf, c, blockSize)
+	for _, p := range pairs {
+		if err := w.Write(p); err != nil {
+			panic(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzBlockReader throws arbitrary bytes at the block reader via
+// NewAnyReader: no panics, no infinite loops, and a valid prefix of
+// records before any error. The corpus seeds both framings plus the
+// torn/corrupt/zero-record shapes named in the block format's contract.
+func FuzzBlockReader(f *testing.F) {
+	pairs := []Pair{StrPair("hello", "world"), {}, StrPair("", "x"), StrPair("x", "")}
+	legacy := Marshal(pairs)
+	f.Add(legacy)                                           // legacy framing
+	f.Add(blockSeed(pairs, wirecodec.IdentityName, 0))      // identity blocks
+	f.Add(blockSeed(pairs, wirecodec.DeflateName, 8))       // multi-block deflate
+	f.Add(blockSeed(pairs, wirecodec.LZName, 8))            // multi-block lz
+	f.Add(BlockMagic[:])                                    // empty block stream
+	f.Add(append(append([]byte{}, BlockMagic[:]...), 0x00)) // torn header
+	torn := blockSeed(pairs, wirecodec.LZName, 8)
+	f.Add(torn[:len(torn)-2]) // torn payload
+	crc := append([]byte(nil), blockSeed(pairs, wirecodec.IdentityName, 0)...)
+	crc[len(crc)-1] ^= 0xFF
+	f.Add(crc) // corrupt checksum
+	// Zero-record block followed by a real one (see TestBlockZeroRecordBlock).
+	f.Add(blockSeed(nil, wirecodec.IdentityName, 0))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewAnyReader(bytes.NewReader(data))
+		defer r.Release()
+		for {
+			_, err := r.ReadShared()
+			if err != nil {
+				// Sticky: the same error again, no state advance.
+				if _, e2 := r.ReadShared(); e2 != err {
+					t.Fatalf("error not sticky: %v then %v", err, e2)
+				}
+				break
+			}
+		}
+	})
+}
+
+// FuzzBlockNextBlock checks the zero-copy path decodes the same record
+// sequence as the per-record path on arbitrary input.
+func FuzzBlockNextBlock(f *testing.F) {
+	pairs := []Pair{StrPair("k", "v"), StrPair("key2", "value2")}
+	f.Add(blockSeed(pairs, wirecodec.LZName, 8))
+	f.Add(blockSeed(pairs, wirecodec.IdentityName, 0))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recR, err := NewBlockReader(bytes.NewReader(data))
+		if err != nil {
+			return // not a block stream; nothing to compare
+		}
+		defer recR.Release()
+		blkR, err := NewBlockReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("second NewBlockReader disagreed: %v", err)
+		}
+		defer blkR.Release()
+
+		var fromBlocks []Pair
+		var blockErr error
+		for {
+			blk, _, err := blkR.NextBlock()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				blockErr = err
+				break
+			}
+			if _, err := ScanRecords(blk, func(k, v []byte) error {
+				fromBlocks = append(fromBlocks, Pair{Key: k, Value: v}.Clone())
+				return nil
+			}); err != nil {
+				blockErr = err
+				break
+			}
+		}
+		var fromRecords []Pair
+		var recErr error
+		for {
+			p, err := recR.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				recErr = err
+				break
+			}
+			fromRecords = append(fromRecords, p)
+		}
+		if (blockErr == nil) != (recErr == nil) {
+			t.Fatalf("paths disagree on validity: block %v, record %v", blockErr, recErr)
+		}
+		if blockErr == nil && !pairsEqual(fromBlocks, fromRecords) {
+			t.Fatalf("NextBlock path decoded %d records, Read path %d", len(fromBlocks), len(fromRecords))
 		}
 	})
 }

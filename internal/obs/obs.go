@@ -98,6 +98,16 @@ const (
 	MetricWireBytesShared    = "mrs_shuffle_wire_bytes_shared_total"
 )
 
+// MetricWireBytesCodec names the per-codec wire-byte counter: how many
+// wire bytes moved under each negotiated compression codec ("identity",
+// "deflate", "lz", ...). Summed across codecs it equals the per-path
+// wire totals above; the split shows which codec the fleet actually
+// negotiated, which is how a mixed-version identity fallback becomes
+// visible in /debug/metrics.
+func MetricWireBytesCodec(codec string) string {
+	return "mrs_shuffle_wire_bytes_codec_" + codec + "_total"
+}
+
 // Durability metric names. Journal counters track write-ahead-log
 // activity on the master; the recovery counters count master restarts
 // that replayed journaled state and the tasks whose journaled outputs

@@ -114,7 +114,7 @@ func (s *Sorter) Add(p kvio.Pair) error {
 		return fmt.Errorf("shuffle: Add after Close")
 	}
 	if s.opts.Combine != nil {
-		s.addHash(p)
+		s.addHash(p, false)
 	} else {
 		s.buf = append(s.buf, kvio.Pair{Key: s.ar.copy(p.Key), Value: s.ar.copy(p.Value)})
 		s.bufSize += int64(len(p.Key) + len(p.Value))
@@ -126,25 +126,70 @@ func (s *Sorter) Add(p kvio.Pair) error {
 	return nil
 }
 
+// AddBlock adopts a decoded record block whose ownership has been
+// transferred to the sorter (kvio.BlockReader.NextBlock's contract) and
+// buffers every record in it by aliasing into the block buffer — the
+// zero-copy handoff from the block data plane: one decode, no
+// per-record arena copies. The block is retained until the next spill
+// or Close drops the references. recs is the block header's record
+// count and is verified against the scan; pass -1 to skip the check.
+// Returns the summed key+value payload bytes the block contributed,
+// which is what callers charge to their raw-byte input accounting.
+func (s *Sorter) AddBlock(block []byte, recs int) (int64, error) {
+	if s.closed {
+		return 0, fmt.Errorf("shuffle: AddBlock after Close")
+	}
+	var payload int64
+	n, err := kvio.ScanRecords(block, func(key, value []byte) error {
+		payload += int64(len(key) + len(value))
+		p := kvio.Pair{Key: key, Value: value}
+		if s.opts.Combine != nil {
+			s.addHash(p, true)
+		} else {
+			s.buf = append(s.buf, p)
+			s.bufSize += int64(len(key) + len(value))
+		}
+		s.added++
+		return nil
+	})
+	if err != nil {
+		return payload, err
+	}
+	if recs >= 0 && n != recs {
+		return payload, fmt.Errorf("shuffle: block scanned %d records, header said %d", n, recs)
+	}
+	if s.opts.SpillBytes > 0 && s.bufSize >= s.opts.SpillBytes {
+		return payload, s.spill()
+	}
+	return payload, nil
+}
+
 // addHash accumulates p into the hash-grouped form used when a combiner
 // is set. The map lookup with a string(key) conversion is allocation
 // free for existing keys; only the first record of a distinct key pays
-// for the map entry.
-func (s *Sorter) addHash(p kvio.Pair) {
+// for the map entry. owned means p's bytes already belong to the sorter
+// (an adopted block) and need no arena copy.
+func (s *Sorter) addHash(p kvio.Pair, owned bool) {
 	if s.idx == nil {
 		s.idx = make(map[string]int, 1+len(s.groups))
 		for i := range s.groups {
 			s.idx[string(s.groups[i].key)] = i
 		}
 	}
-	if i, ok := s.idx[string(p.Key)]; ok {
+	key, value := p.Key, p.Value
+	if i, ok := s.idx[string(key)]; ok {
 		g := &s.groups[i]
-		g.values = append(g.values, s.ar.copy(p.Value))
+		if !owned {
+			value = s.ar.copy(value)
+		}
+		g.values = append(g.values, value)
 		s.bufSize += int64(len(p.Value))
 		return
 	}
-	key := s.ar.copy(p.Key)
-	s.groups = append(s.groups, hashGroup{key: key, values: [][]byte{s.ar.copy(p.Value)}})
+	if !owned {
+		key, value = s.ar.copy(key), s.ar.copy(value)
+	}
+	s.groups = append(s.groups, hashGroup{key: key, values: [][]byte{value}})
 	s.idx[string(key)] = len(s.groups) - 1
 	s.bufSize += int64(len(p.Key) + len(p.Value))
 }

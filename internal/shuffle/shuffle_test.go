@@ -432,3 +432,144 @@ func BenchmarkSortGroupExternal(b *testing.B) {
 		s.Close()
 	}
 }
+
+// blockPayload frames pairs as a legacy record run — exactly the
+// decoded payload a kvio.BlockReader hands over via NextBlock.
+func blockPayload(t *testing.T, pairs []kvio.Pair) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := kvio.NewWriter(&buf)
+	defer w.Release()
+	for _, p := range pairs {
+		if err := w.Write(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// collectBlocks mirrors collect but feeds the sorter through the
+// zero-copy block handoff, one block per batch of pairs.
+func collectBlocks(t *testing.T, opts Options, batches [][]kvio.Pair) (map[string][]string, []string) {
+	t.Helper()
+	s := NewSorter(opts)
+	defer s.Close()
+	for _, batch := range batches {
+		n, err := s.AddBlock(blockPayload(t, batch), len(batch))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want int64
+		for _, p := range batch {
+			want += int64(len(p.Key) + len(p.Value))
+		}
+		if n != want {
+			t.Fatalf("AddBlock returned %d payload bytes, want %d", n, want)
+		}
+	}
+	groups := map[string][]string{}
+	var order []string
+	err := s.Groups(func(key []byte, values [][]byte) error {
+		var vs []string
+		for _, v := range values {
+			vs = append(vs, string(v))
+		}
+		groups[string(key)] = vs
+		order = append(order, string(key))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return groups, order
+}
+
+// TestAddBlockMatchesAdd: feeding the same records through AddBlock
+// must produce byte-identical grouping to per-record Add, on both the
+// sort path and the combiner hash path, with and without spilling.
+func TestAddBlockMatchesAdd(t *testing.T) {
+	var pairs []kvio.Pair
+	for i := 0; i < 3000; i++ {
+		pairs = append(pairs, kvio.StrPair(fmt.Sprintf("key-%03d", i%89), codecVarint(int64(i%7))))
+	}
+	batches := [][]kvio.Pair{pairs[:1000], pairs[1000:1003], pairs[1003:1003], pairs[1003:]}
+	cases := []struct {
+		name string
+		opts func() Options
+	}{
+		{"sort", func() Options { return Options{} }},
+		{"sort-spill", func() Options { return Options{SpillBytes: 4 << 10, TempDir: t.TempDir()} }},
+		{"combine", func() Options { return Options{Combine: sumCombine} }},
+		{"combine-spill", func() Options { return Options{Combine: sumCombine, SpillBytes: 4 << 10, TempDir: t.TempDir()} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want, wantOrder := collect(t, tc.opts(), pairs)
+			got, gotOrder := collectBlocks(t, tc.opts(), batches)
+			if !equalStrings(wantOrder, gotOrder) {
+				t.Fatalf("key order differs: %v vs %v", gotOrder, wantOrder)
+			}
+			for k, vs := range want {
+				if !equalStrings(vs, got[k]) {
+					t.Errorf("key %q: Add %v, AddBlock %v", k, vs, got[k])
+				}
+			}
+		})
+	}
+}
+
+// codecVarint is a tiny helper so combiner cases use summable values.
+func codecVarint(n int64) string {
+	return string(codec.EncodeVarint(n))
+}
+
+func TestAddBlockRecordCountMismatch(t *testing.T) {
+	s := NewSorter(Options{})
+	defer s.Close()
+	payload := blockPayload(t, []kvio.Pair{kvio.StrPair("a", "1"), kvio.StrPair("b", "2")})
+	if _, err := s.AddBlock(payload, 3); err == nil {
+		t.Fatal("AddBlock accepted a wrong header record count")
+	}
+	s2 := NewSorter(Options{})
+	defer s2.Close()
+	if _, err := s2.AddBlock(payload, -1); err != nil {
+		t.Fatalf("AddBlock with recs=-1 should skip the check: %v", err)
+	}
+	if s2.Added() != 2 {
+		t.Errorf("Added = %d, want 2", s2.Added())
+	}
+}
+
+func TestAddBlockSpills(t *testing.T) {
+	s := NewSorter(Options{SpillBytes: 1 << 10, TempDir: t.TempDir()})
+	defer s.Close()
+	var pairs []kvio.Pair
+	for i := 0; i < 200; i++ {
+		pairs = append(pairs, kvio.StrPair(fmt.Sprintf("key-%d", i), "some-value-payload"))
+	}
+	if _, err := s.AddBlock(blockPayload(t, pairs), len(pairs)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Spills() == 0 {
+		t.Error("expected AddBlock to trigger a spill")
+	}
+}
+
+func TestAddBlockAfterCloseFails(t *testing.T) {
+	s := NewSorter(Options{})
+	s.Close()
+	if _, err := s.AddBlock(blockPayload(t, []kvio.Pair{kvio.StrPair("a", "1")}), 1); err == nil {
+		t.Fatal("AddBlock after Close should fail")
+	}
+}
+
+func TestAddBlockRejectsGarbage(t *testing.T) {
+	s := NewSorter(Options{})
+	defer s.Close()
+	if _, err := s.AddBlock([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}, -1); err == nil {
+		t.Fatal("AddBlock accepted a malformed record run")
+	}
+}

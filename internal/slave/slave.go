@@ -66,6 +66,14 @@ type Options struct {
 	// data server then serves compressed bytes to peers that accept
 	// deflate. Purely local — peers with any setting interoperate.
 	Compress bool
+	// Codec selects the compression codec for block-framed buckets
+	// ("" keeps the legacy framing; wins over Compress when set). Like
+	// Compress it is purely local: the data server negotiates per
+	// request, so mixed-codec fleets interoperate.
+	Codec string
+	// BlockSize overrides the record-block flush threshold in bytes
+	// (0 = default).
+	BlockSize int
 	// Concurrency is how many tasks the slave runs at once (default 1,
 	// the classic sequential worker). With a multi-job master, slots
 	// above 1 let one slave serve several jobs' tasks concurrently.
@@ -175,6 +183,13 @@ func New(reg *core.Registry, opts Options) (*Slave, error) {
 		store.SetHTTPClient(opts.DataClient)
 	}
 	store.SetCompress(opts.Compress)
+	if err := store.SetCodec(opts.Codec); err != nil {
+		if s.ln != nil {
+			s.ln.Close()
+		}
+		return nil, fmt.Errorf("slave: %w", err)
+	}
+	store.SetBlockSize(opts.BlockSize)
 	store.SetMetrics(opts.Obs.M())
 	// The runtime may be shared by several slaves (the in-process
 	// cluster), so slaves contribute counters, which sum, rather than

@@ -1,0 +1,378 @@
+package wirecodec
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/bits"
+	"sync"
+)
+
+// The "lz" codec is a byte-oriented LZ77 format in the snappy/s2
+// family, implemented here because the shuffle wants a codec that is
+// several times cheaper than DEFLATE per byte: no Huffman pass, no bit
+// packing — just a greedy hash-table match finder emitting literal runs
+// and back-references. Ratio is worse than deflate; CPU is far lower,
+// which is the right trade for intermediate data written once and read
+// once on the same fleet.
+//
+// Stream format: a sequence of independent frames
+//
+//	uvarint rawLen | uvarint compLen | data
+//
+// where compLen == 0 means data is rawLen stored bytes (the
+// incompressible fallback — a frame never expands by more than its
+// header), otherwise data is compLen bytes of ops decoding to exactly
+// rawLen bytes. Ops:
+//
+//	literal run:  uvarint (n<<1)|0, then n bytes
+//	copy:         uvarint (n<<1)|1, then uvarint offset (1-based back
+//	              reference within the frame; n >= 4)
+//
+// Frames are at most lzFrameRaw raw bytes, so matches need at most 16
+// bits of offset and a torn stream wastes at most one frame of work.
+
+// LZName is the wire name of the LZ codec.
+const LZName = "lz"
+
+// LZExt marks at-rest data compressed with the LZ codec.
+const LZExt = ".lz"
+
+const (
+	// lzFrameRaw is the raw payload per frame.
+	lzFrameRaw = 64 << 10
+	// lzMaxFrameRaw bounds rawLen when decoding untrusted streams.
+	lzMaxFrameRaw = 1 << 20
+	// lzMinMatch is the shortest back-reference worth emitting: a copy
+	// op costs >= 2 bytes plus the tag, so 4 is the break-even point.
+	lzMinMatch = 4
+	// lzTableBits sizes the match-finder hash table.
+	lzTableBits = 14
+)
+
+// errLZCorrupt is returned for any malformed frame.
+var errLZCorrupt = errors.New("wirecodec: corrupt lz data")
+
+type lzCodec struct{}
+
+func (lzCodec) Name() string { return LZName }
+func (lzCodec) Ext() string  { return LZExt }
+
+// ---------------------------------------------------------------------------
+// Compression core
+
+func lzHash(v uint32) uint32 { return (v * 0x1e35a7bd) >> (32 - lzTableBits) }
+
+func lzLoad32(b []byte, i int) uint32 {
+	return binary.LittleEndian.Uint32(b[i:])
+}
+
+// lzCompressFrame appends the compressed ops for src (≤ lzFrameRaw
+// bytes) to dst and returns it. table is the caller's hash table slab;
+// entries store position+1, so the caller need only hand over a zeroed
+// (or stale-safe, i.e. re-zeroed) table per frame.
+func lzCompressFrame(dst, src []byte, table []uint32) []byte {
+	clear(table)
+	var (
+		s       int // scan position
+		lit     int // start of the pending literal run
+		scratch [binary.MaxVarintLen64]byte
+	)
+	emitLiterals := func(end int) {
+		if end == lit {
+			return
+		}
+		n := binary.PutUvarint(scratch[:], uint64(end-lit)<<1)
+		dst = append(dst, scratch[:n]...)
+		dst = append(dst, src[lit:end]...)
+	}
+	for s+lzMinMatch <= len(src) {
+		h := lzHash(lzLoad32(src, s))
+		cand := int(table[h]) - 1
+		table[h] = uint32(s + 1)
+		if cand >= 0 && lzLoad32(src, cand) == lzLoad32(src, s) {
+			// Extend the match as far as it goes, eight bytes at a time:
+			// long matches (the whole point of the codec) must not pay a
+			// bounds-checked compare per byte.
+			mlen := lzMinMatch
+			for s+mlen+8 <= len(src) {
+				x := binary.LittleEndian.Uint64(src[cand+mlen:])
+				y := binary.LittleEndian.Uint64(src[s+mlen:])
+				if x != y {
+					mlen += bits.TrailingZeros64(x^y) >> 3
+					goto matched
+				}
+				mlen += 8
+			}
+			for s+mlen < len(src) && src[cand+mlen] == src[s+mlen] {
+				mlen++
+			}
+		matched:
+			emitLiterals(s)
+			n := binary.PutUvarint(scratch[:], uint64(mlen)<<1|1)
+			dst = append(dst, scratch[:n]...)
+			n = binary.PutUvarint(scratch[:], uint64(s-cand))
+			dst = append(dst, scratch[:n]...)
+			// Seed the table at the match tail so back-to-back repeats
+			// chain without hashing every interior position.
+			if tail := s + mlen - lzMinMatch + 1; tail > s {
+				if tail+lzMinMatch <= len(src) {
+					table[lzHash(lzLoad32(src, tail))] = uint32(tail + 1)
+				}
+			}
+			s += mlen
+			lit = s
+		} else {
+			s++
+		}
+	}
+	emitLiterals(len(src))
+	return dst
+}
+
+// lzDecompressFrame decodes ops into dst (pre-sized to rawLen) and
+// errors on any malformed input rather than panicking.
+func lzDecompressFrame(dst, ops []byte) error {
+	d := 0
+	for len(ops) > 0 {
+		tag, n := binary.Uvarint(ops)
+		if n <= 0 {
+			return errLZCorrupt
+		}
+		ops = ops[n:]
+		length := int(tag >> 1)
+		if length < 0 || length > len(dst)-d {
+			return errLZCorrupt
+		}
+		if tag&1 == 0 {
+			if length == 0 || length > len(ops) {
+				return errLZCorrupt
+			}
+			copy(dst[d:], ops[:length])
+			ops = ops[length:]
+			d += length
+			continue
+		}
+		off, n := binary.Uvarint(ops)
+		if n <= 0 {
+			return errLZCorrupt
+		}
+		ops = ops[n:]
+		offset := int(off)
+		if offset <= 0 || offset > d {
+			return errLZCorrupt
+		}
+		// Chunked copy; an overlapping reference (offset < length, the
+		// RLE case) replicates already-written output, and each pass
+		// doubles the window it can copy from.
+		src0 := d - offset
+		for length > 0 {
+			n := copy(dst[d:d+min(length, d-src0)], dst[src0:d])
+			d += n
+			length -= n
+		}
+	}
+	if d != len(dst) {
+		return errLZCorrupt
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Streaming writer
+
+// lzState is the pooled per-writer working set: the raw input buffer,
+// the compression scratch, and the match-finder table.
+type lzState struct {
+	raw   []byte
+	comp  []byte
+	table []uint32
+}
+
+var lzWriterPool = sync.Pool{New: func() any {
+	return &lzState{
+		raw:   make([]byte, 0, lzFrameRaw),
+		table: make([]uint32, 1<<lzTableBits),
+	}
+}}
+
+type lzWriter struct {
+	dst io.Writer
+	st  *lzState
+	err error
+}
+
+func (lzCodec) NewWriter(dst io.Writer) io.WriteCloser {
+	return &lzWriter{dst: dst, st: lzWriterPool.Get().(*lzState)}
+}
+
+func (w *lzWriter) Write(p []byte) (int, error) {
+	if w.err != nil {
+		return 0, w.err
+	}
+	total := len(p)
+	for len(p) > 0 {
+		space := lzFrameRaw - len(w.st.raw)
+		n := min(space, len(p))
+		w.st.raw = append(w.st.raw, p[:n]...)
+		p = p[n:]
+		if len(w.st.raw) == lzFrameRaw {
+			if w.err = w.flushFrame(); w.err != nil {
+				return 0, w.err
+			}
+		}
+	}
+	return total, nil
+}
+
+// flushFrame compresses and emits the buffered raw bytes as one frame.
+func (w *lzWriter) flushFrame() error {
+	raw := w.st.raw
+	if len(raw) == 0 {
+		return nil
+	}
+	w.st.comp = lzCompressFrame(w.st.comp[:0], raw, w.st.table)
+	var hdr [2 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(raw)))
+	data := w.st.comp
+	if len(data) >= len(raw) {
+		// Incompressible: store raw so a frame never expands.
+		n += binary.PutUvarint(hdr[n:], 0)
+		data = raw
+	} else {
+		n += binary.PutUvarint(hdr[n:], uint64(len(data)))
+	}
+	w.st.raw = w.st.raw[:0]
+	if _, err := w.dst.Write(hdr[:n]); err != nil {
+		return err
+	}
+	_, err := w.dst.Write(data)
+	return err
+}
+
+func (w *lzWriter) Close() error {
+	if w.st == nil {
+		return w.err
+	}
+	if w.err == nil {
+		w.err = w.flushFrame()
+	}
+	w.st.raw = w.st.raw[:0]
+	lzWriterPool.Put(w.st)
+	w.st = nil
+	if w.err != nil {
+		return w.err
+	}
+	// Poison further writes without disturbing the returned error.
+	w.err = errors.New("wirecodec: write after Close")
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Streaming reader
+
+// lzReadState is the pooled per-reader working set: the bufio layer
+// over the source, the decoded-frame buffer, and the compressed-frame
+// scratch.
+type lzReadState struct {
+	br   *bufio.Reader
+	out  []byte
+	comp []byte
+}
+
+var lzReaderPool = sync.Pool{New: func() any {
+	return &lzReadState{br: bufio.NewReaderSize(nil, 32<<10)}
+}}
+
+type lzReader struct {
+	st  *lzReadState
+	off int
+	err error
+}
+
+func (lzCodec) NewReader(src io.Reader) io.ReadCloser {
+	st := lzReaderPool.Get().(*lzReadState)
+	st.br.Reset(src)
+	st.out = st.out[:0]
+	return &lzReader{st: st}
+}
+
+func (r *lzReader) Read(p []byte) (int, error) {
+	if r.err != nil {
+		return 0, r.err
+	}
+	for r.off == len(r.st.out) {
+		if err := r.readFrame(); err != nil {
+			r.err = err
+			return 0, err
+		}
+	}
+	n := copy(p, r.st.out[r.off:])
+	r.off += n
+	return n, nil
+}
+
+// readFrame decodes the next frame into st.out.
+func (r *lzReader) readFrame() error {
+	st := r.st
+	rawLen, err := binary.ReadUvarint(st.br)
+	if err != nil {
+		if err == io.EOF {
+			return io.EOF // clean end: stream ends at a frame boundary
+		}
+		return err
+	}
+	if rawLen == 0 || rawLen > lzMaxFrameRaw {
+		return fmt.Errorf("%w: frame rawLen %d", errLZCorrupt, rawLen)
+	}
+	compLen, err := binary.ReadUvarint(st.br)
+	if err != nil {
+		return unexpectedEOF(err)
+	}
+	if compLen > rawLen {
+		return fmt.Errorf("%w: frame compLen %d > rawLen %d", errLZCorrupt, compLen, rawLen)
+	}
+	if cap(st.out) < int(rawLen) {
+		st.out = make([]byte, rawLen)
+	}
+	st.out = st.out[:rawLen]
+	r.off = 0
+	if compLen == 0 {
+		// Stored frame.
+		if _, err := io.ReadFull(st.br, st.out); err != nil {
+			return unexpectedEOF(err)
+		}
+		return nil
+	}
+	if cap(st.comp) < int(compLen) {
+		st.comp = make([]byte, compLen)
+	}
+	st.comp = st.comp[:compLen]
+	if _, err := io.ReadFull(st.br, st.comp); err != nil {
+		return unexpectedEOF(err)
+	}
+	return lzDecompressFrame(st.out, st.comp)
+}
+
+func unexpectedEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+func (r *lzReader) Close() error {
+	if r.st == nil {
+		return nil
+	}
+	r.st.br.Reset(nil)
+	r.st.out = r.st.out[:0]
+	lzReaderPool.Put(r.st)
+	r.st = nil
+	if r.err == nil || r.err == io.EOF {
+		return nil
+	}
+	return r.err
+}

@@ -127,6 +127,17 @@ type Options struct {
 	// data servers send the compressed bytes to peers that accept them
 	// (wire compression). Output is byte-identical either way.
 	Compress bool
+	// Codec selects the compression codec intermediate buckets are
+	// written with in the block-framed data plane ("identity",
+	// "deflate", "lz"; "" keeps the legacy per-record framing). Data
+	// servers negotiate per request, so nodes running different codecs
+	// — or none — interoperate, and output is byte-identical under
+	// every setting. Wins over Compress when both are set.
+	Codec string
+	// BlockSize overrides the record-block flush threshold in bytes
+	// (0 = default, 64 KiB). Larger blocks compress better; smaller
+	// blocks cost less memory per stream.
+	BlockSize int
 }
 
 func (o *Options) fill() {
@@ -184,6 +195,10 @@ func Run(p Program, opts Options) error {
 		exec.SetObserver(rt)
 		exec.SetPrefetch(opts.Prefetch)
 		exec.SetCompress(opts.Compress)
+		if err := exec.SetCodec(opts.Codec); err != nil {
+			return fmt.Errorf("mrs: %w", err)
+		}
+		exec.SetBlockSize(opts.BlockSize)
 		return runWithExecutor(p, exec, opts, rt)
 
 	case "mock":
@@ -194,6 +209,10 @@ func Run(p Program, opts Options) error {
 		exec.SetObserver(rt)
 		exec.SetPrefetch(opts.Prefetch)
 		exec.SetCompress(opts.Compress)
+		if err := exec.SetCodec(opts.Codec); err != nil {
+			return fmt.Errorf("mrs: %w", err)
+		}
+		exec.SetBlockSize(opts.BlockSize)
 		return runWithExecutor(p, exec, opts, rt)
 
 	case "threads":
@@ -201,6 +220,10 @@ func Run(p Program, opts Options) error {
 		exec.SetObserver(rt)
 		exec.SetPrefetch(opts.Prefetch)
 		exec.SetCompress(opts.Compress)
+		if err := exec.SetCodec(opts.Codec); err != nil {
+			return fmt.Errorf("mrs: %w", err)
+		}
+		exec.SetBlockSize(opts.BlockSize)
 		return runWithExecutor(p, exec, opts, rt)
 
 	case "local":
@@ -210,6 +233,8 @@ func Run(p Program, opts Options) error {
 			Obs:       rt,
 			Prefetch:  opts.Prefetch,
 			Compress:  opts.Compress,
+			Codec:     opts.Codec,
+			BlockSize: opts.BlockSize,
 		})
 		if err != nil {
 			return err
@@ -224,6 +249,8 @@ func Run(p Program, opts Options) error {
 			SharedDir: opts.SharedDir,
 			Obs:       rt,
 			Compress:  opts.Compress,
+			Codec:     opts.Codec,
+			BlockSize: opts.BlockSize,
 		})
 		if err != nil {
 			return err
@@ -246,6 +273,8 @@ func Run(p Program, opts Options) error {
 			Obs:        rt,
 			Prefetch:   opts.Prefetch,
 			Compress:   opts.Compress,
+			Codec:      opts.Codec,
+			BlockSize:  opts.BlockSize,
 		})
 		if err != nil {
 			return err

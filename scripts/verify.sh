@@ -39,10 +39,16 @@ if [ "$tier" = "2" ] || [ "$tier" = "all" ]; then
 	go test -race -count=2 \
 		-run 'ParallelFetchByteIdentical|ChaosWithPrefetchAndCompression' \
 		./internal/cluster
+	echo "== tier 2: block data-plane stress (race, non-default codecs, negotiation, cross-mode)"
+	go test -race -count=2 \
+		-run 'CodecGrid|CodecSerialMatchesCluster|AddBlock|BlockBucket|Negotiation|TranscodeBetween' \
+		./internal/cluster ./internal/bucket ./internal/shuffle
+	echo "== tier 2: block framing fuzz (corpus + 10s of new inputs)"
+	go test -run '^$' -fuzz 'FuzzBlockReader' -fuzztime 10s ./internal/kvio
 	echo "== tier 2: allocation regression guard (scripts/alloc_thresholds.txt)"
 	bench="$(go test -run '^$' -bench 'BenchmarkSorterAdd|BenchmarkSortGroupInMemory' \
 		-benchmem -benchtime 100x ./internal/shuffle/
-	go test -run '^$' -bench 'BenchmarkWriterWrite|BenchmarkReaderRead' \
+	go test -run '^$' -bench 'BenchmarkWriterWrite|BenchmarkReaderRead|BenchmarkBlock' \
 		-benchmem -benchtime 1000x ./internal/kvio/)"
 	echo "$bench"
 	echo "$bench" | awk '
