@@ -28,6 +28,7 @@ import (
 	"repro/internal/hadoopsim"
 	"repro/internal/interp"
 	"repro/internal/journal"
+	"repro/internal/kmeans"
 	"repro/internal/kvio"
 	"repro/internal/obs"
 	"repro/internal/partition"
@@ -560,6 +561,115 @@ func measureChainOverhead(iters int, pipelined bool) (time.Duration, core.JobSta
 	return time.Since(start) / time.Duration(iters), job.Stats(), nil
 }
 
+// iterWallMS converts per-iteration durations to milliseconds for the
+// machine-readable results file.
+func iterWallMS(walls []time.Duration) []float64 {
+	out := make([]float64, len(walls))
+	for i, d := range walls {
+		out[i] = float64(d) / float64(time.Millisecond)
+	}
+	return out
+}
+
+// residencyRun is one cell of the EXP-ITER residency ablation: the
+// k-means assignment superstep repeated over an invariant point set on
+// a live fleet, with the resident cache and split-level pipelining
+// each on or off.
+type residencyRun struct {
+	Resident  bool
+	Pipelined bool
+	First     time.Duration   // iteration 1 (cold: everything misses)
+	Warm      time.Duration   // mean of iterations 2..N
+	IterWall  []time.Duration // every iteration's wall clock
+	Hits      int64
+	Misses    int64
+}
+
+// hitRate is Hits/(Hits+Misses), or 0 with no resident traffic.
+func (r residencyRun) hitRate() float64 {
+	if r.Hits+r.Misses == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Hits+r.Misses)
+}
+
+// measureResidency runs iters supersteps of kmeans assign+update over
+// one LocalData point set. The input dataset never changes, so with
+// Resident on, iteration 1 shuffles it to the slaves and every later
+// iteration reads it from their resident caches.
+func measureResidency(iters int, resident, pipelined bool) (residencyRun, error) {
+	out := residencyRun{Resident: resident, Pipelined: pipelined}
+	// Low K and high Dims keep the assignment I/O-bound (flops per input
+	// byte scale with K/8), so the saved per-iteration shuffle dominates
+	// the warm wall clock instead of drowning in distance arithmetic.
+	cfg := kmeans.Config{K: 2, Dims: 64, MaxIters: iters, Epsilon: 1e-300, Tasks: *slaves, Seed: 5}
+	points, _, err := kmeans.GeneratePoints(cfg, 12000)
+	if err != nil {
+		return out, err
+	}
+	centroids, err := kmeans.InitialCentroidsPlusPlus(cfg, points)
+	if err != nil {
+		return out, err
+	}
+	reg := core.NewRegistry()
+	kmeans.Register(reg)
+	budget := int64(0)
+	if resident {
+		budget = core.DefaultResidentBudget
+	}
+	rt := obs.New(nil)
+	c, err := cluster.Start(reg, cluster.Options{Slaves: *slaves, ResidentBudget: budget, Obs: rt})
+	if err != nil {
+		return out, err
+	}
+	defer c.Close()
+	job := core.NewJobWith(c.Executor(), core.JobOptions{Pipeline: pipelined, Obs: rt})
+	defer job.Close()
+	src, err := job.LocalData(kmeans.PointPairs(points), core.OpOpts{Splits: cfg.Tasks, Partition: "roundrobin"})
+	if err != nil {
+		return out, err
+	}
+	if err := src.Wait(); err != nil {
+		return out, err
+	}
+	for i := 0; i < iters; i++ {
+		t0 := time.Now()
+		mapped, err := job.Map(src, kmeans.AssignName, core.OpOpts{
+			Splits:    1,
+			Partition: "constant",
+			Combine:   kmeans.UpdateName,
+			Params:    kmeans.EncodeCentroids(centroids),
+			Resident:  resident,
+		})
+		if err != nil {
+			return out, err
+		}
+		reduced, err := job.Reduce(mapped, kmeans.UpdateName,
+			core.OpOpts{Splits: 1, Partition: "constant", KeyAligned: true})
+		if err != nil {
+			return out, err
+		}
+		if _, err := reduced.Collect(); err != nil {
+			return out, err
+		}
+		out.IterWall = append(out.IterWall, time.Since(t0))
+		_ = reduced.Free()
+		_ = mapped.Free()
+	}
+	out.First = out.IterWall[0]
+	var warm time.Duration
+	for _, d := range out.IterWall[1:] {
+		warm += d
+	}
+	if len(out.IterWall) > 1 {
+		out.Warm = warm / time.Duration(len(out.IterWall)-1)
+	}
+	snap := rt.M().Snapshot()
+	out.Hits = snap[obs.MetricResidentHits]
+	out.Misses = snap[obs.MetricResidentMisses]
+	return out, nil
+}
+
 func expIter() error {
 	hc, err := hadoopCluster()
 	if err != nil {
@@ -634,6 +744,51 @@ func expIter() error {
 	fmt.Printf("  %-10s %13.0fus %7.1f%%\n", "shuffle", perOpUS(agg.ShuffleNS), share(agg.ShuffleNS))
 	fmt.Printf("  %-10s %13.0fus %7.1f%%\n", "wall", perOpUS(agg.WallNS), 100.0)
 
+	// Residency ablation: the k-means assignment superstep with the
+	// resident cache and pipelining each toggled. The invariant point
+	// set shuffles once when resident; every warm iteration serves it
+	// from the slaves' caches (docs/ITERATIVE.md discusses this table).
+	resIters := *iterN
+	if resIters > 30 {
+		resIters = 30 // per-iteration cost stabilizes well before 30
+	}
+	var cells []residencyRun
+	for _, cfg := range []struct{ resident, pipelined bool }{
+		{false, false}, {false, true}, {true, false}, {true, true},
+	} {
+		cell, err := measureResidency(resIters, cfg.resident, cfg.pipelined)
+		if err != nil {
+			return err
+		}
+		cells = append(cells, cell)
+	}
+	onOff := func(b bool) string {
+		if b {
+			return "on"
+		}
+		return "off"
+	}
+	fmt.Printf("\nresidency ablation (kmeans assign superstep, %d iters, %d slaves, 12k points):\n",
+		resIters, *slaves)
+	fmt.Printf("  %-9s %-9s %12s %12s %7s %7s %9s\n",
+		"resident", "pipeline", "iter 1", "warm/iter", "hits", "misses", "hit rate")
+	for _, cell := range cells {
+		rate := "-"
+		if cell.Hits+cell.Misses > 0 {
+			rate = fmt.Sprintf("%.1f%%", 100*cell.hitRate())
+		}
+		fmt.Printf("  %-9s %-9s %12s %12s %7d %7d %9s\n",
+			onOff(cell.Resident), onOff(cell.Pipelined),
+			cell.First.Round(time.Microsecond), cell.Warm.Round(time.Microsecond),
+			cell.Hits, cell.Misses, rate)
+	}
+	residentOn, residentOff := cells[3], cells[1] // pipelined pair
+	warmSpeedup := 0.0
+	if residentOn.Warm > 0 {
+		warmSpeedup = float64(residentOff.Warm) / float64(residentOn.Warm)
+	}
+	fmt.Printf("  warm per-iteration speedup (pipelined, resident on vs off): %.2fx\n", warmSpeedup)
+
 	if *iterJSON != "" {
 		blob, err := json.MarshalIndent(map[string]any{
 			"experiment":                    "iter",
@@ -655,6 +810,17 @@ func expIter() error {
 			"schedule_share_pct":            share(agg.ScheduleNS),
 			"compute_share_pct":             share(agg.ComputeNS),
 			"shuffle_share_pct":             share(agg.ShuffleNS),
+			"residency_iters":               resIters,
+			"resident_hits":                 residentOn.Hits,
+			"resident_misses":               residentOn.Misses,
+			"resident_hit_rate":             residentOn.hitRate(),
+			"resident_on_first_iter_ms":     float64(residentOn.First) / float64(time.Millisecond),
+			"resident_on_warm_iter_ms":      float64(residentOn.Warm) / float64(time.Millisecond),
+			"resident_off_first_iter_ms":    float64(residentOff.First) / float64(time.Millisecond),
+			"resident_off_warm_iter_ms":     float64(residentOff.Warm) / float64(time.Millisecond),
+			"resident_warm_speedup":         warmSpeedup,
+			"resident_on_iter_wall_ms":      iterWallMS(residentOn.IterWall),
+			"resident_off_iter_wall_ms":     iterWallMS(residentOff.IterWall),
 		}, "", "  ")
 		if err != nil {
 			return err

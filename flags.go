@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"time"
+
+	"repro/internal/core"
 )
 
 // BindFlags registers the standard mrs command-line options on a flag
@@ -40,6 +42,8 @@ func BindFlags(fs *flag.FlagSet) *Options {
 		"block data-plane codec: identity|deflate|lz (empty = legacy per-record framing)")
 	fs.IntVar(&o.BlockSize, "mrs-block-size", 0,
 		"record-block flush threshold in bytes (0 = default 64 KiB)")
+	fs.Int64Var(&o.ResidentBudget, "mrs-resident-budget", core.DefaultResidentBudget,
+		"per-worker resident dataset cache budget in bytes (0 disables)")
 	return o
 }
 

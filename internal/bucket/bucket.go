@@ -704,6 +704,10 @@ func (f *drainReadCloser) Close() error {
 // that dies mid-stream is retried whole — the caller gets either the
 // complete payload or an error, which is what the parallel prefetcher
 // needs (a half-delivered bucket cannot be resumed).
+//
+// The returned slice is freshly allocated and owned by the caller: it is
+// never pooled or reused by the store, so callers may retain it
+// indefinitely (the resident dataset cache depends on this).
 func (s *Store) Fetch(rawURL string) ([]byte, error) {
 	remote := strings.HasPrefix(rawURL, "http://") || strings.HasPrefix(rawURL, "https://")
 	retry := fault.NewBackoff(hash.FNV1a64String(rawURL) + 2)

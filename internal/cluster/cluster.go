@@ -72,6 +72,9 @@ type Options struct {
 	// (default 1). Raise it so one fleet can serve several jobs' tasks
 	// simultaneously.
 	SlaveConcurrency int
+	// ResidentBudget is the per-slave resident dataset cache budget in
+	// bytes (<= 0 disables residency on the whole fleet).
+	ResidentBudget int64
 }
 
 // Cluster is a running local deployment.
@@ -85,6 +88,7 @@ type Cluster struct {
 	codec     string
 	blockSize int
 	slaveCon  int
+	resident  int64
 
 	mopts      master.Options // as built by Start, for RestartMaster
 	masterAddr string         // concrete listen address of the first master
@@ -126,7 +130,7 @@ func Start(reg *core.Registry, opts Options) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Cluster{M: m, chaos: opts.Chaos, obs: opts.Obs, prefetch: opts.Prefetch, compress: opts.Compress, codec: opts.Codec, blockSize: opts.BlockSize, slaveCon: opts.SlaveConcurrency, mopts: mopts, masterAddr: m.Addr()}
+	c := &Cluster{M: m, chaos: opts.Chaos, obs: opts.Obs, prefetch: opts.Prefetch, compress: opts.Compress, codec: opts.Codec, blockSize: opts.BlockSize, slaveCon: opts.SlaveConcurrency, resident: opts.ResidentBudget, mopts: mopts, masterAddr: m.Addr()}
 	for i := 0; i < opts.Slaves; i++ {
 		if _, err := c.AddSlave(reg, opts.SharedDir); err != nil {
 			c.Close()
@@ -189,14 +193,15 @@ func (c *Cluster) AddSlave(reg *core.Registry, sharedDir string) (int, error) {
 	c.nextIdx++
 	c.mu.Unlock()
 	sopts := slave.Options{
-		MasterAddr:  c.masterAddr,
-		SharedDir:   sharedDir,
-		Obs:         c.obs,
-		Prefetch:    c.prefetch,
-		Compress:    c.compress,
-		Codec:       c.codec,
-		BlockSize:   c.blockSize,
-		Concurrency: c.slaveCon,
+		MasterAddr:     c.masterAddr,
+		SharedDir:      sharedDir,
+		Obs:            c.obs,
+		Prefetch:       c.prefetch,
+		Compress:       c.compress,
+		Codec:          c.codec,
+		BlockSize:      c.blockSize,
+		Concurrency:    c.slaveCon,
+		ResidentBudget: c.resident,
 	}
 	if c.chaos != nil {
 		role := slaveRole(idx)

@@ -218,6 +218,16 @@ type Operation struct {
 	// reads.
 	Narrow bool
 
+	// Resident marks this operation's *input* as an invariant dataset
+	// worth pinning in worker-local memory: each task's input split is
+	// fetched once, cached under (job, input dataset, split) on the
+	// worker that ran it, and served from memory when any later task —
+	// typically the same op re-queued by the next iteration — consumes
+	// the same split again. The scheduler prefers placing such tasks on
+	// the caching worker (cache affinity) but falls back to a re-fetch
+	// anywhere, so residency never changes results, only data movement.
+	Resident bool
+
 	// rangeFormat marks an OpFile whose Paths are byte-range URLs
 	// (TextFileDataSplit). Master-side only; slaves see the range
 	// format through the task spec's InputFormat.

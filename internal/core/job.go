@@ -124,6 +124,13 @@ type dsState struct {
 	// Job.Stats.
 	submitAt []time.Time
 	agg      opAgg
+
+	// urlMemo caches per-split input URL lists once this dataset has
+	// fully materialized — the BSP superstep fast path. An iterative
+	// program consumes the same invariant dataset every iteration; the
+	// first consumer plans the fetch (walks the materialization), later
+	// iterations reuse the pinned plan verbatim.
+	urlMemo [][]string
 }
 
 // opAgg accumulates the cost breakdown of one operation's finished
@@ -137,6 +144,9 @@ type opAgg struct {
 	inRecords  int64
 	outBytes   int64
 	outRecords int64
+	// Resident-cache lookup outcomes across the op's tasks.
+	residentHits   int64
+	residentMisses int64
 }
 
 // NewJob starts a pipelined job driver over the executor.
@@ -264,11 +274,12 @@ func (j *Job) scheduleLocked() {
 			d.started = true
 			d.submitAt[t] = j.clk.Now()
 			spec := &TaskSpec{
-				Op:          d.op,
-				Job:         j.id,
-				TaskIndex:   t,
-				InputURLs:   in.out.URLs(t),
-				InputFormat: in.out.Format,
+				Op:           d.op,
+				Job:          j.id,
+				TaskIndex:    t,
+				InputDataset: d.op.Input,
+				InputURLs:    j.inputURLsLocked(in, t),
+				InputFormat:  in.out.Format,
 			}
 			spec.TraceID = j.obs.T().TaskSubmittedJob(int64(j.id), d.op.Dataset, t, d.op.Kind.String(), d.op.FuncName)
 			j.obs.M().Add("mrs_tasks_submitted_total", 1)
@@ -278,6 +289,31 @@ func (j *Job) scheduleLocked() {
 			})
 		}
 	}
+}
+
+// inputURLsLocked returns the bucket URLs making up input split t. Once
+// the input dataset has fully materialized its fetch plan is frozen, so
+// the per-split URL list is computed once and pinned on the dataset —
+// iteration i+1's tasks (and any other later consumer) reuse iteration
+// i's plan instead of re-walking the materialization per task. Until
+// then (narrow pipelined consumption of an in-flight producer) the plan
+// is built fresh, since remaining buckets are still landing.
+func (j *Job) inputURLsLocked(in *dsState, t int) []string {
+	if !in.complete || in.failed {
+		return in.out.URLs(t)
+	}
+	if in.urlMemo == nil {
+		in.urlMemo = make([][]string, in.splits)
+	}
+	if t >= len(in.urlMemo) {
+		return in.out.URLs(t)
+	}
+	if in.urlMemo[t] == nil {
+		in.urlMemo[t] = in.out.URLs(t)
+	} else {
+		j.obs.M().Add(obs.MetricPlanReuse, 1)
+	}
+	return in.urlMemo[t]
 }
 
 // inputReadyLocked reports whether split t of the input dataset is
@@ -351,6 +387,8 @@ func (j *Job) taskFinished(d *dsState, t int, res *TaskResult, err error) {
 		d.agg.inRecords += res.Timing.InRecords
 		d.agg.outBytes += res.Timing.OutBytes
 		d.agg.outRecords += res.Timing.OutRecords
+		d.agg.residentHits += res.Timing.ResidentHits
+		d.agg.residentMisses += res.Timing.ResidentMisses
 		if d.ndone == d.nTasks {
 			j.completeLocked(d)
 		}
@@ -454,6 +492,15 @@ type OpOpts struct {
 	// emits a foreign key fails rather than corrupting downstream
 	// reads.
 	KeyAligned bool
+	// Resident marks the operation's input as an invariant dataset to
+	// pin in worker-local memory (see Operation.Resident): the first
+	// consumption of each split populates a per-worker cache, and every
+	// later Resident consumer of the same split — the same map re-queued
+	// by the next iteration of an iterative program, or an overlapped
+	// convergence check — is served from warm local state instead of
+	// re-shuffling. Purely a placement/data-movement hint; results are
+	// byte-identical with or without it.
+	Resident bool
 }
 
 func (o OpOpts) splitsOr(def int) int {
@@ -501,6 +548,7 @@ func (j *Job) Map(src *Dataset, funcName string, opts OpOpts) (*Dataset, error) 
 		Splits:      splits,
 		Partition:   opts.Partition,
 		Params:      append([]byte(nil), opts.Params...),
+		Resident:    opts.Resident,
 	}, splits)
 }
 
@@ -518,6 +566,7 @@ func (j *Job) Reduce(src *Dataset, funcName string, opts OpOpts) (*Dataset, erro
 		Partition:   opts.Partition,
 		Params:      append([]byte(nil), opts.Params...),
 		KeyAligned:  opts.KeyAligned,
+		Resident:    opts.Resident,
 	}, splits)
 }
 

@@ -98,6 +98,20 @@ func (e *LocalExecutor) SetSpillBytes(n int64) { e.env.SpillBytes = n }
 // Must be called before the first Submit.
 func (e *LocalExecutor) SetPrefetch(n int) { e.env.Prefetch = n }
 
+// SetResidentBudget installs a resident dataset cache with the given
+// byte budget (<= 0 removes it). Local executors are one process, so a
+// "warm worker" is just process memory — but the cache still spares
+// Resident iterative workloads their per-iteration store reads, and it
+// lets the residency ablations run on every execution mode. Must be
+// called before the first Submit.
+func (e *LocalExecutor) SetResidentBudget(n int64) {
+	e.env.Resident = NewResidentCache(n)
+	if e.env.Resident != nil {
+		e.env.Resident.SetMetrics(e.env.Obs.M())
+		obs.RegisterResidentGauge(e.env.Obs.M())
+	}
+}
+
 // SetCompress makes the executor's store write compressed buckets.
 // Only meaningful for file-backed stores (MockParallel); memory stores
 // ignore it. Must be called before the first Submit.
@@ -122,6 +136,11 @@ func (e *LocalExecutor) SetObserver(rt *obs.Runtime) {
 	e.obs = rt
 	e.env.Obs = rt
 	e.env.Store.SetMetrics(rt.M())
+	if e.env.Resident != nil {
+		// Set in either order with SetResidentBudget.
+		e.env.Resident.SetMetrics(rt.M())
+		obs.RegisterResidentGauge(rt.M())
+	}
 	if e.env.Clock == nil && rt != nil {
 		e.env.Clock = rt.Clk()
 	}

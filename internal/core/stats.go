@@ -26,6 +26,12 @@ type OpStats struct {
 	InRecords  int64
 	OutBytes   int64
 	OutRecords int64
+
+	// ResidentHits/ResidentMisses are the op's resident-cache lookup
+	// outcomes (zero unless the op was queued with OpOpts.Resident).
+	// Hits/(Hits+Misses) is the warm hit rate.
+	ResidentHits   int64
+	ResidentMisses int64
 }
 
 // JobStats is the job-wide roll-up of every operation's OpStats,
@@ -41,6 +47,9 @@ type JobStats struct {
 
 	InBytes  int64
 	OutBytes int64
+
+	ResidentHits   int64
+	ResidentMisses int64
 }
 
 // Stats snapshots the per-operation cost breakdown accumulated so far.
@@ -76,6 +85,9 @@ func (j *Job) Stats() JobStats {
 			InRecords:  d.agg.inRecords,
 			OutBytes:   d.agg.outBytes,
 			OutRecords: d.agg.outRecords,
+
+			ResidentHits:   d.agg.residentHits,
+			ResidentMisses: d.agg.residentMisses,
 		}
 		out.Ops = append(out.Ops, op)
 		out.Tasks += op.Tasks
@@ -85,6 +97,8 @@ func (j *Job) Stats() JobStats {
 		out.ShuffleNS += op.ShuffleNS
 		out.InBytes += op.InBytes
 		out.OutBytes += op.OutBytes
+		out.ResidentHits += op.ResidentHits
+		out.ResidentMisses += op.ResidentMisses
 	}
 	return out
 }

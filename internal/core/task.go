@@ -41,6 +41,11 @@ type TaskEnv struct {
 	// 0 selects DefaultPrefetch; 1 disables overlap (sequential
 	// streaming, the pre-prefetch behavior).
 	Prefetch int
+	// Resident is the worker-local resident dataset cache serving
+	// Resident-marked input splits from memory (nil disables). Slaves
+	// share one cache across all job environments; local executors own
+	// one per process.
+	Resident *ResidentCache
 }
 
 // DefaultPrefetch is the input-fetch window when TaskEnv.Prefetch is 0.
@@ -86,6 +91,11 @@ type TaskSpec struct {
 	// TaskIndex is the task's index within the operation (== the input
 	// split it consumes).
 	TaskIndex int
+	// InputDataset is the id of the dataset the consumed split belongs
+	// to (Op.Input as the driver saw it). It travels to slaves — which
+	// otherwise never learn dataset identities — because it is one third
+	// of the resident-cache key (job, input dataset, split).
+	InputDataset int
 	// InputURLs are the buckets making up the consumed split, in
 	// producer-task order.
 	InputURLs []string
@@ -127,10 +137,12 @@ func ExecTask(env *TaskEnv, spec *TaskSpec) (*TaskResult, error) {
 		return nil, err
 	}
 	res.Timing = obs.Timing{
-		WallNS:    clk.Now().Sub(start).Nanoseconds(),
-		ShuffleNS: st.readNS,
-		InBytes:   st.bytes,
-		InRecords: st.records,
+		WallNS:         clk.Now().Sub(start).Nanoseconds(),
+		ShuffleNS:      st.readNS,
+		InBytes:        st.bytes,
+		InRecords:      st.records,
+		ResidentHits:   st.residentHits,
+		ResidentMisses: st.residentMisses,
 	}
 	for _, d := range res.Outputs {
 		res.Timing.OutBytes += d.Bytes
@@ -140,12 +152,16 @@ func ExecTask(env *TaskEnv, spec *TaskSpec) (*TaskResult, error) {
 }
 
 // inputStats accumulates what a task consumed: bytes and records read,
-// and the wall time spent blocked inside Read calls on input streams
-// (the task's shuffle cost).
+// the wall time spent blocked inside Read calls on input streams (the
+// task's shuffle cost), and resident-cache lookup outcomes.
 type inputStats struct {
 	bytes   int64
 	records int64
 	readNS  int64
+	// residentHits/residentMisses record the task's resident-cache
+	// lookup (at most one per task; both zero off the resident path).
+	residentHits   int64
+	residentMisses int64
 }
 
 // timedReader wraps an input stream, charging each Read's wall time to
@@ -455,6 +471,9 @@ func forEachInput(env *TaskEnv, spec *TaskSpec, st *inputStats, sink recordSink)
 		}
 	}
 	clk := env.clk()
+	if spec.Op.Resident && env.Resident != nil && spec.InputFormat != FormatLinesRange {
+		return forEachInputResident(env, spec, st, sink, countPayload)
+	}
 	if w := env.prefetchWidth(); w > 1 && len(spec.InputURLs) > 1 && spec.InputFormat != FormatLinesRange {
 		return forEachInputPrefetched(env, spec, st, sink, w, countPayload)
 	}
@@ -547,6 +566,73 @@ func forEachInputPrefetched(env *TaskEnv, spec *TaskSpec, st *inputStats, sink r
 			return ferr
 		}
 	}
+	return nil
+}
+
+// forEachInputResident serves a Resident-marked input split through the
+// worker-local cache. A hit replays the previously fetched bucket
+// payloads from memory — no store traffic, near-zero shuffle wait, and
+// the identical byte stream the fetch produced, so record order and
+// results cannot differ from a cold read. A miss runs the same windowed
+// whole-bucket fetch as the prefetched path, retains the payloads, and
+// inserts them after the task consumed every bucket successfully (a
+// failed task caches nothing). The cache key is (job, input dataset,
+// split); the fetch plan (URL list) is stored alongside and must match
+// exactly on lookup, so a changed plan — re-executed producers after a
+// slave loss, say — invalidates rather than serves stale bytes.
+func forEachInputResident(env *TaskEnv, spec *TaskSpec, st *inputStats, sink recordSink, countPayload bool) error {
+	clk := env.clk()
+	urls := spec.InputURLs
+	key := ResidentKey{Job: spec.Job, Dataset: spec.InputDataset, Split: spec.TaskIndex}
+	if payloads, ok := env.Resident.Get(key, urls); ok {
+		st.residentHits++
+		env.Obs.M().Add(obs.MetricResidentHits, 1)
+		for _, data := range payloads {
+			tr := &timedReader{r: bytes.NewReader(data), clk: clk, st: st, count: !countPayload}
+			if err := consumeStream(tr, spec.InputFormat, sink); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	st.residentMisses++
+	env.Obs.M().Add(obs.MetricResidentMisses, 1)
+	width := env.prefetchWidth()
+	results := make([]chan fetched, len(urls))
+	launch := func(i int) {
+		ch := make(chan fetched, 1)
+		results[i] = ch
+		u := urls[i]
+		go func() {
+			data, err := env.Store.Fetch(u)
+			ch <- fetched{data: data, err: err}
+		}()
+	}
+	for i := 0; i < width && i < len(urls); i++ {
+		launch(i)
+	}
+	retained := make([][]byte, 0, len(urls))
+	for i, u := range urls {
+		begin := clk.Now()
+		res := <-results[i]
+		st.readNS += clk.Now().Sub(begin).Nanoseconds()
+		results[i] = nil
+		if next := i + width; next < len(urls) {
+			launch(next)
+		}
+		if res.err != nil {
+			return fmt.Errorf("opening input %s: %w", u, res.err)
+		}
+		retained = append(retained, res.data)
+		before := st.bytes
+		tr := &timedReader{r: bytes.NewReader(res.data), clk: clk, st: st, count: !countPayload}
+		ferr := consumeStream(tr, spec.InputFormat, sink)
+		env.Obs.M().Add(shuffleMetric(u), st.bytes-before)
+		if ferr != nil {
+			return ferr
+		}
+	}
+	env.Resident.Put(key, urls, retained)
 	return nil
 }
 

@@ -355,6 +355,9 @@ func RunMapReduce(job *core.Job, cfg Config, points *core.Dataset, initial [][]f
 			Partition: "constant",
 			Combine:   UpdateName,
 			Params:    EncodeCentroids(centroids),
+			// points never changes between iterations: pin it in the
+			// worker-side resident cache so only iteration 1 shuffles it.
+			Resident: true,
 		})
 		if err != nil {
 			return nil, err

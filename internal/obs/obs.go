@@ -119,6 +119,41 @@ const (
 	MetricRecoveredTasks     = "mrs_master_recovered_tasks_total"
 )
 
+// Resident-cache metric names. Hits and misses count per-task lookups
+// of Resident-marked input splits (the task engine charges them);
+// evictions count LRU displacement under the byte budget, and
+// invalidations count entries dropped because the fetch plan changed
+// (different producer buckets after recovery). The inserted/reclaimed
+// byte counters are both monotonic so they sum correctly across the
+// slaves sharing one metrics registry; their difference is the live
+// pinned footprint, exported as the MetricResidentPinnedBytes gauge by
+// RegisterResidentGauge. GC bytes count reclamation specifically driven
+// by the per-job GC broadcast, and the scheduler counter tracks how
+// often cache-affinity placement sent a task to the slave already
+// holding its resident input.
+const (
+	MetricResidentHits            = "mrs_resident_hits_total"
+	MetricResidentMisses          = "mrs_resident_misses_total"
+	MetricResidentEvictions       = "mrs_resident_evictions_total"
+	MetricResidentInvalidations   = "mrs_resident_invalidations_total"
+	MetricResidentInsertedBytes   = "mrs_resident_inserted_bytes_total"
+	MetricResidentReclaimedBytes  = "mrs_resident_reclaimed_bytes_total"
+	MetricResidentGCBytes         = "mrs_resident_gc_reclaimed_bytes_total"
+	MetricResidentPinnedBytes     = "mrs_resident_pinned_bytes"
+	MetricSchedResidentPlacements = "mrs_sched_resident_placements_total"
+	MetricPlanReuse               = "mrs_job_input_plan_reuse_total"
+)
+
+// RegisterResidentGauge installs the pinned-bytes gauge derived from
+// the monotonic inserted/reclaimed counters. Registering is idempotent
+// (SetGauge replaces), so every slave sharing the registry may call it.
+func RegisterResidentGauge(m *Metrics) {
+	m.SetGauge(MetricResidentPinnedBytes, func() int64 {
+		return m.Counter(MetricResidentInsertedBytes).Value() -
+			m.Counter(MetricResidentReclaimedBytes).Value()
+	})
+}
+
 // Counter is a monotonically increasing metric. The zero value is
 // ready; a nil *Counter discards adds, so hot paths can cache a counter
 // pointer without caring whether metrics are wired.

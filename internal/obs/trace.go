@@ -27,6 +27,12 @@ type Timing struct {
 	// OutBytes/OutRecords count the produced output buckets.
 	OutBytes   int64
 	OutRecords int64
+	// ResidentHits/ResidentMisses count resident-cache lookups for the
+	// attempt's input split (at most one lookup per task; both zero for
+	// non-Resident operations). Aggregated per op they yield the warm
+	// hit rate iterative programs are tuned by.
+	ResidentHits   int64
+	ResidentMisses int64
 }
 
 // Span is one task attempt's lifecycle: submit (driver queued it),
@@ -234,7 +240,11 @@ type chromeArgs struct {
 	InRecords  int64  `json:"in_records"`
 	OutBytes   int64  `json:"out_bytes"`
 	OutRecords int64  `json:"out_records"`
-	Error      string `json:"error,omitempty"`
+	// Resident-cache annotations; omitted for non-Resident tasks so
+	// pre-residency traces stay byte-identical.
+	ResidentHits   int64  `json:"resident_hits,omitempty"`
+	ResidentMisses int64  `json:"resident_misses,omitempty"`
+	Error          string `json:"error,omitempty"`
 }
 
 type chromeWhoIs struct {
@@ -361,9 +371,11 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 				ShuffleUS:  sp.Timing.ShuffleNS / 1e3,
 				InBytes:    sp.Timing.InBytes,
 				InRecords:  sp.Timing.InRecords,
-				OutBytes:   sp.Timing.OutBytes,
-				OutRecords: sp.Timing.OutRecords,
-				Error:      sp.Err,
+				OutBytes:       sp.Timing.OutBytes,
+				OutRecords:     sp.Timing.OutRecords,
+				ResidentHits:   sp.Timing.ResidentHits,
+				ResidentMisses: sp.Timing.ResidentMisses,
+				Error:          sp.Err,
 			},
 		}
 		if err := emit(ev); err != nil {

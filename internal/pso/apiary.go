@@ -369,7 +369,10 @@ func RunMapReduce(job *core.Job, cfg Config) (*Result, error) {
 	}
 
 	for outer := 1; outer <= cfg.MaxOuter; outer++ {
-		moved, err := job.Map(state, MoveName, core.OpOpts{Splits: cfg.Tasks})
+		// state is rebuilt every iteration, but at check iterations it
+		// has a second consumer (the BestName evaluation below); marking
+		// both Maps Resident turns that second read into a cache hit.
+		moved, err := job.Map(state, MoveName, core.OpOpts{Splits: cfg.Tasks, Resident: true})
 		if err != nil {
 			return nil, err
 		}
@@ -387,7 +390,7 @@ func RunMapReduce(job *core.Job, cfg Config) (*Result, error) {
 		state = next
 
 		if outer%cfg.CheckEvery == 0 || outer == cfg.MaxOuter {
-			bm, err := job.Map(state, BestName, core.OpOpts{Splits: 1, Partition: "constant"})
+			bm, err := job.Map(state, BestName, core.OpOpts{Splits: 1, Partition: "constant", Resident: true})
 			if err != nil {
 				return nil, err
 			}

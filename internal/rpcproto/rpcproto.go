@@ -132,6 +132,13 @@ func (a Assignment) Encode() (map[string]any, error) {
 	if op.Narrow {
 		out["narrow"] = true
 	}
+	if op.Resident {
+		// Resident tasks also carry the consumed dataset id: it is one
+		// third of the slave's cache key, which the slave cannot derive
+		// from the URL list alone.
+		out["resident"] = true
+		out["input_ds"] = int64(a.Spec.InputDataset)
+	}
 	if a.Spec.TraceID != 0 {
 		out["trace_id"] = a.Spec.TraceID
 	}
@@ -183,6 +190,8 @@ func DecodeAssignment(v any) (Assignment, error) {
 	format, _ := st["input_format"].(string)
 	params, _ := st["params"].([]byte)
 	narrow, _ := st["narrow"].(bool)
+	resident, _ := st["resident"].(bool)
+	inputDS, _ := st["input_ds"].(int64)
 	var urls []string
 	if raw, ok := st["input_urls"].([]any); ok {
 		for _, u := range raw {
@@ -207,10 +216,12 @@ func DecodeAssignment(v any) (Assignment, error) {
 			Partition:   part,
 			Params:      params,
 			Narrow:      narrow,
+			Resident:    resident,
 		},
-		TaskIndex:   int(taskIndex),
-		InputURLs:   urls,
-		InputFormat: format,
+		TaskIndex:    int(taskIndex),
+		InputDataset: int(inputDS),
+		InputURLs:    urls,
+		InputFormat:  format,
 	}
 	a.Spec.TraceID, _ = st["trace_id"].(int64)
 	if job, ok := st["job_id"].(int64); ok {
@@ -271,6 +282,8 @@ func EncodeTiming(t obs.Timing) map[string]any {
 		"in_records":  t.InRecords,
 		"out_bytes":   t.OutBytes,
 		"out_records": t.OutRecords,
+		"res_hits":    t.ResidentHits,
+		"res_misses":  t.ResidentMisses,
 	}
 }
 
@@ -289,6 +302,8 @@ func DecodeTiming(v any) obs.Timing {
 	t.InRecords, _ = st["in_records"].(int64)
 	t.OutBytes, _ = st["out_bytes"].(int64)
 	t.OutRecords, _ = st["out_records"].(int64)
+	t.ResidentHits, _ = st["res_hits"].(int64)
+	t.ResidentMisses, _ = st["res_misses"].(int64)
 	return t
 }
 

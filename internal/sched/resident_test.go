@@ -1,0 +1,192 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+)
+
+// residentSpecs builds n map tasks that consume input dataset inputDS
+// with OpOpts.Resident semantics (the iterative superstep shape: every
+// iteration submits the same (input, split) pairs).
+func residentSpecs(n, inputDS int) []*core.TaskSpec {
+	out := make([]*core.TaskSpec, n)
+	for i := range out {
+		out[i] = &core.TaskSpec{
+			Op:           &core.Operation{Kind: core.OpMap, FuncName: "m", Splits: 1, Dataset: 9, Resident: true},
+			TaskIndex:    i,
+			InputDataset: inputDS,
+		}
+	}
+	return out
+}
+
+// drainRound assigns and completes one submitted group with the given
+// request order, returning slave -> task index served.
+func drainRound(t *testing.T, s *Scheduler, g *Group, order []string) map[string]int {
+	t.Helper()
+	got := map[string]int{}
+	for _, w := range order {
+		task, err := s.Request(w, time.Second)
+		if err != nil || task == nil {
+			t.Fatalf("request for %s: %v, %v", w, task, err)
+		}
+		got[w] = task.Spec.TaskIndex
+		if err := s.Complete(task.ID, w, result(task)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// TestResidentPlacementPreference is the cache-affinity core: after
+// iteration 1 seeds each slave's cache, iteration 2 must route every
+// split back to its caching slave regardless of request order — and a
+// resident owner must win even over a foreign index affinity.
+func TestResidentPlacementPreference(t *testing.T) {
+	s := New(0)
+	defer s.Close()
+
+	// Iteration 1: w1 caches split 0, w2 caches split 1.
+	g1, _ := s.SubmitGroup(residentSpecs(2, 1))
+	drainRound(t, s, g1, []string{"w1", "w2"})
+	if own := s.ResidentOwner(0, 1, 0); own != "w1" {
+		t.Fatalf("ResidentOwner(0,1,0) = %q, want w1", own)
+	}
+	if own := s.ResidentOwner(0, 1, 1); own != "w2" {
+		t.Fatalf("ResidentOwner(0,1,1) = %q, want w2", own)
+	}
+
+	// Iteration 2: w2 asks first; it must receive its cached split 1,
+	// not the head-of-queue split 0.
+	g2, _ := s.SubmitGroup(residentSpecs(2, 1))
+	got := drainRound(t, s, g2, []string{"w2", "w1"})
+	if got["w2"] != 1 || got["w1"] != 0 {
+		t.Fatalf("iteration 2 placement = %v, want w1:0 w2:1", got)
+	}
+
+	// Flip the plain index affinity to w2 for both splits with a
+	// non-resident round that only w2 serves...
+	g3, _ := s.SubmitGroup(specs(2))
+	drainRound(t, s, g3, []string{"w2", "w2"})
+	if s.Affinity(0) != "w2" || s.Affinity(1) != "w2" {
+		t.Fatalf("affinity flip failed: %q/%q", s.Affinity(0), s.Affinity(1))
+	}
+
+	// ...then submit resident tasks again: w1's resident ownership of
+	// split 0 must beat w2's index affinity.
+	g4, _ := s.SubmitGroup(residentSpecs(2, 1))
+	got = drainRound(t, s, g4, []string{"w1", "w2"})
+	if got["w1"] != 0 {
+		t.Fatalf("resident owner lost to index affinity: w1 got split %d", got["w1"])
+	}
+}
+
+// TestResidentFallbackOnSlaveDeath: a dead slave's resident entries are
+// dropped, so the next iteration re-places those splits wherever the
+// retry lands instead of waiting for a cache that no longer exists.
+func TestResidentFallbackOnSlaveDeath(t *testing.T) {
+	s := New(0)
+	defer s.Close()
+	g1, _ := s.SubmitGroup(residentSpecs(2, 1))
+	drainRound(t, s, g1, []string{"w1", "w2"})
+
+	s.SlaveDead("w1")
+	if own := s.ResidentOwner(0, 1, 0); own != "" {
+		t.Fatalf("dead slave still owns split 0: %q", own)
+	}
+	if own := s.ResidentOwner(0, 1, 1); own != "w2" {
+		t.Fatalf("survivor lost ownership of split 1: %q", own)
+	}
+
+	// Next iteration: w2 keeps its split; split 0 is served to whoever
+	// asks — no deadlock waiting for the dead owner.
+	g2, _ := s.SubmitGroup(residentSpecs(2, 1))
+	got := drainRound(t, s, g2, []string{"w2", "w3"})
+	if got["w2"] != 1 || got["w3"] != 0 {
+		t.Fatalf("post-death placement = %v, want w2:1 w3:0", got)
+	}
+	if own := s.ResidentOwner(0, 1, 0); own != "w3" {
+		t.Fatalf("split 0 ownership not transferred to w3: %q", own)
+	}
+}
+
+// TestResidentPreferenceNeverWithholds: cache affinity is a preference,
+// not a reservation — when only foreign-owned resident work is pending,
+// a requesting slave still gets a task immediately.
+func TestResidentPreferenceNeverWithholds(t *testing.T) {
+	s := New(0)
+	defer s.Close()
+	g1, _ := s.SubmitGroup(residentSpecs(1, 1))
+	drainRound(t, s, g1, []string{"w1"})
+
+	// w1 never asks again; w2 must take w1's cached split anyway.
+	g2, _ := s.SubmitGroup(residentSpecs(1, 1))
+	task, err := s.Request("w2", time.Second)
+	if err != nil || task == nil {
+		t.Fatalf("foreign resident task withheld: %v, %v", task, err)
+	}
+	if err := s.Complete(task.ID, "w2", result(task)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if own := s.ResidentOwner(0, 1, 0); own != "w2" {
+		t.Fatalf("ownership did not follow the completion: %q", own)
+	}
+}
+
+// TestResidentOwnershipAfterLeaseRequeue uses the fake clock: a
+// resident assignment whose lease expires is requeued, and the slave
+// that eventually completes it becomes the new cache owner.
+func TestResidentOwnershipAfterLeaseRequeue(t *testing.T) {
+	clk := clock.NewFake(time.Unix(1000, 0))
+	s := NewWithClock(0, clk)
+	defer s.Close()
+
+	g, _ := s.SubmitGroup(residentSpecs(1, 1))
+	a, _ := s.Request("w1", time.Millisecond)
+	if a == nil {
+		t.Fatal("no task assigned")
+	}
+	clk.Advance(3 * time.Second)
+	if n := s.RequeueStale(2 * time.Second); n != 1 {
+		t.Fatalf("RequeueStale = %d, want 1", n)
+	}
+	// w1 never completed, so it owns nothing yet.
+	if own := s.ResidentOwner(0, 1, 0); own != "" {
+		t.Fatalf("premature ownership: %q", own)
+	}
+	re, _ := s.Request("w2", time.Millisecond)
+	if re == nil || re.ID != a.ID {
+		t.Fatalf("requeued task not offered: %v", re)
+	}
+	if err := s.Complete(re.ID, "w2", result(re)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if own := s.ResidentOwner(0, 1, 0); own != "w2" {
+		t.Fatalf("ownership after lease requeue = %q, want w2", own)
+	}
+}
+
+// TestClearAffinityDropsResident: the ablation reset erases resident
+// ownership alongside index affinity.
+func TestClearAffinityDropsResident(t *testing.T) {
+	s := New(0)
+	defer s.Close()
+	g, _ := s.SubmitGroup(residentSpecs(1, 1))
+	drainRound(t, s, g, []string{"w1"})
+	s.ClearAffinity()
+	if own := s.ResidentOwner(0, 1, 0); own != "" {
+		t.Fatalf("resident ownership survived ClearAffinity: %q", own)
+	}
+}

@@ -5,6 +5,15 @@
 // iteration to the next, cutting inter-iteration communication), and
 // it reassigns tasks when slaves fail or report errors.
 //
+// For Resident-marked tasks (Operation.Resident) there is a stronger
+// tier above index affinity: the scheduler remembers which slave's
+// resident dataset cache holds each (input dataset, split) pair and
+// routes later consumers of that split to it, so iterative workloads
+// shuffle their invariant inputs once and then run against warm
+// worker-local state. Both tiers are preferences, never reservations —
+// a slave that asks for work always gets the best-ranked pending task
+// rather than blocking on an owner that may never ask.
+//
 // The scheduler is multi-job: tasks are queued per job (TaskSpec.Job),
 // each job keeps its own affinities, failure counts/blacklist, and
 // lease override, and dispatch across jobs is weighted fair share —
@@ -154,11 +163,23 @@ type jobState struct {
 	pending  []*Task
 	inflight int            // tasks of this job currently assigned
 	affinity map[int]string // task index -> last slave to complete it
+	// resident maps (input dataset, split) of Resident-marked tasks to
+	// the slave whose resident cache holds that split's payload — the
+	// slave that last completed such a task. Cache-affinity placement
+	// prefers it strictly over plain index affinity; a dead slave's
+	// entries are dropped so placement falls back to re-fetch anywhere.
+	resident map[residentRef]string
 	failures map[string]int // slave -> task failures reported (blacklist input)
 	lease    time.Duration  // per-job lease override (0 = scheduler default)
 	// lastDispatch is the global dispatch sequence number of this job's
 	// most recent assignment; fair-share ties go to the smaller value.
 	lastDispatch int64
+}
+
+// residentRef identifies one resident-cached input split within a job.
+type residentRef struct {
+	ds    int
+	split int
 }
 
 type runningEntry struct {
@@ -200,6 +221,7 @@ func (s *Scheduler) jobLocked(id core.JobID) *jobState {
 			id:       id,
 			weight:   1,
 			affinity: map[int]string{},
+			resident: map[residentRef]string{},
 			failures: map[string]int{},
 		}
 		s.jobs[id] = j
@@ -330,10 +352,15 @@ func (s *Scheduler) Request(slaveID string, timeout time.Duration) (*Task, error
 // serve (per-job blacklist respected), take the one with the lowest
 // inflight/weight ratio, ties to the job dispatched least recently —
 // so a newly submitted small job preempts the dispatch rotation of a
-// large one immediately. Within the chosen job the preference order is
-// unchanged from the single-job scheduler: a task whose index this
-// slave completed before (affinity), then a task with no affinity at
-// all, then FIFO.
+// large one immediately. Within the chosen job the preference order
+// is: a Resident task whose cached input this slave holds (cache
+// affinity — serving it anywhere else would re-shuffle a split already
+// warm in this slave's memory), then a task whose index this slave
+// completed before (index affinity), then a task with no affinity at
+// all, then FIFO steal of the oldest. Every tier is a preference, not
+// a reservation: a slave with nothing of its own still takes the
+// oldest pending task, so blacklists, leases, and dead caching slaves
+// can never deadlock the queue — the fallback is a cold re-fetch.
 func (s *Scheduler) takeLocked(slaveID string) *Task {
 	var pick *jobState
 	for _, id := range s.order {
@@ -348,21 +375,27 @@ func (s *Scheduler) takeLocked(slaveID string) *Task {
 	if pick == nil {
 		return nil
 	}
-	best := -1
+	best, bestRank := 0, 4
 	for i, t := range pick.pending {
-		owner, has := pick.affinity[t.Spec.TaskIndex]
-		switch {
-		case has && owner == slaveID:
-			best = i
-		case !has && best == -1:
-			best = i
+		rank := 3
+		if owner, has := pick.affinity[t.Spec.TaskIndex]; !has {
+			rank = 2
+		} else if owner == slaveID {
+			rank = 1
 		}
-		if best == i && has && owner == slaveID {
-			break
+		if t.Spec.Op.Resident &&
+			pick.resident[residentRef{t.Spec.InputDataset, t.Spec.TaskIndex}] == slaveID {
+			rank = 0
+		}
+		if rank < bestRank {
+			best, bestRank = i, rank
+			if bestRank == 0 {
+				break
+			}
 		}
 	}
-	if best == -1 {
-		best = 0 // all pending tasks have affinity to other slaves; steal the oldest
+	if bestRank == 0 {
+		s.obs.M().Add(obs.MetricSchedResidentPlacements, 1)
 	}
 	t := pick.pending[best]
 	pick.pending = append(pick.pending[:best], pick.pending[best+1:]...)
@@ -451,6 +484,12 @@ func (s *Scheduler) CompleteTask(id TaskID, slaveID string, result *core.TaskRes
 	if j := s.jobs[entry.task.Spec.Job]; j != nil {
 		j.inflight--
 		j.affinity[entry.task.Spec.TaskIndex] = slaveID
+		if spec := entry.task.Spec; spec.Op.Resident {
+			// The completing slave just populated (or refreshed) its
+			// resident cache with this input split; steer later
+			// consumers of the same split to it.
+			j.resident[residentRef{spec.InputDataset, spec.TaskIndex}] = slaveID
+		}
 	}
 	if result != nil {
 		// Stamp identity so callers need not echo it over the wire.
@@ -579,6 +618,13 @@ func (s *Scheduler) SlaveDead(slaveID string) {
 				delete(j.affinity, idx)
 			}
 		}
+		for ref, owner := range j.resident {
+			if owner == slaveID {
+				// The cache died with the slave; placement falls back
+				// to a cold re-fetch wherever the retry lands.
+				delete(j.resident, ref)
+			}
+		}
 		delete(j.failures, slaveID)
 	}
 	s.mu.Unlock()
@@ -683,13 +729,27 @@ func (s *Scheduler) AffinityJob(job core.JobID, idx int) string {
 	return j.affinity[idx]
 }
 
-// ClearAffinity erases affinity state for every job (ablation support).
+// ClearAffinity erases affinity state — index and resident alike — for
+// every job (ablation support).
 func (s *Scheduler) ClearAffinity() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, j := range s.jobs {
 		j.affinity = map[int]string{}
+		j.resident = map[residentRef]string{}
 	}
+}
+
+// ResidentOwner returns the slave whose resident cache is believed to
+// hold (input dataset ds, split) of the job, or "" if none is recorded.
+func (s *Scheduler) ResidentOwner(job core.JobID, ds, split int) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[job]
+	if !ok {
+		return ""
+	}
+	return j.resident[residentRef{ds, split}]
 }
 
 // Close aborts all queued and running tasks (their callbacks fire with

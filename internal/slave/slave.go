@@ -4,6 +4,15 @@
 // over a built-in HTTP server (§IV-B's "direct communication" path) or
 // stages them on a shared filesystem (the fault-tolerant path).
 //
+// A slave optionally carries a resident dataset cache
+// (Options.ResidentBudget, core.ResidentCache): input splits of
+// Resident-marked operations are kept pinned in memory after their
+// first fetch, so each iteration of an iterative job reads its
+// invariant inputs locally instead of re-shuffling them. The cache is
+// slave-wide (shared by every job's task env), bounded by an LRU byte
+// budget, and drained per job by the master's GC broadcast. See
+// docs/ITERATIVE.md.
+//
 // Each task attempt is measured by the task engine (wall time, time
 // blocked reading input, byte/record counts) and the breakdown rides
 // back to the master as the optional final task_done argument, where
@@ -78,6 +87,11 @@ type Options struct {
 	// the classic sequential worker). With a multi-job master, slots
 	// above 1 let one slave serve several jobs' tasks concurrently.
 	Concurrency int
+	// ResidentBudget is the byte budget of the slave's resident dataset
+	// cache: Resident-marked input splits are kept in memory (LRU under
+	// this budget) and served warm when later iterations consume the
+	// same split. <= 0 disables the cache.
+	ResidentBudget int64
 }
 
 // Slave is one worker.
@@ -107,6 +121,12 @@ type Slave struct {
 	envMu   sync.Mutex
 	envs    map[core.JobID]*core.TaskEnv
 	jobDirs map[core.JobID]string
+
+	// resident is the slave-wide resident dataset cache. It lives on
+	// the slave, not on a per-job env: envFor's struct copy shares the
+	// pointer, so every job's tasks see one cache (keys are job-scoped)
+	// and the job GC broadcast can reclaim a job's entries in one call.
+	resident *core.ResidentCache
 
 	tasksRun  atomic.Int64
 	resignins atomic.Int64
@@ -194,7 +214,12 @@ func New(reg *core.Registry, opts Options) (*Slave, error) {
 	// The runtime may be shared by several slaves (the in-process
 	// cluster), so slaves contribute counters, which sum, rather than
 	// per-slave gauges, which would collide.
-	s.env = &core.TaskEnv{Store: store, Reg: reg, TempDir: dir, Obs: opts.Obs, Prefetch: opts.Prefetch}
+	s.resident = core.NewResidentCache(opts.ResidentBudget)
+	s.resident.SetMetrics(opts.Obs.M())
+	if s.resident != nil {
+		obs.RegisterResidentGauge(opts.Obs.M())
+	}
+	s.env = &core.TaskEnv{Store: store, Reg: reg, TempDir: dir, Obs: opts.Obs, Prefetch: opts.Prefetch, Resident: s.resident}
 	if opts.Obs != nil {
 		s.env.Clock = opts.Obs.Clk()
 	}
@@ -242,6 +267,14 @@ func (s *Slave) JobGCs() int64 { return s.jobGCs.Load() }
 
 // StoreDir returns the directory backing this slave's bucket store.
 func (s *Slave) StoreDir() string { return s.store.Dir() }
+
+// ResidentBytes returns the bytes currently pinned in this slave's
+// resident cache (0 when the cache is disabled).
+func (s *Slave) ResidentBytes() int64 { return s.resident.Bytes() }
+
+// ResidentSplits returns how many input splits this slave's resident
+// cache holds.
+func (s *Slave) ResidentSplits() int { return s.resident.Len() }
 
 // Resignins returns how many times the slave re-signed in after the
 // master declared it dead (e.g. it hung past the heartbeat timeout).
@@ -395,13 +428,17 @@ func (s *Slave) envFor(job core.JobID) (*core.TaskEnv, error) {
 }
 
 // gcJob reclaims everything a completed job left on this slave: its
-// buckets in the store and its private scratch directory. The master
+// buckets in the store, its pinned resident-cache splits, and its
+// private scratch directory. The master
 // broadcasts the job id on the next get_task of every slave once the
 // job's driver has drained.
 func (s *Slave) gcJob(job core.JobID) {
 	n, err := s.store.RemoveJob(int64(job))
 	if err != nil {
 		s.logger.Printf("slave %s: gc job %d: %v", s.ID(), job, err)
+	}
+	if freed := s.resident.DropJob(job); freed > 0 {
+		s.opts.Obs.M().Add(obs.MetricResidentGCBytes, freed)
 	}
 	s.envMu.Lock()
 	dir, ok := s.jobDirs[job]

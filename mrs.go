@@ -138,6 +138,13 @@ type Options struct {
 	// (0 = default, 64 KiB). Larger blocks compress better; smaller
 	// blocks cost less memory per stream.
 	BlockSize int
+	// ResidentBudget is the per-worker resident dataset cache budget in
+	// bytes: input splits of operations queued with OpOpts.Resident are
+	// fetched once and served from worker memory on later iterations
+	// (LRU-evicted under this budget, reclaimed by per-job GC). <= 0
+	// disables the cache; output is byte-identical either way. See
+	// docs/ITERATIVE.md.
+	ResidentBudget int64
 }
 
 func (o *Options) fill() {
@@ -193,6 +200,7 @@ func Run(p Program, opts Options) error {
 	case "serial":
 		exec := core.NewSerial(reg)
 		exec.SetObserver(rt)
+		exec.SetResidentBudget(opts.ResidentBudget)
 		exec.SetPrefetch(opts.Prefetch)
 		exec.SetCompress(opts.Compress)
 		if err := exec.SetCodec(opts.Codec); err != nil {
@@ -207,6 +215,7 @@ func Run(p Program, opts Options) error {
 			return err
 		}
 		exec.SetObserver(rt)
+		exec.SetResidentBudget(opts.ResidentBudget)
 		exec.SetPrefetch(opts.Prefetch)
 		exec.SetCompress(opts.Compress)
 		if err := exec.SetCodec(opts.Codec); err != nil {
@@ -218,6 +227,7 @@ func Run(p Program, opts Options) error {
 	case "threads":
 		exec := core.NewThreads(reg, opts.Workers)
 		exec.SetObserver(rt)
+		exec.SetResidentBudget(opts.ResidentBudget)
 		exec.SetPrefetch(opts.Prefetch)
 		exec.SetCompress(opts.Compress)
 		if err := exec.SetCodec(opts.Codec); err != nil {
@@ -228,13 +238,14 @@ func Run(p Program, opts Options) error {
 
 	case "local":
 		c, err := cluster.Start(reg, cluster.Options{
-			Slaves:    opts.Slaves,
-			SharedDir: opts.SharedDir,
-			Obs:       rt,
-			Prefetch:  opts.Prefetch,
-			Compress:  opts.Compress,
-			Codec:     opts.Codec,
-			BlockSize: opts.BlockSize,
+			Slaves:         opts.Slaves,
+			SharedDir:      opts.SharedDir,
+			Obs:            rt,
+			Prefetch:       opts.Prefetch,
+			Compress:       opts.Compress,
+			Codec:          opts.Codec,
+			BlockSize:      opts.BlockSize,
+			ResidentBudget: opts.ResidentBudget,
 		})
 		if err != nil {
 			return err
@@ -268,13 +279,14 @@ func Run(p Program, opts Options) error {
 			return fmt.Errorf("mrs: slave mode requires MasterAddr")
 		}
 		s, err := slave.New(reg, slave.Options{
-			MasterAddr: opts.MasterAddr,
-			SharedDir:  opts.SharedDir,
-			Obs:        rt,
-			Prefetch:   opts.Prefetch,
-			Compress:   opts.Compress,
-			Codec:      opts.Codec,
-			BlockSize:  opts.BlockSize,
+			MasterAddr:     opts.MasterAddr,
+			SharedDir:      opts.SharedDir,
+			Obs:            rt,
+			Prefetch:       opts.Prefetch,
+			Compress:       opts.Compress,
+			Codec:          opts.Codec,
+			BlockSize:      opts.BlockSize,
+			ResidentBudget: opts.ResidentBudget,
 		})
 		if err != nil {
 			return err

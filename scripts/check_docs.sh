@@ -1,0 +1,48 @@
+#!/bin/sh
+# Flag/doc coverage gate (tier 1 of scripts/verify.sh).
+#
+# Extracts every flag registered by mrs.BindFlags (flags.go) and fails
+# unless each one is documented:
+#   - in docs/OBSERVABILITY.md, the canonical flag reference ("the full
+#     standard flag set"), and
+#   - somewhere in the user-facing doc set (README.md + docs/*.md),
+#     which OBSERVABILITY.md membership already implies but is checked
+#     independently so the rule survives a reference-table move.
+# Also fails if any docs/*.md file referenced from the top-level docs
+# does not exist, so renames can't leave dangling links.
+set -eu
+cd "$(dirname "$0")/.."
+
+fail=0
+
+flags="$(grep -oE '"mrs(-[a-z0-9-]+)?"' flags.go | tr -d '"' | sort -u)"
+if [ -z "$flags" ]; then
+	echo "check_docs: FAIL: no flag registrations found in flags.go" >&2
+	exit 1
+fi
+
+for f in $flags; do
+	if ! grep -q -- "-$f" docs/OBSERVABILITY.md; then
+		echo "check_docs: FAIL: flag -$f missing from docs/OBSERVABILITY.md flag table" >&2
+		fail=1
+	fi
+	if ! grep -q -- "-$f" README.md docs/*.md; then
+		echo "check_docs: FAIL: flag -$f not documented anywhere in README.md or docs/" >&2
+		fail=1
+	fi
+done
+
+# Doc files referenced from the top-level docs must exist.
+refs="$(grep -ohE 'docs/[A-Za-z0-9_-]+\.md' README.md DESIGN.md EXPERIMENTS.md ROADMAP.md docs/*.md | sort -u)"
+for r in $refs; do
+	if [ ! -f "$r" ]; then
+		echo "check_docs: FAIL: $r is referenced but does not exist" >&2
+		fail=1
+	fi
+done
+
+if [ "$fail" -ne 0 ]; then
+	exit 1
+fi
+n="$(echo "$flags" | wc -l | tr -d ' ')"
+echo "check_docs: OK ($n flags documented, doc cross-references resolve)"

@@ -21,6 +21,8 @@ if [ "$tier" = "1" ] || [ "$tier" = "all" ]; then
 	echo "== tier 1: go build ./... && go test ./..."
 	go build ./...
 	go vet ./...
+	echo "== tier 1: flag/doc coverage (scripts/check_docs.sh)"
+	scripts/check_docs.sh
 	if [ "${TIER1_SHORT:-}" = "1" ]; then
 		go test -short ./...
 	else
@@ -75,6 +77,10 @@ if [ "$tier" = "2" ] || [ "$tier" = "all" ]; then
 	go test -race -count=2 \
 		-run 'ConcurrentJobs|FairShare|JobGC|AdmissionQueue|PerJob' \
 		./internal/cluster ./internal/sched
+	echo "== tier 2: resident-dataset stress (race, cache + affinity + chaos slave death)"
+	go test -race -count=2 \
+		-run 'Resident' \
+		./internal/core ./internal/sched ./internal/slave ./internal/cluster
 	echo "== tier 2: crash-recovery stress (race, repeated master crash/restart cycles)"
 	go test -race -count=3 \
 		-run 'MasterCrash|PlannedMaster|Recover|Resume|Journal' \
