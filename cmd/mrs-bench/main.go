@@ -11,10 +11,12 @@
 package main
 
 import (
+	"bytes"
 	"encoding/csv"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -35,6 +37,7 @@ import (
 	"repro/internal/pbs"
 	"repro/internal/piest"
 	"repro/internal/pso"
+	"repro/internal/shuffle"
 	"repro/internal/wirecodec"
 	"repro/internal/wordcount"
 )
@@ -1051,6 +1054,11 @@ func expShuffle() error {
 	fmt.Printf("codec sweep: lz cpu %.1fms wall %.1fms wire %d | deflate cpu %.1fms wall %.1fms wire %d | deflate/lz cpu %.2fx\n",
 		lzCPU, lzWall, lzWire, dfCPU, dfWall, dfWire, cpuRatio)
 
+	colRows, colSpeedup, err := columnarSweep()
+	if err != nil {
+		return err
+	}
+
 	if *shufJSON != "" {
 		blob, err := json.MarshalIndent(map[string]any{
 			"experiment":        "shuffle",
@@ -1065,6 +1073,10 @@ func expShuffle() error {
 			"codec_cpu_ms":      map[string]float64{"lz": lzCPU, "deflate": dfCPU},
 			"codec_wall_ms":     map[string]float64{"lz": lzWall, "deflate": dfWall},
 			"lz_vs_deflate_cpu": cpuRatio,
+			"columnar_rows":     colRows,
+			// Headline: identity-codec sort-CPU ratio row/columnar-dict
+			// on the repetitive-key text payload.
+			"columnar_sort_speedup": colSpeedup,
 		}, "", "  ")
 		if err != nil {
 			return err
@@ -1089,6 +1101,184 @@ func expShuffle() error {
 	return writeCSV("shuffle", []string{
 		"prefetch", "compress", "codec", "rtt_ms", "wall_ms", "cpu_ms", "reduce_shuffle_ms", "raw_bytes", "wire_bytes",
 	}, csvRows)
+}
+
+// columnarRowT is one cell of the columnar block sweep: an in-process
+// measurement over pre-encoded streams, so decode CPU (block parsing)
+// and sort CPU (grouping in the shuffle sorter) are reported
+// separately instead of folded into whole-job CPU.
+type columnarRowT struct {
+	Payload     string  `json:"payload"`
+	Encoding    string  `json:"encoding"`
+	Codec       string  `json:"codec"`
+	Records     int     `json:"records"`
+	WireBytes   int     `json:"wire_bytes"`
+	DecodeCPUMS float64 `json:"decode_cpu_ms"`
+	SortCPUMS   float64 `json:"sort_cpu_ms"`
+}
+
+// columnarSweep measures the columnar block format against row blocks:
+// encoding {row, columnar-raw, columnar-dict, columnar-delta} x codec
+// {identity, deflate, lz}, over a repetitive-key text payload (the
+// word-count shape: few distinct keys, short values) and a k-means
+// payload (tiny cluster-id keys, fixed-width vectors). Each cell
+// reports the encoded stream size and, per full pass, the CPU to
+// decode the blocks and the CPU to group them in the shuffle sorter —
+// the reduce-side hot path. The headline ratio is identity-codec sort
+// CPU, row vs columnar-dict, on the text payload: the columnar fast
+// path resolves each dictionary entry to its group once per block, so
+// repetitive keys skip the per-record hash-and-compare entirely.
+func columnarSweep() ([]columnarRowT, float64, error) {
+	words := []string{"science", "compute", "cluster", "shuffle", "record",
+		"block", "codec", "paper", "reduce", "emit", "varint", "bucket"}
+	var text []kvio.Pair
+	for i := 0; i < 200_000; i++ {
+		text = append(text, kvio.Pair{
+			Key:   []byte(fmt.Sprintf("k%06d", i%997)),
+			Value: []byte(words[i%len(words)]),
+		})
+	}
+	vec := make([]byte, 64)
+	for i := range vec {
+		vec[i] = byte(i * 37)
+	}
+	var km []kvio.Pair
+	for i := 0; i < 100_000; i++ {
+		km = append(km, kvio.Pair{Key: codec.EncodeVarint(int64(i % 32)), Value: vec})
+	}
+	payloads := []struct {
+		name  string
+		pairs []kvio.Pair
+	}{{"text", text}, {"kmeans", km}}
+
+	const reps = 10
+	var out []columnarRowT
+	fmt.Printf("\ncolumnar sweep (%d decode+sort passes per cell):\n", reps)
+	fmt.Printf("%-8s %-15s %-9s %12s %12s %12s\n",
+		"payload", "encoding", "codec", "wire-bytes", "decode-cpu", "sort-cpu")
+	for _, p := range payloads {
+		for _, encName := range []string{kvio.EncRow, kvio.EncColumnarRaw, kvio.EncColumnarDict, kvio.EncColumnarDelta} {
+			enc, err := kvio.ParseBlockEncoding(encName)
+			if err != nil {
+				return nil, 0, err
+			}
+			for _, codecName := range []string{wirecodec.IdentityName, wirecodec.DeflateName, wirecodec.LZName} {
+				c, ok := wirecodec.Lookup(codecName)
+				if !ok {
+					return nil, 0, fmt.Errorf("unknown codec %q", codecName)
+				}
+				var buf bytes.Buffer
+				bw := kvio.NewBlockWriterEnc(&buf, c, kvio.DefaultBlockSize, enc)
+				for _, pr := range p.pairs {
+					if err := bw.Write(pr); err != nil {
+						return nil, 0, err
+					}
+				}
+				if err := bw.Close(); err != nil {
+					return nil, 0, err
+				}
+				stream := buf.Bytes()
+
+				// One untimed decode retains the blocks so the sort
+				// passes pay no parsing cost at all.
+				var rowBlocks [][]byte
+				var rowRecs []int
+				var colBlocks []*kvio.ColumnarBlock
+				decode := func(retain bool) error {
+					br, err := kvio.NewBlockReader(bytes.NewReader(stream))
+					if err != nil {
+						return err
+					}
+					defer br.Release()
+					for {
+						rows, cb, recs, err := br.NextAny()
+						if err == io.EOF {
+							return nil
+						}
+						if err != nil {
+							return err
+						}
+						if retain {
+							if cb != nil {
+								colBlocks = append(colBlocks, cb)
+							} else {
+								rowBlocks = append(rowBlocks, rows)
+								rowRecs = append(rowRecs, recs)
+							}
+						}
+					}
+				}
+				if err := decode(true); err != nil {
+					return nil, 0, err
+				}
+				cpu0 := processCPU()
+				for r := 0; r < reps; r++ {
+					if err := decode(false); err != nil {
+						return nil, 0, err
+					}
+				}
+				decodeCPU := processCPU() - cpu0
+
+				// Sort pass: feed the retained blocks and drain the
+				// groups. Blocks are adopted by reference, never
+				// mutated, so the same set feeds every pass.
+				sortPass := func() error {
+					s := shuffle.NewSorter(shuffle.Options{SpillBytes: 1 << 62})
+					defer s.Close()
+					for i, b := range rowBlocks {
+						if _, err := s.AddBlock(b, rowRecs[i]); err != nil {
+							return err
+						}
+					}
+					for _, cb := range colBlocks {
+						if _, err := s.AddColumnar(cb); err != nil {
+							return err
+						}
+					}
+					return s.Groups(func(key []byte, values [][]byte) error { return nil })
+				}
+				cpu0 = processCPU()
+				for r := 0; r < reps; r++ {
+					if err := sortPass(); err != nil {
+						return nil, 0, err
+					}
+				}
+				sortCPU := processCPU() - cpu0
+
+				row := columnarRowT{
+					Payload:     p.name,
+					Encoding:    encName,
+					Codec:       codecName,
+					Records:     len(p.pairs),
+					WireBytes:   len(stream),
+					DecodeCPUMS: float64(decodeCPU) / float64(time.Millisecond) / reps,
+					SortCPUMS:   float64(sortCPU) / float64(time.Millisecond) / reps,
+				}
+				out = append(out, row)
+				fmt.Printf("%-8s %-15s %-9s %12d %10.2fms %10.2fms\n",
+					row.Payload, row.Encoding, row.Codec, row.WireBytes,
+					row.DecodeCPUMS, row.SortCPUMS)
+			}
+		}
+	}
+
+	pick := func(payload, encoding, codecName string) columnarRowT {
+		for _, r := range out {
+			if r.Payload == payload && r.Encoding == encoding && r.Codec == codecName {
+				return r
+			}
+		}
+		return columnarRowT{}
+	}
+	rowCell := pick("text", kvio.EncRow, wirecodec.IdentityName)
+	dictCell := pick("text", kvio.EncColumnarDict, wirecodec.IdentityName)
+	speedup := 0.0
+	if dictCell.SortCPUMS > 0 {
+		speedup = rowCell.SortCPUMS / dictCell.SortCPUMS
+	}
+	fmt.Printf("columnar sort speedup (text, identity, row vs columnar-dict): %.2fx (wire %d -> %d bytes)\n",
+		speedup, rowCell.WireBytes, dictCell.WireBytes)
+	return out, speedup, nil
 }
 
 // tenancyBenchRegistry: a map whose cost is a fixed sleep (so task

@@ -47,6 +47,14 @@ const CompressExt = ".fz"
 // and can serve it verbatim to a client that accepts that codec.
 const BlockExt = ".mrb"
 
+// ColExt marks a bucket file whose blocks are columnar frames (kvio's
+// second block kind: key and value columns with per-column codecs).
+// Like BlockExt it composes with the codec extension — ".mrc",
+// ".mrc.fz", ".mrc.lz" — so the data server knows both the at-rest
+// codec and the block kind without opening the file, which is what lets
+// it transcode down to row blocks for pre-columnar peers.
+const ColExt = ".mrc"
+
 // Descriptor identifies a finished bucket.
 type Descriptor struct {
 	// Name is the store-relative bucket name, e.g. "ds3/t2/s1".
@@ -70,13 +78,15 @@ type Store struct {
 	dir     string // if non-empty, buckets are files under dir
 	baseURL string // if non-empty, file buckets advertise baseURL/<name>
 
-	mu        sync.Mutex
-	mem       map[string][]byte // record-stream payloads for mem buckets
-	client    *http.Client      // overrides the shared fetch client (fault injection)
-	compress  bool              // write new file buckets legacy flate-compressed
-	codec     wirecodec.Codec   // if set, write new file buckets block-framed with this codec
-	blockSize int               // target uncompressed bytes per block (0 = kvio default)
-	metrics   *obs.Metrics      // wire-byte counters (nil-safe)
+	mu           sync.Mutex
+	mem          map[string][]byte  // record-stream payloads for mem buckets
+	client       *http.Client       // overrides the shared fetch client (fault injection)
+	compress     bool               // write new file buckets legacy flate-compressed
+	codec        wirecodec.Codec    // if set, write new file buckets block-framed with this codec
+	blockEnc     kvio.BlockEncoding // block kind + key encoding for new file buckets
+	blockSize    int                // target uncompressed bytes per block (0 = kvio default)
+	rowOnlyFetch bool               // test hook: fetch like a pre-columnar peer
+	metrics      *obs.Metrics       // wire-byte counters (nil-safe)
 }
 
 // NewMemStore returns a Store that keeps buckets in memory. Its
@@ -161,6 +171,39 @@ func (s *Store) SetCodec(name string) error {
 	return nil
 }
 
+// SetBlockEncoding sets the block encoding for new file buckets:
+// "row" (the default), "columnar" (per-block automatic key encoding),
+// or a pinned "columnar-raw"/"columnar-dict"/"columnar-delta". Columnar
+// framing implies block framing, so if no block codec is set new
+// buckets are written as identity-codec blocks rather than falling
+// back to the legacy per-record forms.
+func (s *Store) SetBlockEncoding(name string) error {
+	enc, err := kvio.ParseBlockEncoding(name)
+	if err != nil {
+		return fmt.Errorf("bucket: %w", err)
+	}
+	s.mu.Lock()
+	s.blockEnc = enc
+	s.mu.Unlock()
+	return nil
+}
+
+// SetRowOnlyFetch makes the store's HTTP fetches look like they come
+// from a pre-columnar peer (no block-kind advertisement), forcing
+// serving peers onto the row-block transcode fallback. Test hook for
+// mixed-version fleets.
+func (s *Store) SetRowOnlyFetch(on bool) {
+	s.mu.Lock()
+	s.rowOnlyFetch = on
+	s.mu.Unlock()
+}
+
+func (s *Store) rowOnlyFetchOn() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rowOnlyFetch
+}
+
 // SetBlockSize sets the target uncompressed payload per block for new
 // block-framed buckets; 0 restores the kvio default.
 func (s *Store) SetBlockSize(n int) {
@@ -169,10 +212,14 @@ func (s *Store) SetBlockSize(n int) {
 	s.mu.Unlock()
 }
 
-func (s *Store) codecOn() (wirecodec.Codec, int) {
+func (s *Store) codecOn() (wirecodec.Codec, kvio.BlockEncoding, int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.codec, s.blockSize
+	c := s.codec
+	if c == nil && s.blockEnc.Columnar {
+		c = wirecodec.Identity()
+	}
+	return c, s.blockEnc, s.blockSize
 }
 
 // SetMetrics wires the registry that receives the store's wire-byte
@@ -198,21 +245,36 @@ func (s *Store) wireCounter(metric string) *obs.Counter {
 	return m.Counter(metric)
 }
 
-// counting wraps rc so every wire byte lands in the per-path counter
-// and in the per-codec counter for codecName.
-func (s *Store) counting(rc io.ReadCloser, pathMetric, codecName string) io.ReadCloser {
+// counting wraps rc so every wire byte lands in the per-path counter,
+// the per-codec counter for codecName, and the per-block-kind counter
+// for encName.
+func (s *Store) counting(rc io.ReadCloser, pathMetric, codecName, encName string) io.ReadCloser {
 	return &countingReadCloser{
 		rc: rc,
 		c:  s.wireCounter(pathMetric),
 		c2: s.wireCounter(obs.MetricWireBytesCodec(codecName)),
+		c3: s.wireCounter(obs.MetricWireBytesEncoding(encName)),
 	}
+}
+
+// blockExtIndex finds the block-framing marker (row or columnar) in an
+// at-rest path, returning the marker's length so the codec extension
+// after it can be extracted.
+func blockExtIndex(path string) (idx, markerLen int) {
+	if i := strings.Index(path, BlockExt); i >= 0 {
+		return i, len(BlockExt)
+	}
+	if i := strings.Index(path, ColExt); i >= 0 {
+		return i, len(ColExt)
+	}
+	return -1, 0
 }
 
 // fileCodecName classifies an at-rest file path by the codec its wire
 // bytes are compressed with, for the per-codec counters.
 func fileCodecName(path string) string {
-	if i := strings.Index(path, BlockExt); i >= 0 {
-		ext := path[i+len(BlockExt):]
+	if i, n := blockExtIndex(path); i >= 0 {
+		ext := path[i+n:]
 		for _, name := range wirecodec.Names() {
 			if c, _ := wirecodec.Lookup(name); c.Ext() == ext {
 				return name
@@ -224,6 +286,15 @@ func fileCodecName(path string) string {
 		return wirecodec.DeflateName
 	}
 	return wirecodec.IdentityName
+}
+
+// fileEncodingName classifies an at-rest file path by block kind for
+// the per-encoding counters; legacy record files count as row.
+func fileEncodingName(path string) string {
+	if strings.Contains(path, ColExt) {
+		return wirecodec.BlockKindColumnar
+	}
+	return wirecodec.BlockKindRow
 }
 
 // InMemory reports whether this store keeps buckets in memory.
@@ -260,13 +331,31 @@ type Writer struct {
 	closed bool
 }
 
+// CreateOpts carries per-bucket overrides of the store's data-plane
+// defaults; zero values inherit the store settings. This is how a
+// per-dataset codec or block-encoding pin (core.OpOpts) reaches the
+// files a task writes.
+type CreateOpts struct {
+	// Codec overrides the store's block codec by registered name.
+	Codec string
+	// BlockEncoding overrides the store's block encoding ("row",
+	// "columnar", "columnar-raw", "columnar-dict", "columnar-delta").
+	BlockEncoding string
+}
+
 // Create starts a new bucket with the given store-relative name. Name
 // components are sanitized into a flat, safe file name. With a block
 // codec set the file is written block-framed and published with the
-// BlockExt+codec suffix; with legacy compression on it is written
-// through whole-stream flate under CompressExt. Record counts and
-// payload bytes in the descriptor are always pre-compression.
+// BlockExt+codec (or ColExt+codec, for columnar encodings) suffix; with
+// legacy compression on it is written through whole-stream flate under
+// CompressExt. Record counts and payload bytes in the descriptor are
+// always pre-compression.
 func (s *Store) Create(name string) (*Writer, error) {
+	return s.CreateOpts(name, CreateOpts{})
+}
+
+// CreateOpts is Create with per-bucket data-plane overrides.
+func (s *Store) CreateOpts(name string, opts CreateOpts) (*Writer, error) {
 	if name == "" {
 		return nil, fmt.Errorf("bucket: empty bucket name")
 	}
@@ -274,15 +363,39 @@ func (s *Store) Create(name string) (*Writer, error) {
 		buf := &bytes.Buffer{}
 		return &Writer{store: s, name: name, buf: buf, w: kvio.NewWriter(buf)}, nil
 	}
+	c, enc, blockSize := s.codecOn()
+	if opts.BlockEncoding != "" {
+		var err error
+		if enc, err = kvio.ParseBlockEncoding(opts.BlockEncoding); err != nil {
+			return nil, fmt.Errorf("bucket: %w", err)
+		}
+		if !enc.Columnar && opts.Codec == "" && s.dirCodec() == nil {
+			c = nil // pinned back to row on a store with no codec: legacy forms
+		}
+	}
+	if opts.Codec != "" {
+		oc, ok := wirecodec.Lookup(opts.Codec)
+		if !ok {
+			return nil, fmt.Errorf("bucket: unknown codec %q (have %s)", opts.Codec, strings.Join(wirecodec.Names(), ", "))
+		}
+		c = oc
+	}
+	if c == nil && enc.Columnar {
+		c = wirecodec.Identity()
+	}
 	path := filepath.Join(s.dir, flatten(name))
 	f, err := os.CreateTemp(s.dir, "."+flatten(name)+".tmp-*")
 	if err != nil {
 		return nil, fmt.Errorf("bucket: creating %s: %w", path, err)
 	}
 	w := &Writer{store: s, name: name, f: f, tmp: f.Name(), path: path}
-	if c, blockSize := s.codecOn(); c != nil {
-		w.path += BlockExt + c.Ext()
-		w.bw = kvio.NewBlockWriter(f, c, blockSize)
+	if c != nil {
+		if enc.Columnar {
+			w.path += ColExt + c.Ext()
+		} else {
+			w.path += BlockExt + c.Ext()
+		}
+		w.bw = kvio.NewBlockWriterEnc(f, c, blockSize, enc)
 	} else if s.compressOn() {
 		w.path += CompressExt
 		w.cw = deflateCodec().NewWriter(f)
@@ -291,6 +404,14 @@ func (s *Store) Create(name string) (*Writer, error) {
 		w.w = kvio.NewWriter(f)
 	}
 	return w, nil
+}
+
+// dirCodec returns the store's configured block codec without the
+// columnar-implies-blocks defaulting codecOn applies.
+func (s *Store) dirCodec() wirecodec.Codec {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.codec
 }
 
 // Write appends one record to the bucket.
@@ -322,6 +443,9 @@ func (w *Writer) Close() (Descriptor, error) {
 	if w.bw != nil {
 		d = Descriptor{Name: w.name, Records: w.bw.Count(), Bytes: w.bw.Bytes()}
 		err = w.bw.Close()
+		if n := w.bw.ColumnarBlocks(); n > 0 {
+			w.store.wireCounter(obs.MetricBlocksColumnar).Add(n)
+		}
 	} else {
 		d = Descriptor{Name: w.name, Records: w.w.Count(), Bytes: w.w.Bytes()}
 		err = w.w.Flush()
@@ -405,14 +529,14 @@ func (s *Store) Remove(name string) error {
 }
 
 // atRestSuffixes lists every non-plain at-rest suffix a bucket file can
-// carry: one block form per registered codec, plus the legacy flate
-// form.
+// carry: a row-block and a columnar form per registered codec, plus the
+// legacy flate form.
 func atRestSuffixes() []string {
 	names := wirecodec.Names()
-	out := make([]string, 0, len(names)+1)
+	out := make([]string, 0, 2*len(names)+1)
 	for _, name := range names {
 		c, _ := wirecodec.Lookup(name)
-		out = append(out, BlockExt+c.Ext())
+		out = append(out, BlockExt+c.Ext(), ColExt+c.Ext())
 	}
 	return append(out, CompressExt)
 }
@@ -463,27 +587,35 @@ func (s *Store) RemoveJob(job int64) (int, error) {
 type atRest struct {
 	path        string
 	blockCodec  wirecodec.Codec // non-nil: block-framed file, blocks under this codec
+	columnar    bool            // block file holds columnar frames (ColExt)
 	legacyFlate bool            // legacy whole-stream flate file
 }
 
 // resolveAtRest finds which at-rest form exists for the plain path:
-// the plain legacy file, a block file (any registered codec's suffix),
-// or the legacy flate file.
+// the plain legacy file, a block file (row or columnar, any registered
+// codec's suffix), or the legacy flate file.
 func resolveAtRest(path string) (atRest, error) {
 	if _, err := os.Stat(path); err == nil {
 		return atRest{path: path}, nil
 	}
 	for _, name := range wirecodec.Names() {
 		c, _ := wirecodec.Lookup(name)
-		p := path + BlockExt + c.Ext()
-		if _, err := os.Stat(p); err == nil {
+		if p := path + BlockExt + c.Ext(); statOK(p) {
 			return atRest{path: p, blockCodec: c}, nil
+		}
+		if p := path + ColExt + c.Ext(); statOK(p) {
+			return atRest{path: p, blockCodec: c, columnar: true}, nil
 		}
 	}
 	if _, err := os.Stat(path + CompressExt); err == nil {
 		return atRest{path: path + CompressExt, legacyFlate: true}, nil
 	}
 	return atRest{}, fmt.Errorf("bucket: %s: %w", path, os.ErrNotExist)
+}
+
+func statOK(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
 }
 
 // OpenLocal returns a reader for a bucket created by this store,
@@ -585,10 +717,11 @@ func (s *Store) Open(rawURL string) (io.ReadCloser, error) {
 		if err != nil {
 			return nil, err
 		}
-		rc := s.counting(f, obs.MetricWireBytesShared, fileCodecName(path))
-		// ".mrb.fz" ends in ".fz" too, but block files carry no outer
-		// compression layer — only a bare CompressExt means legacy flate.
-		if !strings.Contains(path, BlockExt) && strings.HasSuffix(path, CompressExt) {
+		rc := s.counting(f, obs.MetricWireBytesShared, fileCodecName(path), fileEncodingName(path))
+		// ".mrb.fz"/".mrc.fz" end in ".fz" too, but block files carry no
+		// outer compression layer — only a bare CompressExt means legacy
+		// flate.
+		if i, _ := blockExtIndex(path); i < 0 && strings.HasSuffix(path, CompressExt) {
 			return &drainReadCloser{r: deflateCodec().NewReader(rc), under: rc}, nil
 		}
 		return rc, nil
@@ -622,6 +755,12 @@ func (s *Store) openHTTP(rawURL string) (io.ReadCloser, error) {
 		// bytes verbatim. Servers that know neither header ignore both
 		// and serve identity — the mixed-version fallback.
 		req.Header.Set(wirecodec.RequestHeader, wirecodec.AcceptHeader())
+		// Advertise both block kinds; a peer holding columnar data can
+		// then send it verbatim instead of transcoding to row blocks.
+		// The rowOnlyFetch hook omits the header to look pre-columnar.
+		if !s.rowOnlyFetchOn() {
+			req.Header.Set(wirecodec.BlockAcceptHeader, wirecodec.AcceptBlocksHeader())
+		}
 		req.Header.Set("Accept-Encoding", "deflate")
 		resp, err := client.Do(req)
 		if err != nil {
@@ -649,7 +788,11 @@ func (s *Store) openHTTP(rawURL string) (io.ReadCloser, error) {
 				codecName = wirecodec.DeflateName
 			}
 		}
-		rc := s.counting(resp.Body, obs.MetricWireBytesDirect, codecName)
+		encName := resp.Header.Get(wirecodec.BlockEncHeader)
+		if encName == "" {
+			encName = wirecodec.BlockKindRow
+		}
+		rc := s.counting(resp.Body, obs.MetricWireBytesDirect, codecName, encName)
 		if deflated {
 			return &drainReadCloser{r: deflateCodec().NewReader(rc), under: rc}, nil
 		}
@@ -658,12 +801,13 @@ func (s *Store) openHTTP(rawURL string) (io.ReadCloser, error) {
 	return nil, lastErr
 }
 
-// countingReadCloser adds every byte read to up to two wire counters
-// (the per-path total and the per-codec split).
+// countingReadCloser adds every byte read to the wire counters: the
+// per-path total, the per-codec split, and the per-block-kind split.
 type countingReadCloser struct {
 	rc io.ReadCloser
 	c  *obs.Counter
 	c2 *obs.Counter
+	c3 *obs.Counter
 }
 
 func (c *countingReadCloser) Read(p []byte) (int, error) {
@@ -671,6 +815,7 @@ func (c *countingReadCloser) Read(p []byte) (int, error) {
 	if n > 0 {
 		c.c.Add(int64(n))
 		c.c2.Add(int64(n))
+		c.c3.Add(int64(n))
 	}
 	return n, err
 }
@@ -793,7 +938,11 @@ func ServeBucket(w http.ResponseWriter, r *http.Request, path string) {
 }
 
 // serveBlockBucket serves one block-framed at-rest file, picking the
-// wire form the client can decode.
+// wire form the client can decode along both negotiation axes: the
+// codec (RequestHeader) and the block kind (BlockAcceptHeader). A
+// columnar file served to a peer that never advertised block kinds —
+// a pre-columnar build — is transcoded down to row blocks, so
+// mixed-version fleets keep exchanging data.
 func serveBlockBucket(w http.ResponseWriter, r *http.Request, ar atRest) {
 	f, err := os.Open(ar.path)
 	if err != nil {
@@ -802,23 +951,39 @@ func serveBlockBucket(w http.ResponseWriter, r *http.Request, ar atRest) {
 	}
 	defer f.Close()
 	accepted := wirecodec.ParseAccept(r.Header.Get(wirecodec.RequestHeader))
+	kind := wirecodec.BlockKindRow
+	if ar.columnar {
+		kind = wirecodec.BlockKindColumnar
+	}
+	kindOK := wirecodec.AcceptsBlock(r.Header.Get(wirecodec.BlockAcceptHeader), kind)
 	switch {
-	case wirecodec.Accepts(accepted, ar.blockCodec.Name()):
-		// Best case: the at-rest bytes are already in a codec the client
-		// decodes — send them verbatim, zero compression CPU.
+	case kindOK && wirecodec.Accepts(accepted, ar.blockCodec.Name()):
+		// Best case: the at-rest bytes are already in a codec and block
+		// kind the client decodes — send them verbatim, zero CPU.
 		w.Header().Set(wirecodec.CodecHeader, ar.blockCodec.Name())
+		w.Header().Set(wirecodec.BlockEncHeader, kind)
 		if fi, err := f.Stat(); err == nil {
 			w.Header().Set("Content-Length", fmt.Sprint(fi.Size()))
 		}
 		io.Copy(w, f)
-	case len(accepted) > 0:
+	case kindOK && len(accepted) > 0:
 		// A block-capable client that can't decode the at-rest codec:
-		// transcode block-to-block into the best mutual codec. Unknown
-		// advertised names fall through to identity inside Negotiate, so
-		// this arm is also the forward-compatibility path.
+		// transcode block-to-block into the best mutual codec. Columnar
+		// frames are recompressed column-wise without re-parsing records.
+		// Unknown advertised names fall through to identity inside
+		// Negotiate, so this arm is also the forward-compatibility path.
 		to := wirecodec.Negotiate(accepted)
 		w.Header().Set(wirecodec.CodecHeader, to.Name())
+		w.Header().Set(wirecodec.BlockEncHeader, kind)
 		kvio.TranscodeBlocks(w, f, to)
+	case len(accepted) > 0:
+		// Block-capable but row-only client (a pre-columnar build) and a
+		// columnar file: flatten every frame into row blocks under the
+		// best mutual codec — the mixed-version fallback.
+		to := wirecodec.Negotiate(accepted)
+		w.Header().Set(wirecodec.CodecHeader, to.Name())
+		w.Header().Set(wirecodec.BlockEncHeader, wirecodec.BlockKindRow)
+		kvio.TranscodeToRowBlocks(w, f, to)
 	case acceptsDeflate(r):
 		// Pre-block client that speaks the legacy deflate negotiation:
 		// flatten blocks to a record stream under Content-Encoding.

@@ -61,6 +61,14 @@ type Options struct {
 	// the legacy per-record framing). When both Codec and Compress are
 	// set, Codec wins. Unknown names fail Start.
 	Codec string
+	// BlockEncoding selects the block encoding every node writes its
+	// buckets with ("row", "columnar", "columnar-raw", "columnar-dict",
+	// "columnar-delta"; "" = row). Unknown names fail Start.
+	BlockEncoding string
+	// RowOnlyFetch makes every slave fetch like a pre-columnar peer
+	// (no columnar-accept header), forcing servers into the
+	// row-transcode fallback — the mixed-version ablation.
+	RowOnlyFetch bool
 	// BlockSize overrides the record-block flush threshold in bytes
 	// (0 = default).
 	BlockSize int
@@ -86,6 +94,8 @@ type Cluster struct {
 	prefetch  int
 	compress  bool
 	codec     string
+	blockEnc  string
+	rowOnly   bool
 	blockSize int
 	slaveCon  int
 	resident  int64
@@ -123,6 +133,8 @@ func Start(reg *core.Registry, opts Options) (*Cluster, error) {
 		Obs:               opts.Obs,
 		Compress:          opts.Compress,
 		Codec:             opts.Codec,
+		BlockEncoding:     opts.BlockEncoding,
+		RowOnlyFetch:      opts.RowOnlyFetch,
 		BlockSize:         opts.BlockSize,
 		MaxConcurrentJobs: opts.MaxConcurrentJobs,
 	}
@@ -130,7 +142,7 @@ func Start(reg *core.Registry, opts Options) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Cluster{M: m, chaos: opts.Chaos, obs: opts.Obs, prefetch: opts.Prefetch, compress: opts.Compress, codec: opts.Codec, blockSize: opts.BlockSize, slaveCon: opts.SlaveConcurrency, resident: opts.ResidentBudget, mopts: mopts, masterAddr: m.Addr()}
+	c := &Cluster{M: m, chaos: opts.Chaos, obs: opts.Obs, prefetch: opts.Prefetch, compress: opts.Compress, codec: opts.Codec, blockEnc: opts.BlockEncoding, rowOnly: opts.RowOnlyFetch, blockSize: opts.BlockSize, slaveCon: opts.SlaveConcurrency, resident: opts.ResidentBudget, mopts: mopts, masterAddr: m.Addr()}
 	for i := 0; i < opts.Slaves; i++ {
 		if _, err := c.AddSlave(reg, opts.SharedDir); err != nil {
 			c.Close()
@@ -199,6 +211,8 @@ func (c *Cluster) AddSlave(reg *core.Registry, sharedDir string) (int, error) {
 		Prefetch:       c.prefetch,
 		Compress:       c.compress,
 		Codec:          c.codec,
+		BlockEncoding:  c.blockEnc,
+		RowOnlyFetch:   c.rowOnly,
 		BlockSize:      c.blockSize,
 		Concurrency:    c.slaveCon,
 		ResidentBudget: c.resident,

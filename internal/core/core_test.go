@@ -153,6 +153,60 @@ func TestWordCountMockParallel(t *testing.T) {
 	}
 }
 
+func TestPerOpDataPlanePins(t *testing.T) {
+	// One operation pins its output buckets to columnar-dict over lz
+	// while the store keeps its legacy default: the pinned dataset's
+	// files must be columnar at rest, every other dataset legacy, and
+	// the answers unchanged.
+	dir := t.TempDir()
+	exec, err := NewMockParallel(testRegistry(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exec.Close()
+	job := NewJob(exec)
+	src, err := job.LocalData(linesAsPairs(), OpOpts{Splits: 3, Partition: "roundrobin"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := job.MapReduce(src, "split", "sum",
+		OpOpts{Splits: 4, Codec: "lz", BlockEncoding: "columnar-dict"},
+		OpOpts{Splits: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := out.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Close(); err != nil {
+		t.Fatal(err)
+	}
+	checkCounts(t, pairs)
+
+	var columnar, plain int
+	err = filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		if strings.HasSuffix(path, ".mrc.lz") {
+			columnar++
+		} else {
+			plain++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if columnar == 0 {
+		t.Error("pinned map op left no columnar at-rest files")
+	}
+	if plain == 0 {
+		t.Error("unpinned datasets left no legacy files; pin leaked store-wide")
+	}
+}
+
 func TestWordCountThreads(t *testing.T) {
 	exec := NewThreads(testRegistry(), 4)
 	defer exec.Close()

@@ -501,6 +501,12 @@ type OpOpts struct {
 	// re-shuffling. Purely a placement/data-movement hint; results are
 	// byte-identical with or without it.
 	Resident bool
+	// Codec pins this operation's output-bucket wire codec by name,
+	// overriding the executor-wide setting (see Operation.Codec).
+	Codec string
+	// BlockEncoding pins this operation's output block encoding (see
+	// Operation.BlockEncoding).
+	BlockEncoding string
 }
 
 func (o OpOpts) splitsOr(def int) int {
@@ -541,14 +547,16 @@ func (j *Job) TextFileData(paths []string) (*Dataset, error) {
 func (j *Job) Map(src *Dataset, funcName string, opts OpOpts) (*Dataset, error) {
 	splits := opts.splitsOr(src.splits)
 	return j.enqueue(&Operation{
-		Kind:        OpMap,
-		Input:       src.id,
-		FuncName:    funcName,
-		CombineName: opts.Combine,
-		Splits:      splits,
-		Partition:   opts.Partition,
-		Params:      append([]byte(nil), opts.Params...),
-		Resident:    opts.Resident,
+		Kind:          OpMap,
+		Input:         src.id,
+		FuncName:      funcName,
+		CombineName:   opts.Combine,
+		Splits:        splits,
+		Partition:     opts.Partition,
+		Params:        append([]byte(nil), opts.Params...),
+		Resident:      opts.Resident,
+		Codec:         opts.Codec,
+		BlockEncoding: opts.BlockEncoding,
 	}, splits)
 }
 
@@ -558,15 +566,17 @@ func (j *Job) Map(src *Dataset, funcName string, opts OpOpts) (*Dataset, error) 
 func (j *Job) Reduce(src *Dataset, funcName string, opts OpOpts) (*Dataset, error) {
 	splits := opts.splitsOr(src.splits)
 	return j.enqueue(&Operation{
-		Kind:        OpReduce,
-		Input:       src.id,
-		FuncName:    funcName,
-		CombineName: opts.Combine,
-		Splits:      splits,
-		Partition:   opts.Partition,
-		Params:      append([]byte(nil), opts.Params...),
-		KeyAligned:  opts.KeyAligned,
-		Resident:    opts.Resident,
+		Kind:          OpReduce,
+		Input:         src.id,
+		FuncName:      funcName,
+		CombineName:   opts.Combine,
+		Splits:        splits,
+		Partition:     opts.Partition,
+		Params:        append([]byte(nil), opts.Params...),
+		KeyAligned:    opts.KeyAligned,
+		Resident:      opts.Resident,
+		Codec:         opts.Codec,
+		BlockEncoding: opts.BlockEncoding,
 	}, splits)
 }
 

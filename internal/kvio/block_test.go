@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"io"
 	"strconv"
+	"strings"
 	"testing"
 
 	"repro/internal/wirecodec"
@@ -171,12 +172,39 @@ func TestBlockUnknownCodecErrors(t *testing.T) {
 
 func TestBlockMagicIsLegacyPoison(t *testing.T) {
 	// The design guarantee behind NewAnyReader: a legacy reader must
-	// reject a block stream deterministically, because the magic's
-	// leading bytes decode as an over-limit record length.
-	r := NewReader(bytes.NewReader(BlockMagic[:]))
+	// reject a block stream deterministically — and, since the magic is
+	// recognizable, with a version-aware error naming the minimum reader
+	// instead of a generic size complaint.
+	for _, mk := range []struct {
+		name string
+		data []byte
+	}{
+		{"bare magic", BlockMagic[:]},
+		{"row blocks", blockStream(t, testPairs(10), wirecodec.IdentityName, 0)},
+		{"columnar blocks", columnarStream(t, testPairs(10), wirecodec.IdentityName, 0, KeyEncAuto)},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			r := NewReader(bytes.NewReader(mk.data))
+			defer r.Release()
+			_, err := r.Read()
+			if !errors.Is(err, ErrBlockStream) {
+				t.Fatalf("legacy read of block stream: got %v, want ErrBlockStream", err)
+			}
+			if !strings.Contains(err.Error(), "version 0x01") {
+				t.Fatalf("error is not version-aware: %v", err)
+			}
+			if !strings.Contains(err.Error(), "NewBlockReader") {
+				t.Fatalf("error does not name the minimum reader: %v", err)
+			}
+		})
+	}
+	// A genuinely oversized record length (not the magic) still reports
+	// ErrRecordTooLarge.
+	big := binary.AppendUvarint(nil, uint64(MaxRecordLen)+1)
+	r := NewReader(bytes.NewReader(big))
 	defer r.Release()
 	if _, err := r.Read(); !errors.Is(err, ErrRecordTooLarge) {
-		t.Fatalf("legacy read of block magic: got %v, want ErrRecordTooLarge", err)
+		t.Fatalf("oversized record: got %v, want ErrRecordTooLarge", err)
 	}
 }
 

@@ -145,10 +145,30 @@ func blockSeed(pairs []Pair, codecName string, blockSize int) []byte {
 	return buf.Bytes()
 }
 
+// columnarSeed builds a columnar block stream for fuzz corpora.
+func columnarSeed(pairs []Pair, codecName string, blockSize, keyEnc int) []byte {
+	c, ok := wirecodec.Lookup(codecName)
+	if !ok {
+		panic("unknown codec " + codecName)
+	}
+	var buf bytes.Buffer
+	w := NewBlockWriterEnc(&buf, c, blockSize, BlockEncoding{Columnar: true, KeyEnc: keyEnc})
+	for _, p := range pairs {
+		if err := w.Write(p); err != nil {
+			panic(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
 // FuzzBlockReader throws arbitrary bytes at the block reader via
 // NewAnyReader: no panics, no infinite loops, and a valid prefix of
-// records before any error. The corpus seeds both framings plus the
-// torn/corrupt/zero-record shapes named in the block format's contract.
+// records before any error. The corpus seeds both framings and both
+// block kinds plus the torn/corrupt/zero-record shapes named in the
+// block format's contract.
 func FuzzBlockReader(f *testing.F) {
 	pairs := []Pair{StrPair("hello", "world"), {}, StrPair("", "x"), StrPair("x", "")}
 	legacy := Marshal(pairs)
@@ -165,6 +185,27 @@ func FuzzBlockReader(f *testing.F) {
 	f.Add(crc) // corrupt checksum
 	// Zero-record block followed by a real one (see TestBlockZeroRecordBlock).
 	f.Add(blockSeed(nil, wirecodec.IdentityName, 0))
+	// Columnar frames: every key encoding, plus one per codec.
+	for _, keyEnc := range []int{KeyEncRaw, KeyEncDict, KeyEncDelta} {
+		f.Add(columnarSeed(pairs, wirecodec.IdentityName, 0, keyEnc))
+	}
+	f.Add(columnarSeed(pairs, wirecodec.DeflateName, 8, KeyEncAuto))
+	f.Add(columnarSeed(pairs, wirecodec.LZName, 8, KeyEncAuto))
+	// Truncated column segments: cut mid key column and mid value column.
+	col := columnarSeed(pairs, wirecodec.IdentityName, 0, KeyEncRaw)
+	var valLen int
+	for _, p := range pairs {
+		valLen += uvarintLen(uint64(len(p.Value))) + len(p.Value)
+	}
+	f.Add(col[:len(col)-valLen-2]) // ends inside the key column payload
+	f.Add(col[:len(col)-1])        // ends inside the value column payload
+	// Mismatched per-column CRCs: flip one byte in each column payload.
+	badKey := append([]byte(nil), col...)
+	badKey[len(col)-valLen-2] ^= 0x5A
+	f.Add(badKey)
+	badVal := append([]byte(nil), col...)
+	badVal[len(col)-1] ^= 0x5A
+	f.Add(badVal)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := NewAnyReader(bytes.NewReader(data))
 		defer r.Release()

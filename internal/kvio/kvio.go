@@ -30,6 +30,20 @@ var ErrRecordTooLarge = errors.New("kvio: record exceeds MaxRecordLen")
 // ErrReleased is returned by operations on a released Reader or Writer.
 var ErrReleased = errors.New("kvio: use after Release")
 
+// ErrBlockStream is returned by the pre-block per-record Reader when
+// the stream opens with the block-framing magic: the data (row or
+// columnar blocks alike) needs at least kvio.NewBlockReader — or
+// kvio.NewAnyReader, which sniffs the framing — not this Reader.
+var ErrBlockStream = errors.New("kvio: stream is block-framed; minimum reader: kvio.NewBlockReader (or kvio.NewAnyReader)")
+
+// blockMagicLen is the uvarint the first bytes of BlockMagic decode to.
+// A legacy Reader that sees it at a record boundary is pointed at a
+// block stream, and the byte after it is the stream's version tag.
+var blockMagicLen = func() uint64 {
+	v, _ := binary.Uvarint(BlockMagic[:])
+	return v
+}()
+
 // bufSize is the bufio buffer size shared by readers and writers. 64 KiB
 // amortizes syscall and HTTP-body read costs over many small records.
 const bufSize = 64 << 10
@@ -267,6 +281,14 @@ func (r *Reader) readLen(atRecordStart bool) (int, error) {
 		return 0, err
 	}
 	if size > MaxRecordLen {
+		if atRecordStart && size == blockMagicLen {
+			// The "record" is the block-framing magic: fail with the
+			// version and the minimum reader instead of a size complaint.
+			if ver, verr := r.r.ReadByte(); verr == nil {
+				return 0, fmt.Errorf("%w (stream version 0x%02x)", ErrBlockStream, ver)
+			}
+			return 0, ErrBlockStream
+		}
 		return 0, ErrRecordTooLarge
 	}
 	return int(size), nil

@@ -108,6 +108,19 @@ func MetricWireBytesCodec(codec string) string {
 	return "mrs_shuffle_wire_bytes_codec_" + codec + "_total"
 }
 
+// MetricBlocksColumnar counts columnar blocks written to bucket files —
+// the producer-side signal that the columnar data plane is actually in
+// use (a fleet pinned to row encoding holds this at zero).
+const MetricBlocksColumnar = "mrs_shuffle_blocks_columnar_total"
+
+// MetricWireBytesEncoding names the per-block-kind wire-byte counter
+// ("row" or "columnar"). Like the per-codec split it sums to the
+// per-path wire totals; the split shows when a mixed-version peer
+// forced the row-block transcode fallback.
+func MetricWireBytesEncoding(kind string) string {
+	return "mrs_shuffle_wire_bytes_encoding_" + kind + "_total"
+}
+
 // Durability metric names. Journal counters track write-ahead-log
 // activity on the master; the recovery counters count master restarts
 // that replayed journaled state and the tasks whose journaled outputs

@@ -85,12 +85,22 @@ type hashGroup struct {
 
 // Sorter accumulates pairs and then yields key groups in sorted order.
 // Usage: Add*, then Groups (exactly once), then Close.
+//
+// Two in-memory forms exist: a flat pair buffer that is stably sorted
+// on demand (buf) and a hash-grouped form with one entry per distinct
+// key (groups). A combiner always uses groups. Without a combiner the
+// forms never coexist: columnar input prefers groups (the key column
+// makes grouping cheap), and row input arriving afterwards flattens
+// the groups back into buf. Both forms deliver byte-identical output —
+// per-key value order is insertion order either way, and cross-key
+// order is irrelevant because keys are emitted sorted.
 type Sorter struct {
 	opts    Options
 	ar      arena
 	buf     []kvio.Pair    // sort path (no combiner)
-	groups  []hashGroup    // combiner path: one entry per distinct key
-	idx     map[string]int // combiner path: key -> index into groups
+	groups  []hashGroup    // grouped path: one entry per distinct key
+	idx     map[string]int // grouped path: key -> index into groups
+	dictIdx []int          // AddColumnar scratch: dict entry -> group index
 	bufSize int64
 	runs    []string // spilled run file paths
 	closed  bool
@@ -116,14 +126,12 @@ func (s *Sorter) Add(p kvio.Pair) error {
 	if s.opts.Combine != nil {
 		s.addHash(p, false)
 	} else {
+		s.flattenGroups()
 		s.buf = append(s.buf, kvio.Pair{Key: s.ar.copy(p.Key), Value: s.ar.copy(p.Value)})
 		s.bufSize += int64(len(p.Key) + len(p.Value))
 	}
 	s.added++
-	if s.opts.SpillBytes > 0 && s.bufSize >= s.opts.SpillBytes {
-		return s.spill()
-	}
-	return nil
+	return s.maybeSpill()
 }
 
 // AddBlock adopts a decoded record block whose ownership has been
@@ -138,6 +146,9 @@ func (s *Sorter) Add(p kvio.Pair) error {
 func (s *Sorter) AddBlock(block []byte, recs int) (int64, error) {
 	if s.closed {
 		return 0, fmt.Errorf("shuffle: AddBlock after Close")
+	}
+	if s.opts.Combine == nil {
+		s.flattenGroups()
 	}
 	var payload int64
 	n, err := kvio.ScanRecords(block, func(key, value []byte) error {
@@ -158,40 +169,123 @@ func (s *Sorter) AddBlock(block []byte, recs int) (int64, error) {
 	if recs >= 0 && n != recs {
 		return payload, fmt.Errorf("shuffle: block scanned %d records, header said %d", n, recs)
 	}
-	if s.opts.SpillBytes > 0 && s.bufSize >= s.opts.SpillBytes {
-		return payload, s.spill()
-	}
-	return payload, nil
+	return payload, s.maybeSpill()
 }
 
-// addHash accumulates p into the hash-grouped form used when a combiner
-// is set. The map lookup with a string(key) conversion is allocation
-// free for existing keys; only the first record of a distinct key pays
-// for the map entry. owned means p's bytes already belong to the sorter
-// (an adopted block) and need no arena copy.
-func (s *Sorter) addHash(p kvio.Pair, owned bool) {
+// AddColumnar adopts a decoded columnar block (ownership transferred by
+// kvio.BlockReader.NextAny) and buffers every record by aliasing the
+// block's column buffers: sorting and grouping work runs against the
+// key column, and value bytes are never copied or compared. It prefers
+// the hash-grouped form even without a combiner — one group per
+// distinct key is exactly what repetitive shuffle keys collapse to.
+// Dictionary-encoded blocks take a fast path: each dict entry resolves
+// to its group once per block, after which every record costs an index
+// lookup and an append, with no per-record hashing or key comparisons.
+// Returns the summed key+value payload bytes the block contributed.
+func (s *Sorter) AddColumnar(cb *kvio.ColumnarBlock) (int64, error) {
+	if s.closed {
+		return 0, fmt.Errorf("shuffle: AddColumnar after Close")
+	}
+	n := cb.Len()
+	payload := cb.PayloadBytes()
+	if s.opts.Combine == nil && len(s.buf) > 0 {
+		// Row input got here first; keep the single-form invariant and
+		// stay flat.
+		for i := 0; i < n; i++ {
+			s.buf = append(s.buf, kvio.Pair{Key: cb.Key(i), Value: cb.Value(i)})
+		}
+		s.bufSize += payload
+		s.added += int64(n)
+		return payload, s.maybeSpill()
+	}
+	if dn := cb.DictLen(); dn >= 0 {
+		dg := s.dictIdx[:0]
+		for j := 0; j < dn; j++ {
+			dg = append(dg, s.groupIndex(cb.DictKey(j), true))
+		}
+		s.dictIdx = dg
+		for i := 0; i < n; i++ {
+			v := cb.Value(i)
+			g := &s.groups[dg[cb.DictIndex(i)]]
+			g.values = append(g.values, v)
+			s.bufSize += int64(len(v))
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s.addHash(kvio.Pair{Key: cb.Key(i), Value: cb.Value(i)}, true)
+		}
+	}
+	s.added += int64(n)
+	return payload, s.maybeSpill()
+}
+
+// maybeSpill spills the in-memory buffer when it crosses the threshold.
+func (s *Sorter) maybeSpill() error {
+	if s.opts.SpillBytes > 0 && s.bufSize >= s.opts.SpillBytes {
+		return s.spill()
+	}
+	return nil
+}
+
+// flattenGroups converts the hash-grouped form back into flat pairs so
+// row-framed input can share the buffer. Only reachable on mixed
+// framing without a combiner. Per-key value order is preserved; the
+// extra key references are charged to bufSize the way the flat path
+// would have counted them.
+func (s *Sorter) flattenGroups() {
+	if len(s.groups) == 0 {
+		return
+	}
+	for i := range s.groups {
+		g := &s.groups[i]
+		for _, v := range g.values {
+			s.buf = append(s.buf, kvio.Pair{Key: g.key, Value: v})
+		}
+		s.bufSize += int64((len(g.values) - 1) * len(g.key))
+	}
+	clear(s.groups)
+	s.groups = s.groups[:0]
+	if s.idx != nil {
+		clear(s.idx)
+	}
+}
+
+// groupIndex returns the index of key's hash group, creating an empty
+// one on first sight. The map lookup with a string(key) conversion is
+// allocation free for existing keys; only the first record of a
+// distinct key pays for the map entry. owned means the key bytes
+// already belong to the sorter (an adopted block) and need no arena
+// copy.
+func (s *Sorter) groupIndex(key []byte, owned bool) int {
 	if s.idx == nil {
 		s.idx = make(map[string]int, 1+len(s.groups))
 		for i := range s.groups {
 			s.idx[string(s.groups[i].key)] = i
 		}
 	}
-	key, value := p.Key, p.Value
 	if i, ok := s.idx[string(key)]; ok {
-		g := &s.groups[i]
-		if !owned {
-			value = s.ar.copy(value)
-		}
-		g.values = append(g.values, value)
-		s.bufSize += int64(len(p.Value))
-		return
+		return i
 	}
 	if !owned {
-		key, value = s.ar.copy(key), s.ar.copy(value)
+		key = s.ar.copy(key)
 	}
-	s.groups = append(s.groups, hashGroup{key: key, values: [][]byte{value}})
+	s.groups = append(s.groups, hashGroup{key: key})
 	s.idx[string(key)] = len(s.groups) - 1
-	s.bufSize += int64(len(p.Key) + len(p.Value))
+	s.bufSize += int64(len(key))
+	return len(s.groups) - 1
+}
+
+// addHash accumulates p into the hash-grouped form. owned means p's
+// bytes already belong to the sorter (an adopted block).
+func (s *Sorter) addHash(p kvio.Pair, owned bool) {
+	i := s.groupIndex(p.Key, owned)
+	value := p.Value
+	if !owned {
+		value = s.ar.copy(value)
+	}
+	g := &s.groups[i]
+	g.values = append(g.values, value)
+	s.bufSize += int64(len(value))
 }
 
 // AddStream drains a record stream into the sorter. Records are read
@@ -228,9 +322,9 @@ func (s *Sorter) sortBuf() {
 
 // forEachMemGroup yields the in-memory content as combined key groups
 // in ascending key order. It does not disturb the hash index: the
-// combiner path sorts an index permutation, not the groups themselves.
+// grouped path sorts an index permutation, not the groups themselves.
 func (s *Sorter) forEachMemGroup(fn func(key []byte, values [][]byte) error) error {
-	if s.opts.Combine != nil {
+	if s.opts.Combine != nil || len(s.groups) > 0 {
 		order := make([]int, len(s.groups))
 		for i := range order {
 			order[i] = i

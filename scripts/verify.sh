@@ -45,6 +45,10 @@ if [ "$tier" = "2" ] || [ "$tier" = "all" ]; then
 	go test -race -count=2 \
 		-run 'CodecGrid|CodecSerialMatchesCluster|AddBlock|BlockBucket|Negotiation|TranscodeBetween' \
 		./internal/cluster ./internal/bucket ./internal/shuffle
+	echo "== tier 2: columnar data-plane stress (race, key encodings, transcode, row-only fallback)"
+	go test -race -count=2 \
+		-run 'Columnar|BlockEncoding|AcceptsBlock|BlockMagicIsLegacyPoison' \
+		./internal/kvio ./internal/shuffle ./internal/bucket ./internal/wirecodec
 	echo "== tier 2: block framing fuzz (corpus + 10s of new inputs)"
 	go test -run '^$' -fuzz 'FuzzBlockReader' -fuzztime 10s ./internal/kvio
 	echo "== tier 2: allocation regression guard (scripts/alloc_thresholds.txt)"
