@@ -1,6 +1,6 @@
 // Benchmarks regenerating the paper's tables and figures (one bench
 // per experiment; EXPERIMENTS.md maps each to its paper artifact), plus
-// ablations of the design choices called out in DESIGN.md §7.
+// ablations of the design choices called out in DESIGN.md §11.
 //
 // Run everything:   go test -bench=. -benchmem .
 // One experiment:   go test -bench=BenchmarkPiFig3a .

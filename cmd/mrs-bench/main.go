@@ -20,6 +20,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
@@ -43,7 +44,7 @@ import (
 )
 
 var (
-	exp      = flag.String("exp", "all", "experiment: prog|script|wordcount|pi-a|pi-b|crossover|pso|iter|shuffle|tenancy|recovery|all")
+	exp      = flag.String("exp", "all", "experiment: prog|script|wordcount|pi-a|pi-b|crossover|pso|iter|shuffle|tenancy|recovery|fleet|all")
 	scale    = flag.Float64("scale", 0.003, "corpus scale for -exp wordcount (1.0 = the paper's 31,173 files)")
 	liveMax  = flag.Uint64("live-max", 4_000_000, "largest sample count to run live for pi experiments")
 	outer    = flag.Int("outer", 30, "outer iterations for -exp pso")
@@ -56,6 +57,7 @@ var (
 	tenJSON  = flag.String("tenancy-json", "BENCH_tenancy.json", "file for -exp tenancy machine-readable results (empty disables)")
 	recJSON  = flag.String("recovery-json", "BENCH_recovery.json", "file for -exp recovery machine-readable results (empty disables)")
 	recReps  = flag.Int("recovery-reps", 5, "repetitions per config for the -exp recovery overhead measurement")
+	fltJSON  = flag.String("fleet-json", "BENCH_fleet.json", "file for -exp fleet machine-readable results (empty disables)")
 	trackers = flag.Int("trackers", 21, "simulated Hadoop TaskTrackers (paper: 21 nodes)")
 	csvDir   = flag.String("csv", "", "directory to also write figure series as CSV files")
 )
@@ -132,6 +134,9 @@ func main() {
 	}
 	if all || *exp == "recovery" {
 		run("EXP-RECOVERY: journal overhead and crash-replay latency", expRecovery)
+	}
+	if all || *exp == "fleet" {
+		run("EXP-FLEET: control-plane scaling and speculative straggler rescue", expFleet)
 	}
 }
 
@@ -1655,6 +1660,262 @@ func expRecovery() error {
 		fmt.Printf("\n(wrote %s)\n", *recJSON)
 	}
 	return nil
+}
+
+// fleetRegistry builds the EXP-FLEET workload: a map whose cost is a
+// fixed sleep (sleeping slaves cost no CPU, so 64 of them fit on a
+// laptop and the measurement isolates control-plane throughput), with
+// an optional one-shot straggler — the first execution of key 0 in
+// each cluster's lifetime stalls.
+func fleetRegistry(taskCost, stall time.Duration) *core.Registry {
+	reg := core.NewRegistry()
+	var stalled int32
+	reg.RegisterMap("fleet_spin", func(key, value []byte, emit kvio.Emitter) error {
+		d := taskCost
+		if stall > 0 {
+			if n, err := codec.DecodeVarint(key); err == nil && n == 0 &&
+				atomic.CompareAndSwapInt32(&stalled, 0, 1) {
+				d = stall
+			}
+		}
+		time.Sleep(d)
+		return emit.Emit(key, value)
+	})
+	return reg
+}
+
+// fleetRun boots one fleet configuration, drives tasksPerSlave x
+// slaves one-record map tasks through it, and returns the job wall
+// time (boot and teardown excluded) plus the run's metric snapshot.
+func fleetRun(slaveN, subMasters int, specFactor float64, tasksPerSlave int, taskCost, stall time.Duration) (time.Duration, map[string]int64, error) {
+	rt := obs.New(nil)
+	c, err := cluster.Start(fleetRegistry(taskCost, stall), cluster.Options{
+		Slaves:                slaveN,
+		SubMasters:            subMasters,
+		SpeculationFactor:     specFactor,
+		SpeculationMinRuntime: 60 * time.Millisecond,
+		Obs:                   rt,
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	defer c.Close()
+	job := core.NewJobWith(c.Executor(), core.JobOptions{Pipeline: true, Obs: rt})
+	defer job.Close()
+	tasks := tasksPerSlave * slaveN
+	inputs := make([]kvio.Pair, tasks)
+	for i := range inputs {
+		inputs[i] = kvio.Pair{Key: codec.EncodeVarint(int64(i)), Value: []byte("x")}
+	}
+	src, err := job.LocalData(inputs, core.OpOpts{Splits: tasks, Partition: "roundrobin"})
+	if err != nil {
+		return 0, nil, err
+	}
+	if err := src.Wait(); err != nil {
+		return 0, nil, err
+	}
+	start := time.Now()
+	out, err := job.Map(src, "fleet_spin", core.OpOpts{Splits: 1})
+	if err != nil {
+		return 0, nil, err
+	}
+	// Time through Wait (every task done), not Collect: collection
+	// drags each output bucket to the driver one HTTP fetch at a time,
+	// which would swamp the control-plane signal at 64 slaves.
+	if err := out.Wait(); err != nil {
+		return 0, nil, err
+	}
+	wall := time.Since(start)
+	pairs, err := out.Collect()
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(pairs) != tasks {
+		return 0, nil, fmt.Errorf("fleet run: %d records out, want %d", len(pairs), tasks)
+	}
+	return wall, rt.M().Snapshot(), nil
+}
+
+// fleetSubMasters is the tree shape the sweep uses: one sub-master
+// per eight slaves, at least one.
+func fleetSubMasters(slaveN int) int {
+	if k := slaveN / 8; k > 1 {
+		return k
+	}
+	return 1
+}
+
+// expFleet measures what the hierarchical control plane and
+// speculative execution buy, on simulated (sleep-cost) slaves so the
+// fleet sizes stay laptop-runnable:
+//
+//   - Scaling sweep: {1,4,16,64} slaves x {flat star, sub-master tree}
+//     x {speculation off, on}, each pushing tasksPerSlave fixed-cost
+//     tasks per slave. Throughput should scale near-linearly with the
+//     tree (the acceptance bar is within 20% of linear from 16 to 64),
+//     and uniform-duration speculation should cost ~nothing.
+//   - Straggler rescue: a mid-size tree fleet where one task stalls
+//     ~10x the normal cost, speculation off vs on. Off pays the full
+//     stall; on re-executes the straggler elsewhere and the job
+//     finishes early.
+func expFleet() error {
+	// taskCost is sized so the aggregate completion rate at 64 slaves
+	// (64/taskCost = 320 tasks/s) stays well inside what one core can
+	// route through the XML-RPC control plane (~1k tasks/s): the sweep
+	// should measure how assignment scales with fleet size, not the
+	// simulating machine's RPC ceiling.
+	const (
+		tasksPerSlave = 6
+		taskCost      = 200 * time.Millisecond
+		stall         = 2 * time.Second
+		specFactor    = 2.0
+	)
+	type rowT struct {
+		Slaves       int     `json:"slaves"`
+		SubMasters   int     `json:"submasters"`
+		Speculation  float64 `json:"speculation_factor"`
+		Tasks        int     `json:"tasks"`
+		WallMS       float64 `json:"wall_ms"`
+		TasksPerSec  float64 `json:"tasks_per_sec"`
+		BatchReports int64   `json:"batch_reports"`
+		Speculative  int64   `json:"speculative_attempts"`
+	}
+	var rows []rowT
+
+	fmt.Printf("scaling sweep: %d tasks/slave x %s/task (sleep-cost, so slaves are cheap to simulate)\n\n",
+		tasksPerSlave, taskCost)
+	fmt.Printf("%-8s %-12s %-12s %8s %12s %12s\n",
+		"slaves", "submasters", "speculation", "tasks", "wall", "tasks/sec")
+	for _, n := range []int{1, 4, 16, 64} {
+		for _, tree := range []bool{false, true} {
+			for _, spec := range []bool{false, true} {
+				subs := 0
+				if tree {
+					subs = fleetSubMasters(n)
+				}
+				factor := 0.0
+				if spec {
+					factor = specFactor
+				}
+				wall, snap, err := fleetRun(n, subs, factor, tasksPerSlave, taskCost, 0)
+				if err != nil {
+					return err
+				}
+				tasks := tasksPerSlave * n
+				row := rowT{
+					Slaves:       n,
+					SubMasters:   subs,
+					Speculation:  factor,
+					Tasks:        tasks,
+					WallMS:       float64(wall) / float64(time.Millisecond),
+					BatchReports: snap[obs.MetricMasterBatchReports],
+					Speculative:  snap[obs.MetricSchedSpeculative],
+				}
+				if wall > 0 {
+					row.TasksPerSec = float64(tasks) / wall.Seconds()
+				}
+				rows = append(rows, row)
+				fmt.Printf("%-8d %-12d %-12.1f %8d %12s %12.1f\n",
+					n, subs, factor, tasks, wall.Round(time.Millisecond), row.TasksPerSec)
+			}
+		}
+	}
+
+	// Headline: how close the 16 -> 64 throughput step is to the ideal
+	// 4x, with the tree and without (speculation off in both).
+	pick := func(n int, tree bool) rowT {
+		for _, r := range rows {
+			if r.Slaves == n && (r.SubMasters > 0) == tree && r.Speculation == 0 {
+				return r
+			}
+		}
+		return rowT{}
+	}
+	linFrac := func(tree bool) float64 {
+		lo, hi := pick(16, tree), pick(64, tree)
+		if lo.TasksPerSec == 0 {
+			return 0
+		}
+		return hi.TasksPerSec / lo.TasksPerSec / 4.0
+	}
+	treeFrac, flatFrac := linFrac(true), linFrac(false)
+	fmt.Printf("\n16->64 slave throughput scaling (1.0 = perfectly linear): tree %.2f, flat %.2f (target: tree >= 0.80)\n",
+		treeFrac, flatFrac)
+
+	// Straggler rescue at 16 slaves under the tree: one task stalls
+	// 40x; speculation off waits it out, on re-executes it elsewhere.
+	const stragglerSlaves = 16
+	fmt.Printf("\nstraggler rescue (%d slaves, %d sub-masters, one task stalls %s):\n\n",
+		stragglerSlaves, fleetSubMasters(stragglerSlaves), stall)
+	specRows := map[string]rowT{}
+	for _, spec := range []bool{false, true} {
+		factor := 0.0
+		if spec {
+			factor = specFactor
+		}
+		wall, snap, err := fleetRun(stragglerSlaves, fleetSubMasters(stragglerSlaves), factor,
+			tasksPerSlave, taskCost, stall)
+		if err != nil {
+			return err
+		}
+		row := rowT{
+			Slaves:      stragglerSlaves,
+			SubMasters:  fleetSubMasters(stragglerSlaves),
+			Speculation: factor,
+			Tasks:       tasksPerSlave * stragglerSlaves,
+			WallMS:      float64(wall) / float64(time.Millisecond),
+			Speculative: snap[obs.MetricSchedSpeculative],
+		}
+		key := "off"
+		if spec {
+			key = "on"
+		}
+		specRows[key] = row
+		fmt.Printf("speculation %-4s wall %12s speculative attempts %d\n",
+			key, wall.Round(time.Millisecond), row.Speculative)
+	}
+	rescue := 0.0
+	if on := specRows["on"]; on.WallMS > 0 {
+		rescue = specRows["off"].WallMS / on.WallMS
+	}
+	fmt.Printf("\nstraggler-wait reduction with speculation: %.2fx\n", rescue)
+
+	if *fltJSON != "" {
+		blob, err := json.MarshalIndent(map[string]any{
+			"experiment":                 "fleet",
+			"tasks_per_slave":            tasksPerSlave,
+			"task_cost_ms":               float64(taskCost) / float64(time.Millisecond),
+			"stall_ms":                   float64(stall) / float64(time.Millisecond),
+			"rows":                       rows,
+			"linear_16_to_64_tree":       treeFrac,
+			"linear_16_to_64_flat":       flatFrac,
+			"linear_target":              0.80,
+			"straggler_wall_off_ms":      specRows["off"].WallMS,
+			"straggler_wall_on_ms":       specRows["on"].WallMS,
+			"straggler_rescue_speedup":   rescue,
+			"straggler_spec_attempts_on": specRows["on"].Speculative,
+		}, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*fltJSON, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\n(wrote %s)\n", *fltJSON)
+	}
+	var csvRows [][]string
+	for _, r := range rows {
+		csvRows = append(csvRows, []string{
+			strconv.Itoa(r.Slaves), strconv.Itoa(r.SubMasters),
+			strconv.FormatFloat(r.Speculation, 'g', 4, 64),
+			strconv.Itoa(r.Tasks),
+			strconv.FormatFloat(r.WallMS, 'g', 6, 64),
+			strconv.FormatFloat(r.TasksPerSec, 'g', 6, 64),
+		})
+	}
+	return writeCSV("fleet", []string{
+		"slaves", "submasters", "speculation_factor", "tasks", "wall_ms", "tasks_per_sec",
+	}, csvRows)
 }
 
 func maxInt(a, b int) int {

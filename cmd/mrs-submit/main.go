@@ -27,6 +27,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"repro/internal/cluster"
 	"repro/internal/codec"
@@ -181,6 +182,35 @@ func printJobs() error {
 	for _, id := range ids {
 		jr := st.Jobs[id]
 		fmt.Printf("%-6d %-16s %-9s %10d %14d  %s\n", jr.ID, jr.Name, jr.State, jr.TasksDone, jr.ShuffleBytes, jr.Error)
+		if len(jr.NodeTasks) > 0 {
+			fmt.Printf("       per node: %s\n", nodeTaskSummary(jr.NodeTasks))
+		}
 	}
 	return nil
+}
+
+// nodeTaskSummary renders a job's per-node completion counts, busiest
+// node first. Under a hierarchical control plane the node is the
+// reporting sub-master, so the line shows how work spread over the
+// shards rather than over individual slaves.
+func nodeTaskSummary(counts map[string]int64) string {
+	type nc struct {
+		node string
+		n    int64
+	}
+	rows := make([]nc, 0, len(counts))
+	for node, n := range counts {
+		rows = append(rows, nc{node, n})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		return rows[i].node < rows[j].node
+	})
+	parts := make([]string, len(rows))
+	for i, r := range rows {
+		parts[i] = fmt.Sprintf("%s=%d", r.node, r.n)
+	}
+	return strings.Join(parts, " ")
 }

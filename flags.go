@@ -16,11 +16,15 @@ import (
 func BindFlags(fs *flag.FlagSet) *Options {
 	o := &Options{}
 	fs.StringVar(&o.Implementation, "mrs", "serial",
-		"execution mode: serial|mock|threads|local|master|slave|bypass")
+		"execution mode: serial|mock|threads|local|master|submaster|slave|bypass")
 	fs.IntVar(&o.Workers, "mrs-workers", 4, "worker goroutines for -mrs=threads")
 	fs.IntVar(&o.Slaves, "mrs-slaves", 2, "slave count for -mrs=local")
-	fs.StringVar(&o.MasterAddr, "mrs-master", "", "master host:port (for -mrs=slave)")
-	fs.StringVar(&o.Addr, "mrs-addr", "", "master listen address (for -mrs=master)")
+	fs.IntVar(&o.SubMasters, "mrs-submasters", 0,
+		"sub-master count for -mrs=local (0 = flat master-slave star)")
+	fs.Float64Var(&o.Speculation, "mrs-speculation", 0,
+		"speculative-execution slowness factor (0 disables; e.g. 2 duplicates a task running 2x the op's median)")
+	fs.StringVar(&o.MasterAddr, "mrs-master", "", "master host:port (for -mrs=slave and -mrs=submaster)")
+	fs.StringVar(&o.Addr, "mrs-addr", "", "listen address (for -mrs=master and -mrs=submaster)")
 	fs.StringVar(&o.PortFile, "mrs-portfile", "", "file to write the master address to")
 	fs.StringVar(&o.SharedDir, "mrs-shared", "", "shared directory for filesystem-staged data")
 	fs.StringVar(&o.MockDir, "mrs-mockdir", "", "directory for -mrs=mock intermediate files")

@@ -199,9 +199,9 @@ func (e *LocalExecutor) worker(idx int) {
 		e.obs.T().TaskStarted(t.spec.TraceID, 1, name)
 		res, err := ExecTask(e.env, t.spec)
 		if err != nil {
-			e.obs.T().TaskFinished(t.spec.TraceID, 1, obs.Timing{}, err.Error())
+			e.obs.T().TaskFinished(t.spec.TraceID, 1, name, obs.Timing{}, err.Error())
 		} else {
-			e.obs.T().TaskFinished(t.spec.TraceID, 1, res.Timing, "")
+			e.obs.T().TaskFinished(t.spec.TraceID, 1, name, res.Timing, "")
 		}
 		t.done(res, err)
 	}

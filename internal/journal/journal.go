@@ -131,6 +131,9 @@ type Event struct {
 	Task    int        `json:"task,omitempty"`
 	Outputs []Manifest `json:"outputs,omitempty"`
 	InBytes int64      `json:"in_bytes,omitempty"`
+	// Node is the control-plane node that reported the completion
+	// (EvTaskDone; "" in logs from pre-hierarchy masters).
+	Node string `json:"node,omitempty"`
 	// Weight is the job's new fair-share weight (EvJobWeight).
 	Weight int `json:"weight,omitempty"`
 	// Error is the failure message (EvJobFailed).
@@ -171,6 +174,10 @@ type JobRecord struct {
 	// never-crashed one would.
 	TasksDone    int64 `json:"tasks_done,omitempty"`
 	ShuffleBytes int64 `json:"shuffle_bytes,omitempty"`
+	// NodeTasks counts completions per reporting node (slave or
+	// sub-master), so mrs-submit -list-jobs can show how work spread
+	// over the fleet; empty for logs from pre-hierarchy masters.
+	NodeTasks map[string]int64 `json:"node_tasks,omitempty"`
 	// Tasks maps TaskKey(dataset, task) to the completion's output
 	// bucket manifests; cleared once the job finishes (its data is
 	// reclaimed fleet-wide then, so the manifests dangle).
@@ -250,6 +257,12 @@ func (s *State) Apply(ev Event) {
 		if _, dup := jr.Tasks[key]; !dup {
 			jr.TasksDone++
 			jr.ShuffleBytes += ev.InBytes
+			if ev.Node != "" {
+				if jr.NodeTasks == nil {
+					jr.NodeTasks = map[string]int64{}
+				}
+				jr.NodeTasks[ev.Node]++
+			}
 		}
 		jr.Tasks[key] = append([]Manifest(nil), ev.Outputs...)
 	case EvJobDone:

@@ -398,7 +398,7 @@ func TestApplyIdempotent(t *testing.T) {
 	events := []Event{
 		submitEv(3, "wc"),
 		taskEv(3, 0, 0, 10),
-		taskEv(3, 0, 0, 10), // duplicate completion
+		taskEv(3, 0, 0, 10),  // duplicate completion
 		submitEv(3, "other"), // re-submit must not rename
 		{Kind: EvJobDone, Job: 3},
 		taskEv(3, 0, 1, 10), // completion after done: dropped

@@ -23,6 +23,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -77,6 +78,16 @@ type Options struct {
 	// alive (repeat-offender quarantine). Zero selects
 	// DefaultBlacklistAfter; negative disables.
 	BlacklistAfter int
+	// SpeculationFactor enables speculative straggler re-execution: a
+	// task whose sole attempt has run longer than this factor times the
+	// operation's median completed duration gets a duplicate attempt on
+	// a different node, first completion wins (sched.SetSpeculation).
+	// Zero disables.
+	SpeculationFactor float64
+	// SpeculationMinRuntime floors the speculation threshold (0 selects
+	// the scheduler default; tests shrink it to drive fake-clock
+	// speculation).
+	SpeculationMinRuntime time.Duration
 	// Clock drives heartbeat reaping, leases, and long-poll deadlines
 	// (default: the wall clock; tests inject a fake).
 	Clock clock.Clock
@@ -150,9 +161,19 @@ func (o *Options) fill() {
 	}
 }
 
+// slaveInfo tracks one signed-in node. The master↔slave star
+// generalized into a master↔node tree: a node is either a leaf slave
+// or a sub-master fronting a whole worker group (internal/submaster),
+// and the master schedules, leases, reaps, and drains both kinds
+// identically — a sub-master just looks like one very wide slave.
 type slaveInfo struct {
-	id       string
-	lastSeen time.Time
+	id        string
+	kind      string // rpcproto.NodeKindSlave or NodeKindSubmaster
+	addr      string // advertised address ("" for anonymous slaves)
+	slots     int64  // offered task slots (aggregated for sub-masters)
+	tasksDone int64  // completions this node reported
+	draining  bool   // next get_task answers shutdown and forgets it
+	lastSeen  time.Time
 }
 
 // Master is the distributed executor.
@@ -183,6 +204,7 @@ type Master struct {
 
 	reaperStop chan struct{}
 	reaperDone chan struct{}
+	specDone   chan struct{} // nil unless the speculation scanner runs
 }
 
 // JobTaskStats counts one job's completed work as reported over the
@@ -219,6 +241,12 @@ func New(opts Options) (*Master, error) {
 	}
 	m.sched.SetObserver(opts.Obs)
 	m.sched.SetBlacklist(opts.BlacklistAfter, m.NumSlaves)
+	if opts.SpeculationFactor > 0 {
+		m.sched.SetSpeculation(sched.SpeculationConfig{
+			SlownessFactor: opts.SpeculationFactor,
+			MinRuntime:     opts.SpeculationMinRuntime,
+		})
+	}
 	m.registerGauges(opts.Obs)
 	m.manager = newJobManager(m, opts.MaxConcurrentJobs)
 	m.recovered = journal.NewState()
@@ -319,9 +347,13 @@ func New(opts Options) (*Master, error) {
 	rpc := xmlrpc.NewServer()
 	rpc.Register(rpcproto.MethodSignin, m.handleSignin)
 	rpc.Register(rpcproto.MethodGetTask, m.handleGetTask)
+	rpc.Register(rpcproto.MethodGetTasks, m.handleGetTasks)
 	rpc.Register(rpcproto.MethodTaskDone, m.handleTaskDone)
 	rpc.Register(rpcproto.MethodTaskFailed, m.handleTaskFailed)
 	rpc.Register(rpcproto.MethodPing, m.handlePing)
+	rpc.Register(rpcproto.MethodReportBatch, m.handleReportBatch)
+	rpc.Register(rpcproto.MethodDrain, m.handleDrain)
+	rpc.Register(rpcproto.MethodListNodes, m.handleListNodes)
 
 	mux := http.NewServeMux()
 	mux.Handle(xmlrpc.RPCPath, rpc)
@@ -330,6 +362,14 @@ func New(opts Options) (*Master, error) {
 	m.httpSrv = &http.Server{Handler: mux}
 	go m.httpSrv.Serve(ln)
 	go m.reaper()
+	if opts.SpeculationFactor > 0 {
+		// Straggler scans run on their own cadence, tied to the
+		// speculation floor rather than the (much coarser) liveness
+		// timeout: a stalled attempt should be duplicated within a
+		// couple of MinRuntime periods.
+		m.specDone = make(chan struct{})
+		go m.speculator()
+	}
 
 	if opts.PortFile != "" {
 		if err := os.WriteFile(opts.PortFile, []byte(m.addr+"\n"), 0o644); err != nil {
@@ -462,6 +502,17 @@ func (m *Master) statusPage() string {
 		m.addr, m.NumSlaves(), st.SlavesSeen, st.SlavesLost,
 		m.sched.Pending(), m.sched.Running(),
 		st.TasksAssigned, st.TasksDone, st.TasksFailed, st.TasksRequeued, st.Blacklisted)
+	if nodes := m.Nodes(); len(nodes) > 0 {
+		out += "nodes:\n"
+		for _, n := range nodes {
+			extra := ""
+			if n.Draining {
+				extra = " draining"
+			}
+			out += fmt.Sprintf("  %s (%s) addr=%s slots=%d done=%d%s\n",
+				n.ID, n.Kind, n.Addr, n.Slots, n.TasksDone, extra)
+		}
+	}
 	jobs := m.manager.List()
 	if len(jobs) == 0 {
 		return out
@@ -491,14 +542,28 @@ func (m *Master) serveData(w http.ResponseWriter, r *http.Request) {
 // RPC handlers
 
 func (m *Master) handleSignin(args []any) (any, error) {
+	node := rpcproto.DecodeSigninArgs(args)
+	if node.Kind == "" {
+		node.Kind = rpcproto.NodeKindSlave
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
 		return nil, fmt.Errorf("master: closed")
 	}
 	m.nextSlave++
-	id := fmt.Sprintf("slave-%d", m.nextSlave)
-	m.slaves[id] = &slaveInfo{id: id, lastSeen: m.opts.Clock.Now()}
+	prefix := "slave"
+	if node.Kind == rpcproto.NodeKindSubmaster {
+		prefix = "sm"
+	}
+	id := fmt.Sprintf("%s-%d", prefix, m.nextSlave)
+	m.slaves[id] = &slaveInfo{
+		id:       id,
+		kind:     node.Kind,
+		addr:     node.Addr,
+		slots:    node.Slots,
+		lastSeen: m.opts.Clock.Now(),
+	}
 	m.taskStats.SlavesSeen++
 	return rpcproto.SigninReply{
 		SlaveID:         id,
@@ -550,12 +615,62 @@ func (m *Master) handlePing(args []any) (any, error) {
 }
 
 func (m *Master) handleGetTask(args []any) (any, error) {
-	id, err := slaveIDArg(args)
+	a, err := m.assignOne(args)
 	if err != nil {
 		return nil, err
 	}
+	return encodeAssignment(a)
+}
+
+// handleGetTasks is the batched fetch of the sub-master tier: one
+// get_task long poll for the first assignment, then a non-blocking
+// drain of up to max-1 more ready tasks, all in one round trip. A
+// sub-master refilling a whole shard's worth of idle slots pays one
+// RPC instead of one per task; the flat get_task protocol is
+// unchanged for leaves. args: (node, max).
+func (m *Master) handleGetTasks(args []any) (any, error) {
+	if len(args) < 2 {
+		return nil, fmt.Errorf("master: get_tasks wants (node, max)")
+	}
+	maxN, _ := args[1].(int64)
+	if maxN < 1 {
+		maxN = 1
+	}
+	first, err := m.assignOne(args[:1])
+	if err != nil {
+		return nil, err
+	}
+	as := []rpcproto.Assignment{first}
+	if first.Status == rpcproto.StatusTask {
+		id, _ := args[0].(string)
+		for int64(len(as)) < maxN {
+			task, attempt, err := m.sched.RequestAttempt(id, 0)
+			if err != nil || task == nil {
+				break
+			}
+			m.mu.Lock()
+			m.taskStats.TasksAssigned++
+			m.mu.Unlock()
+			as = append(as, rpcproto.Assignment{
+				Status:  rpcproto.StatusTask,
+				TaskID:  int64(task.ID),
+				Attempt: int64(attempt),
+				Spec:    task.Spec,
+			})
+		}
+	}
+	return rpcproto.EncodeAssignments(as)
+}
+
+// assignOne is the get_task body: liveness bookkeeping, piggybacked
+// broadcasts, then one long poll on the scheduler.
+func (m *Master) assignOne(args []any) (rpcproto.Assignment, error) {
+	id, err := slaveIDArg(args)
+	if err != nil {
+		return rpcproto.Assignment{}, err
+	}
 	if !m.touch(id) {
-		return nil, unknownSlaveFault(id)
+		return rpcproto.Assignment{}, unknownSlaveFault(id)
 	}
 	// Collect piggybacked deletes and job-GC broadcasts.
 	m.mu.Lock()
@@ -564,16 +679,29 @@ func (m *Master) handleGetTask(args []any) (any, error) {
 	gcJobs := m.pendingGC[id]
 	delete(m.pendingGC, id)
 	closed, crashed := m.closed, m.crashed
+	draining := false
+	if info := m.slaves[id]; info != nil && info.draining {
+		// Drain completion: the node's leases were already requeued by
+		// Drain; this poll carries the shutdown answer and the node is
+		// forgotten. Late task reports from it still resolve through
+		// the scheduler's stale-delivery tolerance.
+		draining = true
+		delete(m.slaves, id)
+		delete(m.pendingDeletes, id)
+		delete(m.pendingGC, id)
+	}
 	m.mu.Unlock()
+	if draining {
+		return rpcproto.Assignment{Status: rpcproto.StatusShutdown, Deletes: deletes, GCJobs: gcJobs}, nil
+	}
 	if closed {
 		if crashed {
 			// A crashing master must not tell the fleet to shut down —
 			// a plain error makes slaves back off and retry until the
 			// restarted master answers.
-			return nil, fmt.Errorf("master: unavailable (crashing)")
+			return rpcproto.Assignment{}, fmt.Errorf("master: unavailable (crashing)")
 		}
-		a := rpcproto.Assignment{Status: rpcproto.StatusShutdown, Deletes: deletes, GCJobs: gcJobs}
-		return encodeAssignment(a)
+		return rpcproto.Assignment{Status: rpcproto.StatusShutdown, Deletes: deletes, GCJobs: gcJobs}, nil
 	}
 	if m.blacklisted(id) {
 		// Park the repeat offender for a long-poll period so it paces
@@ -583,36 +711,36 @@ func (m *Master) handleGetTask(args []any) (any, error) {
 		m.mu.Lock()
 		m.taskStats.Blacklisted++
 		m.mu.Unlock()
-		return encodeAssignment(rpcproto.Assignment{Status: rpcproto.StatusIdle, Deletes: deletes, GCJobs: gcJobs})
+		return rpcproto.Assignment{Status: rpcproto.StatusIdle, Deletes: deletes, GCJobs: gcJobs}, nil
 	}
-	task, err := m.sched.Request(id, m.opts.LongPoll)
+	task, attempt, err := m.sched.RequestAttempt(id, m.opts.LongPoll)
 	if err == sched.ErrClosed {
 		m.mu.Lock()
 		crashed = m.crashed
 		m.mu.Unlock()
 		if crashed {
-			return nil, fmt.Errorf("master: unavailable (crashing)")
+			return rpcproto.Assignment{}, fmt.Errorf("master: unavailable (crashing)")
 		}
-		return encodeAssignment(rpcproto.Assignment{Status: rpcproto.StatusShutdown, Deletes: deletes, GCJobs: gcJobs})
+		return rpcproto.Assignment{Status: rpcproto.StatusShutdown, Deletes: deletes, GCJobs: gcJobs}, nil
 	}
 	if err != nil {
-		return nil, err
+		return rpcproto.Assignment{}, err
 	}
 	m.touch(id) // the long poll may have taken a while
 	if task == nil {
-		return encodeAssignment(rpcproto.Assignment{Status: rpcproto.StatusIdle, Deletes: deletes, GCJobs: gcJobs})
+		return rpcproto.Assignment{Status: rpcproto.StatusIdle, Deletes: deletes, GCJobs: gcJobs}, nil
 	}
 	m.mu.Lock()
 	m.taskStats.TasksAssigned++
 	m.mu.Unlock()
-	return encodeAssignment(rpcproto.Assignment{
+	return rpcproto.Assignment{
 		Status:  rpcproto.StatusTask,
 		TaskID:  int64(task.ID),
-		Attempt: int64(task.Attempts),
+		Attempt: int64(attempt),
 		Spec:    task.Spec,
 		Deletes: deletes,
 		GCJobs:  gcJobs,
-	})
+	}, nil
 }
 
 // blacklisted reports whether the slave has failed enough tasks to be
@@ -662,13 +790,32 @@ func (m *Master) handleTaskDone(args []any) (any, error) {
 	// Accept the result even from a slave this master doesn't know (it
 	// may have outlived a master restart); the scheduler sorts accepted
 	// completions from duplicate or stale ones.
+	if err := m.applyTaskDone(id, jobID, taskID, result); err != nil {
+		return nil, err
+	}
+	if !known {
+		// Processed anyway (above), but tell the slave to re-sign-in so
+		// its leases reconcile against this master's state.
+		return nil, unknownSlaveFault(id)
+	}
+	return true, nil
+}
+
+// applyTaskDone feeds one completion into the scheduler and, if
+// accepted, into stats, metrics, and the journal. Shared between
+// task_done (one report per RPC) and report_batch (a sub-master's
+// aggregated reports).
+func (m *Master) applyTaskDone(id string, jobID, taskID int64, result *core.TaskResult) error {
 	spec, err := m.sched.CompleteTask(sched.TaskID(taskID), id, result)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if spec != nil {
 		m.mu.Lock()
 		m.taskStats.TasksDone++
+		if info := m.slaves[id]; info != nil {
+			info.tasksDone++
+		}
 		js := m.jobStatsLocked(core.JobID(jobID))
 		js.TasksDone++
 		js.ShuffleBytes += result.Timing.InBytes
@@ -684,18 +831,14 @@ func (m *Master) handleTaskDone(args []any) (any, error) {
 				Task:    spec.TaskIndex,
 				Outputs: journal.FromDescriptors(result.Outputs),
 				InBytes: result.Timing.InBytes,
+				Node:    id,
 			})
 		}
 	}
 	if m.opts.DisableAffinity {
 		m.sched.ClearAffinity()
 	}
-	if !known {
-		// Processed anyway (above), but tell the slave to re-sign-in so
-		// its leases reconcile against this master's state.
-		return nil, unknownSlaveFault(id)
-	}
-	return true, nil
+	return nil
 }
 
 func (m *Master) handleTaskFailed(args []any) (any, error) {
@@ -716,18 +859,136 @@ func (m *Master) handleTaskFailed(args []any) (any, error) {
 	}
 	msg, _ := args[3].(string)
 	known := m.touch(id)
-	m.mu.Lock()
-	m.taskStats.TasksFailed++
-	m.jobStatsLocked(core.JobID(jobID)).TasksFailed++
-	m.mu.Unlock()
-	m.opts.Obs.M().Add(obs.JobSeries("mrs_job_tasks_failed_total", jobID), 1)
-	if err := m.sched.Fail(sched.TaskID(taskID), id, msg); err != nil {
+	if err := m.applyTaskFailed(id, jobID, taskID, msg); err != nil {
 		return nil, err
 	}
 	if !known {
 		return nil, unknownSlaveFault(id)
 	}
 	return true, nil
+}
+
+// applyTaskFailed is applyTaskDone's failure-path twin.
+func (m *Master) applyTaskFailed(id string, jobID, taskID int64, msg string) error {
+	m.mu.Lock()
+	m.taskStats.TasksFailed++
+	m.jobStatsLocked(core.JobID(jobID)).TasksFailed++
+	m.mu.Unlock()
+	m.opts.Obs.M().Add(obs.JobSeries("mrs_job_tasks_failed_total", jobID), 1)
+	return m.sched.Fail(sched.TaskID(taskID), id, msg)
+}
+
+// handleReportBatch accepts a sub-master's aggregated task outcomes:
+// (node, reports). Each report names its own job — a batch may span
+// jobs. Every report in the batch is applied even if one errors — a
+// batch is a transport optimization, not a transaction — and like
+// task_done, reports from an unknown node are processed before the
+// re-sign-in fault is returned.
+func (m *Master) handleReportBatch(args []any) (any, error) {
+	if len(args) < 2 {
+		return nil, fmt.Errorf("master: report_batch wants (node, reports)")
+	}
+	id, err := slaveIDArg(args)
+	if err != nil {
+		return nil, err
+	}
+	reports, err := rpcproto.DecodeReports(args[1])
+	if err != nil {
+		return nil, err
+	}
+	known := m.touch(id)
+	m.opts.Obs.M().Add(obs.MetricMasterBatchReports, 1)
+	var firstErr error
+	for _, r := range reports {
+		var err error
+		if r.Done {
+			err = m.applyTaskDone(id, r.Job, r.TaskID, &core.TaskResult{Outputs: r.Outputs, Timing: r.Timing})
+		} else {
+			err = m.applyTaskFailed(id, r.Job, r.TaskID, r.Err)
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if !known {
+		return nil, unknownSlaveFault(id)
+	}
+	return true, nil
+}
+
+// handleDrain takes a node out of rotation by id or advertised
+// address: its leases requeue immediately and its next get_task
+// answers shutdown. args: (target).
+func (m *Master) handleDrain(args []any) (any, error) {
+	if len(args) < 1 {
+		return nil, fmt.Errorf("master: drain wants (node-id-or-addr)")
+	}
+	target, _ := args[0].(string)
+	if target == "" {
+		return nil, fmt.Errorf("master: bad drain target %v", args[0])
+	}
+	if !m.Drain(target) {
+		return nil, fmt.Errorf("master: drain: no node %q", target)
+	}
+	return true, nil
+}
+
+// Drain marks the node (by id or advertised address) draining and
+// returns its leases to the scheduler. Reports whether a node matched.
+func (m *Master) Drain(target string) bool {
+	m.mu.Lock()
+	var info *slaveInfo
+	if byID := m.slaves[target]; byID != nil {
+		info = byID
+	} else {
+		for _, si := range m.slaves {
+			if si.addr != "" && si.addr == target {
+				info = si
+				break
+			}
+		}
+	}
+	if info == nil {
+		m.mu.Unlock()
+		return false
+	}
+	info.draining = true
+	id := info.id
+	m.mu.Unlock()
+	m.opts.Obs.M().Add(obs.MetricMasterDrains, 1)
+	m.sched.Drain(id)
+	return true
+}
+
+func (m *Master) handleListNodes(args []any) (any, error) {
+	return rpcproto.EncodeNodeInfos(m.Nodes()), nil
+}
+
+// Nodes returns a snapshot of every signed-in node, sorted by id
+// (diagnostics, the status page, and the list_nodes RPC).
+func (m *Master) Nodes() []rpcproto.NodeInfo {
+	m.mu.Lock()
+	out := make([]rpcproto.NodeInfo, 0, len(m.slaves))
+	for _, si := range m.slaves {
+		kind := si.kind
+		if kind == "" {
+			kind = rpcproto.NodeKindSlave
+		}
+		out = append(out, rpcproto.NodeInfo{
+			ID:        si.id,
+			Kind:      kind,
+			Addr:      si.addr,
+			Slots:     si.slots,
+			TasksDone: si.tasksDone,
+			Draining:  si.draining,
+		})
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
 }
 
 // ---------------------------------------------------------------------------
@@ -764,6 +1025,30 @@ func (m *Master) reaper() {
 					m.mu.Unlock()
 				}
 			}
+		}
+	}
+}
+
+// speculator periodically scans running attempts for stragglers and
+// queues duplicate attempts (sched.Speculate); started only when
+// Options.SpeculationFactor enables speculation.
+func (m *Master) speculator() {
+	defer close(m.specDone)
+	interval := m.opts.SpeculationMinRuntime / 2
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	tick := m.opts.Clock.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-m.reaperStop:
+			return
+		case <-tick.Chan():
+			m.sched.Speculate()
 		}
 	}
 }
@@ -907,6 +1192,9 @@ func (m *Master) Close() error {
 	m.sched.Close()
 	close(m.reaperStop)
 	<-m.reaperDone
+	if m.specDone != nil {
+		<-m.specDone
+	}
 
 	// Closing the scheduler wakes every long-polled get_task, whose
 	// handlers then return shutdown. A short grace period lets slaves
@@ -954,6 +1242,9 @@ func (m *Master) Crash() error {
 	m.sched.Close()
 	close(m.reaperStop)
 	<-m.reaperDone
+	if m.specDone != nil {
+		<-m.specDone
+	}
 	m.store.CloseIdle()
 	return nil
 }

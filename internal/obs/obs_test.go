@@ -33,7 +33,7 @@ func TestNilSafety(t *testing.T) {
 		t.Errorf("nil Tracer.TaskSubmitted = %d, want 0", id)
 	}
 	tr.TaskStarted(1, 1, "w")
-	tr.TaskFinished(1, 1, Timing{}, "")
+	tr.TaskFinished(1, 1, "w", Timing{}, "")
 	if tr.NumSpans() != 0 {
 		t.Error("nil Tracer should have no spans")
 	}
@@ -102,14 +102,14 @@ func TestTracerLifecycle(t *testing.T) {
 	clk.Advance(time.Millisecond)
 	tr.TaskStarted(id, 1, "slave-1")
 	clk.Advance(2 * time.Millisecond)
-	tr.TaskFinished(id, 1, Timing{WallNS: int64(2 * time.Millisecond), InBytes: 10}, "")
+	tr.TaskFinished(id, 1, "slave-1", Timing{WallNS: int64(2 * time.Millisecond), InBytes: 10}, "")
 
 	// Unknown ids and the zero id are ignored, and finishing the same
 	// attempt twice records only one span (redelivered reports).
 	tr.TaskStarted(0, 1, "x")
 	tr.TaskStarted(9999, 1, "x")
-	tr.TaskFinished(id, 1, Timing{}, "")
-	tr.TaskFinished(9999, 1, Timing{}, "")
+	tr.TaskFinished(id, 1, "slave-1", Timing{}, "")
+	tr.TaskFinished(9999, 1, "x", Timing{}, "")
 
 	spans := tr.Spans()
 	if len(spans) != 1 {
@@ -135,9 +135,9 @@ func TestTracerRetriesKeepDistinctAttempts(t *testing.T) {
 	tr := NewTracer(clk)
 	id := tr.TaskSubmitted(0, 3, "map", "f")
 	tr.TaskStarted(id, 1, "slave-0")
-	tr.TaskFinished(id, 1, Timing{}, "slave died; requeued")
+	tr.TaskFinished(id, 1, "slave-0", Timing{}, "slave died; requeued")
 	tr.TaskStarted(id, 2, "slave-1")
-	tr.TaskFinished(id, 2, Timing{}, "")
+	tr.TaskFinished(id, 2, "slave-1", Timing{}, "")
 	spans := tr.Spans()
 	if len(spans) != 2 {
 		t.Fatalf("got %d spans, want 2", len(spans))
@@ -161,7 +161,7 @@ func buildTrace(order []int) []byte {
 	}
 	for _, task := range order {
 		tr.TaskStarted(ids[task], 1, "worker-0")
-		tr.TaskFinished(ids[task], 1, Timing{WallNS: 5}, "")
+		tr.TaskFinished(ids[task], 1, "worker-0", Timing{WallNS: 5}, "")
 	}
 	var buf bytes.Buffer
 	if err := tr.WriteChromeTrace(&buf); err != nil {

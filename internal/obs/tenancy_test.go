@@ -47,12 +47,12 @@ func TestChromeTracePerJobProcesses(t *testing.T) {
 	id0 := tr.TaskSubmitted(1, 0, "map", "m")
 	tr.TaskStarted(id0, 1, "w1")
 	clk.Advance(time.Millisecond)
-	tr.TaskFinished(id0, 1, Timing{}, "")
+	tr.TaskFinished(id0, 1, "w1", Timing{}, "")
 
 	id1 := tr.TaskSubmittedJob(2, 1, 0, "map", "m")
 	tr.TaskStarted(id1, 1, "w1")
 	clk.Advance(time.Millisecond)
-	tr.TaskFinished(id1, 1, Timing{}, "")
+	tr.TaskFinished(id1, 1, "w1", Timing{}, "")
 
 	var buf bytes.Buffer
 	if err := tr.WriteChromeTrace(&buf); err != nil {

@@ -60,6 +60,7 @@ type Span struct {
 type spanKey struct {
 	id      int64
 	attempt int
+	worker  string
 }
 
 // Tracer records task spans. All methods are nil-safe no-ops, so
@@ -121,7 +122,12 @@ func (t *Tracer) TaskSubmittedJob(job int64, dataset, task int, kind, fn string)
 }
 
 // TaskStarted records that attempt `attempt` of task `id` began
-// executing on the named worker (a local pool worker or a slave).
+// executing on the named worker (a local pool worker, a slave, or — in
+// a hierarchical fleet — the node a level of the tree dispatched it
+// to). Spans are keyed by (id, attempt, worker), so a root master and a
+// sub-master may each record their own span for the same attempt: the
+// root's span covers the task's residence at its node, the sub-master's
+// the execution on the leaf slave. Each level is its own trace lane.
 func (t *Tracer) TaskStarted(id int64, attempt int, worker string) {
 	if t == nil || id == 0 {
 		return
@@ -136,23 +142,24 @@ func (t *Tracer) TaskStarted(id int64, attempt int, worker string) {
 	sp.Attempt = attempt
 	sp.Worker = worker
 	sp.Start = t.clk.Now()
-	t.open[spanKey{id, attempt}] = &sp
+	t.open[spanKey{id, attempt, worker}] = &sp
 }
 
-// TaskFinished closes the span for attempt `attempt` of task `id` with
-// its measured timing and error ("" on success). Unknown (never
-// started) spans are ignored, which makes finish paths idempotent.
-func (t *Tracer) TaskFinished(id int64, attempt int, tm Timing, errMsg string) {
+// TaskFinished closes the span for attempt `attempt` of task `id` on
+// the named worker with its measured timing and error ("" on success).
+// Unknown (never started) spans are ignored, which makes finish paths
+// idempotent.
+func (t *Tracer) TaskFinished(id int64, attempt int, worker string, tm Timing, errMsg string) {
 	if t == nil || id == 0 {
 		return
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	sp, ok := t.open[spanKey{id, attempt}]
+	sp, ok := t.open[spanKey{id, attempt, worker}]
 	if !ok {
 		return
 	}
-	delete(t.open, spanKey{id, attempt})
+	delete(t.open, spanKey{id, attempt, worker})
 	sp.End = t.clk.Now()
 	sp.Timing = tm
 	sp.Err = errMsg
@@ -361,16 +368,16 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			Pid:  int(sp.Job),
 			Tid:  tid[sp.Worker],
 			Args: &chromeArgs{
-				Dataset:    sp.Dataset,
-				Task:       sp.Task,
-				Attempt:    sp.Attempt,
-				Func:       sp.Func,
-				Worker:     sp.Worker,
-				ScheduleUS: sched,
-				WallUS:     sp.Timing.WallNS / 1e3,
-				ShuffleUS:  sp.Timing.ShuffleNS / 1e3,
-				InBytes:    sp.Timing.InBytes,
-				InRecords:  sp.Timing.InRecords,
+				Dataset:        sp.Dataset,
+				Task:           sp.Task,
+				Attempt:        sp.Attempt,
+				Func:           sp.Func,
+				Worker:         sp.Worker,
+				ScheduleUS:     sched,
+				WallUS:         sp.Timing.WallNS / 1e3,
+				ShuffleUS:      sp.Timing.ShuffleNS / 1e3,
+				InBytes:        sp.Timing.InBytes,
+				InRecords:      sp.Timing.InRecords,
 				OutBytes:       sp.Timing.OutBytes,
 				OutRecords:     sp.Timing.OutRecords,
 				ResidentHits:   sp.Timing.ResidentHits,

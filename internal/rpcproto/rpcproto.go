@@ -13,13 +13,28 @@ import (
 	"repro/internal/xmlrpc"
 )
 
-// Method names served by the master.
+// Method names served by the master — and, because the master↔slave
+// star generalizes to a master↔node tree, by every sub-master: a
+// sub-master serves all of these to its children while speaking the
+// same methods upward as a client. MethodReportBatch, MethodDrain, and
+// MethodListNodes extend the protocol for the hierarchical control
+// plane; peers that never send them are unaffected.
 const (
-	MethodSignin     = "signin"
-	MethodGetTask    = "get_task"
-	MethodTaskDone   = "task_done"
-	MethodTaskFailed = "task_failed"
-	MethodPing       = "ping"
+	MethodSignin      = "signin"
+	MethodGetTask     = "get_task"
+	MethodGetTasks    = "get_tasks"
+	MethodTaskDone    = "task_done"
+	MethodTaskFailed  = "task_failed"
+	MethodPing        = "ping"
+	MethodReportBatch = "report_batch"
+	MethodDrain       = "drain"
+	MethodListNodes   = "list_nodes"
+)
+
+// Node kinds carried in SigninArgs.
+const (
+	NodeKindSlave     = "slave"
+	NodeKindSubmaster = "submaster"
 )
 
 // GetTask response statuses.
@@ -75,6 +90,172 @@ func DecodeSigninReply(v any) (SigninReply, error) {
 		hb = 500
 	}
 	return SigninReply{SlaveID: id, HeartbeatMillis: hb}, nil
+}
+
+// SigninArgs is the optional first argument of signin: what kind of
+// node is joining, where its data plane (or child-facing control
+// plane) listens, and how many task slots it offers. Nodes that omit
+// it — the original flat protocol — sign in as anonymous slaves, so
+// old peers keep working against a tree-aware master.
+type SigninArgs struct {
+	Kind  string // NodeKindSlave or NodeKindSubmaster ("" = slave)
+	Addr  string // advertised address (diagnostics, drain-by-addr)
+	Slots int64  // concurrent task slots (aggregated for sub-masters)
+}
+
+// Encode converts the args to an XML-RPC struct.
+func (a SigninArgs) Encode() map[string]any {
+	out := map[string]any{}
+	if a.Kind != "" {
+		out["kind"] = a.Kind
+	}
+	if a.Addr != "" {
+		out["addr"] = a.Addr
+	}
+	if a.Slots > 0 {
+		out["slots"] = a.Slots
+	}
+	return out
+}
+
+// DecodeSigninArgs parses the optional signin argument; a missing or
+// malformed argument decodes as the zero value (an anonymous slave).
+func DecodeSigninArgs(args []any) SigninArgs {
+	var a SigninArgs
+	if len(args) == 0 {
+		return a
+	}
+	st, ok := args[0].(map[string]any)
+	if !ok {
+		return a
+	}
+	a.Kind, _ = st["kind"].(string)
+	a.Addr, _ = st["addr"].(string)
+	a.Slots, _ = st["slots"].(int64)
+	return a
+}
+
+// Report is one task outcome inside a report_batch: a sub-master
+// forwards its children's task_done and task_failed reports upward in
+// batches instead of one RPC per task.
+type Report struct {
+	Done    bool  // true = task_done, false = task_failed
+	Job     int64 // the job the task belongs to (batches may span jobs)
+	TaskID  int64 // the parent's task id for the assignment
+	Outputs []bucket.Descriptor
+	Timing  obs.Timing
+	Err     string // task_failed error message
+}
+
+// EncodeReports converts a batch for the reports argument of
+// report_batch.
+func EncodeReports(reports []Report) []any {
+	out := make([]any, len(reports))
+	for i, r := range reports {
+		st := map[string]any{
+			"done":    r.Done,
+			"job":     r.Job,
+			"task_id": r.TaskID,
+		}
+		if r.Done {
+			st["outputs"] = EncodeDescriptors(r.Outputs)
+			st["timing"] = EncodeTiming(r.Timing)
+		} else {
+			st["error"] = r.Err
+		}
+		out[i] = st
+	}
+	return out
+}
+
+// DecodeReports parses the reports argument of report_batch.
+func DecodeReports(v any) ([]Report, error) {
+	arr, ok := v.([]any)
+	if !ok {
+		return nil, fmt.Errorf("rpcproto: reports is %T", v)
+	}
+	out := make([]Report, len(arr))
+	for i, e := range arr {
+		st, ok := e.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("rpcproto: report %d is %T", i, e)
+		}
+		r := Report{}
+		r.Done, _ = st["done"].(bool)
+		r.Job, _ = st["job"].(int64)
+		id, ok := st["task_id"].(int64)
+		if !ok {
+			return nil, fmt.Errorf("rpcproto: report %d missing task_id", i)
+		}
+		r.TaskID = id
+		if r.Done {
+			descs, err := DecodeDescriptors(st["outputs"])
+			if err != nil {
+				return nil, fmt.Errorf("rpcproto: report %d: %w", i, err)
+			}
+			r.Outputs = descs
+			r.Timing = DecodeTiming(st["timing"])
+		} else {
+			r.Err, _ = st["error"].(string)
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// NodeInfo is one row of a list_nodes reply: a node the master (or a
+// sub-master) currently tracks, with its per-node task counters for
+// fleet diagnostics.
+type NodeInfo struct {
+	ID        string
+	Kind      string
+	Addr      string
+	Slots     int64
+	TasksDone int64
+	Draining  bool
+}
+
+// EncodeNodeInfos converts a node listing for list_nodes.
+func EncodeNodeInfos(nodes []NodeInfo) []any {
+	out := make([]any, len(nodes))
+	for i, n := range nodes {
+		out[i] = map[string]any{
+			"id":         n.ID,
+			"kind":       n.Kind,
+			"addr":       n.Addr,
+			"slots":      n.Slots,
+			"tasks_done": n.TasksDone,
+			"draining":   n.Draining,
+		}
+	}
+	return out
+}
+
+// DecodeNodeInfos parses a list_nodes reply.
+func DecodeNodeInfos(v any) ([]NodeInfo, error) {
+	arr, ok := v.([]any)
+	if !ok {
+		return nil, fmt.Errorf("rpcproto: node list is %T", v)
+	}
+	out := make([]NodeInfo, len(arr))
+	for i, e := range arr {
+		st, ok := e.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("rpcproto: node %d is %T", i, e)
+		}
+		n := NodeInfo{}
+		n.ID, _ = st["id"].(string)
+		n.Kind, _ = st["kind"].(string)
+		n.Addr, _ = st["addr"].(string)
+		n.Slots, _ = st["slots"].(int64)
+		n.TasksDone, _ = st["tasks_done"].(int64)
+		n.Draining, _ = st["draining"].(bool)
+		if n.ID == "" {
+			return nil, fmt.Errorf("rpcproto: node %d missing id", i)
+		}
+		out[i] = n
+	}
+	return out, nil
 }
 
 // Assignment is the master's answer to get_task.
@@ -152,6 +333,39 @@ func (a Assignment) Encode() (map[string]any, error) {
 		out["trace_id"] = a.Spec.TraceID
 	}
 	return out, nil
+}
+
+// EncodeAssignments converts a get_tasks response — up to max
+// assignments fetched in one round trip — to an XML-RPC array. The
+// first element carries any piggybacked deletes/GC broadcasts and the
+// poll's status; later elements are always task assignments.
+func EncodeAssignments(as []Assignment) (any, error) {
+	out := make([]any, len(as))
+	for i := range as {
+		enc, err := as[i].Encode()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = enc
+	}
+	return out, nil
+}
+
+// DecodeAssignments parses a get_tasks response.
+func DecodeAssignments(v any) ([]Assignment, error) {
+	raw, ok := v.([]any)
+	if !ok {
+		return nil, fmt.Errorf("rpcproto: assignments are %T", v)
+	}
+	as := make([]Assignment, 0, len(raw))
+	for _, r := range raw {
+		a, err := DecodeAssignment(r)
+		if err != nil {
+			return nil, err
+		}
+		as = append(as, a)
+	}
+	return as, nil
 }
 
 // DecodeAssignment parses a get_task response.

@@ -5,6 +5,13 @@
 // iteration to the next, cutting inter-iteration communication), and
 // it reassigns tasks when slaves fail or report errors.
 //
+// The scheduler is hierarchy-agnostic: a "slave" here is any node that
+// pulls work — a leaf worker process or a sub-master fronting a whole
+// group of workers (internal/submaster). Sub-masters run their own
+// sched instance over their children, so the same dispatch, lease,
+// retry, and drain machinery operates at every level of the control
+// tree.
+//
 // For Resident-marked tasks (Operation.Resident) there is a stronger
 // tier above index affinity: the scheduler remembers which slave's
 // resident dataset cache holds each (input dataset, split) pair and
@@ -23,6 +30,18 @@
 // they submit lands in the default job 0 and behaves exactly as the
 // single-job scheduler did.
 //
+// Speculative execution (SetSpeculation/Speculate) re-runs stragglers:
+// each completion feeds a per-operation duration sample, and a task
+// whose sole attempt has run longer than SlownessFactor times the
+// operation's quantile duration is queued again for a second, parallel
+// attempt on a different slave. A task may therefore have several
+// attempts in flight at once; the first completion wins, losers are
+// recorded as "lost speculative race" spans and their late reports are
+// absorbed by the same stale-delivery tolerance that already handles
+// requeue races. Because operations are deterministic functions of
+// their inputs and completion is first-wins-exactly-once, speculation
+// never changes job output — only its tail latency.
+//
 // The submission model is per-task and asynchronous: Submit queues one
 // task and fires its completion callback exactly once when the task
 // succeeds, exhausts its attempts, or the scheduler closes. Tasks from
@@ -35,15 +54,18 @@
 // The scheduler is an instrumentation point of the observability layer
 // (internal/obs, docs/OBSERVABILITY.md): SetObserver attaches a runtime
 // whose tracer receives an assignment event for every attempt handed
-// out (carrying the attempt number, so retries are visible as attempt>1
-// spans in a -mrs-trace timeline) and a completion event for every
-// outcome, and whose metrics count assignments, retries, completions,
-// failures, and lease/death requeues alongside pending/running gauges.
+// out (carrying the attempt number and worker, so retries and
+// speculative races are visible as parallel spans in a -mrs-trace
+// timeline) and a completion event for every outcome, and whose
+// metrics count assignments, retries, completions, failures,
+// speculative launches/wins, drain requeues, late reports, and
+// lease/death requeues alongside pending/running gauges.
 package sched
 
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -77,6 +99,15 @@ type Task struct {
 	// the task was reassigned is recognized as stale, not a protocol
 	// violation.
 	assignees []string
+	// queued counts copies of this task currently sitting in a pending
+	// queue (0 or 1 in practice: the original submission, a requeued
+	// retry, or a speculative duplicate). It keeps a retry from being
+	// queued twice when a failure races a pending speculative copy.
+	queued int
+	// finished flips when the task's callback has been claimed (first
+	// completion, final abort, or Close), after which stale pending
+	// copies are pruned on sight and never re-dispatched.
+	finished bool
 }
 
 func (t *Task) wasAssignedTo(slaveID string) bool {
@@ -127,6 +158,35 @@ func (g *Group) record(idx int, res *core.TaskResult, err error) {
 	}
 }
 
+// SpeculationConfig tunes straggler re-execution. The zero value
+// disables speculation.
+type SpeculationConfig struct {
+	// SlownessFactor launches a duplicate attempt once a task has run
+	// longer than SlownessFactor times the operation's quantile
+	// duration (<= 0 disables speculation entirely).
+	SlownessFactor float64
+	// Quantile of the completed-duration sample the factor multiplies
+	// (0 selects the default 0.5, the median).
+	Quantile float64
+	// MinSamples is how many completed durations an operation needs
+	// before its tasks may be speculated (0 selects the default 3):
+	// with too few samples the quantile is noise.
+	MinSamples int
+	// MinRuntime floors the speculation threshold so very short
+	// operations don't duplicate every task over scheduling jitter
+	// (0 selects the default 100ms).
+	MinRuntime time.Duration
+}
+
+const (
+	defaultSpecQuantile   = 0.5
+	defaultSpecMinSamples = 3
+	defaultSpecMinRuntime = 100 * time.Millisecond
+	// durationSampleCap bounds the per-operation duration history the
+	// quantile is computed over; older samples age out.
+	durationSampleCap = 256
+)
+
 // Scheduler coordinates pending and running tasks across any number of
 // concurrent jobs. Every task belongs to a job (its TaskSpec.Job; 0 is
 // the default job of single-job runtimes), and each job keeps its own
@@ -151,6 +211,7 @@ type Scheduler struct {
 	// liveSlaves reports the current fleet size; the blacklist never
 	// fires when only one slave is left (nil = always apply).
 	liveSlaves func() int
+	spec       SpeculationConfig
 	clk        clock.Clock
 	obs        *obs.Runtime
 	closed     bool
@@ -161,7 +222,7 @@ type jobState struct {
 	id       core.JobID
 	weight   int // fair-share weight (>= 1)
 	pending  []*Task
-	inflight int            // tasks of this job currently assigned
+	inflight int            // attempts of this job currently assigned
 	affinity map[int]string // task index -> last slave to complete it
 	// resident maps (input dataset, split) of Resident-marked tasks to
 	// the slave whose resident cache holds that split's payload — the
@@ -171,6 +232,10 @@ type jobState struct {
 	resident map[residentRef]string
 	failures map[string]int // slave -> task failures reported (blacklist input)
 	lease    time.Duration  // per-job lease override (0 = scheduler default)
+	// durations holds recent completed-attempt wall times per operation
+	// (keyed by output dataset id) — the sample the speculation
+	// quantile is computed over.
+	durations map[int][]time.Duration
 	// lastDispatch is the global dispatch sequence number of this job's
 	// most recent assignment; fair-share ties go to the smaller value.
 	lastDispatch int64
@@ -182,10 +247,27 @@ type residentRef struct {
 	split int
 }
 
+// attemptRef is one live assignment of a task to a slave. A task
+// normally has exactly one; speculation adds a second racing one.
+type attemptRef struct {
+	slave       string
+	since       time.Time // assignment time, for stale-lease requeue
+	number      int       // attempt number (Task.Attempts at assignment)
+	speculative bool      // launched as a straggler duplicate
+}
+
 type runningEntry struct {
-	task  *Task
-	slave string
-	since time.Time // assignment time, for stale-lease requeue
+	task     *Task
+	attempts []*attemptRef
+}
+
+func (e *runningEntry) attemptOf(slaveID string) int {
+	for i, a := range e.attempts {
+		if a.slave == slaveID {
+			return i
+		}
+	}
+	return -1
 }
 
 // New returns a scheduler. maxAttempts <= 0 selects the default.
@@ -218,11 +300,12 @@ func (s *Scheduler) jobLocked(id core.JobID) *jobState {
 	j, ok := s.jobs[id]
 	if !ok {
 		j = &jobState{
-			id:       id,
-			weight:   1,
-			affinity: map[int]string{},
-			resident: map[residentRef]string{},
-			failures: map[string]int{},
+			id:        id,
+			weight:    1,
+			affinity:  map[int]string{},
+			resident:  map[residentRef]string{},
+			failures:  map[string]int{},
+			durations: map[int][]time.Duration{},
 		}
 		s.jobs[id] = j
 		s.order = append(s.order, id)
@@ -240,6 +323,24 @@ func (s *Scheduler) SetBlacklist(after int, liveSlaves func() int) {
 	defer s.mu.Unlock()
 	s.blacklistAfter = after
 	s.liveSlaves = liveSlaves
+}
+
+// SetSpeculation configures straggler re-execution (zero
+// SlownessFactor disables it). Speculate performs the actual scans;
+// the master calls it from its reaper tick.
+func (s *Scheduler) SetSpeculation(cfg SpeculationConfig) {
+	if cfg.Quantile <= 0 || cfg.Quantile > 1 {
+		cfg.Quantile = defaultSpecQuantile
+	}
+	if cfg.MinSamples <= 0 {
+		cfg.MinSamples = defaultSpecMinSamples
+	}
+	if cfg.MinRuntime <= 0 {
+		cfg.MinRuntime = defaultSpecMinRuntime
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.spec = cfg
 }
 
 // SetJobWeight sets a job's fair-share weight (values < 1 are clamped
@@ -285,7 +386,7 @@ func (s *Scheduler) Submit(spec *core.TaskSpec, done Callback) (TaskID, error) {
 	}
 	s.nextID++
 	j := s.jobLocked(spec.Job)
-	j.pending = append(j.pending, &Task{ID: s.nextID, Spec: spec, done: done})
+	j.pending = append(j.pending, &Task{ID: s.nextID, Spec: spec, done: done, queued: 1})
 	s.cond.Broadcast()
 	return s.nextID, nil
 }
@@ -315,6 +416,16 @@ func (s *Scheduler) SubmitGroup(specs []*core.TaskSpec) (*Group, error) {
 // Request returns a task for the slave, blocking up to timeout if none
 // is available. A nil task with nil error means the timeout elapsed.
 func (s *Scheduler) Request(slaveID string, timeout time.Duration) (*Task, error) {
+	t, _, err := s.RequestAttempt(slaveID, timeout)
+	return t, err
+}
+
+// RequestAttempt is Request also returning the attempt number of the
+// assignment it hands out. Callers that encode the assignment for the
+// wire must use this number rather than reading Task.Attempts later:
+// with speculation a task can be re-assigned concurrently, and the
+// field may move under the reader.
+func (s *Scheduler) RequestAttempt(slaveID string, timeout time.Duration) (*Task, int, error) {
 	deadline := s.clk.Now().Add(timeout)
 	timer := s.clk.AfterFunc(timeout, func() {
 		s.mu.Lock()
@@ -327,21 +438,32 @@ func (s *Scheduler) Request(slaveID string, timeout time.Duration) (*Task, error
 	defer s.mu.Unlock()
 	for {
 		if s.closed {
-			return nil, ErrClosed
+			return nil, 0, ErrClosed
 		}
 		if t := s.takeLocked(slaveID); t != nil {
-			s.running[t.ID] = &runningEntry{task: t, slave: slaveID, since: s.clk.Now()}
+			entry := s.running[t.ID]
+			speculative := entry != nil // duplicate of a still-running attempt
+			if entry == nil {
+				entry = &runningEntry{task: t}
+				s.running[t.ID] = entry
+			}
 			t.Attempts++
 			t.assignees = append(t.assignees, slaveID)
+			entry.attempts = append(entry.attempts, &attemptRef{
+				slave:       slaveID,
+				since:       s.clk.Now(),
+				number:      t.Attempts,
+				speculative: speculative,
+			})
 			s.obs.T().TaskStarted(t.Spec.TraceID, t.Attempts, slaveID)
 			s.obs.M().Add("mrs_sched_assigned_total", 1)
-			if t.Attempts > 1 {
+			if t.Attempts > 1 && !speculative {
 				s.obs.M().Add("mrs_sched_retries_total", 1)
 			}
-			return t, nil
+			return t, t.Attempts, nil
 		}
 		if !s.clk.Now().Before(deadline) {
-			return nil, nil
+			return nil, 0, nil
 		}
 		s.cond.Wait()
 	}
@@ -349,60 +471,91 @@ func (s *Scheduler) Request(slaveID string, timeout time.Duration) (*Task, error
 
 // takeLocked picks the best pending task for a slave. Job choice is
 // weighted fair share: among jobs with pending work the slave may
-// serve (per-job blacklist respected), take the one with the lowest
-// inflight/weight ratio, ties to the job dispatched least recently —
-// so a newly submitted small job preempts the dispatch rotation of a
-// large one immediately. Within the chosen job the preference order
-// is: a Resident task whose cached input this slave holds (cache
-// affinity — serving it anywhere else would re-shuffle a split already
-// warm in this slave's memory), then a task whose index this slave
-// completed before (index affinity), then a task with no affinity at
-// all, then FIFO steal of the oldest. Every tier is a preference, not
-// a reservation: a slave with nothing of its own still takes the
-// oldest pending task, so blacklists, leases, and dead caching slaves
-// can never deadlock the queue — the fallback is a cold re-fetch.
+// serve (per-job blacklist respected), take from the one with the
+// lowest inflight/weight ratio, ties to the job dispatched least
+// recently — so a newly submitted small job preempts the dispatch
+// rotation of a large one immediately. Within the chosen job the
+// preference order is: a Resident task whose cached input this slave
+// holds (cache affinity — serving it anywhere else would re-shuffle a
+// split already warm in this slave's memory), then a task whose index
+// this slave completed before (index affinity), then a task with no
+// affinity at all, then FIFO steal of the oldest. Every tier is a
+// preference, not a reservation: a slave with nothing of its own still
+// takes the oldest pending task, so blacklists, leases, and dead
+// caching slaves can never deadlock the queue — the fallback is a cold
+// re-fetch.
+//
+// Two task-level exclusions apply: pending copies of a task whose
+// callback already fired (a speculative duplicate outliving its
+// winner) are pruned on sight, and a speculative copy of a
+// still-running task is never handed to a slave the task already ran
+// on — a duplicate of a straggler must land on different hardware. A
+// job whose every pending task is excluded for this slave falls
+// through to the next job in fair-share order.
 func (s *Scheduler) takeLocked(slaveID string) *Task {
-	var pick *jobState
+	var cands []*jobState
 	for _, id := range s.order {
 		j := s.jobs[id]
-		if j == nil || len(j.pending) == 0 || s.jobBlacklistedLocked(j, slaveID) {
+		if j == nil || s.jobBlacklistedLocked(j, slaveID) {
 			continue
 		}
-		if pick == nil || fairerLocked(j, pick) {
-			pick = j
+		// Prune copies of tasks that finished while queued.
+		live := j.pending[:0]
+		for _, t := range j.pending {
+			if t.finished {
+				t.queued--
+				continue
+			}
+			live = append(live, t)
+		}
+		j.pending = live
+		if len(j.pending) > 0 {
+			cands = append(cands, j)
 		}
 	}
-	if pick == nil {
-		return nil
-	}
-	best, bestRank := 0, 4
-	for i, t := range pick.pending {
-		rank := 3
-		if owner, has := pick.affinity[t.Spec.TaskIndex]; !has {
-			rank = 2
-		} else if owner == slaveID {
-			rank = 1
-		}
-		if t.Spec.Op.Resident &&
-			pick.resident[residentRef{t.Spec.InputDataset, t.Spec.TaskIndex}] == slaveID {
-			rank = 0
-		}
-		if rank < bestRank {
-			best, bestRank = i, rank
-			if bestRank == 0 {
-				break
+	sort.SliceStable(cands, func(a, b int) bool { return fairerLocked(cands[a], cands[b]) })
+	for _, pick := range cands {
+		best, bestRank := -1, 4
+		for i, t := range pick.pending {
+			if s.running[t.ID] != nil && t.wasAssignedTo(slaveID) {
+				// Speculative duplicate: it exists to race the assignment
+				// this slave (or a past one) is already running; give it
+				// to someone else. (A plain retry has no running entry
+				// and may return to the same slave.)
+				continue
+			}
+			rank := 3
+			if owner, has := pick.affinity[t.Spec.TaskIndex]; !has {
+				rank = 2
+			} else if owner == slaveID {
+				rank = 1
+			}
+			if t.Spec.Op.Resident &&
+				pick.resident[residentRef{t.Spec.InputDataset, t.Spec.TaskIndex}] == slaveID {
+				rank = 0
+			}
+			if rank < bestRank {
+				best, bestRank = i, rank
+				if bestRank == 0 {
+					break
+				}
 			}
 		}
+		if best < 0 {
+			continue
+		}
+		if bestRank == 0 {
+			s.obs.M().Add(obs.MetricSchedResidentPlacements, 1)
+		}
+		t := pick.pending[best]
+		pick.pending = append(pick.pending[:best], pick.pending[best+1:]...)
+		t.queued--
+		pick.inflight++
+		s.dispatchSeq++
+		pick.lastDispatch = s.dispatchSeq
+		return t
 	}
-	if bestRank == 0 {
-		s.obs.M().Add(obs.MetricSchedResidentPlacements, 1)
-	}
-	t := pick.pending[best]
-	pick.pending = append(pick.pending[:best], pick.pending[best+1:]...)
-	pick.inflight++
-	s.dispatchSeq++
-	pick.lastDispatch = s.dispatchSeq
-	return t
+	return nil
 }
 
 // fairerLocked reports whether job a has a stronger fair-share claim
@@ -446,9 +599,85 @@ func (s *Scheduler) BlacklistedEverywhere(slaveID string) bool {
 	return true
 }
 
+// Speculate scans running tasks for stragglers and queues a duplicate
+// attempt for each (at most one duplicate per task): a task qualifies
+// when it has exactly one live attempt, no copy already pending, and
+// that attempt has run longer than SlownessFactor × the operation's
+// quantile completed duration (floored at MinRuntime), with at least
+// MinSamples completions to quantile over. Returns how many duplicates
+// were queued; a no-op unless SetSpeculation enabled speculation. The
+// master calls this from its reaper tick, a sub-master from its own.
+func (s *Scheduler) Speculate() int {
+	s.mu.Lock()
+	cfg := s.spec
+	if s.closed || cfg.SlownessFactor <= 0 {
+		s.mu.Unlock()
+		return 0
+	}
+	now := s.clk.Now()
+	n := 0
+	for _, entry := range s.running {
+		t := entry.task
+		if t.finished || t.queued > 0 || len(entry.attempts) != 1 {
+			continue
+		}
+		j := s.jobs[t.Spec.Job]
+		if j == nil {
+			continue
+		}
+		samples := j.durations[t.Spec.Op.Dataset]
+		if len(samples) < cfg.MinSamples {
+			continue
+		}
+		threshold := time.Duration(float64(quantileDur(samples, cfg.Quantile)) * cfg.SlownessFactor)
+		if threshold < cfg.MinRuntime {
+			threshold = cfg.MinRuntime
+		}
+		if now.Sub(entry.attempts[0].since) < threshold {
+			continue
+		}
+		// Queue the duplicate at the tail: fresh work first, straggler
+		// insurance when slots are otherwise idle.
+		t.queued++
+		j.pending = append(j.pending, t)
+		n++
+		s.obs.M().Add(obs.MetricSchedSpeculative, 1)
+	}
+	if n > 0 {
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+	return n
+}
+
+// quantileDur returns the q-quantile (nearest-rank) of the samples.
+func quantileDur(samples []time.Duration, q float64) time.Duration {
+	tmp := append([]time.Duration(nil), samples...)
+	sort.Slice(tmp, func(a, b int) bool { return tmp[a] < tmp[b] })
+	idx := int(q*float64(len(tmp)-1) + 0.5)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(tmp) {
+		idx = len(tmp) - 1
+	}
+	return tmp[idx]
+}
+
+// recordDurationLocked appends a completed-attempt wall time to the
+// job's per-operation speculation sample, aging out old entries.
+func recordDurationLocked(j *jobState, ds int, d time.Duration) {
+	samples := append(j.durations[ds], d)
+	if len(samples) > durationSampleCap {
+		samples = samples[len(samples)-durationSampleCap/2:]
+	}
+	j.durations[ds] = samples
+}
+
 // Complete records a successful task. Duplicate or stale completions —
-// the same delivery arriving twice, or a previous assignee finishing
-// after the task was requeued to another slave — are ignored, so the
+// the same delivery arriving twice, a previous assignee finishing
+// after the task was requeued to another slave, or the loser of a
+// speculative race — are counted as late reports and ignored, so the
 // control plane tolerates at-least-once delivery.
 func (s *Scheduler) Complete(id TaskID, slaveID string, result *core.TaskResult) error {
 	_, err := s.CompleteTask(id, slaveID, result)
@@ -459,30 +688,37 @@ func (s *Scheduler) Complete(id TaskID, slaveID string, result *core.TaskResult)
 // completion was accepted for, or nil when it was ignored as a
 // duplicate or stale delivery. The master journals only accepted
 // completions, so at-least-once reports never double-count in the
-// durable state.
+// durable state. The first completion wins: if other attempts of the
+// task are still in flight (a speculative race), they are released and
+// their eventual reports ignored.
 func (s *Scheduler) CompleteTask(id TaskID, slaveID string, result *core.TaskResult) (*core.TaskSpec, error) {
 	s.mu.Lock()
 	entry, ok := s.running[id]
 	if !ok {
-		// Duplicate completion (e.g. a redelivered task_done, or the
-		// task was reassigned after a presumed-dead slave came back).
-		// Ignore.
+		// Duplicate completion (e.g. a redelivered task_done, a
+		// speculative loser, or the task was reassigned after a
+		// presumed-dead slave came back). Count and ignore.
+		s.obs.M().Add(obs.MetricSchedLateReports, 1)
 		s.mu.Unlock()
 		return nil, nil
 	}
-	if entry.slave != slaveID {
+	idx := entry.attemptOf(slaveID)
+	if idx < 0 {
 		if entry.task.wasAssignedTo(slaveID) {
 			// Stale completion from a previous assignee racing the
 			// current one; the live assignment proceeds untouched.
+			s.obs.M().Add(obs.MetricSchedLateReports, 1)
 			s.mu.Unlock()
 			return nil, nil
 		}
 		s.mu.Unlock()
-		return nil, fmt.Errorf("sched: task %d completed by %q but assigned to %q", id, slaveID, entry.slave)
+		return nil, fmt.Errorf("sched: task %d completed by %q but never assigned to it", id, slaveID)
 	}
+	win := entry.attempts[idx]
 	delete(s.running, id)
+	entry.task.finished = true
 	if j := s.jobs[entry.task.Spec.Job]; j != nil {
-		j.inflight--
+		j.inflight -= len(entry.attempts)
 		j.affinity[entry.task.Spec.TaskIndex] = slaveID
 		if spec := entry.task.Spec; spec.Op.Resident {
 			// The completing slave just populated (or refreshed) its
@@ -490,6 +726,11 @@ func (s *Scheduler) CompleteTask(id TaskID, slaveID string, result *core.TaskRes
 			// consumers of the same split to it.
 			j.resident[residentRef{spec.InputDataset, spec.TaskIndex}] = slaveID
 		}
+		recordDurationLocked(j, entry.task.Spec.Op.Dataset, s.clk.Now().Sub(win.since))
+	} else {
+		// Straggler completion for a job whose state was already
+		// dropped (JobDone): still accepted, but worth counting.
+		s.obs.M().Add(obs.MetricSchedLateReports, 1)
 	}
 	if result != nil {
 		// Stamp identity so callers need not echo it over the wire.
@@ -500,8 +741,20 @@ func (s *Scheduler) CompleteTask(id TaskID, slaveID string, result *core.TaskRes
 	if result != nil {
 		tm = result.Timing
 	}
-	s.obs.T().TaskFinished(entry.task.Spec.TraceID, entry.task.Attempts, tm, "")
+	s.obs.T().TaskFinished(entry.task.Spec.TraceID, win.number, win.slave, tm, "")
+	for i, ref := range entry.attempts {
+		if i == idx {
+			continue
+		}
+		// Losers of the speculative race: close their spans so the
+		// trace shows where the duplicate work went; their eventual
+		// reports will land in the late-report counter.
+		s.obs.T().TaskFinished(entry.task.Spec.TraceID, ref.number, ref.slave, obs.Timing{}, "lost speculative race")
+	}
 	s.obs.M().Add("mrs_sched_completed_total", 1)
+	if win.speculative {
+		s.obs.M().Add(obs.MetricSchedSpeculativeWins, 1)
+	}
 	done := entry.task.done
 	spec := entry.task.Spec
 	s.mu.Unlock()
@@ -514,29 +767,41 @@ func (s *Scheduler) CompleteTask(id TaskID, slaveID string, result *core.TaskRes
 // with the final error. Stale failures from a previous assignee do not
 // disturb the current assignment (the reassignment race: a slave
 // presumed dead reports failure for a task already requeued and running
-// elsewhere).
+// elsewhere), and a failure of one attempt of a speculative race only
+// removes that attempt — the surviving attempt keeps running and no
+// retry is queued behind it.
 func (s *Scheduler) Fail(id TaskID, slaveID string, taskErr string) error {
 	s.mu.Lock()
 	entry, ok := s.running[id]
 	if !ok {
+		s.obs.M().Add(obs.MetricSchedLateReports, 1)
 		s.mu.Unlock()
 		return nil
 	}
-	if entry.slave != slaveID {
+	idx := entry.attemptOf(slaveID)
+	if idx < 0 {
 		if entry.task.wasAssignedTo(slaveID) {
+			s.obs.M().Add(obs.MetricSchedLateReports, 1)
 			s.mu.Unlock()
 			return nil
 		}
 		s.mu.Unlock()
-		return fmt.Errorf("sched: task %d failed by %q but assigned to %q", id, slaveID, entry.slave)
+		return fmt.Errorf("sched: task %d failed by %q but never assigned to it", id, slaveID)
 	}
-	delete(s.running, id)
+	ref := entry.attempts[idx]
+	entry.attempts = append(entry.attempts[:idx], entry.attempts[idx+1:]...)
 	if j := s.jobs[entry.task.Spec.Job]; j != nil {
 		j.inflight--
 		j.failures[slaveID]++
 	}
-	s.obs.T().TaskFinished(entry.task.Spec.TraceID, entry.task.Attempts, obs.Timing{}, taskErr)
+	s.obs.T().TaskFinished(entry.task.Spec.TraceID, ref.number, ref.slave, obs.Timing{}, taskErr)
 	s.obs.M().Add("mrs_sched_task_failures_total", 1)
+	if len(entry.attempts) > 0 {
+		// A speculative twin is still running; it is the retry.
+		s.mu.Unlock()
+		return nil
+	}
+	delete(s.running, id)
 	abort := s.requeueOrAbortLocked(entry.task, fmt.Errorf("sched: task %d failed on %s: %s", id, slaveID, taskErr))
 	s.mu.Unlock()
 	if abort != nil {
@@ -558,10 +823,12 @@ func (s *Scheduler) FailureCount(slaveID string) int {
 	return n
 }
 
-// RequeueStale requeues every task that has been running longer than
-// its lease — the given default, or the task's job's override —
+// RequeueStale requeues every attempt that has been running longer
+// than its lease — the given default, or the task's job's override —
 // reclaiming assignments whose delivery was lost (the get_task
-// response never reached the slave). Returns how many were requeued.
+// response never reached the slave). An expired attempt of a
+// speculative race is simply dropped; the surviving attempt carries
+// on. Returns how many attempts were reclaimed.
 func (s *Scheduler) RequeueStale(lease time.Duration) int {
 	s.mu.Lock()
 	now := s.clk.Now()
@@ -572,17 +839,26 @@ func (s *Scheduler) RequeueStale(lease time.Duration) int {
 		if j := s.jobs[entry.task.Spec.Job]; j != nil && j.lease > 0 {
 			effective = j.lease
 		}
-		if now.Sub(entry.since) < effective {
+		live := entry.attempts[:0]
+		for _, ref := range entry.attempts {
+			if now.Sub(ref.since) < effective {
+				live = append(live, ref)
+				continue
+			}
+			if j := s.jobs[entry.task.Spec.Job]; j != nil {
+				j.inflight--
+			}
+			n++
+			s.obs.T().TaskFinished(entry.task.Spec.TraceID, ref.number, ref.slave, obs.Timing{}, "lease expired; requeued")
+			s.obs.M().Add("mrs_sched_requeued_total", 1)
+		}
+		expired := len(entry.attempts) - len(live)
+		entry.attempts = live
+		if expired == 0 || len(live) > 0 {
 			continue
 		}
 		delete(s.running, id)
-		if j := s.jobs[entry.task.Spec.Job]; j != nil {
-			j.inflight--
-		}
-		n++
-		s.obs.T().TaskFinished(entry.task.Spec.TraceID, entry.task.Attempts, obs.Timing{}, "lease expired; requeued")
-		s.obs.M().Add("mrs_sched_requeued_total", 1)
-		if abort := s.requeueOrAbortLocked(entry.task, fmt.Errorf("sched: task %d leased to %s expired (assignment lost?)", id, entry.slave)); abort != nil {
+		if abort := s.requeueOrAbortLocked(entry.task, fmt.Errorf("sched: task %d lease expired (assignment lost?)", id)); abort != nil {
 			aborts = append(aborts, abort)
 		}
 	}
@@ -597,21 +873,65 @@ func (s *Scheduler) RequeueStale(lease time.Duration) int {
 // affinities so future preferences don't point at a corpse.
 func (s *Scheduler) SlaveDead(slaveID string) {
 	s.mu.Lock()
+	aborts, _ := s.evictSlaveLocked(slaveID, "slave died; requeued", "mrs_sched_requeued_total")
+	s.forgetSlaveLocked(slaveID)
+	s.mu.Unlock()
+	for _, abort := range aborts {
+		abort()
+	}
+}
+
+// Drain cleanly takes a live node out of rotation: every lease it
+// holds is returned to the front of its job's queue for immediate
+// re-dispatch elsewhere, and its affinities are dropped so no future
+// placement prefers it. Unlike SlaveDead this is the voluntary-exit
+// path — the elasticity half of the control plane — but it reuses the
+// same requeue machinery, so a drain is exactly a death the node got
+// to announce. Returns how many leases were returned.
+func (s *Scheduler) Drain(slaveID string) int {
+	s.mu.Lock()
+	aborts, evicted := s.evictSlaveLocked(slaveID, "node draining; requeued", obs.MetricSchedDrainRequeued)
+	s.forgetSlaveLocked(slaveID)
+	s.mu.Unlock()
+	for _, abort := range aborts {
+		abort()
+	}
+	return evicted
+}
+
+// evictSlaveLocked removes every attempt the slave holds, requeueing
+// tasks left with no live attempt. Returns the abort callbacks to run
+// after unlock and the count of evicted attempts (an evicted attempt
+// whose task retries is not an abort, so the counts differ).
+func (s *Scheduler) evictSlaveLocked(slaveID, reason, metric string) ([]func(), int) {
 	var aborts []func()
+	evicted := 0
 	for id, entry := range s.running {
-		if entry.slave != slaveID {
+		idx := entry.attemptOf(slaveID)
+		if idx < 0 {
 			continue
 		}
-		delete(s.running, id)
+		ref := entry.attempts[idx]
+		entry.attempts = append(entry.attempts[:idx], entry.attempts[idx+1:]...)
 		if j := s.jobs[entry.task.Spec.Job]; j != nil {
 			j.inflight--
 		}
-		s.obs.T().TaskFinished(entry.task.Spec.TraceID, entry.task.Attempts, obs.Timing{}, "slave died; requeued")
-		s.obs.M().Add("mrs_sched_requeued_total", 1)
-		if abort := s.requeueOrAbortLocked(entry.task, fmt.Errorf("sched: slave %s died running task %d", slaveID, id)); abort != nil {
+		evicted++
+		s.obs.T().TaskFinished(entry.task.Spec.TraceID, ref.number, ref.slave, obs.Timing{}, reason)
+		s.obs.M().Add(metric, 1)
+		if len(entry.attempts) > 0 {
+			continue // speculative twin still running elsewhere
+		}
+		delete(s.running, id)
+		if abort := s.requeueOrAbortLocked(entry.task, fmt.Errorf("sched: node %s evicted running task %d (%s)", slaveID, id, reason)); abort != nil {
 			aborts = append(aborts, abort)
 		}
 	}
+	return aborts, evicted
+}
+
+// forgetSlaveLocked drops every preference pointing at the slave.
+func (s *Scheduler) forgetSlaveLocked(slaveID string) {
 	for _, j := range s.jobs {
 		for idx, owner := range j.affinity {
 			if owner == slaveID {
@@ -627,17 +947,23 @@ func (s *Scheduler) SlaveDead(slaveID string) {
 		}
 		delete(j.failures, slaveID)
 	}
-	s.mu.Unlock()
-	for _, abort := range aborts {
-		abort()
-	}
 }
 
 // requeueOrAbortLocked retries a task, or — attempts exhausted —
 // returns the give-up call for the caller to fire once the lock is
 // released.
 func (s *Scheduler) requeueOrAbortLocked(t *Task, cause error) func() {
+	if t.finished {
+		return nil // callback already claimed elsewhere
+	}
+	if t.queued > 0 {
+		// A pending copy (a speculative duplicate queued before the
+		// live attempt was lost) already exists; it is the retry.
+		s.cond.Broadcast()
+		return nil
+	}
 	if t.Attempts >= s.maxAttempts {
+		t.finished = true
 		err := fmt.Errorf("sched: giving up after %d attempts: %w", t.Attempts, cause)
 		done := t.done
 		return func() { done(nil, err) }
@@ -645,13 +971,14 @@ func (s *Scheduler) requeueOrAbortLocked(t *Task, cause error) func() {
 	// Retry: push to the front of its job's queue so recovery happens
 	// before that job's new work.
 	j := s.jobLocked(t.Spec.Job)
+	t.queued++
 	j.pending = append([]*Task{t}, j.pending...)
 	s.cond.Broadcast()
 	return nil
 }
 
 // Pending returns the number of queued tasks across all jobs
-// (diagnostics).
+// (diagnostics; speculative duplicates count while queued).
 func (s *Scheduler) Pending() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -663,11 +990,25 @@ func (s *Scheduler) Pending() int {
 }
 
 // Running returns the number of in-flight tasks across all jobs
-// (diagnostics).
+// (diagnostics; a task with two racing attempts counts once).
 func (s *Scheduler) Running() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.running)
+}
+
+// RunningOn returns how many attempts the slave currently holds
+// (diagnostics, drain decisions, and tests).
+func (s *Scheduler) RunningOn(slaveID string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, entry := range s.running {
+		if entry.attemptOf(slaveID) >= 0 {
+			n++
+		}
+	}
+	return n
 }
 
 // Jobs returns the ids of every job the scheduler tracks, in
@@ -696,9 +1037,11 @@ func (s *Scheduler) JobCounts(id core.JobID) (pending, running int) {
 }
 
 // JobDone drops a completed job's scheduling state (queues, affinity,
-// failure counts, weight). The job's driver has already drained its
-// tasks by the time this is called; any straggler completions for a
-// dropped job are still accepted, they just skip per-job bookkeeping.
+// failure counts, duration samples, weight). The job's driver has
+// already drained its tasks by the time this is called; any straggler
+// completions for a dropped job are still accepted — they just skip
+// per-job bookkeeping and tick the mrs_sched_late_reports_total
+// counter instead of vanishing silently.
 func (s *Scheduler) JobDone(id core.JobID) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -753,7 +1096,8 @@ func (s *Scheduler) ResidentOwner(job core.JobID, ds, split int) string {
 }
 
 // Close aborts all queued and running tasks (their callbacks fire with
-// ErrClosed) and wakes all blocked requests.
+// ErrClosed) and wakes all blocked requests. A task queued *and*
+// running (a speculative duplicate) fires once.
 func (s *Scheduler) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -764,12 +1108,20 @@ func (s *Scheduler) Close() {
 	var dones []Callback
 	for _, j := range s.jobs {
 		for _, t := range j.pending {
+			if t.finished {
+				continue
+			}
+			t.finished = true
 			dones = append(dones, t.done)
 		}
 		j.pending = nil
 		j.inflight = 0
 	}
 	for _, e := range s.running {
+		if e.task.finished {
+			continue
+		}
+		e.task.finished = true
 		dones = append(dones, e.task.done)
 	}
 	s.running = map[TaskID]*runningEntry{}

@@ -1,0 +1,324 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/obs"
+)
+
+// fakeSched returns a scheduler on a fake clock with a metrics runtime
+// attached, for deterministic speculation-trigger tests.
+func fakeSched(t *testing.T, maxAttempts int) (*Scheduler, *clock.Fake, *obs.Runtime) {
+	t.Helper()
+	clk := clock.NewFake(time.Unix(1000, 0))
+	s := NewWithClock(maxAttempts, clk)
+	rt := obs.New(clk)
+	s.SetObserver(rt)
+	return s, clk, rt
+}
+
+// buildSamples completes n tasks on the slave, each taking d of fake
+// time, seeding the operation's duration sample.
+func buildSamples(t *testing.T, s *Scheduler, clk *clock.Fake, slave string, n int, d time.Duration) {
+	t.Helper()
+	g, err := s.SubmitGroup(specs(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		task, err := s.Request(slave, time.Second)
+		if err != nil || task == nil {
+			t.Fatalf("sample request %d: %v, %v", i, task, err)
+		}
+		clk.Advance(d)
+		if err := s.Complete(task.ID, slave, result(task)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The quantile trigger: after three 100ms completions, a task running
+// past factor×median (2×100ms) gets a duplicate queued — and not
+// before.
+func TestSpeculateQuantileTrigger(t *testing.T) {
+	s, clk, rt := fakeSched(t, 0)
+	defer s.Close()
+	s.SetSpeculation(SpeculationConfig{SlownessFactor: 2, MinRuntime: time.Millisecond})
+	buildSamples(t, s, clk, "w1", 3, 100*time.Millisecond)
+
+	g, _ := s.SubmitGroup(specs(1))
+	straggler, _ := s.Request("w1", time.Second)
+	if straggler == nil {
+		t.Fatal("no straggler task")
+	}
+	// Not slow yet: below 2×median.
+	clk.Advance(150 * time.Millisecond)
+	if n := s.Speculate(); n != 0 {
+		t.Fatalf("speculated %d tasks at 150ms, want 0", n)
+	}
+	// Past the threshold: exactly one duplicate, and re-scanning does
+	// not queue a second one.
+	clk.Advance(100 * time.Millisecond)
+	if n := s.Speculate(); n != 1 {
+		t.Fatalf("speculated %d tasks at 250ms, want 1", n)
+	}
+	if n := s.Speculate(); n != 0 {
+		t.Fatalf("re-scan speculated %d more, want 0", n)
+	}
+	if got := rt.M().Get(obs.MetricSchedSpeculative); got != 1 {
+		t.Errorf("%s = %d, want 1", obs.MetricSchedSpeculative, got)
+	}
+
+	// The duplicate must not go back to the straggling slave.
+	if dup, _ := s.Request("w1", 0); dup != nil {
+		t.Fatalf("duplicate handed back to the straggler's slave: %+v", dup)
+	}
+	dup, _ := s.Request("w2", time.Second)
+	if dup == nil || dup.ID != straggler.ID {
+		t.Fatalf("w2 got %+v, want duplicate of task %d", dup, straggler.ID)
+	}
+
+	// First completion wins: w2's fresh attempt finishes; the callback
+	// fires once and the speculative win is counted.
+	clk.Advance(10 * time.Millisecond)
+	if err := s.Complete(dup.ID, "w2", result(dup)); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := g.Wait(); err != nil || res[0] == nil {
+		t.Fatalf("group = %v, %v", res, err)
+	}
+	if got := rt.M().Get(obs.MetricSchedSpeculativeWins); got != 1 {
+		t.Errorf("%s = %d, want 1", obs.MetricSchedSpeculativeWins, got)
+	}
+
+	// The loser's late report is counted, not treated as an error.
+	if err := s.Complete(straggler.ID, "w1", result(straggler)); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.M().Get(obs.MetricSchedLateReports); got != 1 {
+		t.Errorf("%s = %d, want 1", obs.MetricSchedLateReports, got)
+	}
+}
+
+// Too few samples: the quantile is noise, so no speculation fires no
+// matter how long a task runs.
+func TestSpeculateNeedsMinSamples(t *testing.T) {
+	s, clk, _ := fakeSched(t, 0)
+	defer s.Close()
+	s.SetSpeculation(SpeculationConfig{SlownessFactor: 2, MinSamples: 3, MinRuntime: time.Millisecond})
+	buildSamples(t, s, clk, "w1", 2, 10*time.Millisecond)
+
+	s.SubmitGroup(specs(1))
+	if task, _ := s.Request("w1", time.Second); task == nil {
+		t.Fatal("no task")
+	}
+	clk.Advance(time.Hour)
+	if n := s.Speculate(); n != 0 {
+		t.Fatalf("speculated %d with 2 samples, want 0 (MinSamples 3)", n)
+	}
+}
+
+// Speculation disabled (the default): Speculate is a no-op.
+func TestSpeculateDisabledByDefault(t *testing.T) {
+	s, clk, _ := fakeSched(t, 0)
+	defer s.Close()
+	buildSamples(t, s, clk, "w1", 3, 10*time.Millisecond)
+	s.SubmitGroup(specs(1))
+	s.Request("w1", time.Second)
+	clk.Advance(time.Hour)
+	if n := s.Speculate(); n != 0 {
+		t.Fatalf("speculated %d with speculation disabled, want 0", n)
+	}
+}
+
+// MinRuntime floors the threshold: tasks of a very fast operation are
+// not duplicated over scheduling jitter.
+func TestSpeculateMinRuntimeFloor(t *testing.T) {
+	s, clk, _ := fakeSched(t, 0)
+	defer s.Close()
+	s.SetSpeculation(SpeculationConfig{SlownessFactor: 2, MinRuntime: time.Second})
+	buildSamples(t, s, clk, "w1", 3, time.Millisecond)
+
+	s.SubmitGroup(specs(1))
+	s.Request("w1", time.Second)
+	clk.Advance(500 * time.Millisecond) // far past 2×median, below the floor
+	if n := s.Speculate(); n != 0 {
+		t.Fatalf("speculated %d below MinRuntime floor, want 0", n)
+	}
+	clk.Advance(600 * time.Millisecond)
+	if n := s.Speculate(); n != 1 {
+		t.Fatalf("speculated %d past MinRuntime floor, want 1", n)
+	}
+}
+
+// When the original attempt of a speculative race fails, the surviving
+// duplicate is the retry: nothing is requeued and its completion still
+// resolves the task.
+func TestSpeculativeTwinSurvivesFailure(t *testing.T) {
+	s, clk, _ := fakeSched(t, 0)
+	defer s.Close()
+	s.SetSpeculation(SpeculationConfig{SlownessFactor: 2, MinRuntime: time.Millisecond})
+	buildSamples(t, s, clk, "w1", 3, 10*time.Millisecond)
+
+	g, _ := s.SubmitGroup(specs(1))
+	orig, _ := s.Request("w1", time.Second)
+	clk.Advance(time.Minute)
+	if n := s.Speculate(); n != 1 {
+		t.Fatalf("speculate = %d, want 1", n)
+	}
+	dup, _ := s.Request("w2", time.Second)
+	if dup == nil || dup.ID != orig.ID {
+		t.Fatalf("duplicate = %+v", dup)
+	}
+	if err := s.Fail(orig.ID, "w1", "boom"); err != nil {
+		t.Fatal(err)
+	}
+	if p, r := s.JobCounts(0); p != 0 || r != 1 {
+		t.Fatalf("after twin failure: pending %d running %d, want 0/1", p, r)
+	}
+	if err := s.Complete(dup.ID, "w2", result(dup)); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := g.Wait(); err != nil || res[0] == nil {
+		t.Fatalf("group = %v, %v", res, err)
+	}
+}
+
+// A lease expiry of one attempt in a speculative race drops only that
+// attempt; the twin carries the task.
+func TestSpeculativeTwinSurvivesLeaseExpiry(t *testing.T) {
+	s, clk, _ := fakeSched(t, 0)
+	defer s.Close()
+	s.SetSpeculation(SpeculationConfig{SlownessFactor: 2, MinRuntime: time.Millisecond})
+	buildSamples(t, s, clk, "w1", 3, 10*time.Millisecond)
+
+	g, _ := s.SubmitGroup(specs(1))
+	if orig, _ := s.Request("w1", time.Second); orig == nil {
+		t.Fatal("no original assignment")
+	}
+	clk.Advance(time.Minute)
+	s.Speculate()
+	dup, _ := s.Request("w2", time.Second)
+	if dup == nil {
+		t.Fatal("no duplicate")
+	}
+	// The original attempt is a minute old, the duplicate fresh: a
+	// 30s lease reclaims only the original.
+	if n := s.RequeueStale(30 * time.Second); n != 1 {
+		t.Fatalf("requeued %d attempts, want 1", n)
+	}
+	if p, r := s.JobCounts(0); p != 0 || r != 1 {
+		t.Fatalf("after expiry: pending %d running %d, want 0/1", p, r)
+	}
+	if err := s.Complete(dup.ID, "w2", result(dup)); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := g.Wait(); err != nil || res[0] == nil {
+		t.Fatalf("group = %v, %v", res, err)
+	}
+}
+
+// Drain returns a node's leases to the front of the queue and counts
+// them; the drained node's affinity is forgotten.
+func TestDrainReturnsLeasesToQueue(t *testing.T) {
+	s, clk, rt := fakeSched(t, 0)
+	defer s.Close()
+	g, _ := s.SubmitGroup(specs(3))
+	a, _ := s.Request("w1", time.Second)
+	b, _ := s.Request("w1", time.Second)
+	if a == nil || b == nil {
+		t.Fatal("missing assignments")
+	}
+	if got := s.RunningOn("w1"); got != 2 {
+		t.Fatalf("RunningOn(w1) = %d, want 2", got)
+	}
+	if n := s.Drain("w1"); n != 2 {
+		t.Fatalf("Drain returned %d leases, want 2", n)
+	}
+	if got := rt.M().Get(obs.MetricSchedDrainRequeued); got != 2 {
+		t.Errorf("%s = %d, want 2", obs.MetricSchedDrainRequeued, got)
+	}
+	if got := s.RunningOn("w1"); got != 0 {
+		t.Fatalf("RunningOn(w1) after drain = %d, want 0", got)
+	}
+	// All three tasks complete on the surviving node.
+	clk.Advance(time.Millisecond)
+	for i := 0; i < 3; i++ {
+		task, err := s.Request("w2", time.Second)
+		if err != nil || task == nil {
+			t.Fatalf("post-drain request %d: %v, %v", i, task, err)
+		}
+		if err := s.Complete(task.ID, "w2", result(task)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if res, err := g.Wait(); err != nil || len(res) != 3 {
+		t.Fatalf("group = %v, %v", res, err)
+	}
+}
+
+// Late reports after JobDone: straggler completions for a dropped job
+// are accepted (callback already consumed) or counted, never faulted.
+func TestLateReportAfterJobDoneCounted(t *testing.T) {
+	s, clk, rt := fakeSched(t, 0)
+	defer s.Close()
+	g, _ := s.SubmitGroup(specs(1))
+	task, _ := s.Request("w1", time.Second)
+	clk.Advance(time.Millisecond)
+	if err := s.Complete(task.ID, "w1", result(task)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	s.JobDone(0)
+	// Redelivered task_done for the retired job: counted, ignored.
+	if err := s.Complete(task.ID, "w1", result(task)); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.M().Get(obs.MetricSchedLateReports); got != 1 {
+		t.Errorf("%s = %d, want 1", obs.MetricSchedLateReports, got)
+	}
+	// A stale failure report is likewise counted.
+	if err := s.Fail(task.ID, "w1", "late failure"); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.M().Get(obs.MetricSchedLateReports); got != 2 {
+		t.Errorf("%s = %d, want 2", obs.MetricSchedLateReports, got)
+	}
+}
+
+// A duplicate still pending when its race resolves is pruned instead
+// of being re-dispatched: no slave ever receives a finished task.
+func TestPendingDuplicatePrunedAfterWin(t *testing.T) {
+	s, clk, _ := fakeSched(t, 0)
+	defer s.Close()
+	s.SetSpeculation(SpeculationConfig{SlownessFactor: 2, MinRuntime: time.Millisecond})
+	buildSamples(t, s, clk, "w1", 3, 10*time.Millisecond)
+
+	g, _ := s.SubmitGroup(specs(1))
+	orig, _ := s.Request("w1", time.Second)
+	clk.Advance(time.Minute)
+	if n := s.Speculate(); n != 1 {
+		t.Fatalf("speculate = %d, want 1", n)
+	}
+	// The original finishes before anyone picks up the duplicate.
+	if err := s.Complete(orig.ID, "w1", result(orig)); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := g.Wait(); err != nil || res[0] == nil {
+		t.Fatalf("group = %v, %v", res, err)
+	}
+	// The queued duplicate must be pruned, not handed out.
+	if task, _ := s.Request("w2", 0); task != nil {
+		t.Fatalf("pruned duplicate was dispatched: %+v", task)
+	}
+	if p, r := s.JobCounts(0); p != 0 || r != 0 {
+		t.Fatalf("pending %d running %d after prune, want 0/0", p, r)
+	}
+}

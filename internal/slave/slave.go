@@ -511,7 +511,14 @@ func (s *Slave) signin(ctx context.Context) (rpcproto.SigninReply, error) {
 			return rpcproto.SigninReply{}, ctx.Err()
 		default:
 		}
-		raw, err := s.client.Call(rpcproto.MethodSignin)
+		// Advertise kind, data address, and slot count; a pre-tree
+		// master ignores the argument, so both directions interoperate.
+		node := rpcproto.SigninArgs{
+			Kind:  rpcproto.NodeKindSlave,
+			Addr:  s.DataAddr(),
+			Slots: int64(s.opts.Concurrency),
+		}
+		raw, err := s.client.Call(rpcproto.MethodSignin, node.Encode())
 		if err == nil {
 			return rpcproto.DecodeSigninReply(raw)
 		}

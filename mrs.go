@@ -14,6 +14,9 @@
 //   - master / slave: the distributed runtime — XML-RPC control plane,
 //     HTTP or shared-filesystem data plane, heartbeats, task affinity,
 //     and failure recovery.
+//   - submaster: a middle control tier for large fleets — signs in to
+//     the master as one aggregated worker and schedules its own shard
+//     of slaves (see docs/DESIGN.md, "Hierarchical control plane").
 //   - local: a convenience that boots a master plus N slaves inside
 //     one process over real localhost sockets.
 //   - bypass: calls the program's Bypass method, skipping mrs almost
@@ -36,6 +39,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/prand"
 	"repro/internal/slave"
+	"repro/internal/submaster"
 )
 
 // Re-exported core types: these are the vocabulary of a mrs program.
@@ -84,6 +88,19 @@ type Options struct {
 	Workers int
 	// Slaves is the worker count for "local" (default 2).
 	Slaves int
+	// SubMasters, when positive, interposes this many sub-masters
+	// between the master and the slaves in "local" mode: the master
+	// sees only the sub-masters, each of which owns a shard of the
+	// fleet (see docs/DESIGN.md, "Hierarchical control plane"). 0
+	// keeps the flat star.
+	SubMasters int
+	// Speculation enables speculative straggler re-execution when
+	// positive: a task whose only running attempt has taken longer
+	// than Speculation times the operation's median attempt duration
+	// gets a duplicate attempt on another node; the first completion
+	// wins and output stays byte-identical. Applies to "local" and
+	// "master" (and sets the shard-local factor in "submaster").
+	Speculation float64
 	// MasterAddr is the master's host:port (required for "slave").
 	MasterAddr string
 	// Addr is the master listen address ("master"; default 127.0.0.1:0).
@@ -256,15 +273,17 @@ func Run(p Program, opts Options) error {
 
 	case "local":
 		c, err := cluster.Start(reg, cluster.Options{
-			Slaves:         opts.Slaves,
-			SharedDir:      opts.SharedDir,
-			Obs:            rt,
-			Prefetch:       opts.Prefetch,
-			Compress:       opts.Compress,
-			Codec:          opts.Codec,
-			BlockEncoding:  opts.BlockEncoding,
-			BlockSize:      opts.BlockSize,
-			ResidentBudget: opts.ResidentBudget,
+			Slaves:            opts.Slaves,
+			SubMasters:        opts.SubMasters,
+			SpeculationFactor: opts.Speculation,
+			SharedDir:         opts.SharedDir,
+			Obs:               rt,
+			Prefetch:          opts.Prefetch,
+			Compress:          opts.Compress,
+			Codec:             opts.Codec,
+			BlockEncoding:     opts.BlockEncoding,
+			BlockSize:         opts.BlockSize,
+			ResidentBudget:    opts.ResidentBudget,
 		})
 		if err != nil {
 			return err
@@ -274,14 +293,15 @@ func Run(p Program, opts Options) error {
 
 	case "master":
 		m, err := master.New(master.Options{
-			Addr:          opts.Addr,
-			PortFile:      opts.PortFile,
-			SharedDir:     opts.SharedDir,
-			Obs:           rt,
-			Compress:      opts.Compress,
-			Codec:         opts.Codec,
-			BlockEncoding: opts.BlockEncoding,
-			BlockSize:     opts.BlockSize,
+			Addr:              opts.Addr,
+			PortFile:          opts.PortFile,
+			SharedDir:         opts.SharedDir,
+			SpeculationFactor: opts.Speculation,
+			Obs:               rt,
+			Compress:          opts.Compress,
+			Codec:             opts.Codec,
+			BlockEncoding:     opts.BlockEncoding,
+			BlockSize:         opts.BlockSize,
 		})
 		if err != nil {
 			return err
@@ -293,6 +313,27 @@ func Run(p Program, opts Options) error {
 			return err
 		}
 		return runManaged(p, m, opts, rt)
+
+	case "submaster":
+		// A middle-tier control node: signs in to the master upward as
+		// one aggregated worker, serves the same protocol downward to
+		// its own shard of slaves. Control plane only — no program
+		// functions run here, but Register still happens above so the
+		// binary is the same one the slaves run.
+		if opts.MasterAddr == "" {
+			return fmt.Errorf("mrs: submaster mode requires MasterAddr")
+		}
+		sm, err := submaster.New(submaster.Options{
+			MasterAddr:        opts.MasterAddr,
+			Addr:              opts.Addr,
+			PortFile:          opts.PortFile,
+			Obs:               rt,
+			SpeculationFactor: opts.Speculation,
+		})
+		if err != nil {
+			return err
+		}
+		return sm.Run(context.Background())
 
 	case "slave":
 		if opts.MasterAddr == "" {

@@ -89,6 +89,10 @@ if [ "$tier" = "2" ] || [ "$tier" = "all" ]; then
 	go test -race -count=3 \
 		-run 'MasterCrash|PlannedMaster|Recover|Resume|Journal' \
 		./internal/cluster ./internal/master ./internal/journal ./internal/sched
+	echo "== tier 2: hierarchical control-plane stress (race, sub-master tree + drain + speculation)"
+	go test -race -count=2 \
+		-run 'Hierarchical|SubMaster|Elastic|Drain|Speculat|Resignin|Tree|Escalates' \
+		./internal/cluster ./internal/submaster ./internal/sched
 	echo "== tier 2: journal replay fuzz (corpus + 10s of new inputs)"
 	go test -run '^$' -fuzz 'FuzzJournalReplay' -fuzztime 10s ./internal/journal
 	echo "== tier 2: traced pipelined job end-to-end"
